@@ -1,0 +1,40 @@
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz cover experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing pass over every fuzz target.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=15s ./internal/attr/
+	$(GO) test -fuzz=FuzzParseToken -fuzztime=15s ./internal/core/
+	$(GO) test -fuzz=FuzzDecodeStegoImage -fuzztime=15s ./internal/core/
+	$(GO) test -fuzz=FuzzDecodeCreativeBody -fuzztime=15s ./internal/core/
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every table/figure of the paper.
+experiments:
+	$(GO) run ./cmd/treads-validate
+	$(GO) run ./cmd/treads-cost
+	$(GO) run ./cmd/treads-privacy
+	$(GO) run ./cmd/treads-audit
+
+clean:
+	$(GO) clean ./...

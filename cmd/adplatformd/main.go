@@ -1,0 +1,117 @@
+// Command adplatformd runs the simulated advertising platform as an HTTP
+// server: the advertiser REST API, the user feed API, the transparency
+// pages, and the tracking-pixel endpoint.
+//
+//	adplatformd [-addr :8080] [-users 1000] [-seed 1] [-review] [-auth]
+//	            [-load state.json] [-save state.json]
+//
+// Without -load, the platform starts pre-populated with a deterministic
+// synthetic population (user IDs user-000000 .. user-NNNNNN) so Treads
+// flows can be driven immediately with curl or the client SDK:
+//
+//	curl -X POST localhost:8080/api/v1/advertisers -d '{"name":"tp"}'
+//	curl "localhost:8080/api/v1/attributes?q=net+worth"
+//	curl "localhost:8080/pixel/px-000001?uid=user-000000"
+//
+// With -save, the full platform state (accounts, audiences, campaigns,
+// feeds, billing) is written as JSON on SIGINT/SIGTERM; a later run with
+// -load resumes from it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/treads-project/treads/internal/httpapi"
+	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	users := flag.Int("users", 1000, "synthetic population size (ignored with -load)")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	review := flag.Bool("review", false, "enable ToS ad review")
+	banAfter := flag.Int("ban-after", 0, "ban advertisers after N rejected ads (0 = never)")
+	requireAuth := flag.Bool("auth", false, "require per-advertiser API tokens (issued at registration)")
+	loadPath := flag.String("load", "", "restore platform state from this JSON snapshot")
+	savePath := flag.String("save", "", "write platform state to this JSON snapshot on shutdown")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "adplatformd: ", log.LstdFlags)
+
+	var p *platform.Platform
+	if *loadPath != "" {
+		raw, err := os.ReadFile(*loadPath)
+		if err != nil {
+			logger.Fatalf("reading snapshot: %v", err)
+		}
+		state, err := platform.UnmarshalSnapshot(raw)
+		if err != nil {
+			logger.Fatalf("parsing snapshot: %v", err)
+		}
+		p, err = platform.Restore(state)
+		if err != nil {
+			logger.Fatalf("restoring snapshot: %v", err)
+		}
+		logger.Printf("restored %d users from %s", len(p.Users()), *loadPath)
+	} else {
+		p = platform.New(platform.Config{
+			Seed:      *seed,
+			ReviewAds: *review,
+			BanAfter:  *banAfter,
+		})
+		cfg := workload.DefaultConfig()
+		cfg.Users = *users
+		cfg.Seed = *seed
+		cfg.Catalog = p.Catalog()
+		for _, u := range workload.Generate(cfg) {
+			if err := p.AddUser(u); err != nil {
+				logger.Fatalf("loading population: %v", err)
+			}
+		}
+	}
+	logger.Printf("platform ready: %d users, %d attributes (review=%v auth=%v)",
+		len(p.Users()), p.Catalog().Len(), *review, *requireAuth)
+	logger.Printf("listening on %s", *addr)
+
+	var handler http.Handler
+	if *requireAuth {
+		handler, _ = httpapi.NewServerWithAuth(p, logger)
+	} else {
+		handler = httpapi.NewServer(p, logger)
+	}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: handler,
+	}
+
+	if *savePath != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			logger.Printf("saving state to %s", *savePath)
+			raw, err := platform.MarshalSnapshot(p.Snapshot(*seed + 1))
+			if err != nil {
+				logger.Printf("snapshot failed: %v", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*savePath, raw, 0o644); err != nil {
+				logger.Printf("writing snapshot: %v", err)
+				os.Exit(1)
+			}
+			os.Exit(0)
+		}()
+	}
+
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,102 @@
+// Command treads-audit reproduces the paper's comparison experiments:
+// E5 (the transparency-completeness gap between the platform's own
+// mechanisms and Treads), E6 (ToS ad review vs reveal mode), E8
+// (crowdsourced shutdown resistance), E9 (the XRay/Sunlight-style
+// correlation baseline), and E10 (the two opt-in paths over the HTTP API).
+//
+//	treads-audit [-seed 7] [-users 120] [-tos] [-crowd] [-baseline] [-optin]
+//
+// With no mode flag, all tables print.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/treads-project/treads/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 7, "deterministic seed")
+	users := flag.Int("users", 120, "population for the completeness experiment")
+	tos := flag.Bool("tos", false, "print only E6 (ToS)")
+	crowd := flag.Bool("crowd", false, "print only E8 (crowdsourcing)")
+	base := flag.Bool("baseline", false, "print only E9 (correlation baseline)")
+	optin := flag.Bool("optin", false, "print only E10 (opt-in paths)")
+	intent := flag.Bool("intent", false, "print only E11 (advertiser-driven transparency)")
+	latency := flag.Bool("latency", false, "print only E12 (reveal latency under normal browsing)")
+	csv := flag.Bool("csv", false, "emit tables as CSV (notes omitted)")
+	flag.Parse()
+
+	emit := func(t *experiments.Table) {
+		if *csv {
+			t.FprintCSV(os.Stdout)
+		} else {
+			t.Fprint(os.Stdout)
+		}
+	}
+
+	fail := func(what string, err error) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", what, err)
+		os.Exit(1)
+	}
+	all := !*tos && !*crowd && !*base && !*optin && !*intent && !*latency
+
+	if all {
+		r, err := experiments.E5Completeness(*seed, *users)
+		if err != nil {
+			fail("E5", err)
+		}
+		emit(experiments.E5TableOf(r))
+		fmt.Println()
+	}
+	if all || *tos {
+		rows, err := experiments.E6ToS(*seed, 100)
+		if err != nil {
+			fail("E6", err)
+		}
+		emit(experiments.E6Table(rows))
+		fmt.Println()
+	}
+	if all || *crowd {
+		rows, err := experiments.E8Crowdsourcing(*seed,
+			[]int{1, 10, 50, 100}, []int{1, 3}, []float64{0, 0.1, 0.3, 0.6, 0.9})
+		if err != nil {
+			fail("E8", err)
+		}
+		emit(experiments.E8Table(rows))
+		fmt.Println()
+	}
+	if all || *base {
+		rows, err := experiments.E9CorrelationBaseline(*seed, []int{5, 10, 25, 50, 100, 250}, 5)
+		if err != nil {
+			fail("E9", err)
+		}
+		emit(experiments.E9Table(rows))
+		fmt.Println()
+	}
+	if all || *optin {
+		r, err := experiments.E10OptInPaths(*seed)
+		if err != nil {
+			fail("E10", err)
+		}
+		emit(experiments.E10Table(r))
+		fmt.Println()
+	}
+	if all || *intent {
+		rows, err := experiments.E11IntentTransparency(*seed)
+		if err != nil {
+			fail("E11", err)
+		}
+		emit(experiments.E11Table(rows))
+		fmt.Println()
+	}
+	if all || *latency {
+		rows, err := experiments.E12RevealLatency(*seed, 30, 60, 21)
+		if err != nil {
+			fail("E12", err)
+		}
+		emit(experiments.E12Table(rows))
+	}
+}

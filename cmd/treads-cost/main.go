@@ -1,0 +1,73 @@
+// Command treads-cost reproduces the paper's cost and scale analyses:
+// E2 (per-attribute reveal cost at the $2 and $10 CPM bids), E3 (the
+// log2(m) bit-split scheme for non-binary attributes), and E7 (the
+// bid-cap → delivery-probability trade-off behind the validation's 5x
+// elevated bid).
+//
+//	treads-cost [-seed 7] [-users 100] [-scale] [-bid]
+//
+// With no mode flag, all three tables print.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/treads-project/treads/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 7, "deterministic seed")
+	users := flag.Int("users", 100, "opted-in users for the measured cost column")
+	scaleOnly := flag.Bool("scale", false, "print only the E3 scale table")
+	bidOnly := flag.Bool("bid", false, "print only the E7 bid sweep")
+	fundingOnly := flag.Bool("funding", false, "print only the E2b funding-model table")
+	csv := flag.Bool("csv", false, "emit tables as CSV (notes omitted)")
+	flag.Parse()
+
+	emit := func(t *experiments.Table) {
+		if *csv {
+			t.FprintCSV(os.Stdout)
+		} else {
+			t.Fprint(os.Stdout)
+		}
+	}
+
+	fail := func(what string, err error) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", what, err)
+		os.Exit(1)
+	}
+	all := !*scaleOnly && !*bidOnly && !*fundingOnly
+
+	if all {
+		rows, err := experiments.E2Cost(*seed, *users)
+		if err != nil {
+			fail("E2", err)
+		}
+		emit(experiments.E2Table(rows))
+		pop := experiments.E2Population(*seed, 1000)
+		fmt.Printf("\nfleet cost (default workload): %d users, %.1f attrs/user -> $%.2f total ($%.4f/user; paper's 50-attr example: $%.2f)\n\n",
+			pop.Users, pop.MeanAttrs, pop.TotalUSD, pop.PerUserUSD, pop.PerUser50USD)
+	}
+	if all || *scaleOnly {
+		rows, err := experiments.E3Scale(*seed, []int{2, 4, 16, 64, 256, 1024})
+		if err != nil {
+			fail("E3", err)
+		}
+		emit(experiments.E3Table(rows))
+		fmt.Println()
+	}
+	if all || *fundingOnly {
+		rows := experiments.E2Funding(*seed, []int{100, 1000, 10000})
+		emit(experiments.E2FundingTable(rows))
+		fmt.Println()
+	}
+	if all || *bidOnly {
+		rows, err := experiments.E7BidSweep(*seed, []float64{0.5, 1, 2, 4, 10, 20}, 200, 5)
+		if err != nil {
+			fail("E7", err)
+		}
+		emit(experiments.E7Table(rows))
+	}
+}

@@ -1,0 +1,47 @@
+// Command treads-validate reproduces the paper's §3.1 validation (E1) and
+// Figure 1 (F1): 507 U.S. partner-attribute Treads plus a control ad
+// targeted at two opted-in users with asymmetric data-broker coverage.
+//
+//	treads-validate [-seed 2018] [-figure1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/treads-project/treads/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2018, "deterministic seed")
+	figure1 := flag.Bool("figure1", false, "print only the Figure 1 creatives")
+	csv := flag.Bool("csv", false, "emit tables as CSV (notes omitted)")
+	flag.Parse()
+
+	emit := func(t *experiments.Table) {
+		if *csv {
+			t.FprintCSV(os.Stdout)
+		} else {
+			t.Fprint(os.Stdout)
+		}
+	}
+
+	f1, err := experiments.F1Figure1(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figure 1:", err)
+		os.Exit(1)
+	}
+	emit(f1.Table())
+	if *figure1 {
+		return
+	}
+	fmt.Println()
+
+	e1, err := experiments.E1Validation(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validation:", err)
+		os.Exit(1)
+	}
+	emit(e1.Table())
+}

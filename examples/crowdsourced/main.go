@@ -1,0 +1,101 @@
+// Crowdsourced demonstrates §4 "Evading shutdown": instead of one
+// transparency provider running all 507 partner-attribute Treads from one
+// advertiser account (one ban kills everything), the attribute set is
+// sharded — with replication — across many small advertiser accounts run
+// by different privacy-conscious organizations. The platform then bans a
+// fraction of the accounts, and the user still learns most of their
+// profile.
+//
+//	go run ./examples/crowdsourced
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/treads-project/treads"
+)
+
+func main() {
+	p := treads.NewPlatform(treads.PlatformConfig{
+		Seed: 4,
+		Market: &treads.Market{
+			BaseCPM: treads.Dollars(2), Sigma: 0, Floor: treads.Dollars(0.10),
+		},
+	})
+	authorA, _, err := treads.PaperAuthors(p.Catalog())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.AddUser(authorA); err != nil {
+		log.Fatal(err)
+	}
+
+	// Shard the 507 partner attributes across 20 accounts, 3x replicated.
+	const accounts, replication = 20, 3
+	shards, err := treads.ShardAttributes(treads.PartnerAttrIDs(p), accounts, replication)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sharded %d attributes across %d accounts (replication %d)\n",
+		len(treads.PartnerAttrIDs(p)), accounts, replication)
+
+	// Each shard is an independent provider with its own account, page
+	// and codebook; a cooperating user opts in to all of them and merges
+	// the codebooks.
+	providers := make([]*treads.Provider, 0, len(shards))
+	for _, shard := range shards {
+		tp, err := treads.NewProvider(p, treads.ProviderConfig{
+			Name: shard.Account, Mode: treads.RevealObfuscated,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.LikePage(authorA.ID, tp.OptInPage()); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := tp.DeployAttrTreads(shard.Attrs); err != nil {
+			log.Fatal(err)
+		}
+		providers = append(providers, tp)
+	}
+
+	// The platform bans a third of the accounts.
+	banned := map[string]bool{}
+	for i, tp := range providers {
+		if i%3 == 0 {
+			p.Enforcer().Ban(tp.Name())
+			// Bans stop future campaigns; model retroactive takedown by
+			// pausing this provider's running Treads too.
+			for _, cid := range tp.Campaigns() {
+				if err := p.PauseCampaign(tp.Name(), cid); err != nil {
+					log.Fatal(err)
+				}
+			}
+			banned[tp.Name()] = true
+		}
+	}
+	fmt.Printf("platform banned %d of %d accounts\n", len(banned), accounts)
+	fmt.Printf("analytical surviving coverage: %.1f%%\n",
+		treads.Coverage(shards, banned)*100)
+
+	// The user browses and merges what every surviving shard reveals.
+	if _, err := p.BrowseFeed(authorA.ID, 800); err != nil {
+		log.Fatal(err)
+	}
+	learned := map[treads.AttrID]bool{}
+	for _, tp := range providers {
+		ext := &treads.Extension{ProviderName: tp.Name(), Codebook: tp.Codebook()}
+		for _, id := range ext.Scan(p.Feed(authorA.ID), p.Catalog()).Attrs {
+			learned[id] = true
+		}
+	}
+	truth := 0
+	for _, id := range treads.PartnerAttrIDs(p) {
+		if p.User(authorA.ID).HasAttr(id) {
+			truth++
+		}
+	}
+	fmt.Printf("author A holds %d partner attributes; learned %d of them despite the bans\n",
+		truth, len(learned))
+}

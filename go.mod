@@ -1,0 +1,3 @@
+module github.com/treads-project/treads
+
+go 1.22

@@ -1,0 +1,48 @@
+// Package ad defines the creative types shared by the ad-review policy
+// checker, the delivery pipeline, and the platform API: what an ad looks
+// like to the user who sees it.
+package ad
+
+import "fmt"
+
+// Creative is the user-visible content of an ad: the text shown in the feed
+// and an optional landing page behind the ad's link. Treads carry their
+// targeting payload either in the Body (explicit or obfuscated) or on the
+// landing page (§3: "could be in one of the landing pages that the links
+// within the ad point to").
+type Creative struct {
+	// Headline is the short title line.
+	Headline string
+	// Body is the ad text.
+	Body string
+	// LandingURL is where clicking the ad leads; empty for ads without an
+	// outbound link.
+	LandingURL string
+	// LandingBody is the content of the landing page as served by the
+	// advertiser's site. The platform's ad review only sees the ad itself;
+	// landing-page content is outside its reach (which is why
+	// landing-page Treads pass ToS review, §4).
+	LandingBody string
+	// ImagePNG is the ad's image, PNG-encoded. Treads may carry their
+	// payload steganographically in the image ("this information could be
+	// encoded into the ad image or other multimedia content ... via
+	// steganographic techniques, which can be extracted by code", §3).
+	ImagePNG []byte
+}
+
+// Impression is one delivery of an ad to one user, as recorded in the
+// user's feed.
+type Impression struct {
+	// CampaignID identifies the campaign the ad belonged to.
+	CampaignID string
+	// Advertiser is the advertiser account name shown with the ad.
+	Advertiser string
+	// Creative is the content the user saw.
+	Creative Creative
+	// Slot is the sequential feed-slot index at which it was shown.
+	Slot int
+}
+
+func (i Impression) String() string {
+	return fmt.Sprintf("[ad %s by %s] %s — %s", i.CampaignID, i.Advertiser, i.Creative.Headline, i.Creative.Body)
+}

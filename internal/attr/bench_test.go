@@ -1,0 +1,49 @@
+package attr
+
+import "testing"
+
+func BenchmarkDefaultCatalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if DefaultCatalog().Len() == 0 {
+			b.Fatal("empty catalog")
+		}
+	}
+}
+
+func BenchmarkCatalogSearch(b *testing.B) {
+	c := DefaultCatalog()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(c.Search("net worth")) != 9 {
+			b.Fatal("wrong hit count")
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	const in = "(attr(platform.music.jazz) OR attr(platform.music.blues)) AND age(30, 65) AND NOT region(Chicago)"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExprMatch(b *testing.B) {
+	e := MustParse("attr(platform.music.salsa_music) AND age(30, 65) AND country(US)")
+	s := paperSubject()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.Match(s) {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkHaversine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		HaversineKM(42.36, -71.06, 40.71, -74.00)
+	}
+}

@@ -1,0 +1,37 @@
+package attr
+
+import "testing"
+
+// FuzzParse checks that the targeting parser never panics and that every
+// successfully parsed expression round-trips through its canonical
+// printing.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"all()",
+		"attr(platform.music.jazz)",
+		"attr(a) AND age(30, 65) OR NOT gender(female)",
+		"(attr(a) OR attr(b)) AND country(US)",
+		"value(x.y.z, some value)",
+		"NOT (attr(a) AND attr(b))",
+		"age(0, 120)",
+		"attr(",
+		"))((",
+		"NOT NOT NOT all()",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		out := e.String()
+		e2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not reparse: %v", out, input, err)
+		}
+		if e2.String() != out {
+			t.Fatalf("canonical form unstable: %q -> %q", out, e2.String())
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package attr
+
+import (
+	"fmt"
+	"math"
+)
+
+// Geo targeting: the paper's footnote 1 notes that "advertisers can
+// typically target users in a ZIP code, or within a radius around any
+// latitude and longitude". RegionIs covers the ZIP/city case; WithinKM is
+// the radius case.
+
+// GeoSubject is the optional extension of Subject for users the platform
+// has located. Radius predicates match only subjects that implement it and
+// report a location.
+type GeoSubject interface {
+	// LatLon returns the platform's belief about the user's coordinates;
+	// ok is false when the platform has no location for the user.
+	LatLon() (lat, lon float64, ok bool)
+}
+
+// WithinKM matches users the platform places within KM kilometres of the
+// given point (great-circle distance).
+type WithinKM struct {
+	Lat, Lon float64
+	KM       float64
+}
+
+// Match implements Expr. Subjects without a location never match —
+// platforms do not deliver geo-targeted ads to users they cannot place.
+func (w WithinKM) Match(s Subject) bool {
+	g, ok := s.(GeoSubject)
+	if !ok {
+		return false
+	}
+	lat, lon, ok := g.LatLon()
+	if !ok {
+		return false
+	}
+	return HaversineKM(w.Lat, w.Lon, lat, lon) <= w.KM
+}
+
+func (w WithinKM) String() string {
+	return fmt.Sprintf("radius(%s, %s, %s)", trimFloat(w.Lat), trimFloat(w.Lon), trimFloat(w.KM))
+}
+
+// trimFloat renders a float without trailing zeros so expressions
+// round-trip through the parser cleanly.
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}
+
+// earthRadiusKM is the mean Earth radius.
+const earthRadiusKM = 6371.0
+
+// HaversineKM returns the great-circle distance between two points in
+// kilometres.
+func HaversineKM(lat1, lon1, lat2, lon2 float64) float64 {
+	const degToRad = math.Pi / 180
+	phi1 := lat1 * degToRad
+	phi2 := lat2 * degToRad
+	dPhi := (lat2 - lat1) * degToRad
+	dLambda := (lon2 - lon1) * degToRad
+	a := math.Sin(dPhi/2)*math.Sin(dPhi/2) +
+		math.Cos(phi1)*math.Cos(phi2)*math.Sin(dLambda/2)*math.Sin(dLambda/2)
+	return 2 * earthRadiusKM * math.Asin(math.Min(1, math.Sqrt(a)))
+}

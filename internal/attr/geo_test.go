@@ -1,0 +1,113 @@
+package attr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// geoSubject is a fakeSubject with a location.
+type geoSubject struct {
+	fakeSubject
+	lat, lon float64
+	hasGeo   bool
+}
+
+func (g *geoSubject) LatLon() (float64, float64, bool) { return g.lat, g.lon, g.hasGeo }
+
+func TestHaversineKnownDistances(t *testing.T) {
+	cases := []struct {
+		name                   string
+		lat1, lon1, lat2, lon2 float64
+		wantKM, tolKM          float64
+	}{
+		{"same point", 42.36, -71.06, 42.36, -71.06, 0, 0.001},
+		{"Boston-NYC", 42.3601, -71.0589, 40.7128, -74.0060, 306, 5},
+		{"London-Paris", 51.5074, -0.1278, 48.8566, 2.3522, 344, 5},
+		{"antipodal-ish", 0, 0, 0, 180, 20015, 30},
+	}
+	for _, c := range cases {
+		got := HaversineKM(c.lat1, c.lon1, c.lat2, c.lon2)
+		if math.Abs(got-c.wantKM) > c.tolKM {
+			t.Errorf("%s: distance = %.1f km, want %.0f±%.0f", c.name, got, c.wantKM, c.tolKM)
+		}
+	}
+}
+
+func TestHaversineSymmetricProperty(t *testing.T) {
+	f := func(a, b, c, d int16) bool {
+		lat1 := float64(a%90) / 1.0
+		lon1 := float64(b%180) / 1.0
+		lat2 := float64(c%90) / 1.0
+		lon2 := float64(d%180) / 1.0
+		x := HaversineKM(lat1, lon1, lat2, lon2)
+		y := HaversineKM(lat2, lon2, lat1, lon1)
+		return math.Abs(x-y) < 1e-9 && x >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithinKMMatch(t *testing.T) {
+	boston := &geoSubject{lat: 42.3601, lon: -71.0589, hasGeo: true}
+	nyc := &geoSubject{lat: 40.7128, lon: -74.0060, hasGeo: true}
+	unlocated := &geoSubject{}
+	plain := &fakeSubject{} // does not even implement GeoSubject... it does not
+
+	aroundBoston := WithinKM{Lat: 42.36, Lon: -71.06, KM: 50}
+	if !aroundBoston.Match(boston) {
+		t.Error("Boston user not within 50km of Boston")
+	}
+	if aroundBoston.Match(nyc) {
+		t.Error("NYC user within 50km of Boston")
+	}
+	if aroundBoston.Match(unlocated) {
+		t.Error("unlocated user matched a radius")
+	}
+	if aroundBoston.Match(plain) {
+		t.Error("non-geo subject matched a radius")
+	}
+	// A big enough radius catches NYC too.
+	if !(WithinKM{Lat: 42.36, Lon: -71.06, KM: 400}).Match(nyc) {
+		t.Error("NYC user not within 400km of Boston")
+	}
+}
+
+func TestRadiusParseRoundTrip(t *testing.T) {
+	inputs := []string{
+		"radius(42.36, -71.06, 50)",
+		"radius(0, 0, 1)",
+		"attr(a.b.c) AND radius(42.36, -71.06, 25.5)",
+	}
+	for _, in := range inputs {
+		e, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		if _, err := Parse(e.String()); err != nil {
+			t.Errorf("round trip of %q -> %q: %v", in, e.String(), err)
+		}
+	}
+	bad := []string{
+		"radius(1, 2)",
+		"radius(1, 2, 3, 4)",
+		"radius(x, 2, 3)",
+		"radius(99, 0, 1)",  // lat out of range
+		"radius(0, 999, 1)", // lon out of range
+		"radius(0, 0, -5)",  // negative radius
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestRadiusValidates(t *testing.T) {
+	c := DefaultCatalog()
+	if err := Validate(MustParse("radius(42, -71, 10)"), c); err != nil {
+		t.Fatalf("radius validation failed: %v", err)
+	}
+}

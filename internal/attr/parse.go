@@ -1,0 +1,249 @@
+package attr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses the canonical textual targeting syntax:
+//
+//	expr    := or
+//	or      := and { "OR" and }
+//	and     := unary { "AND" unary }
+//	unary   := "NOT" unary | primary
+//	primary := "(" expr ")" | call
+//	call    := name "(" args ")"
+//	name    := all | attr | value | age | gender | country | region
+//
+// Examples:
+//
+//	attr(platform.music.jazz) AND age(30, 65)
+//	NOT attr(partner.financial.net_worth_over_2_000_000)
+//	value(platform.demographics.life_stage, young family) OR gender(female)
+//
+// Arguments are read verbatim up to the closing parenthesis (split on the
+// first comma for two-argument calls), so attribute values may contain
+// spaces. Expr.String() output always reparses to an equivalent expression.
+func Parse(input string) (Expr, error) {
+	p := &parser{in: input}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("attr: trailing input at offset %d: %q", p.pos, p.in[p.pos:])
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; for fixed expressions in tests
+// and examples.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("attr: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t' || p.in[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+// peekWord returns the next bare word without consuming it.
+func (p *parser) peekWord() string {
+	p.skipSpace()
+	i := p.pos
+	for i < len(p.in) {
+		c := p.in[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+			i++
+			continue
+		}
+		break
+	}
+	return p.in[p.pos:i]
+}
+
+func (p *parser) eatWord(w string) bool {
+	if strings.EqualFold(p.peekWord(), w) && p.peekWord() != "" {
+		p.skipSpace()
+		p.pos += len(w)
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	ops := []Expr{left}
+	for p.eatWord("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, right)
+	}
+	return NewOr(ops...), nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	ops := []Expr{left}
+	for p.eatWord("AND") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, right)
+	}
+	return NewAnd(ops...), nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.eatWord("NOT") {
+		op, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{Op: op}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	p.skipSpace()
+	if p.pos < len(p.in) && p.in[p.pos] == '(' {
+		p.pos++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.in) || p.in[p.pos] != ')' {
+			return nil, p.errf("expected ')'")
+		}
+		p.pos++
+		return e, nil
+	}
+	name := p.peekWord()
+	if name == "" {
+		return nil, p.errf("expected expression")
+	}
+	p.skipSpace()
+	p.pos += len(name)
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != '(' {
+		return nil, p.errf("expected '(' after %q", name)
+	}
+	p.pos++
+	close := strings.IndexByte(p.in[p.pos:], ')')
+	if close < 0 {
+		return nil, p.errf("unterminated argument list for %q", name)
+	}
+	rawArgs := p.in[p.pos : p.pos+close]
+	p.pos += close + 1
+	return buildCall(strings.ToLower(name), rawArgs, p)
+}
+
+func buildCall(name, rawArgs string, p *parser) (Expr, error) {
+	arg := strings.TrimSpace(rawArgs)
+	two := func() (string, string, error) {
+		i := strings.IndexByte(rawArgs, ',')
+		if i < 0 {
+			return "", "", p.errf("%s() requires two arguments", name)
+		}
+		return strings.TrimSpace(rawArgs[:i]), strings.TrimSpace(rawArgs[i+1:]), nil
+	}
+	switch name {
+	case "all":
+		if arg != "" {
+			return nil, p.errf("all() takes no arguments")
+		}
+		return MatchAll{}, nil
+	case "attr":
+		if arg == "" {
+			return nil, p.errf("attr() requires an attribute ID")
+		}
+		return Has{ID: ID(arg)}, nil
+	case "value":
+		id, val, err := two()
+		if err != nil {
+			return nil, err
+		}
+		if id == "" || val == "" {
+			return nil, p.errf("value() requires a non-empty ID and value")
+		}
+		return ValueIs{ID: ID(id), Value: val}, nil
+	case "age":
+		lo, hi, err := two()
+		if err != nil {
+			return nil, err
+		}
+		min, err := strconv.Atoi(lo)
+		if err != nil {
+			return nil, p.errf("age() min %q: %v", lo, err)
+		}
+		max, err := strconv.Atoi(hi)
+		if err != nil {
+			return nil, p.errf("age() max %q: %v", hi, err)
+		}
+		if min < 0 || max < min {
+			return nil, p.errf("age() range [%d,%d] invalid", min, max)
+		}
+		return AgeBetween{Min: min, Max: max}, nil
+	case "gender":
+		if arg == "" {
+			return nil, p.errf("gender() requires an argument")
+		}
+		return GenderIs{Gender: arg}, nil
+	case "country":
+		if arg == "" {
+			return nil, p.errf("country() requires an argument")
+		}
+		return CountryIs{Country: arg}, nil
+	case "region":
+		if arg == "" {
+			return nil, p.errf("region() requires an argument")
+		}
+		return RegionIs{Region: arg}, nil
+	case "radius":
+		parts := strings.Split(rawArgs, ",")
+		if len(parts) != 3 {
+			return nil, p.errf("radius() requires lat, lon, km")
+		}
+		vals := make([]float64, 3)
+		for i, s := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return nil, p.errf("radius() argument %q: %v", s, err)
+			}
+			vals[i] = v
+		}
+		if vals[0] < -90 || vals[0] > 90 || vals[1] < -180 || vals[1] > 180 || vals[2] < 0 {
+			return nil, p.errf("radius(%v, %v, %v) out of range", vals[0], vals[1], vals[2])
+		}
+		return WithinKM{Lat: vals[0], Lon: vals[1], KM: vals[2]}, nil
+	default:
+		return nil, p.errf("unknown predicate %q", name)
+	}
+}

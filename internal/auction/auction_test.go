@@ -1,0 +1,161 @@
+package auction
+
+import (
+	"testing"
+
+	"github.com/treads-project/treads/internal/money"
+	"github.com/treads-project/treads/internal/stats"
+)
+
+func fixedMarket(cpm float64) Market {
+	return Market{BaseCPM: money.FromDollars(cpm), Sigma: 0, Floor: money.FromDollars(0.10)}
+}
+
+func TestRunNoBids(t *testing.T) {
+	out := Run(nil, DefaultMarket(), stats.NewRNG(1))
+	if out.Won {
+		t.Fatal("won with no bids")
+	}
+}
+
+func TestRunSingleBidWinsAgainstFixedMarket(t *testing.T) {
+	rng := stats.NewRNG(1)
+	out := Run([]Bid{{CampaignID: "c1", CapCPM: money.FromDollars(10)}}, fixedMarket(2), rng)
+	if !out.Won || out.CampaignID != "c1" {
+		t.Fatalf("outcome = %+v", out)
+	}
+	// Second price: pays the competing $2, not its own $10.
+	if out.ClearingCPM != money.FromDollars(2) {
+		t.Fatalf("clearing = %v, want $2", out.ClearingCPM)
+	}
+	if out.PricePaid != money.FromDollars(0.002) {
+		t.Fatalf("price = %v, want $0.002", out.PricePaid)
+	}
+}
+
+func TestRunLosesWhenOutbid(t *testing.T) {
+	out := Run([]Bid{{CampaignID: "c1", CapCPM: money.FromDollars(1)}}, fixedMarket(2), stats.NewRNG(1))
+	if out.Won {
+		t.Fatal("won while outbid")
+	}
+}
+
+func TestRunTieGoesToMarket(t *testing.T) {
+	out := Run([]Bid{{CampaignID: "c1", CapCPM: money.FromDollars(2)}}, fixedMarket(2), stats.NewRNG(1))
+	if out.Won {
+		t.Fatal("tie should go to the market")
+	}
+}
+
+func TestRunSecondPriceAmongCampaigns(t *testing.T) {
+	bids := []Bid{
+		{CampaignID: "low", CapCPM: money.FromDollars(3)},
+		{CampaignID: "high", CapCPM: money.FromDollars(8)},
+		{CampaignID: "mid", CapCPM: money.FromDollars(5)},
+	}
+	out := Run(bids, fixedMarket(2), stats.NewRNG(1))
+	if !out.Won || out.CampaignID != "high" {
+		t.Fatalf("outcome = %+v", out)
+	}
+	// Second price is the $5 runner-up, which exceeds the $2 market.
+	if out.ClearingCPM != money.FromDollars(5) {
+		t.Fatalf("clearing = %v, want $5", out.ClearingCPM)
+	}
+}
+
+func TestRunIgnoresNonPositiveBids(t *testing.T) {
+	bids := []Bid{
+		{CampaignID: "zero", CapCPM: 0},
+		{CampaignID: "neg", CapCPM: -money.Dollar},
+	}
+	if out := Run(bids, fixedMarket(0.1), stats.NewRNG(1)); out.Won {
+		t.Fatal("non-positive bid won")
+	}
+}
+
+func TestRunFirstSubmittedWinsTies(t *testing.T) {
+	bids := []Bid{
+		{CampaignID: "a", CapCPM: money.FromDollars(5)},
+		{CampaignID: "b", CapCPM: money.FromDollars(5)},
+	}
+	out := Run(bids, fixedMarket(1), stats.NewRNG(1))
+	if !out.Won || out.CampaignID != "a" {
+		t.Fatalf("tie-break outcome = %+v", out)
+	}
+	// Tied runner-up sets the clearing price.
+	if out.ClearingCPM != money.FromDollars(5) {
+		t.Fatalf("clearing = %v", out.ClearingCPM)
+	}
+}
+
+func TestRunRespectsFloor(t *testing.T) {
+	m := Market{BaseCPM: money.FromDollars(0.01), Sigma: 0, Floor: money.FromDollars(0.10)}
+	// Competitor bids get clamped up to the floor, so a winner pays at
+	// least the floor.
+	out := Run([]Bid{{CampaignID: "c", CapCPM: money.FromDollars(5)}}, m, stats.NewRNG(1))
+	if !out.Won {
+		t.Fatal("should win over floor-level competition")
+	}
+	if out.ClearingCPM < m.Floor {
+		t.Fatalf("clearing %v below floor %v", out.ClearingCPM, m.Floor)
+	}
+}
+
+func TestWinProbabilityMonotoneInBid(t *testing.T) {
+	m := DefaultMarket()
+	pDefault := WinProbability(money.FromDollars(2), m, stats.NewRNG(7), 20000)
+	pElevated := WinProbability(money.FromDollars(10), m, stats.NewRNG(7), 20000)
+	if pElevated <= pDefault {
+		t.Fatalf("elevated bid %v not better than default %v", pElevated, pDefault)
+	}
+	// The default bid is the market median: ~50% wins.
+	if pDefault < 0.4 || pDefault > 0.6 {
+		t.Fatalf("default-bid win probability = %v, want ~0.5", pDefault)
+	}
+	// The paper's 5x elevated bid should win the vast majority of slots.
+	if pElevated < 0.9 {
+		t.Fatalf("elevated-bid win probability = %v, want > 0.9", pElevated)
+	}
+}
+
+func TestWinProbabilityDefaultTrials(t *testing.T) {
+	p := WinProbability(money.FromDollars(100), DefaultMarket(), stats.NewRNG(1), 0)
+	if p < 0.99 {
+		t.Fatalf("huge bid win probability = %v", p)
+	}
+}
+
+func TestCompetingBidDeterministic(t *testing.T) {
+	m := DefaultMarket()
+	a := m.CompetingBid(stats.NewRNG(42))
+	b := m.CompetingBid(stats.NewRNG(42))
+	if a != b {
+		t.Fatal("competing bids not deterministic for same seed")
+	}
+}
+
+func TestCompetingBidRespectsFloor(t *testing.T) {
+	m := DefaultMarket()
+	rng := stats.NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		if b := m.CompetingBid(rng); b < m.Floor {
+			t.Fatalf("competing bid %v below floor", b)
+		}
+	}
+}
+
+func TestCompetingBidMedianNearBase(t *testing.T) {
+	m := DefaultMarket()
+	rng := stats.NewRNG(5)
+	below := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if m.CompetingBid(rng) < m.BaseCPM {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("fraction below base = %v, want ~0.5 (lognormal median)", frac)
+	}
+}

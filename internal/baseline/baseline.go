@@ -1,0 +1,143 @@
+// Package baseline implements the related-work comparison point: a
+// differential-correlation transparency mechanism in the style of XRay
+// (USENIX Security'14) and Sunlight (CCS'15), the approaches the paper
+// contrasts Treads with in §5.
+//
+// These systems infer how ads are targeted from the outside, by recruiting
+// a panel of users (or creating fake "persona" accounts) with known
+// profiles and correlating who sees which ad: if users holding attribute X
+// see campaign C significantly more often than users without X, C is
+// inferred to target X. The paper's point — reproduced by experiment E9 —
+// is that statistically significant inferences require "a large diverse
+// population to sign-up (and share their demographic information), or a
+// large number of (fake) control accounts", whereas a Tread reveals its
+// targeting to a single user by construction.
+package baseline
+
+import (
+	"sort"
+
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/stats"
+)
+
+// PanelMember is one panel participant: their disclosed attributes and the
+// campaigns they observed in their feed. Note what this costs compared to
+// Treads: every panelist must share their profile with the researchers.
+type PanelMember struct {
+	Attrs map[attr.ID]bool
+	Saw   map[string]bool // campaign IDs observed
+}
+
+// Inference is one attribute the correlator believes a campaign targets.
+type Inference struct {
+	Attr attr.ID
+	Chi2 float64
+}
+
+// Correlator infers campaign targeting from panel observations.
+type Correlator struct {
+	// Alpha is the significance level for the chi-square test (defaults
+	// to 0.01 — Sunlight's "statistical confidence" regime).
+	Alpha float64
+	// MinExposed is the minimum number of panelists who must have seen
+	// the campaign before any inference is attempted.
+	MinExposed int
+}
+
+// NewCorrelator returns a correlator at the default significance level.
+func NewCorrelator() *Correlator {
+	return &Correlator{Alpha: 0.01, MinExposed: 2}
+}
+
+// Infer returns the candidate attributes significantly associated with
+// seeing the campaign, strongest first.
+func (c *Correlator) Infer(panel []PanelMember, campaignID string, candidates []attr.ID) []Inference {
+	exposed := 0
+	for _, m := range panel {
+		if m.Saw[campaignID] {
+			exposed++
+		}
+	}
+	if exposed < c.MinExposed {
+		return nil
+	}
+	var out []Inference
+	for _, cand := range candidates {
+		var a, b, cc, d int // [attr+,saw+] [attr+,saw-] [attr-,saw+] [attr-,saw-]
+		for _, m := range panel {
+			has := m.Attrs[cand]
+			saw := m.Saw[campaignID]
+			switch {
+			case has && saw:
+				a++
+			case has && !saw:
+				b++
+			case !has && saw:
+				cc++
+			default:
+				d++
+			}
+		}
+		chi2 := stats.ChiSquare2x2(a, b, cc, d)
+		// Positive association only: targeting makes attribute-holders
+		// MORE likely to see the ad.
+		positively := float64(a)*float64(d) > float64(b)*float64(cc)
+		if positively && stats.ChiSquareSignificant(chi2, c.Alpha) {
+			out = append(out, Inference{Attr: cand, Chi2: chi2})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Chi2 != out[j].Chi2 {
+			return out[i].Chi2 > out[j].Chi2
+		}
+		return out[i].Attr < out[j].Attr
+	})
+	return out
+}
+
+// Evaluation compares inferred targeting to ground truth.
+type Evaluation struct {
+	PanelSize      int
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Recall is TP / (TP + FN); zero when nothing was there to find.
+func (e Evaluation) Recall() float64 {
+	denom := e.TruePositives + e.FalseNegatives
+	if denom == 0 {
+		return 0
+	}
+	return float64(e.TruePositives) / float64(denom)
+}
+
+// Precision is TP / (TP + FP); defined as 1 when nothing was inferred.
+func (e Evaluation) Precision() float64 {
+	denom := e.TruePositives + e.FalsePositives
+	if denom == 0 {
+		return 1
+	}
+	return float64(e.TruePositives) / float64(denom)
+}
+
+// Evaluate scores an inference list against the true targeting set.
+func Evaluate(panelSize int, inferred []Inference, truth map[attr.ID]bool) Evaluation {
+	ev := Evaluation{PanelSize: panelSize}
+	seen := make(map[attr.ID]bool)
+	for _, inf := range inferred {
+		seen[inf.Attr] = true
+		if truth[inf.Attr] {
+			ev.TruePositives++
+		} else {
+			ev.FalsePositives++
+		}
+	}
+	for a := range truth {
+		if !seen[a] {
+			ev.FalseNegatives++
+		}
+	}
+	return ev
+}

@@ -1,0 +1,164 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/stats"
+)
+
+const (
+	targetAttr = attr.ID("p.x.target")
+	noiseAttr  = attr.ID("p.x.noise")
+	campaign   = "camp-1"
+)
+
+// makePanel builds n panelists: each holds targetAttr with probability
+// prevalence; holders see the campaign (perfect targeting, delivery rate
+// deliver); non-holders never do. noiseAttr is independent of everything.
+func makePanel(n int, prevalence, deliver float64, seed uint64) []PanelMember {
+	rng := stats.NewRNG(seed)
+	panel := make([]PanelMember, n)
+	for i := range panel {
+		m := PanelMember{Attrs: map[attr.ID]bool{}, Saw: map[string]bool{}}
+		if rng.Bool(prevalence) {
+			m.Attrs[targetAttr] = true
+			if rng.Bool(deliver) {
+				m.Saw[campaign] = true
+			}
+		}
+		if rng.Bool(0.5) {
+			m.Attrs[noiseAttr] = true
+		}
+		panel[i] = m
+	}
+	return panel
+}
+
+func TestInferFindsTrueTargetingWithLargePanel(t *testing.T) {
+	panel := makePanel(500, 0.4, 0.9, 1)
+	c := NewCorrelator()
+	inf := c.Infer(panel, campaign, []attr.ID{targetAttr, noiseAttr})
+	if len(inf) == 0 || inf[0].Attr != targetAttr {
+		t.Fatalf("large panel failed to find the target: %v", inf)
+	}
+	for _, i := range inf {
+		if i.Attr == noiseAttr {
+			t.Fatal("noise attribute inferred as targeting")
+		}
+	}
+}
+
+func TestInferFailsWithTinyPanel(t *testing.T) {
+	// The paper's point: correlation needs scale. A Treads user needs a
+	// panel of exactly one.
+	panel := makePanel(4, 0.4, 0.9, 2)
+	c := NewCorrelator()
+	if inf := c.Infer(panel, campaign, []attr.ID{targetAttr}); len(inf) != 0 {
+		t.Fatalf("4-user panel produced a significant inference: %v", inf)
+	}
+}
+
+func TestInferMinExposed(t *testing.T) {
+	// Nobody saw the ad: no inference possible.
+	panel := makePanel(100, 0.4, 0, 3)
+	c := NewCorrelator()
+	if inf := c.Infer(panel, campaign, []attr.ID{targetAttr}); inf != nil {
+		t.Fatalf("zero-exposure inference: %v", inf)
+	}
+}
+
+func TestInferIgnoresNegativeAssociation(t *testing.T) {
+	// Build a panel where holders of an attribute see the ad LESS —
+	// an exclusion, which this correlator does not claim as targeting.
+	rng := stats.NewRNG(4)
+	panel := make([]PanelMember, 300)
+	for i := range panel {
+		m := PanelMember{Attrs: map[attr.ID]bool{}, Saw: map[string]bool{}}
+		if rng.Bool(0.5) {
+			m.Attrs[targetAttr] = true
+		} else if rng.Bool(0.9) {
+			m.Saw[campaign] = true
+		}
+		panel[i] = m
+	}
+	c := NewCorrelator()
+	if inf := c.Infer(panel, campaign, []attr.ID{targetAttr}); len(inf) != 0 {
+		t.Fatalf("negative association claimed as targeting: %v", inf)
+	}
+}
+
+func TestInferSortedByStrength(t *testing.T) {
+	// Two true targeting attributes with different association strengths.
+	rng := stats.NewRNG(5)
+	strong := attr.ID("p.x.strong")
+	weak := attr.ID("p.x.weak")
+	panel := make([]PanelMember, 600)
+	for i := range panel {
+		m := PanelMember{Attrs: map[attr.ID]bool{}, Saw: map[string]bool{}}
+		hasStrong := rng.Bool(0.5)
+		hasWeak := rng.Bool(0.5)
+		if hasStrong {
+			m.Attrs[strong] = true
+		}
+		if hasWeak {
+			m.Attrs[weak] = true
+		}
+		if hasStrong && rng.Bool(0.95) {
+			m.Saw[campaign] = true
+		} else if hasWeak && rng.Bool(0.4) {
+			m.Saw[campaign] = true
+		}
+		panel[i] = m
+	}
+	c := NewCorrelator()
+	inf := c.Infer(panel, campaign, []attr.ID{weak, strong})
+	if len(inf) < 2 {
+		t.Fatalf("expected both attrs inferred, got %v", inf)
+	}
+	if inf[0].Attr != strong {
+		t.Fatalf("not sorted by strength: %v", inf)
+	}
+}
+
+func TestRecallGrowsWithPanelSize(t *testing.T) {
+	c := NewCorrelator()
+	truth := map[attr.ID]bool{targetAttr: true}
+	recallAt := func(n int) float64 {
+		var total float64
+		const trials = 10
+		for s := 0; s < trials; s++ {
+			panel := makePanel(n, 0.4, 0.9, uint64(100+s))
+			inf := c.Infer(panel, campaign, []attr.ID{targetAttr, noiseAttr})
+			total += Evaluate(n, inf, truth).Recall()
+		}
+		return total / trials
+	}
+	small := recallAt(6)
+	large := recallAt(300)
+	if large <= small {
+		t.Fatalf("recall did not grow with panel size: %v -> %v", small, large)
+	}
+	if large < 0.9 {
+		t.Fatalf("large-panel recall = %v, want ~1", large)
+	}
+	if small > 0.5 {
+		t.Fatalf("small-panel recall = %v, want low", small)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	truth := map[attr.ID]bool{"a": true, "b": true}
+	inf := []Inference{{Attr: "a"}, {Attr: "c"}}
+	ev := Evaluate(10, inf, truth)
+	if ev.TruePositives != 1 || ev.FalsePositives != 1 || ev.FalseNegatives != 1 {
+		t.Fatalf("Evaluate = %+v", ev)
+	}
+	if ev.Recall() != 0.5 || ev.Precision() != 0.5 {
+		t.Fatalf("recall/precision = %v/%v", ev.Recall(), ev.Precision())
+	}
+	empty := Evaluate(10, nil, nil)
+	if empty.Recall() != 0 || empty.Precision() != 1 {
+		t.Fatalf("empty evaluation = %v/%v", empty.Recall(), empty.Precision())
+	}
+}

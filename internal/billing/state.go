@@ -1,0 +1,59 @@
+package billing
+
+import (
+	"sort"
+
+	"github.com/treads-project/treads/internal/money"
+	"github.com/treads-project/treads/internal/profile"
+)
+
+// State is the ledger's serializable form.
+type State struct {
+	BillableThreshold int            `json:"billable_threshold"`
+	Accounts          []AccountState `json:"accounts,omitempty"`
+}
+
+// AccountState is one campaign's accrued accounting.
+type AccountState struct {
+	CampaignID  string           `json:"campaign_id"`
+	Impressions int              `json:"impressions"`
+	Spend       money.Micros     `json:"spend_micros"`
+	Reached     []profile.UserID `json:"reached,omitempty"`
+}
+
+// Snapshot exports the ledger.
+func (l *Ledger) Snapshot() State {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	s := State{BillableThreshold: l.billableThreshold}
+	ids := make([]string, 0, len(l.campaigns))
+	for id := range l.campaigns {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		acct := l.campaigns[id]
+		as := AccountState{CampaignID: id, Impressions: acct.impressions, Spend: acct.spend}
+		for uid := range acct.reached {
+			as.Reached = append(as.Reached, uid)
+		}
+		sort.Slice(as.Reached, func(i, j int) bool { return as.Reached[i] < as.Reached[j] })
+		s.Accounts = append(s.Accounts, as)
+	}
+	return s
+}
+
+// RestoreState rebuilds a ledger.
+func RestoreState(s State) *Ledger {
+	l := NewLedger()
+	l.billableThreshold = s.BillableThreshold
+	for _, as := range s.Accounts {
+		acct := l.account(as.CampaignID)
+		acct.impressions = as.Impressions
+		acct.spend = as.Spend
+		for _, uid := range as.Reached {
+			acct.reached[uid] = true
+		}
+	}
+	return l
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/attr"
+)
+
+func benchPayload() (Payload, *attr.Catalog, *Codebook) {
+	c := attr.DefaultCatalog()
+	p := Payload{Kind: PayloadAttr, Attr: c.Search("Net worth: over $2,000,000")[0].ID}
+	cb, err := NewCodebook([]Payload{p}, 1)
+	if err != nil {
+		panic(err)
+	}
+	return p, c, cb
+}
+
+func BenchmarkEncodeCreativeExplicit(b *testing.B) {
+	p, c, cb := benchPayload()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeCreative(p, RevealExplicit, c, cb, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeCreativeObfuscated(b *testing.B) {
+	p, c, cb := benchPayload()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeCreative(p, RevealObfuscated, c, cb, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeStegoImage(b *testing.B) {
+	p, _, _ := benchPayload()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeStegoImage(p, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeStegoImage(b *testing.B) {
+	p, _, _ := benchPayload()
+	img, err := EncodeStegoImage(p, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := DecodeStegoImage(img); err != nil || !ok {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+func BenchmarkDecodeCreative(b *testing.B) {
+	p, c, cb := benchPayload()
+	cr, err := EncodeCreative(p, RevealObfuscated, c, cb, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := DecodeCreative(cr, cb, false); !ok {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+func BenchmarkCodebookBuild507(b *testing.B) {
+	payloads := somePayloads(507)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCodebook(payloads, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionScan(b *testing.B) {
+	p, c, cb := benchPayload()
+	cr, err := EncodeCreative(p, RevealObfuscated, c, cb, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var imps []ad.Impression
+	for i := 0; i < 50; i++ {
+		imps = append(imps, ad.Impression{Advertiser: "tp", Creative: cr})
+	}
+	ext := &Extension{ProviderName: "tp", Codebook: cb}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rev := ext.Scan(imps, c)
+		if len(rev.Attrs) != 1 {
+			b.Fatal("scan failed")
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/treads-project/treads/internal/attr"
+)
+
+// BitsNeeded returns ceil(log2(m)): the number of Treads the bit-split
+// scheme needs to reveal an m-valued attribute (§3.1 "Scale": "only
+// log2(m) Treads are required in total to allow any user to learn which of
+// the m possible values they have").
+func BitsNeeded(m int) int {
+	if m <= 1 {
+		return 0
+	}
+	bits := 0
+	for v := m - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+// BitExpr builds the targeting expression for the bit-th Tread of the
+// bit-split scheme over a categorical attribute: it matches exactly the
+// users whose value index has that bit set. A user who holds the attribute
+// thus sees the subset of bit-Treads spelling out their value index in
+// binary; bits whose Tread they did not see are zero (which is why the
+// scheme is paired with one PayloadAttr Tread confirming the attribute is
+// set at all — absence of a bit-Tread is otherwise ambiguous with not
+// having the attribute).
+func BitExpr(a *attr.Attribute, bit int) (attr.Expr, error) {
+	if a == nil || a.Kind != attr.Categorical {
+		return nil, fmt.Errorf("core: bit-split requires a categorical attribute")
+	}
+	if bit < 0 || bit >= BitsNeeded(len(a.Values)) {
+		return nil, fmt.Errorf("core: bit %d out of range for %d values", bit, len(a.Values))
+	}
+	var ops []attr.Expr
+	for idx, v := range a.Values {
+		if idx&(1<<bit) != 0 {
+			ops = append(ops, attr.ValueIs{ID: a.ID, Value: v})
+		}
+	}
+	return attr.NewOr(ops...), nil
+}
+
+// ReassembleValue decodes the value a user learned from the bit-split
+// Treads they saw. hasAttr must be true (confirmed by the companion
+// PayloadAttr Tread); setBits lists the bit indices whose Treads the user
+// received.
+func ReassembleValue(a *attr.Attribute, hasAttr bool, setBits []int) (string, error) {
+	if a == nil || a.Kind != attr.Categorical {
+		return "", fmt.Errorf("core: bit-split requires a categorical attribute")
+	}
+	if !hasAttr {
+		return "", fmt.Errorf("core: cannot reassemble a value without attribute confirmation")
+	}
+	idx := 0
+	max := BitsNeeded(len(a.Values))
+	for _, b := range setBits {
+		if b < 0 || b >= max {
+			return "", fmt.Errorf("core: bit %d out of range", b)
+		}
+		idx |= 1 << b
+	}
+	if idx >= len(a.Values) {
+		return "", fmt.Errorf("core: reassembled index %d exceeds %d values", idx, len(a.Values))
+	}
+	return a.Values[idx], nil
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/treads-project/treads/internal/attr"
+)
+
+func TestBitsNeeded(t *testing.T) {
+	cases := map[int]int{
+		0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5,
+		64: 6, 256: 8, 1024: 10,
+	}
+	for m, want := range cases {
+		if got := BitsNeeded(m); got != want {
+			t.Errorf("BitsNeeded(%d) = %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestBitsNeededIsCeilLog2Property(t *testing.T) {
+	f := func(m16 uint16) bool {
+		m := int(m16%2000) + 2
+		b := BitsNeeded(m)
+		// 2^(b-1) < m <= 2^b  must hold (indices 0..m-1 fit in b bits).
+		return (1<<uint(b)) >= m && (b == 0 || (1<<uint(b-1)) < m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func lifeStage(t *testing.T) (*attr.Catalog, *attr.Attribute) {
+	t.Helper()
+	c := attr.DefaultCatalog()
+	a := c.Get("platform.demographics.life_stage")
+	if a == nil {
+		t.Fatal("life_stage missing")
+	}
+	return c, a
+}
+
+func TestBitExprMatchesExactlyBitSetUsers(t *testing.T) {
+	_, a := lifeStage(t)
+	bits := BitsNeeded(len(a.Values)) // 8 values -> 3 bits
+	if bits != 3 {
+		t.Fatalf("bits = %d", bits)
+	}
+	for b := 0; b < bits; b++ {
+		e, err := BitExpr(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for idx, v := range a.Values {
+			s := &bitSubject{id: a.ID, value: v}
+			want := idx&(1<<b) != 0
+			if got := e.Match(s); got != want {
+				t.Errorf("bit %d value %q (idx %d): match = %v, want %v", b, v, idx, got, want)
+			}
+		}
+	}
+}
+
+type bitSubject struct {
+	id    attr.ID
+	value string
+}
+
+func (s *bitSubject) HasAttr(id attr.ID) bool { return id == s.id }
+func (s *bitSubject) AttrValue(id attr.ID) (string, bool) {
+	if id == s.id {
+		return s.value, true
+	}
+	return "", false
+}
+func (s *bitSubject) Age() int        { return 30 }
+func (s *bitSubject) Gender() string  { return "" }
+func (s *bitSubject) Country() string { return "US" }
+func (s *bitSubject) Region() string  { return "" }
+
+func TestBitExprErrors(t *testing.T) {
+	_, a := lifeStage(t)
+	if _, err := BitExpr(nil, 0); err == nil {
+		t.Error("nil attribute accepted")
+	}
+	bin := &attr.Attribute{ID: "x", Kind: attr.Binary}
+	if _, err := BitExpr(bin, 0); err == nil {
+		t.Error("binary attribute accepted")
+	}
+	if _, err := BitExpr(a, -1); err == nil {
+		t.Error("negative bit accepted")
+	}
+	if _, err := BitExpr(a, 3); err == nil {
+		t.Error("out-of-range bit accepted (8 values need only bits 0..2)")
+	}
+}
+
+func TestReassembleValueRoundTrip(t *testing.T) {
+	_, a := lifeStage(t)
+	for idx, v := range a.Values {
+		var set []int
+		for b := 0; b < BitsNeeded(len(a.Values)); b++ {
+			if idx&(1<<b) != 0 {
+				set = append(set, b)
+			}
+		}
+		got, err := ReassembleValue(a, true, set)
+		if err != nil {
+			t.Fatalf("value %q: %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("reassembled %q, want %q", got, v)
+		}
+	}
+}
+
+func TestReassembleValueErrors(t *testing.T) {
+	_, a := lifeStage(t)
+	if _, err := ReassembleValue(a, false, nil); err == nil {
+		t.Error("unconfirmed attribute accepted")
+	}
+	if _, err := ReassembleValue(nil, true, nil); err == nil {
+		t.Error("nil attribute accepted")
+	}
+	if _, err := ReassembleValue(a, true, []int{99}); err == nil {
+		t.Error("out-of-range bit accepted")
+	}
+	// 8 values: index 0..7 all valid, so build an invalid index with a
+	// 5-valued attribute where index 5..7 don't exist.
+	small := &attr.Attribute{ID: "s", Kind: attr.Categorical, Values: []string{"a", "b", "c", "d", "e"}}
+	if _, err := ReassembleValue(small, true, []int{0, 2}); err == nil {
+		t.Error("index 5 accepted for a 5-value attribute")
+	}
+}
+
+func TestBitSplitTreadCountAdvantage(t *testing.T) {
+	// §3.1 "Scale": log2(m) Treads instead of m.
+	for _, m := range []int{4, 16, 64, 256, 1024} {
+		if BitsNeeded(m) >= m {
+			t.Errorf("m=%d: bit-split (%d) not cheaper than one-per-value (%d)", m, BitsNeeded(m), m)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"github.com/treads-project/treads/internal/money"
+)
+
+// CostModel reproduces the paper's §3.1 "Cost" arithmetic: a Tread costs
+// its provider one impression per user who has the targeted parameter, at
+// CPM/1000 per impression, and nothing at all for users who do not have it
+// ("there is zero per-user cost for running Treads corresponding to
+// targeting parameters that a user does not have, as these are never shown
+// to the user").
+type CostModel struct {
+	// BidCPM is the provider's bid per thousand impressions.
+	BidCPM money.Micros
+}
+
+// NewCostModel returns a model at the given bid; zero selects the
+// platform-recommended $2 CPM.
+func NewCostModel(bidCPM money.Micros) CostModel {
+	if bidCPM == 0 {
+		bidCPM = money.FromDollars(2)
+	}
+	return CostModel{BidCPM: bidCPM}
+}
+
+// PerAttribute is the cost of revealing one attribute to one user who has
+// it: $0.002 at $2 CPM, $0.01 at the validation's $10 CPM.
+func (m CostModel) PerAttribute() money.Micros { return m.BidCPM.PerMille() }
+
+// PerUser is the cost of revealing all of a user's attributes: attrCount
+// impressions. The paper's example: 50 attributes at $2 CPM cost $0.10.
+func (m CostModel) PerUser(attrCount int) money.Micros {
+	if attrCount < 0 {
+		attrCount = 0
+	}
+	return m.PerAttribute().MulInt(attrCount)
+}
+
+// PerNonBinaryAttribute is the cost of revealing one m-valued attribute's
+// value to one user: exactly one impression regardless of m, because the
+// user matches exactly one of the m value-Treads ("the provider would run
+// one Tread targeting each possible value, but would only have to pay for
+// one impression per user, costing around $0.002").
+func (m CostModel) PerNonBinaryAttribute(numValues int) money.Micros {
+	if numValues <= 0 {
+		return 0
+	}
+	return m.PerAttribute()
+}
+
+// PerBitSplitAttribute is the cost of the log2(m) scheme for one user: the
+// confirmation impression plus one impression per set bit of their value
+// index — at most 1+ceil(log2(m)), on average about half the bits.
+// worstCase selects the all-bits-set bound.
+func (m CostModel) PerBitSplitAttribute(numValues int, worstCase bool) money.Micros {
+	if numValues <= 1 {
+		return m.PerAttribute() // confirmation only
+	}
+	bits := BitsNeeded(numValues)
+	if !worstCase {
+		// Average over uniform values: half the bits set.
+		return m.PerAttribute().MulInt(1 + (bits+1)/2)
+	}
+	return m.PerAttribute().MulInt(1 + bits)
+}
+
+// Population is the total cost of revealing everything to a set of users,
+// given each user's attribute count. Funding can come from donations or
+// from users paying their own impression costs (§3.1: "users opting-in
+// could pay the transparency provider a nominal fee (the cost of their own
+// impressions)").
+func (m CostModel) Population(attrCounts []int) money.Micros {
+	var total money.Micros
+	for _, n := range attrCounts {
+		total += m.PerUser(n)
+	}
+	return total
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/treads-project/treads/internal/money"
+)
+
+func TestCostModelPaperNumbers(t *testing.T) {
+	m := NewCostModel(money.FromDollars(2))
+	// "each attribute would cost $0.002 to reveal"
+	if m.PerAttribute() != money.FromDollars(0.002) {
+		t.Errorf("PerAttribute = %v", m.PerAttribute())
+	}
+	// "it would cost the provider $0.10 to run ads to reveal all targeting
+	// parameters to a user who had (say) 50 targeting parameters"
+	if m.PerUser(50) != money.FromDollars(0.10) {
+		t.Errorf("PerUser(50) = %v", m.PerUser(50))
+	}
+	// "For our elevated bid of $10 CPM ... each attribute would cost $0.01"
+	elevated := NewCostModel(money.FromDollars(10))
+	if elevated.PerAttribute() != money.FromDollars(0.01) {
+		t.Errorf("elevated PerAttribute = %v", elevated.PerAttribute())
+	}
+}
+
+func TestCostModelDefaultBid(t *testing.T) {
+	if NewCostModel(0).BidCPM != money.FromDollars(2) {
+		t.Error("default bid not $2 CPM")
+	}
+}
+
+func TestCostZeroForAbsentAttributes(t *testing.T) {
+	m := NewCostModel(0)
+	if m.PerUser(0) != 0 {
+		t.Error("user with no attributes should cost nothing")
+	}
+	if m.PerUser(-5) != 0 {
+		t.Error("negative count should cost nothing")
+	}
+}
+
+func TestNonBinaryCostIndependentOfM(t *testing.T) {
+	// "for an attribute that can take one of m possible values ... only
+	// have to pay for one impression per user, costing around $0.002"
+	m := NewCostModel(money.FromDollars(2))
+	base := m.PerNonBinaryAttribute(2)
+	for _, vals := range []int{4, 16, 256, 1024} {
+		if got := m.PerNonBinaryAttribute(vals); got != base {
+			t.Errorf("m=%d cost %v, want %v (independent of m)", vals, got, base)
+		}
+	}
+	if m.PerNonBinaryAttribute(0) != 0 {
+		t.Error("zero-valued attribute should cost nothing")
+	}
+}
+
+func TestBitSplitCost(t *testing.T) {
+	m := NewCostModel(money.FromDollars(2))
+	// 8 values -> 3 bits; worst case 1+3 impressions.
+	worst := m.PerBitSplitAttribute(8, true)
+	if worst != m.PerAttribute().MulInt(4) {
+		t.Errorf("worst-case bit-split cost = %v", worst)
+	}
+	avg := m.PerBitSplitAttribute(8, false)
+	if avg >= worst || avg <= 0 {
+		t.Errorf("average bit-split cost %v not in (0, %v)", avg, worst)
+	}
+	// Degenerate: single value needs only confirmation.
+	if m.PerBitSplitAttribute(1, true) != m.PerAttribute() {
+		t.Error("single-value bit-split cost wrong")
+	}
+}
+
+func TestPopulationCost(t *testing.T) {
+	m := NewCostModel(money.FromDollars(2))
+	got := m.Population([]int{50, 0, 11})
+	want := m.PerUser(50) + m.PerUser(11)
+	if got != want {
+		t.Errorf("Population = %v, want %v", got, want)
+	}
+	if m.Population(nil) != 0 {
+		t.Error("empty population cost nonzero")
+	}
+}
+
+func TestCostLinearityProperty(t *testing.T) {
+	m := NewCostModel(money.FromDollars(2))
+	f := func(a, b uint8) bool {
+		return m.PerUser(int(a))+m.PerUser(int(b)) == m.PerUser(int(a)+int(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

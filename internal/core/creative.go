@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/attr"
+)
+
+// RevealMode selects where and how a Tread carries its payload (§3: the
+// targeting information "could be included directly within the content of
+// the ad ... or could be in one of the landing pages", and "could either be
+// explicit ... or encoded").
+type RevealMode int
+
+const (
+	// RevealExplicit puts the human-readable assertion in the ad body.
+	// Violates platform ToS (rejected by ad review).
+	RevealExplicit RevealMode = iota
+	// RevealObfuscated puts only a codebook code in the ad body; users
+	// decode it with the codebook received at opt-in. Passes ad review.
+	RevealObfuscated
+	// RevealLandingPage keeps the ad body benign and puts the explicit
+	// assertion on the provider's landing page, outside the platform's
+	// review reach. Passes ad review.
+	RevealLandingPage
+	// RevealStego hides the payload steganographically in the ad image
+	// (§3: "encoded into the ad image ... via steganographic techniques,
+	// which can be extracted by code"). The ad text is fully innocuous;
+	// passes ad review and needs no codebook, only the extension.
+	RevealStego
+)
+
+func (m RevealMode) String() string {
+	switch m {
+	case RevealExplicit:
+		return "explicit"
+	case RevealObfuscated:
+		return "obfuscated"
+	case RevealLandingPage:
+		return "landing-page"
+	case RevealStego:
+		return "stego"
+	default:
+		return fmt.Sprintf("RevealMode(%d)", int(m))
+	}
+}
+
+const (
+	// explicitMarker prefixes the machine-readable token in explicit and
+	// landing-page creatives so the extension can parse it.
+	explicitMarker = "tread:"
+	// obfuscatedPrefix introduces the code in obfuscated creatives.
+	obfuscatedPrefix = "Reference code "
+)
+
+// EncodeCreative renders a payload into the ad creative for the given mode.
+// Obfuscated mode requires a codebook containing the payload.
+func EncodeCreative(p Payload, mode RevealMode, catalog *attr.Catalog, cb *Codebook, landingBase string) (ad.Creative, error) {
+	token := p.Token()
+	if token == "" {
+		return ad.Creative{}, fmt.Errorf("core: cannot encode empty payload")
+	}
+	switch mode {
+	case RevealExplicit:
+		return ad.Creative{
+			Headline: "What this ad platform knows about you",
+			Body:     fmt.Sprintf("%s [%s%s]", p.Describe(catalog), explicitMarker, token),
+		}, nil
+	case RevealObfuscated:
+		if cb == nil {
+			return ad.Creative{}, fmt.Errorf("core: obfuscated mode requires a codebook")
+		}
+		code := cb.Code(p)
+		if code == "" {
+			return ad.Creative{}, fmt.Errorf("core: payload %q not in codebook", token)
+		}
+		return ad.Creative{
+			Headline: "A message from your transparency provider",
+			Body:     fmt.Sprintf("%s%s. Save this ad to learn what it means.", obfuscatedPrefix, code),
+		}, nil
+	case RevealLandingPage:
+		if landingBase == "" {
+			landingBase = "https://transparency.example/t"
+		}
+		return ad.Creative{
+			Headline:    "Curious what advertisers can target?",
+			Body:        "Click through to see one thing this ad platform lets advertisers use.",
+			LandingURL:  fmt.Sprintf("%s/%x", landingBase, hashToken(token)),
+			LandingBody: fmt.Sprintf("%s [%s%s]", p.Describe(catalog), explicitMarker, token),
+		}, nil
+	case RevealStego:
+		img, err := EncodeStegoImage(p, uint64(hashToken(token)))
+		if err != nil {
+			return ad.Creative{}, err
+		}
+		return ad.Creative{
+			Headline: "A picture from your transparency provider",
+			Body:     "Save this ad; your extension knows what to do with it.",
+			ImagePNG: img,
+		}, nil
+	default:
+		return ad.Creative{}, fmt.Errorf("core: unknown reveal mode %d", mode)
+	}
+}
+
+// hashToken gives landing URLs a stable, non-revealing path component.
+func hashToken(tok string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(tok); i++ {
+		h ^= uint32(tok[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// DecodeCreative extracts the payload from a creative, trying all three
+// encodings. followLink controls whether the decoder may read the landing
+// page (the paper notes a user can avoid ever leaving the platform when the
+// payload is in the ad itself; landing-page Treads require the click).
+func DecodeCreative(c ad.Creative, cb *Codebook, followLink bool) (Payload, bool) {
+	if p, ok := decodeExplicit(c.Body); ok {
+		return p, true
+	}
+	if cb != nil {
+		if i := strings.Index(c.Body, obfuscatedPrefix); i >= 0 {
+			rest := c.Body[i+len(obfuscatedPrefix):]
+			if j := strings.IndexByte(rest, '.'); j > 0 {
+				if p, ok := cb.Lookup(rest[:j]); ok {
+					return p, true
+				}
+			}
+		}
+	}
+	if len(c.ImagePNG) > 0 {
+		if p, ok, err := DecodeStegoImage(c.ImagePNG); err == nil && ok {
+			return p, true
+		}
+	}
+	if followLink && c.LandingBody != "" {
+		if p, ok := decodeExplicit(c.LandingBody); ok {
+			return p, true
+		}
+	}
+	return Payload{}, false
+}
+
+func decodeExplicit(body string) (Payload, bool) {
+	i := strings.Index(body, "["+explicitMarker)
+	if i < 0 {
+		return Payload{}, false
+	}
+	rest := body[i+1+len(explicitMarker):]
+	j := strings.IndexByte(rest, ']')
+	if j < 0 {
+		return Payload{}, false
+	}
+	p, err := ParseToken(rest[:j])
+	if err != nil {
+		return Payload{}, false
+	}
+	return p, true
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/policy"
+)
+
+func figure1Payload(t *testing.T) (Payload, *attr.Catalog) {
+	t.Helper()
+	c := attr.DefaultCatalog()
+	nw := c.Search("Net worth: over $2,000,000")
+	if len(nw) == 0 {
+		t.Fatal("catalog missing net worth band")
+	}
+	return Payload{Kind: PayloadAttr, Attr: nw[0].ID}, c
+}
+
+func TestEncodeDecodeExplicit(t *testing.T) {
+	p, c := figure1Payload(t)
+	cr, err := EncodeCreative(p, RevealExplicit, c, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cr.Body, "Net worth: over $2,000,000") {
+		t.Fatalf("explicit body lacks attribute name: %q", cr.Body)
+	}
+	got, ok := DecodeCreative(cr, nil, false)
+	if !ok || got != p {
+		t.Fatalf("decode = %+v, %v", got, ok)
+	}
+}
+
+func TestEncodeDecodeObfuscated(t *testing.T) {
+	p, c := figure1Payload(t)
+	cb, err := NewCodebook([]Payload{p}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := EncodeCreative(p, RevealObfuscated, c, cb, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ad must not contain the attribute name or token — only the code.
+	if strings.Contains(cr.Body, "Net worth") || strings.Contains(cr.Body, string(p.Attr)) {
+		t.Fatalf("obfuscated body leaks the attribute: %q", cr.Body)
+	}
+	if !strings.Contains(cr.Body, cb.Code(p)) {
+		t.Fatalf("obfuscated body lacks the code: %q", cr.Body)
+	}
+	got, ok := DecodeCreative(cr, cb, false)
+	if !ok || got != p {
+		t.Fatalf("decode = %+v, %v", got, ok)
+	}
+	// Without the codebook the ad is opaque.
+	if _, ok := DecodeCreative(cr, nil, false); ok {
+		t.Fatal("obfuscated ad decodable without codebook")
+	}
+}
+
+func TestEncodeDecodeLandingPage(t *testing.T) {
+	p, c := figure1Payload(t)
+	cr, err := EncodeCreative(p, RevealLandingPage, c, nil, "https://tp.example/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(cr.Body, "Net worth") {
+		t.Fatalf("landing-page ad body leaks the attribute: %q", cr.Body)
+	}
+	if cr.LandingURL == "" || !strings.HasPrefix(cr.LandingURL, "https://tp.example/t/") {
+		t.Fatalf("LandingURL = %q", cr.LandingURL)
+	}
+	// Decoding requires following the link.
+	if _, ok := DecodeCreative(cr, nil, false); ok {
+		t.Fatal("landing payload decoded without following the link")
+	}
+	got, ok := DecodeCreative(cr, nil, true)
+	if !ok || got != p {
+		t.Fatalf("decode with link = %+v, %v", got, ok)
+	}
+}
+
+func TestEncodeLandingPageDefaultBase(t *testing.T) {
+	p, c := figure1Payload(t)
+	cr, err := EncodeCreative(p, RevealLandingPage, c, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.LandingURL == "" {
+		t.Fatal("no default landing base applied")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	p, c := figure1Payload(t)
+	if _, err := EncodeCreative(Payload{Kind: PayloadKind(9)}, RevealExplicit, c, nil, ""); err == nil {
+		t.Error("unknown payload accepted")
+	}
+	if _, err := EncodeCreative(p, RevealObfuscated, c, nil, ""); err == nil {
+		t.Error("obfuscated without codebook accepted")
+	}
+	empty := EmptyCodebook()
+	if _, err := EncodeCreative(p, RevealObfuscated, c, empty, ""); err == nil {
+		t.Error("payload missing from codebook accepted")
+	}
+	if _, err := EncodeCreative(p, RevealMode(9), c, nil, ""); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestPolicyInteraction(t *testing.T) {
+	// E6's core fact: explicit Treads violate ToS, obfuscated and
+	// landing-page Treads pass (§4 "Co-operation from platforms").
+	p, c := figure1Payload(t)
+	cb, _ := NewCodebook([]Payload{p}, 1)
+
+	explicit, _ := EncodeCreative(p, RevealExplicit, c, cb, "")
+	if d := policy.Review(explicit); d.Verdict != policy.Rejected {
+		t.Errorf("explicit Tread passed review: %q", explicit.Body)
+	}
+	obf, _ := EncodeCreative(p, RevealObfuscated, c, cb, "")
+	if d := policy.Review(obf); d.Verdict != policy.Approved {
+		t.Errorf("obfuscated Tread rejected: %+v", d)
+	}
+	landing, _ := EncodeCreative(p, RevealLandingPage, c, cb, "")
+	if d := policy.Review(landing); d.Verdict != policy.Approved {
+		t.Errorf("landing-page Tread rejected: %+v", d)
+	}
+}
+
+func TestPolicyInteractionAllPayloadKinds(t *testing.T) {
+	// Every explicit payload text must trip ad review; every obfuscated
+	// one must pass. This is what makes E6's percentages 100%/0%.
+	c := attr.DefaultCatalog()
+	life := c.Get("platform.demographics.life_stage")
+	payloads := []Payload{
+		{Kind: PayloadAttr, Attr: life.ID},
+		{Kind: PayloadNotAttr, Attr: life.ID},
+		{Kind: PayloadValue, Attr: life.ID, Value: life.Values[0]},
+		{Kind: PayloadBit, Attr: life.ID, Bit: 1, BitSet: true},
+		{Kind: PayloadPII, PIIHash: "deadbeef"},
+	}
+	cb, err := NewCodebook(payloads, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads {
+		ex, err := EncodeCreative(p, RevealExplicit, c, cb, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := policy.Review(ex); d.Verdict != policy.Rejected {
+			t.Errorf("explicit %s passed review: %q", p.Kind, ex.Body)
+		}
+		ob, err := EncodeCreative(p, RevealObfuscated, c, cb, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := policy.Review(ob); d.Verdict != policy.Approved {
+			t.Errorf("obfuscated %s rejected: %+v", p.Kind, d)
+		}
+	}
+}
+
+func TestDecodeNonTreadAd(t *testing.T) {
+	cr := ad.Creative{Headline: "Fall sale", Body: "Shoes 20% off."}
+	if _, ok := DecodeCreative(cr, nil, true); ok {
+		t.Fatal("ordinary ad decoded as a Tread")
+	}
+	// A body that merely mentions a reference code but maps to nothing.
+	cb, _ := NewCodebook(somePayloads(2), 1)
+	cr.Body = "Reference code 0,000,000. Nothing here."
+	if _, ok := DecodeCreative(cr, cb, true); ok {
+		t.Fatal("bogus code decoded")
+	}
+}
+
+func TestRevealModeString(t *testing.T) {
+	if RevealExplicit.String() != "explicit" ||
+		RevealObfuscated.String() != "obfuscated" ||
+		RevealLandingPage.String() != "landing-page" {
+		t.Error("mode strings wrong")
+	}
+	if !strings.Contains(RevealMode(7).String(), "7") {
+		t.Error("unknown mode string wrong")
+	}
+}
+
+func TestHashTokenStable(t *testing.T) {
+	if hashToken("A:x") != hashToken("A:x") {
+		t.Fatal("hashToken unstable")
+	}
+	if hashToken("A:x") == hashToken("A:y") {
+		t.Fatal("hashToken trivially colliding")
+	}
+}

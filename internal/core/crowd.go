@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/treads-project/treads/internal/attr"
+)
+
+// Shard is one advertiser account's slice of a crowdsourced deployment
+// (§4 "Evading shutdown": "a number of privacy-conscious organizations or
+// individuals could each create an advertising account and run a few
+// Treads, with each account being responsible for a small subset of the
+// overall set of targeting attributes").
+type Shard struct {
+	Account string
+	Attrs   []attr.ID
+}
+
+// ShardAttributes distributes attrs over `accounts` advertiser accounts
+// with the given replication factor: every attribute is assigned to
+// `replication` distinct accounts (round-robin with a stride), so the
+// deployment survives bans of up to replication-1 of an attribute's
+// accounts. replication is clamped to [1, accounts].
+func ShardAttributes(attrs []attr.ID, accounts, replication int) ([]Shard, error) {
+	if accounts <= 0 {
+		return nil, fmt.Errorf("core: accounts must be positive")
+	}
+	if replication < 1 {
+		replication = 1
+	}
+	if replication > accounts {
+		replication = accounts
+	}
+	shards := make([]Shard, accounts)
+	for i := range shards {
+		shards[i].Account = fmt.Sprintf("tp-shard-%03d", i)
+	}
+	for i, a := range attrs {
+		for r := 0; r < replication; r++ {
+			// Stride by accounts/replication (at least 1) so replicas
+			// land on well-separated accounts.
+			stride := accounts / replication
+			if stride == 0 {
+				stride = 1
+			}
+			idx := (i + r*stride) % accounts
+			shards[idx].Attrs = append(shards[idx].Attrs, a)
+		}
+	}
+	return shards, nil
+}
+
+// Coverage returns the fraction of distinct attributes still served by at
+// least one unbanned account.
+func Coverage(shards []Shard, banned map[string]bool) float64 {
+	alive := make(map[attr.ID]bool)
+	all := make(map[attr.ID]bool)
+	for _, s := range shards {
+		for _, a := range s.Attrs {
+			all[a] = true
+			if !banned[s.Account] {
+				alive[a] = true
+			}
+		}
+	}
+	if len(all) == 0 {
+		return 0
+	}
+	return float64(len(alive)) / float64(len(all))
+}
+
+// AccountsPerAttr returns, for auditing a sharding plan, how many accounts
+// serve each attribute.
+func AccountsPerAttr(shards []Shard) map[attr.ID]int {
+	counts := make(map[attr.ID]int)
+	for _, s := range shards {
+		seen := make(map[attr.ID]bool)
+		for _, a := range s.Attrs {
+			if !seen[a] {
+				seen[a] = true
+				counts[a]++
+			}
+		}
+	}
+	return counts
+}

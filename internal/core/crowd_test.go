@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/treads-project/treads/internal/attr"
+)
+
+func nAttrs(n int) []attr.ID {
+	out := make([]attr.ID, n)
+	for i := range out {
+		out[i] = attr.ID(fmt.Sprintf("p.c.a%03d", i))
+	}
+	return out
+}
+
+func TestShardAttributesCoversEverything(t *testing.T) {
+	attrs := nAttrs(100)
+	shards, err := ShardAttributes(attrs, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 10 {
+		t.Fatalf("shards = %d", len(shards))
+	}
+	counts := AccountsPerAttr(shards)
+	if len(counts) != 100 {
+		t.Fatalf("covered %d attrs", len(counts))
+	}
+	for a, c := range counts {
+		if c != 1 {
+			t.Fatalf("attr %s on %d accounts, want 1", a, c)
+		}
+	}
+	if cov := Coverage(shards, nil); cov != 1 {
+		t.Fatalf("full coverage = %v", cov)
+	}
+}
+
+func TestShardAttributesReplication(t *testing.T) {
+	shards, err := ShardAttributes(nAttrs(50), 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a, c := range AccountsPerAttr(shards) {
+		if c != 3 {
+			t.Fatalf("attr %s replicated %d times, want 3", a, c)
+		}
+	}
+}
+
+func TestShardAttributesClampsReplication(t *testing.T) {
+	shards, err := ShardAttributes(nAttrs(10), 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range AccountsPerAttr(shards) {
+		if c != 3 {
+			t.Fatalf("replication not clamped to account count: %d", c)
+		}
+	}
+	shards, err = ShardAttributes(nAttrs(10), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range AccountsPerAttr(shards) {
+		if c != 1 {
+			t.Fatalf("replication not clamped up to 1: %d", c)
+		}
+	}
+}
+
+func TestShardAttributesErrors(t *testing.T) {
+	if _, err := ShardAttributes(nAttrs(5), 0, 1); err == nil {
+		t.Error("zero accounts accepted")
+	}
+	if _, err := ShardAttributes(nAttrs(5), -2, 1); err == nil {
+		t.Error("negative accounts accepted")
+	}
+}
+
+func TestCoverageUnderBans(t *testing.T) {
+	shards, _ := ShardAttributes(nAttrs(100), 10, 1)
+	banned := map[string]bool{shards[0].Account: true}
+	cov := Coverage(shards, banned)
+	// One of ten accounts banned, round-robin: ~10% of attributes lost.
+	if cov < 0.85 || cov > 0.95 {
+		t.Fatalf("coverage after 1/10 ban = %v, want ~0.9", cov)
+	}
+	// All banned: nothing survives.
+	all := make(map[string]bool)
+	for _, s := range shards {
+		all[s.Account] = true
+	}
+	if Coverage(shards, all) != 0 {
+		t.Fatal("coverage nonzero with all accounts banned")
+	}
+}
+
+func TestReplicationImprovesResilience(t *testing.T) {
+	attrs := nAttrs(120)
+	single, _ := ShardAttributes(attrs, 12, 1)
+	triple, _ := ShardAttributes(attrs, 12, 3)
+	banned := map[string]bool{}
+	for i := 0; i < 4; i++ { // ban a third of the accounts
+		banned[fmt.Sprintf("tp-shard-%03d", i)] = true
+	}
+	c1 := Coverage(single, banned)
+	c3 := Coverage(triple, banned)
+	if c3 <= c1 {
+		t.Fatalf("replication did not help: single=%v triple=%v", c1, c3)
+	}
+}
+
+func TestCoverageEmpty(t *testing.T) {
+	if Coverage(nil, nil) != 0 {
+		t.Fatal("empty shard coverage nonzero")
+	}
+}
+
+func TestCoverageBoundsProperty(t *testing.T) {
+	f := func(nAcc, banSel uint8) bool {
+		accounts := int(nAcc%20) + 1
+		shards, err := ShardAttributes(nAttrs(40), accounts, 2)
+		if err != nil {
+			return false
+		}
+		banned := map[string]bool{}
+		for i := 0; i < accounts; i++ {
+			if banSel&(1<<(uint(i)%8)) != 0 && i%2 == 0 {
+				banned[shards[i].Account] = true
+			}
+		}
+		cov := Coverage(shards, banned)
+		return cov >= 0 && cov <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

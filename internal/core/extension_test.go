@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/attr"
+)
+
+func impression(advertiser string, c ad.Creative) ad.Impression {
+	return ad.Impression{CampaignID: "c", Advertiser: advertiser, Creative: c}
+}
+
+func TestExtensionFiltersByProvider(t *testing.T) {
+	catalog := attr.DefaultCatalog()
+	p := Payload{Kind: PayloadAttr, Attr: catalog.All()[0].ID}
+	cr, err := EncodeCreative(p, RevealExplicit, catalog, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := []ad.Impression{
+		impression("someone-else", cr),
+		impression("tp", ad.Creative{Body: "ordinary ad"}),
+	}
+	ext := &Extension{ProviderName: "tp"}
+	rev := ext.Scan(feed, catalog)
+	if len(rev.Attrs) != 0 {
+		t.Fatal("decoded a Tread from a different advertiser")
+	}
+	// Without a filter, any decodable Tread counts.
+	ext = &Extension{}
+	rev = ext.Scan(feed, catalog)
+	if len(rev.Attrs) != 1 {
+		t.Fatal("unfiltered scan missed the Tread")
+	}
+}
+
+func TestExtensionLandingPageRequiresFollowLinks(t *testing.T) {
+	catalog := attr.DefaultCatalog()
+	p := Payload{Kind: PayloadAttr, Attr: catalog.All()[0].ID}
+	cr, err := EncodeCreative(p, RevealLandingPage, catalog, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := []ad.Impression{impression("tp", cr)}
+	ext := &Extension{ProviderName: "tp"}
+	if rev := ext.Scan(feed, catalog); len(rev.Attrs) != 0 {
+		t.Fatal("landing payload decoded without FollowLinks")
+	}
+	ext.FollowLinks = true
+	if rev := ext.Scan(feed, catalog); len(rev.Attrs) != 1 {
+		t.Fatal("landing payload not decoded with FollowLinks")
+	}
+}
+
+func TestExtensionMergesDuplicates(t *testing.T) {
+	catalog := attr.DefaultCatalog()
+	id := catalog.All()[0].ID
+	cr, _ := EncodeCreative(Payload{Kind: PayloadAttr, Attr: id}, RevealExplicit, catalog, nil, "")
+	feed := []ad.Impression{impression("tp", cr), impression("tp", cr), impression("tp", cr)}
+	rev := (&Extension{ProviderName: "tp"}).Scan(feed, catalog)
+	if len(rev.Attrs) != 1 {
+		t.Fatalf("Attrs = %v, want one entry", rev.Attrs)
+	}
+}
+
+func TestExtensionBitSplitWithoutConfirmation(t *testing.T) {
+	// Bit-Treads without the confirmation Tread must not produce a value
+	// (absence of bits is ambiguous).
+	catalog := attr.DefaultCatalog()
+	life := catalog.Get("platform.demographics.life_stage")
+	bitCr, _ := EncodeCreative(Payload{Kind: PayloadBit, Attr: life.ID, Bit: 0, BitSet: true}, RevealExplicit, catalog, nil, "")
+	rev := (&Extension{ProviderName: "tp"}).Scan([]ad.Impression{impression("tp", bitCr)}, catalog)
+	if _, ok := rev.Values[life.ID]; ok {
+		t.Fatal("value reassembled without confirmation Tread")
+	}
+	// Adding the confirmation resolves value index 1.
+	conf, _ := EncodeCreative(Payload{Kind: PayloadAttr, Attr: life.ID}, RevealExplicit, catalog, nil, "")
+	rev = (&Extension{ProviderName: "tp"}).Scan(
+		[]ad.Impression{impression("tp", bitCr), impression("tp", conf)}, catalog)
+	if got := rev.Values[life.ID]; got != life.Values[1] {
+		t.Fatalf("value = %q, want %q", got, life.Values[1])
+	}
+}
+
+func TestExtensionBitSplitAllBitsZero(t *testing.T) {
+	// Confirmation only, no bit-Treads seen: value index 0.
+	catalog := attr.DefaultCatalog()
+	life := catalog.Get("platform.demographics.life_stage")
+	conf, _ := EncodeCreative(Payload{Kind: PayloadAttr, Attr: life.ID}, RevealExplicit, catalog, nil, "")
+	ext := &Extension{ProviderName: "tp", BitSplitAttrs: map[attr.ID]bool{life.ID: true}}
+	rev := ext.Scan([]ad.Impression{impression("tp", conf)}, catalog)
+	if got := rev.Values[life.ID]; got != life.Values[0] {
+		t.Fatalf("value = %q, want %q (index 0)", got, life.Values[0])
+	}
+	// Without the shared bit-split knowledge, no value is inferred.
+	rev = (&Extension{ProviderName: "tp"}).Scan([]ad.Impression{impression("tp", conf)}, catalog)
+	if _, ok := rev.Values[life.ID]; ok {
+		t.Fatal("value inferred without bit-split knowledge")
+	}
+}
+
+func TestExtensionControlAndPII(t *testing.T) {
+	catalog := attr.DefaultCatalog()
+	ctrl, _ := EncodeCreative(Payload{Kind: PayloadControl}, RevealExplicit, catalog, nil, "")
+	piiCr, _ := EncodeCreative(Payload{Kind: PayloadPII, PIIHash: "abcd1234"}, RevealExplicit, catalog, nil, "")
+	rev := (&Extension{ProviderName: "tp"}).Scan(
+		[]ad.Impression{impression("tp", ctrl), impression("tp", piiCr)}, catalog)
+	if !rev.ControlSeen {
+		t.Error("control not seen")
+	}
+	if !rev.HasPIIHash("abcd1234") || len(rev.PIIHashes) != 1 {
+		t.Error("PII hash not collected")
+	}
+	if rev.HasPIIHash("other") {
+		t.Error("phantom PII hash")
+	}
+}
+
+func TestExtensionEmptyFeed(t *testing.T) {
+	rev := (&Extension{ProviderName: "tp"}).Scan(nil, attr.DefaultCatalog())
+	if rev.ControlSeen || len(rev.Attrs) != 0 || len(rev.AbsentAttrs) != 0 || len(rev.PIIHashes) != 0 {
+		t.Fatal("empty feed produced revelations")
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"github.com/treads-project/treads/internal/ad"
+	"testing"
+)
+
+// FuzzParseToken checks the payload token parser never panics and that
+// accepted tokens round-trip.
+func FuzzParseToken(f *testing.F) {
+	for _, seed := range []string{
+		"C", "A:platform.music.jazz", "N:x.y.z", "V:a.b=young family",
+		"B:a.b:3:1", "P:deadbeef", "F:salsa|jazz", "X:nope", "", "A:", "B:a:b:c",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, tok string) {
+		p, err := ParseToken(tok)
+		if err != nil {
+			return
+		}
+		out := p.Token()
+		p2, err := ParseToken(out)
+		if err != nil {
+			t.Fatalf("token %q (canon of %q) does not reparse: %v", out, tok, err)
+		}
+		if p2 != p {
+			t.Fatalf("token round trip unstable: %+v vs %+v", p, p2)
+		}
+	})
+}
+
+// FuzzDecodeStegoImage checks the stego decoder never panics on arbitrary
+// bytes and never fabricates a payload from garbage that does not parse.
+func FuzzDecodeStegoImage(f *testing.F) {
+	valid, err := EncodeStegoImage(Payload{Kind: PayloadControl}, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte("not a png"))
+	f.Add([]byte{})
+	f.Add([]byte{0x89, 0x50, 0x4e, 0x47}) // PNG magic only
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, ok, err := DecodeStegoImage(data)
+		if err != nil {
+			return
+		}
+		if ok && p.Token() == "" {
+			t.Fatalf("decoder accepted an unrepresentable payload: %+v", p)
+		}
+	})
+}
+
+// FuzzDecodeCreativeBody checks the explicit/obfuscated creative decoder
+// never panics on arbitrary ad text.
+func FuzzDecodeCreativeBody(f *testing.F) {
+	cb, err := NewCodebook([]Payload{{Kind: PayloadControl}}, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	code := cb.Code(Payload{Kind: PayloadControl})
+	f.Add("plain ad text")
+	f.Add("[tread:C]")
+	f.Add("[tread:A:x.y.z] trailing")
+	f.Add("Reference code " + code + ". etc")
+	f.Add("Reference code 0,000,000.")
+	f.Add("[tread:")
+	f.Fuzz(func(t *testing.T, body string) {
+		c := adCreative(body)
+		if p, ok := DecodeCreative(c, cb, true); ok {
+			if p.Token() == "" {
+				t.Fatalf("decoded unrepresentable payload from %q", body)
+			}
+		}
+	})
+}
+
+// adCreative wraps a body string in a creative for the fuzzer.
+func adCreative(body string) (c ad.Creative) {
+	c.Body = body
+	return c
+}

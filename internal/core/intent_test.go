@@ -1,0 +1,97 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/explain"
+)
+
+// salsaIntent is the paper's §4 example: intent "experienced professional
+// Salsa dancers", approximated by "aged 30+ interested in Salsa".
+func salsaIntent() (Intent, attr.Expr) {
+	in := Intent{
+		Description:  "experienced professional Salsa dancers",
+		ClaimedAttrs: []attr.ID{"platform.hobbies_and_activities.salsa_dance"},
+	}
+	targeting := attr.NewAnd(
+		attr.AgeBetween{Min: 30, Max: 120},
+		attr.Has{ID: "platform.hobbies_and_activities.salsa_dance"},
+	)
+	return in, targeting
+}
+
+func TestAttachExtractIntentRoundTrip(t *testing.T) {
+	in, _ := salsaIntent()
+	in.UsedExternalData = true
+	c := AttachIntent(ad.Creative{Headline: "h", Body: "Dance shoes on sale."}, in)
+	if !strings.Contains(c.Body, "experienced professional Salsa dancers") {
+		t.Fatalf("intent missing from body: %q", c.Body)
+	}
+	got, ok := ExtractIntent(c)
+	if !ok {
+		t.Fatal("intent not extracted")
+	}
+	if got.Description != in.Description {
+		t.Errorf("description = %q", got.Description)
+	}
+	if len(got.ClaimedAttrs) != 1 || got.ClaimedAttrs[0] != in.ClaimedAttrs[0] {
+		t.Errorf("claimed = %v", got.ClaimedAttrs)
+	}
+	if !got.UsedExternalData {
+		t.Error("external-data flag lost")
+	}
+}
+
+func TestAttachIntentNoAttrs(t *testing.T) {
+	in := Intent{Description: "reach everyone"}
+	c := AttachIntent(ad.Creative{Body: "x"}, in)
+	got, ok := ExtractIntent(c)
+	if !ok || got.Description != "reach everyone" || len(got.ClaimedAttrs) != 0 || got.UsedExternalData {
+		t.Fatalf("round trip = %+v, %v", got, ok)
+	}
+}
+
+func TestExtractIntentAbsent(t *testing.T) {
+	if _, ok := ExtractIntent(ad.Creative{Body: "plain ad"}); ok {
+		t.Fatal("extracted intent from plain ad")
+	}
+	if _, ok := ExtractIntent(ad.Creative{Body: "[advertiser intent: unterminated"}); ok {
+		t.Fatal("extracted unterminated intent")
+	}
+}
+
+func TestVerifyIntentAgainstTargeting(t *testing.T) {
+	in, targeting := salsaIntent()
+	if missing := VerifyIntentAgainstTargeting(in, targeting); len(missing) != 0 {
+		t.Fatalf("complete claim flagged: %v", missing)
+	}
+	// An advertiser hiding one of its targeted attributes is caught.
+	sneaky := attr.NewAnd(targeting, attr.Has{ID: "partner.financial.net_worth_over_2_000_000"})
+	missing := VerifyIntentAgainstTargeting(in, sneaky)
+	if len(missing) != 1 || missing[0] != "partner.financial.net_worth_over_2_000_000" {
+		t.Fatalf("missing = %v", missing)
+	}
+}
+
+func TestCrossCheckExplanations(t *testing.T) {
+	in, _ := salsaIntent()
+	// Platform disclosed an attribute the advertiser also claims: OK.
+	ok := explain.Explanation{Attribute: in.ClaimedAttrs[0], Text: "..."}
+	if err := CrossCheckExplanations(in, ok); err != nil {
+		t.Fatalf("consistent explanations flagged: %v", err)
+	}
+	// Platform disclosed something the advertiser concealed: caught.
+	bad := explain.Explanation{Attribute: "partner.financial.net_worth_over_2_000_000"}
+	if err := CrossCheckExplanations(in, bad); err == nil {
+		t.Fatal("inconsistent explanations not flagged")
+	}
+	// Platform disclosed nothing (e.g. PII audience): consistent with any
+	// claim — this is exactly the case where advertiser-driven intent
+	// explanations add value (§4).
+	if err := CrossCheckExplanations(in, explain.Explanation{}); err != nil {
+		t.Fatalf("empty platform explanation flagged: %v", err)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestDeployRegionTreads(t *testing.T) {
+	p, pr := validationSetup(t, RevealObfuscated)
+	// Both authors live in Boston per the fixture.
+	regions := []string{"Boston", "Chicago", "Seattle"}
+	res, err := pr.DeployRegionTreads(regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Campaigns) != 3 {
+		t.Fatalf("campaigns = %d", len(res.Campaigns))
+	}
+	browseAll(t, p, "author-a", 20)
+	ext := &Extension{ProviderName: "tp", Codebook: pr.Codebook()}
+	rev := ext.Scan(p.Feed("author-a"), p.Catalog())
+	if got := rev.Values[LocationAttr]; got != "Boston" {
+		t.Fatalf("revealed region = %q, want Boston", got)
+	}
+	// One paid impression: only the matching region's Tread delivered.
+	delivered := 0
+	for cid := range res.Campaigns {
+		if r, err := pr.Report(cid); err == nil && r.Impressions > 0 {
+			delivered++
+		}
+	}
+	if delivered != 1 {
+		t.Fatalf("%d region Treads delivered, want 1", delivered)
+	}
+	if _, err := pr.DeployRegionTreads(nil); err == nil {
+		t.Error("empty region list accepted")
+	}
+}
+
+func TestDeployRadiusTread(t *testing.T) {
+	p, pr := validationSetup(t, RevealObfuscated)
+	// Place author A near Boston, author B in Seattle.
+	p.User("author-a").SetLocation(42.36, -71.06)
+	p.User("author-b").SetLocation(47.61, -122.33)
+	res, err := pr.DeployRadiusTread(42.36, -71.06, 50, "greater Boston")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Campaigns) != 1 {
+		t.Fatalf("campaigns = %d", len(res.Campaigns))
+	}
+	browseAll(t, p, "author-a", 20)
+	browseAll(t, p, "author-b", 20)
+	ext := &Extension{ProviderName: "tp", Codebook: pr.Codebook()}
+	revA := ext.Scan(p.Feed("author-a"), p.Catalog())
+	revB := ext.Scan(p.Feed("author-b"), p.Catalog())
+	if revA.Values[LocationAttr] != "greater Boston" {
+		t.Fatalf("author A radius reveal = %q", revA.Values[LocationAttr])
+	}
+	if _, ok := revB.Values[LocationAttr]; ok {
+		t.Fatal("author B (Seattle) matched the Boston radius")
+	}
+	if _, err := pr.DeployRadiusTread(0, 0, 1, ""); err == nil {
+		t.Error("unlabelled radius Tread accepted")
+	}
+}
+
+func TestRadiusTreadIgnoresUnlocatedUsers(t *testing.T) {
+	p, pr := validationSetup(t, RevealObfuscated)
+	// Neither author has coordinates set: nobody matches.
+	if _, err := pr.DeployRadiusTread(42.36, -71.06, 50, "greater Boston"); err != nil {
+		t.Fatal(err)
+	}
+	browseAll(t, p, "author-a", 20)
+	ext := &Extension{ProviderName: "tp", Codebook: pr.Codebook()}
+	rev := ext.Scan(p.Feed("author-a"), p.Catalog())
+	if _, ok := rev.Values[LocationAttr]; ok {
+		t.Fatal("unlocated user matched a radius Tread")
+	}
+}

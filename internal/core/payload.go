@@ -1,0 +1,250 @@
+// Package core implements Treads — transparency-enhancing advertisements —
+// the paper's primary contribution.
+//
+// It provides the transparency provider (an advertiser that reveals
+// platform-held user information back to users by running one targeted ad
+// per targeting parameter), the payload encodings a Tread can carry
+// (explicit text, a codebook-obfuscated token like Figure 1b's "2,830,120",
+// or a landing-page reveal), the user-side browser-extension analogue that
+// collects and decodes Treads from a feed, the bit-split scheme for
+// non-binary attributes, the provider-side cost model, the privacy analyzer
+// for the paper's threat model, and the crowdsourced sharding mode for
+// evading shutdown.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/treads-project/treads/internal/attr"
+)
+
+// PayloadKind says what a single Tread reveals to the user who sees it.
+type PayloadKind int
+
+const (
+	// PayloadControl is the control ad: targeting only the opt-in
+	// audience, it confirms the user is reachable at all (§3.1:
+	// "To test whether the signed-up users were reachable with ads, we
+	// ran one control ad").
+	PayloadControl PayloadKind = iota
+	// PayloadAttr reveals "the platform has this attribute set for you".
+	PayloadAttr
+	// PayloadNotAttr reveals "this attribute is false or missing for you"
+	// (a Tread that excludes users who satisfy the attribute).
+	PayloadNotAttr
+	// PayloadValue reveals a specific value of a categorical attribute.
+	PayloadValue
+	// PayloadBit reveals one bit of a categorical attribute's value index
+	// (the log2(m) scheme of §3.1 "Scale").
+	PayloadBit
+	// PayloadPII reveals "the platform holds this hashed piece of PII for
+	// you" (§3.1 "Supporting PII").
+	PayloadPII
+	// PayloadAffinity reveals "the platform placed you in the keyword
+	// audience defined by these phrases" — the custom-affinity/custom-
+	// intent audiences of §2.1, one of the "wider variety of information"
+	// targets of §3.1.
+	PayloadAffinity
+	// PayloadLookalike reveals "the platform considers you similar to the
+	// members of this seed audience" — lookalike-audience membership,
+	// a derived attribute no platform transparency surface exposes.
+	PayloadLookalike
+	// PayloadExpr reveals that the user satisfies an arbitrary Boolean
+	// targeting expression — the paper's compound example: "Millennials
+	// who live in Chicago, are interested in musicals, are currently
+	// unemployed, and are not in a relationship" (§2.1). The expression
+	// travels in its canonical textual syntax.
+	PayloadExpr
+)
+
+func (k PayloadKind) String() string {
+	switch k {
+	case PayloadControl:
+		return "control"
+	case PayloadAttr:
+		return "attr"
+	case PayloadNotAttr:
+		return "not-attr"
+	case PayloadValue:
+		return "value"
+	case PayloadBit:
+		return "bit"
+	case PayloadPII:
+		return "pii"
+	case PayloadAffinity:
+		return "affinity"
+	case PayloadLookalike:
+		return "lookalike"
+	case PayloadExpr:
+		return "expr"
+	default:
+		return fmt.Sprintf("PayloadKind(%d)", int(k))
+	}
+}
+
+// Payload is the information one Tread conveys.
+type Payload struct {
+	Kind PayloadKind
+	// Attr is the attribute concerned (PayloadAttr/NotAttr/Value/Bit).
+	Attr attr.ID
+	// Value is the categorical value (PayloadValue).
+	Value string
+	// Bit and BitSet identify one bit of the value index (PayloadBit):
+	// seeing this Tread means bit `Bit` of the user's value index is
+	// BitSet.
+	Bit    int
+	BitSet bool
+	// PIIHash is the hashed PII string (PayloadPII).
+	PIIHash string
+	// Phrases is the "|"-joined keyword list (PayloadAffinity).
+	Phrases string
+	// SeedDesc describes the lookalike seed (PayloadLookalike), e.g.
+	// "acme-corp's customer list".
+	SeedDesc string
+	// Expr is the canonical targeting expression (PayloadExpr).
+	Expr string
+}
+
+// Token renders the payload in the canonical machine-readable form embedded
+// in explicit Treads and mapped through codebooks for obfuscated ones. The
+// grammar is one line, colon-separated, with the variable part last:
+//
+//	C                      control
+//	A:<attr>               attribute set
+//	N:<attr>               attribute false-or-missing
+//	V:<attr>=<value>       categorical value
+//	B:<attr>:<bit>:<0|1>   one value-index bit
+//	P:<hash>               PII present
+func (p Payload) Token() string {
+	switch p.Kind {
+	case PayloadControl:
+		return "C"
+	case PayloadAttr:
+		return "A:" + string(p.Attr)
+	case PayloadNotAttr:
+		return "N:" + string(p.Attr)
+	case PayloadValue:
+		return "V:" + string(p.Attr) + "=" + p.Value
+	case PayloadBit:
+		b := "0"
+		if p.BitSet {
+			b = "1"
+		}
+		return fmt.Sprintf("B:%s:%d:%s", p.Attr, p.Bit, b)
+	case PayloadPII:
+		return "P:" + p.PIIHash
+	case PayloadAffinity:
+		if p.Phrases == "" {
+			return ""
+		}
+		return "F:" + p.Phrases
+	case PayloadLookalike:
+		if p.SeedDesc == "" {
+			return ""
+		}
+		return "L:" + p.SeedDesc
+	case PayloadExpr:
+		if p.Expr == "" {
+			return ""
+		}
+		return "E:" + p.Expr
+	default:
+		return ""
+	}
+}
+
+// ParseToken inverts Token.
+func ParseToken(tok string) (Payload, error) {
+	if tok == "C" {
+		return Payload{Kind: PayloadControl}, nil
+	}
+	bad := func() (Payload, error) {
+		return Payload{}, fmt.Errorf("core: malformed payload token %q", tok)
+	}
+	i := strings.IndexByte(tok, ':')
+	if i != 1 {
+		return bad()
+	}
+	rest := tok[2:]
+	if rest == "" {
+		return bad()
+	}
+	switch tok[0] {
+	case 'A':
+		return Payload{Kind: PayloadAttr, Attr: attr.ID(rest)}, nil
+	case 'N':
+		return Payload{Kind: PayloadNotAttr, Attr: attr.ID(rest)}, nil
+	case 'V':
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 || eq == len(rest)-1 {
+			return bad()
+		}
+		return Payload{Kind: PayloadValue, Attr: attr.ID(rest[:eq]), Value: rest[eq+1:]}, nil
+	case 'B':
+		parts := strings.Split(rest, ":")
+		if len(parts) != 3 {
+			return bad()
+		}
+		var bit int
+		if _, err := fmt.Sscanf(parts[1], "%d", &bit); err != nil || bit < 0 {
+			return bad()
+		}
+		if parts[2] != "0" && parts[2] != "1" {
+			return bad()
+		}
+		return Payload{Kind: PayloadBit, Attr: attr.ID(parts[0]), Bit: bit, BitSet: parts[2] == "1"}, nil
+	case 'P':
+		return Payload{Kind: PayloadPII, PIIHash: rest}, nil
+	case 'F':
+		return Payload{Kind: PayloadAffinity, Phrases: rest}, nil
+	case 'L':
+		return Payload{Kind: PayloadLookalike, SeedDesc: rest}, nil
+	case 'E':
+		if _, err := attr.Parse(rest); err != nil {
+			return Payload{}, fmt.Errorf("core: expr payload: %w", err)
+		}
+		return Payload{Kind: PayloadExpr, Expr: rest}, nil
+	default:
+		return bad()
+	}
+}
+
+// Describe renders the payload as the human-readable sentence an explicit
+// Tread shows, resolving attribute names through the catalog when possible.
+func (p Payload) Describe(catalog *attr.Catalog) string {
+	name := func(id attr.ID) string {
+		if catalog != nil {
+			if a := catalog.Get(id); a != nil {
+				return a.Name
+			}
+		}
+		return string(id)
+	}
+	switch p.Kind {
+	case PayloadControl:
+		return "This is a control ad: it confirms this ad platform can reach you with our ads."
+	case PayloadAttr:
+		return fmt.Sprintf("According to this ad platform, you have the targeting attribute %q.", name(p.Attr))
+	case PayloadNotAttr:
+		return fmt.Sprintf("According to this ad platform, the targeting attribute %q is false or missing for you.", name(p.Attr))
+	case PayloadValue:
+		return fmt.Sprintf("According to this ad platform, your targeting attribute %q is set to %q.", name(p.Attr), p.Value)
+	case PayloadBit:
+		v := "0"
+		if p.BitSet {
+			v = "1"
+		}
+		return fmt.Sprintf("According to this ad platform, bit %d of your targeting attribute %q is %s.", p.Bit, name(p.Attr), v)
+	case PayloadPII:
+		return fmt.Sprintf("According to this ad platform, your personal contact information hashing to %s is on file.", p.PIIHash)
+	case PayloadAffinity:
+		return fmt.Sprintf("According to this ad platform, you are in the keyword audience %q — a targeting attribute advertisers can buy.", strings.ReplaceAll(p.Phrases, "|", ", "))
+	case PayloadLookalike:
+		return fmt.Sprintf("According to this ad platform, your profile resembles %s — a lookalike attribute advertisers can target.", p.SeedDesc)
+	case PayloadExpr:
+		return fmt.Sprintf("According to this ad platform, you satisfy the targeting attribute combination: %s.", p.Expr)
+	default:
+		return "Unknown payload."
+	}
+}

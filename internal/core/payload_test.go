@@ -1,0 +1,119 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/treads-project/treads/internal/attr"
+)
+
+func TestPayloadTokenRoundTrip(t *testing.T) {
+	payloads := []Payload{
+		{Kind: PayloadControl},
+		{Kind: PayloadAttr, Attr: "partner.financial.net_worth_over_2_000_000"},
+		{Kind: PayloadNotAttr, Attr: "platform.music.jazz"},
+		{Kind: PayloadValue, Attr: "platform.demographics.life_stage", Value: "young family"},
+		{Kind: PayloadBit, Attr: "platform.demographics.life_stage", Bit: 2, BitSet: true},
+		{Kind: PayloadBit, Attr: "platform.demographics.life_stage", Bit: 0, BitSet: false},
+		{Kind: PayloadPII, PIIHash: "ff8d9819fc0e12bf"},
+	}
+	for _, p := range payloads {
+		tok := p.Token()
+		if tok == "" {
+			t.Fatalf("empty token for %+v", p)
+		}
+		got, err := ParseToken(tok)
+		if err != nil {
+			t.Fatalf("ParseToken(%q): %v", tok, err)
+		}
+		if got != p {
+			t.Fatalf("round trip %+v -> %q -> %+v", p, tok, got)
+		}
+	}
+}
+
+func TestParseTokenErrors(t *testing.T) {
+	bad := []string{
+		"", "X", "X:abc", "A", "A:", "V:attr", "V:=x", "V:attr=",
+		"B:attr", "B:attr:1", "B:attr:x:1", "B:attr:1:2", "B:attr:-1:1",
+		"P:", "CC",
+	}
+	for _, tok := range bad {
+		if _, err := ParseToken(tok); err == nil {
+			t.Errorf("ParseToken(%q) should fail", tok)
+		}
+	}
+}
+
+func TestPayloadKindString(t *testing.T) {
+	kinds := map[PayloadKind]string{
+		PayloadControl: "control", PayloadAttr: "attr", PayloadNotAttr: "not-attr",
+		PayloadValue: "value", PayloadBit: "bit", PayloadPII: "pii",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if !strings.Contains(PayloadKind(99).String(), "99") {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestDescribeUsesCatalogNames(t *testing.T) {
+	c := attr.DefaultCatalog()
+	nw := c.Search("Net worth: over $2,000,000")[0]
+	p := Payload{Kind: PayloadAttr, Attr: nw.ID}
+	s := p.Describe(c)
+	if !strings.Contains(s, "Net worth: over $2,000,000") {
+		t.Fatalf("Describe = %q", s)
+	}
+	// Without a catalog, falls back to the ID.
+	s = p.Describe(nil)
+	if !strings.Contains(s, string(nw.ID)) {
+		t.Fatalf("Describe without catalog = %q", s)
+	}
+}
+
+func TestDescribeAllKindsNonEmpty(t *testing.T) {
+	for _, p := range []Payload{
+		{Kind: PayloadControl},
+		{Kind: PayloadAttr, Attr: "a.b.c"},
+		{Kind: PayloadNotAttr, Attr: "a.b.c"},
+		{Kind: PayloadValue, Attr: "a.b.c", Value: "v"},
+		{Kind: PayloadBit, Attr: "a.b.c", Bit: 1, BitSet: true},
+		{Kind: PayloadBit, Attr: "a.b.c", Bit: 1, BitSet: false},
+		{Kind: PayloadPII, PIIHash: "beef"},
+		{Kind: PayloadKind(42)},
+	} {
+		if p.Describe(nil) == "" {
+			t.Errorf("empty description for %+v", p)
+		}
+	}
+}
+
+func TestPayloadTokenPropertyRoundTrip(t *testing.T) {
+	f := func(kindSel uint8, attrSel uint8, bit uint8, set bool) bool {
+		attrs := []attr.ID{"a.b.c", "platform.music.jazz", "x.y.z_1"}
+		id := attrs[int(attrSel)%len(attrs)]
+		var p Payload
+		switch kindSel % 5 {
+		case 0:
+			p = Payload{Kind: PayloadControl}
+		case 1:
+			p = Payload{Kind: PayloadAttr, Attr: id}
+		case 2:
+			p = Payload{Kind: PayloadNotAttr, Attr: id}
+		case 3:
+			p = Payload{Kind: PayloadBit, Attr: id, Bit: int(bit % 16), BitSet: set}
+		case 4:
+			p = Payload{Kind: PayloadPII, PIIHash: "h" + string(id)}
+		}
+		got, err := ParseToken(p.Token())
+		return err == nil && got == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

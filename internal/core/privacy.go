@@ -1,0 +1,98 @@
+package core
+
+import (
+	"github.com/treads-project/treads/internal/billing"
+	"github.com/treads-project/treads/internal/stats"
+)
+
+// ProviderView is everything the transparency provider can observe about
+// one Tread campaign: the payload it chose, the platform's thresholded
+// report, and the size of its own opt-in list (which it knows because it
+// ran the opt-in). This is the paper's §3.1 threat model — "the
+// transparency provider has access to the performance statistics reported
+// by the advertising platform".
+type ProviderView struct {
+	Payload Payload
+	Report  billing.Report
+	// OptedIn is the number of opted-in users (the denominator for
+	// prevalence estimates). For anonymous pixel opt-in the provider only
+	// knows this as the platform's rounded audience estimate.
+	OptedIn int
+}
+
+// PrevalenceEstimate is the aggregate the provider legitimately learns:
+// roughly how many of the opted-in users have the attribute, with a Wilson
+// 95% interval. The paper: "the transparency provider can estimate how many
+// of the opt-ed in users have a particular attribute".
+func PrevalenceEstimate(v ProviderView) (est, lo, hi float64) {
+	if v.OptedIn <= 0 {
+		return 0, 0, 1
+	}
+	est = float64(v.Report.Reach) / float64(v.OptedIn)
+	lo, hi = stats.WilsonInterval(v.Report.Reach, v.OptedIn)
+	return est, lo, hi
+}
+
+// MembershipGuess is the best per-individual inference available from an
+// aggregate report: guess that a given opted-in user has the attribute iff
+// the estimated prevalence is at least 1/2. Crucially the guess is the
+// same for every user — the report contains no per-user signal — so its
+// accuracy equals the base rate, which the E4 experiment verifies ("the
+// transparency provider cannot learn which particular users have which
+// attributes").
+func MembershipGuess(v ProviderView) bool {
+	est, _, _ := PrevalenceEstimate(v)
+	return est >= 0.5
+}
+
+// ProbeReveals models the attack the thresholded reporting exists to stop:
+// a malicious provider creates a targeting spec matching a single known
+// user plus the attribute and reads the report. With thresholding, a tiny
+// audience reports reach 0 whether or not the user matched — no signal.
+// Only in the unsafe ablation (exact reporting, threshold 0) does the
+// report reveal membership. The boolean definitive says whether the report
+// pins the answer down; member is meaningful only when definitive.
+func ProbeReveals(v ProviderView) (member, definitive bool) {
+	if v.OptedIn != 1 {
+		return false, false
+	}
+	if v.Report.Reach > 0 {
+		// Any positive reported reach on a single-user audience is
+		// definitive: the user matched. Under default thresholding this
+		// cannot happen (reach below the threshold reports 0).
+		return true, true
+	}
+	// Reach 0 is ambiguous under thresholding: it means "fewer than the
+	// threshold", which covers both match and no-match. It is definitive
+	// only if the report is exact, which the provider can detect from
+	// being invoiced for a sub-threshold campaign.
+	if v.Report.Spend > 0 && v.Report.Impressions > 0 {
+		// Exact-mode fingerprint with zero reach cannot occur (spend
+		// implies an impression implies reach >= 1 in exact mode).
+		return false, false
+	}
+	return false, false
+}
+
+// AggregateOnlyProperty checks the central privacy invariant over a set of
+// campaign views: no view may expose a reach below the reporting threshold
+// (other than the suppressed 0) or an invoice for a sub-threshold
+// campaign. It returns the offending campaign IDs, empty when the platform
+// honoured the contract.
+func AggregateOnlyProperty(views []ProviderView) []string {
+	var bad []string
+	for _, v := range views {
+		r := v.Report
+		if r.Reach != 0 && r.Reach < billing.ReachReportThreshold {
+			bad = append(bad, r.CampaignID)
+			continue
+		}
+		if r.Reach == 0 && r.Spend > 0 {
+			// Invoiced but reported unreachable: leaks that the true
+			// reach crossed the billable threshold while reporting
+			// claims otherwise — an inconsistent, leaky report.
+			bad = append(bad, r.CampaignID)
+		}
+	}
+	return bad
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/treads-project/treads/internal/billing"
+	"github.com/treads-project/treads/internal/money"
+)
+
+func view(reach, optedIn int, spend money.Micros) ProviderView {
+	return ProviderView{
+		Payload: Payload{Kind: PayloadAttr, Attr: "x.y.z"},
+		Report:  billing.Report{CampaignID: "c1", Reach: reach, Spend: spend, Impressions: reach},
+		OptedIn: optedIn,
+	}
+}
+
+func TestPrevalenceEstimate(t *testing.T) {
+	est, lo, hi := PrevalenceEstimate(view(500, 1000, 0))
+	if est != 0.5 {
+		t.Errorf("est = %v", est)
+	}
+	if lo >= est || hi <= est {
+		t.Errorf("interval [%v,%v] excludes estimate", lo, hi)
+	}
+	// Empty opt-in list: fully uncertain.
+	est, lo, hi = PrevalenceEstimate(view(0, 0, 0))
+	if est != 0 || lo != 0 || hi != 1 {
+		t.Errorf("empty view = %v [%v,%v]", est, lo, hi)
+	}
+}
+
+func TestPrevalenceIntervalNarrowsWithN(t *testing.T) {
+	_, lo1, hi1 := PrevalenceEstimate(view(50, 100, 0))
+	_, lo2, hi2 := PrevalenceEstimate(view(5000, 10000, 0))
+	if (hi2 - lo2) >= (hi1 - lo1) {
+		t.Fatalf("interval did not narrow: n=100 width %v, n=10000 width %v", hi1-lo1, hi2-lo2)
+	}
+}
+
+func TestMembershipGuessIsUserIndependent(t *testing.T) {
+	// The guess depends only on the aggregate — it is definitionally the
+	// same for every opted-in user, so per-user accuracy equals base rate.
+	v := view(700, 1000, 0)
+	if !MembershipGuess(v) {
+		t.Error("prevalence 0.7 should guess true")
+	}
+	v = view(200, 1000, 0)
+	if MembershipGuess(v) {
+		t.Error("prevalence 0.2 should guess false")
+	}
+}
+
+func TestProbeRevealsThresholdedNoSignal(t *testing.T) {
+	// Default thresholding: a 1-user probe audience reports reach 0 and
+	// spend $0 whether or not the user matched. No signal.
+	member, definitive := ProbeReveals(view(0, 1, 0))
+	if definitive {
+		t.Fatalf("thresholded probe claimed definitive answer (member=%v)", member)
+	}
+}
+
+func TestProbeRevealsExactModeLeaks(t *testing.T) {
+	// Ablation: exact reporting (threshold 0) exposes membership.
+	member, definitive := ProbeReveals(view(1, 1, money.FromDollars(0.002)))
+	if !definitive || !member {
+		t.Fatal("exact-mode probe with reach 1 should reveal membership")
+	}
+}
+
+func TestProbeRevealsRequiresSingletonAudience(t *testing.T) {
+	if _, definitive := ProbeReveals(view(30, 100, money.FromDollars(1))); definitive {
+		t.Fatal("multi-user view cannot be a definitive probe")
+	}
+}
+
+func TestAggregateOnlyProperty(t *testing.T) {
+	good := []ProviderView{
+		view(0, 2, 0),     // suppressed small audience
+		view(50, 100, 10), // large audience, rounded reach
+	}
+	if bad := AggregateOnlyProperty(good); len(bad) != 0 {
+		t.Fatalf("compliant views flagged: %v", bad)
+	}
+	leaky := []ProviderView{
+		view(3, 10, 0), // sub-threshold reach exposed
+	}
+	if bad := AggregateOnlyProperty(leaky); len(bad) != 1 {
+		t.Fatalf("leaky view not flagged: %v", bad)
+	}
+	inconsistent := []ProviderView{
+		view(0, 10, money.FromDollars(1)), // invoiced but "unreached"
+	}
+	if bad := AggregateOnlyProperty(inconsistent); len(bad) != 1 {
+		t.Fatalf("inconsistent view not flagged: %v", bad)
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"image"
+	"image/png"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/policy"
+)
+
+func TestStegoRoundTrip(t *testing.T) {
+	payloads := []Payload{
+		{Kind: PayloadControl},
+		{Kind: PayloadAttr, Attr: "partner.financial.net_worth_over_2_000_000"},
+		{Kind: PayloadNotAttr, Attr: "platform.music.jazz"},
+		{Kind: PayloadValue, Attr: "platform.demographics.life_stage", Value: "young family"},
+		{Kind: PayloadBit, Attr: "platform.demographics.life_stage", Bit: 2, BitSet: true},
+		{Kind: PayloadPII, PIIHash: strings.Repeat("ab", 32)},
+	}
+	for _, p := range payloads {
+		img, err := EncodeStegoImage(p, 7)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		got, ok, err := DecodeStegoImage(img)
+		if err != nil || !ok {
+			t.Fatalf("%+v: decode = %v, %v", p, ok, err)
+		}
+		if got != p {
+			t.Fatalf("round trip %+v -> %+v", p, got)
+		}
+	}
+}
+
+func TestStegoImageIsValidPNG(t *testing.T) {
+	img, err := EncodeStegoImage(Payload{Kind: PayloadControl}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := png.Decode(bytes.NewReader(img))
+	if err != nil {
+		t.Fatalf("not a valid PNG: %v", err)
+	}
+	b := decoded.Bounds()
+	if b.Dx() < 64 || b.Dy() < 64 {
+		t.Fatalf("cover image too small: %v", b)
+	}
+}
+
+func TestStegoOrdinaryImageNotDetected(t *testing.T) {
+	// Non-PNG bytes, empty input, and an unmarked PNG must not decode as
+	// Treads.
+	if _, ok, _ := DecodeStegoImage([]byte("not a png at all")); ok {
+		t.Fatal("garbage decoded as stego")
+	}
+	if _, ok, _ := DecodeStegoImage(nil); ok {
+		t.Fatal("empty image decoded as stego")
+	}
+	if _, ok, _ := DecodeStegoImage(plainPNG(t)); ok {
+		t.Fatal("plain PNG decoded as stego")
+	}
+}
+
+func plainPNG(t *testing.T) []byte {
+	t.Helper()
+	// A black square: all LSBs zero, so the magic check fails.
+	img := image.NewNRGBA(image.Rect(0, 0, 16, 16))
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestStegoDeterministic(t *testing.T) {
+	p := Payload{Kind: PayloadAttr, Attr: "a.b.c"}
+	a, err := EncodeStegoImage(p, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeStegoImage(p, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different images")
+	}
+}
+
+func TestStegoErrors(t *testing.T) {
+	if _, err := EncodeStegoImage(Payload{Kind: PayloadKind(99)}, 1); err == nil {
+		t.Error("unknown payload accepted")
+	}
+}
+
+func TestStegoCreativeEndToEnd(t *testing.T) {
+	c := attr.DefaultCatalog()
+	nw := c.Search("Net worth: over $2,000,000")[0].ID
+	p := Payload{Kind: PayloadAttr, Attr: nw}
+	cr, err := EncodeCreative(p, RevealStego, c, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.ImagePNG) == 0 {
+		t.Fatal("no image attached")
+	}
+	if strings.Contains(cr.Body, "Net worth") {
+		t.Fatalf("stego body leaks the attribute: %q", cr.Body)
+	}
+	// Ad review (text-only, like the real systems) approves it.
+	if d := policy.Review(cr); d.Verdict != policy.Approved {
+		t.Fatalf("stego Tread rejected: %+v", d)
+	}
+	got, ok := DecodeCreative(cr, nil, false)
+	if !ok || got != p {
+		t.Fatalf("decode = %+v, %v", got, ok)
+	}
+}
+
+func TestRevealStegoString(t *testing.T) {
+	if RevealStego.String() != "stego" {
+		t.Errorf("String() = %q", RevealStego.String())
+	}
+}
+
+func TestStegoRoundTripProperty(t *testing.T) {
+	f := func(n uint8, seed uint16) bool {
+		p := Payload{Kind: PayloadPII, PIIHash: strings.Repeat("f", int(n%60)+4)}
+		img, err := EncodeStegoImage(p, uint64(seed))
+		if err != nil {
+			return false
+		}
+		got, ok, err := DecodeStegoImage(img)
+		return err == nil && ok && got == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+package delivery
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/treads-project/treads/internal/profile"
+)
+
+// BenchmarkBrowse measures the per-slot delivery path with 507 registered
+// campaigns (the validation's deployment size) and one matching user.
+func BenchmarkBrowse507Campaigns(b *testing.B) {
+	e := newEnv(b, 1)
+	for i := 0; i < 507; i++ {
+		c := campaign(fmt.Sprintf("c%03d", i), "attr(platform.music.jazz)", 10)
+		c.FrequencyCap = 1 << 30 // never capped: measure the auction path
+		if err := e.pipe.AddCampaign(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.pipe.Browse("u00", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBrowseNonMatching measures slot fill when no campaign matches
+// (the common case for most users).
+func BenchmarkBrowseNonMatching(b *testing.B) {
+	e := newEnv(b, 2)
+	for i := 0; i < 100; i++ {
+		if err := e.pipe.AddCampaign(campaign(fmt.Sprintf("c%03d", i), "attr(platform.music.jazz)", 10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// u01 is odd: no jazz attribute.
+		if _, err := e.pipe.Browse(profile.UserID("u01"), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

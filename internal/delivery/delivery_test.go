@@ -1,0 +1,310 @@
+package delivery
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/auction"
+	"github.com/treads-project/treads/internal/audience"
+	"github.com/treads-project/treads/internal/billing"
+	"github.com/treads-project/treads/internal/money"
+	"github.com/treads-project/treads/internal/pixel"
+	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/stats"
+)
+
+// env bundles a pipeline over n users; even users have the jazz attribute.
+// The market is deterministic at $2 CPM so a $10 bid always wins.
+type env struct {
+	store  *profile.Store
+	ledger *billing.Ledger
+	pipe   *Pipeline
+}
+
+func newEnv(t testing.TB, n int) *env {
+	t.Helper()
+	store := profile.NewStore()
+	for i := 0; i < n; i++ {
+		p := profile.New(profile.UserID(fmt.Sprintf("u%02d", i)))
+		p.Nation = "US"
+		p.AgeYrs = 30
+		if i%2 == 0 {
+			p.SetAttr("platform.music.jazz")
+		}
+		if err := store.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := audience.NewEngine(store, pixel.NewRegistry())
+	ledger := billing.NewLedger()
+	market := auction.Market{BaseCPM: money.FromDollars(2), Sigma: 0, Floor: money.FromDollars(0.1)}
+	pipe := NewPipeline(store, eng, ledger, market, stats.NewRNG(1))
+	return &env{store: store, ledger: ledger, pipe: pipe}
+}
+
+func campaign(id string, expr string, bidDollars float64) *Campaign {
+	var e attr.Expr = attr.MatchAll{}
+	if expr != "" {
+		e = attr.MustParse(expr)
+	}
+	return &Campaign{
+		ID:         id,
+		Advertiser: "adv1",
+		Spec:       audience.Spec{Expr: e},
+		BidCapCPM:  money.FromDollars(bidDollars),
+		Creative:   ad.Creative{Headline: id, Body: "body of " + id},
+	}
+}
+
+func TestAddCampaignValidation(t *testing.T) {
+	e := newEnv(t, 2)
+	if err := e.pipe.AddCampaign(nil); err == nil {
+		t.Error("nil campaign accepted")
+	}
+	if err := e.pipe.AddCampaign(&Campaign{ID: "", BidCapCPM: 1}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if err := e.pipe.AddCampaign(&Campaign{ID: "c", BidCapCPM: 0}); err == nil {
+		t.Error("zero bid accepted")
+	}
+	bad := campaign("c", "", 10)
+	bad.Spec.Include = []audience.AudienceID{"aud-nope"}
+	if err := e.pipe.AddCampaign(bad); err == nil {
+		t.Error("unknown audience accepted")
+	}
+	good := campaign("c", "", 10)
+	if err := e.pipe.AddCampaign(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.pipe.AddCampaign(campaign("c", "", 10)); err == nil {
+		t.Error("duplicate campaign accepted")
+	}
+	if e.pipe.Campaign("c") != good {
+		t.Error("Campaign() returned wrong campaign")
+	}
+	if e.pipe.Campaign("nope") != nil {
+		t.Error("unknown campaign not nil")
+	}
+}
+
+func TestTargetedDeliveryContract(t *testing.T) {
+	// The Treads foundation: a user sees the ad iff they match.
+	e := newEnv(t, 10)
+	if err := e.pipe.AddCampaign(campaign("jazz", "attr(platform.music.jazz)", 10)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		uid := profile.UserID(fmt.Sprintf("u%02d", i))
+		imps, err := e.pipe.Browse(uid, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saw := len(imps) > 0
+		matches := i%2 == 0
+		if saw != matches {
+			t.Errorf("user %s: saw=%v matches=%v", uid, saw, matches)
+		}
+	}
+}
+
+func TestBrowseUnknownUser(t *testing.T) {
+	e := newEnv(t, 1)
+	if _, err := e.pipe.Browse("ghost", 3); err == nil {
+		t.Error("unknown user accepted")
+	}
+}
+
+func TestFrequencyCap(t *testing.T) {
+	e := newEnv(t, 2)
+	c := campaign("c1", "", 10)
+	c.FrequencyCap = 3
+	if err := e.pipe.AddCampaign(c); err != nil {
+		t.Fatal(err)
+	}
+	imps, err := e.pipe.Browse("u00", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imps) != 3 {
+		t.Fatalf("delivered %d impressions, want frequency cap 3", len(imps))
+	}
+	if got := len(e.pipe.Feed("u00")); got != 3 {
+		t.Fatalf("feed has %d impressions", got)
+	}
+}
+
+func TestDefaultFrequencyCap(t *testing.T) {
+	e := newEnv(t, 1)
+	if err := e.pipe.AddCampaign(campaign("c1", "", 10)); err != nil {
+		t.Fatal(err)
+	}
+	imps, _ := e.pipe.Browse("u00", 10)
+	if len(imps) != DefaultFrequencyCap {
+		t.Fatalf("delivered %d, want default cap %d", len(imps), DefaultFrequencyCap)
+	}
+}
+
+func TestPausedCampaignDoesNotDeliver(t *testing.T) {
+	e := newEnv(t, 1)
+	if err := e.pipe.AddCampaign(campaign("c1", "", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.pipe.Pause("c1"); err != nil {
+		t.Fatal(err)
+	}
+	imps, _ := e.pipe.Browse("u00", 5)
+	if len(imps) != 0 {
+		t.Fatalf("paused campaign delivered %d impressions", len(imps))
+	}
+	if err := e.pipe.Pause("nope"); err == nil {
+		t.Error("pausing unknown campaign accepted")
+	}
+}
+
+func TestLowBidLosesToMarket(t *testing.T) {
+	e := newEnv(t, 1)
+	// Market is fixed at $2; a $1 bid never wins.
+	if err := e.pipe.AddCampaign(campaign("cheap", "", 1)); err != nil {
+		t.Fatal(err)
+	}
+	imps, _ := e.pipe.Browse("u00", 20)
+	if len(imps) != 0 {
+		t.Fatalf("under-market bid delivered %d impressions", len(imps))
+	}
+}
+
+func TestHighestBidderWinsSlot(t *testing.T) {
+	e := newEnv(t, 1)
+	if err := e.pipe.AddCampaign(campaign("low", "", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.pipe.AddCampaign(campaign("high", "", 10)); err != nil {
+		t.Fatal(err)
+	}
+	imps, _ := e.pipe.Browse("u00", 1)
+	if len(imps) != 1 || imps[0].CampaignID != "high" {
+		t.Fatalf("impressions = %v", imps)
+	}
+}
+
+func TestSecondPriceBilling(t *testing.T) {
+	e := newEnv(t, 1)
+	if err := e.pipe.AddCampaign(campaign("c1", "", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.pipe.Browse("u00", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Winner pays the $2 market bid -> $0.002 per impression.
+	if spend := e.ledger.TrueSpend("c1"); spend != money.FromDollars(0.002) {
+		t.Fatalf("spend = %v, want $0.002", spend)
+	}
+}
+
+func TestImpressionsCounter(t *testing.T) {
+	e := newEnv(t, 4)
+	c := campaign("c1", "", 10)
+	c.FrequencyCap = 1
+	if err := e.pipe.AddCampaign(c); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := e.pipe.Browse(profile.UserID(fmt.Sprintf("u%02d", i)), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.pipe.Impressions("c1"); got != 4 {
+		t.Fatalf("Impressions = %d, want 4", got)
+	}
+}
+
+func TestSlotIndicesMonotonic(t *testing.T) {
+	e := newEnv(t, 1)
+	c := campaign("c1", "", 10)
+	c.FrequencyCap = 100
+	if err := e.pipe.AddCampaign(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.pipe.Browse("u00", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.pipe.Browse("u00", 3); err != nil {
+		t.Fatal(err)
+	}
+	feed := e.pipe.Feed("u00")
+	if len(feed) != 6 {
+		t.Fatalf("feed length = %d", len(feed))
+	}
+	for i := 1; i < len(feed); i++ {
+		if feed[i].Slot <= feed[i-1].Slot {
+			t.Fatalf("slots not monotonic: %v", feed)
+		}
+	}
+}
+
+func TestFeedIsolation(t *testing.T) {
+	e := newEnv(t, 2)
+	if err := e.pipe.AddCampaign(campaign("jazz", "attr(platform.music.jazz)", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.pipe.Browse("u00", 3); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.pipe.Feed("u01")) != 0 {
+		t.Fatal("impressions leaked into another user's feed")
+	}
+	// Returned slice is a copy.
+	f := e.pipe.Feed("u00")
+	if len(f) == 0 {
+		t.Fatal("no impressions delivered")
+	}
+	f[0].CampaignID = "tampered"
+	if e.pipe.Feed("u00")[0].CampaignID == "tampered" {
+		t.Fatal("Feed returned a live reference")
+	}
+}
+
+func TestBudgetStopsDelivery(t *testing.T) {
+	// 30 users, $10 bid vs $2 fixed market: each impression costs $0.002.
+	// A $0.01 budget funds exactly 5 impressions.
+	e := newEnv(t, 30)
+	c := campaign("budgeted", "", 10)
+	c.FrequencyCap = 1
+	c.Budget = money.FromDollars(0.01)
+	if err := e.pipe.AddCampaign(c); err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	for i := 0; i < 30; i++ {
+		imps, err := e.pipe.Browse(profile.UserID(fmt.Sprintf("u%02d", i)), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered += len(imps)
+	}
+	if delivered != 5 {
+		t.Fatalf("delivered %d impressions on a 5-impression budget", delivered)
+	}
+	if spend := e.ledger.TrueSpend("budgeted"); spend > c.Budget {
+		t.Fatalf("spend %v exceeded budget %v", spend, c.Budget)
+	}
+}
+
+func TestZeroBudgetMeansUnlimited(t *testing.T) {
+	e := newEnv(t, 10)
+	c := campaign("unlimited", "", 10)
+	c.FrequencyCap = 1
+	if err := e.pipe.AddCampaign(c); err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	for i := 0; i < 10; i++ {
+		imps, _ := e.pipe.Browse(profile.UserID(fmt.Sprintf("u%02d", i)), 1)
+		delivered += len(imps)
+	}
+	if delivered != 10 {
+		t.Fatalf("delivered %d, want all 10", delivered)
+	}
+}

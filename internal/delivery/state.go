@@ -1,0 +1,159 @@
+package delivery
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/auction"
+	"github.com/treads-project/treads/internal/audience"
+	"github.com/treads-project/treads/internal/billing"
+	"github.com/treads-project/treads/internal/money"
+	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/stats"
+)
+
+// State is the pipeline's serializable form. Auction randomness is not
+// part of the state: a restored pipeline continues from a fresh seed,
+// which preserves every invariant (budgets, caps, feeds) without trying to
+// freeze a PRNG mid-stream.
+type State struct {
+	Campaigns []CampaignState `json:"campaigns,omitempty"`
+	Feeds     []FeedState     `json:"feeds,omitempty"`
+	Freq      []FreqState     `json:"freq,omitempty"`
+	Slots     []SlotState     `json:"slots,omitempty"`
+}
+
+// CampaignState is one campaign. The targeting expression travels in its
+// canonical textual syntax.
+type CampaignState struct {
+	ID           string                `json:"id"`
+	Advertiser   string                `json:"advertiser"`
+	Include      []audience.AudienceID `json:"include,omitempty"`
+	IncludeAll   []audience.AudienceID `json:"include_all,omitempty"`
+	Exclude      []audience.AudienceID `json:"exclude,omitempty"`
+	Expr         string                `json:"expr,omitempty"`
+	BidCapCPM    money.Micros          `json:"bid_cap_cpm"`
+	Creative     ad.Creative           `json:"creative"`
+	FrequencyCap int                   `json:"frequency_cap,omitempty"`
+	Budget       money.Micros          `json:"budget,omitempty"`
+	Paused       bool                  `json:"paused,omitempty"`
+}
+
+// FeedState is one user's full impression history.
+type FeedState struct {
+	User        profile.UserID  `json:"user"`
+	Impressions []ad.Impression `json:"impressions"`
+}
+
+// FreqState is one campaign's per-user impression counts.
+type FreqState struct {
+	CampaignID string      `json:"campaign_id"`
+	Counts     []UserCount `json:"counts,omitempty"`
+}
+
+// UserCount pairs a user with a count.
+type UserCount struct {
+	User profile.UserID `json:"user"`
+	N    int            `json:"n"`
+}
+
+// SlotState is one user's total slot counter.
+type SlotState struct {
+	User profile.UserID `json:"user"`
+	N    int            `json:"n"`
+}
+
+// Snapshot exports the pipeline.
+func (p *Pipeline) Snapshot() State {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var s State
+	for _, id := range p.order {
+		c := p.campaigns[id]
+		cs := CampaignState{
+			ID: c.ID, Advertiser: c.Advertiser,
+			Include:    append([]audience.AudienceID(nil), c.Spec.Include...),
+			IncludeAll: append([]audience.AudienceID(nil), c.Spec.IncludeAll...),
+			Exclude:    append([]audience.AudienceID(nil), c.Spec.Exclude...),
+			BidCapCPM:  c.BidCapCPM, Creative: c.Creative,
+			FrequencyCap: c.FrequencyCap, Budget: c.Budget, Paused: c.Paused,
+		}
+		if c.Spec.Expr != nil {
+			cs.Expr = c.Spec.Expr.String()
+		}
+		s.Campaigns = append(s.Campaigns, cs)
+
+		fs := FreqState{CampaignID: id}
+		for uid, n := range p.freq[id] {
+			fs.Counts = append(fs.Counts, UserCount{User: uid, N: n})
+		}
+		sort.Slice(fs.Counts, func(i, j int) bool { return fs.Counts[i].User < fs.Counts[j].User })
+		if len(fs.Counts) > 0 {
+			s.Freq = append(s.Freq, fs)
+		}
+	}
+	users := make([]profile.UserID, 0, len(p.feeds))
+	for uid := range p.feeds {
+		users = append(users, uid)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	for _, uid := range users {
+		s.Feeds = append(s.Feeds, FeedState{
+			User:        uid,
+			Impressions: append([]ad.Impression(nil), p.feeds[uid]...),
+		})
+	}
+	slotUsers := make([]profile.UserID, 0, len(p.slotCount))
+	for uid := range p.slotCount {
+		slotUsers = append(slotUsers, uid)
+	}
+	sort.Slice(slotUsers, func(i, j int) bool { return slotUsers[i] < slotUsers[j] })
+	for _, uid := range slotUsers {
+		s.Slots = append(s.Slots, SlotState{User: uid, N: p.slotCount[uid]})
+	}
+	return s
+}
+
+// RestoreState rebuilds a pipeline over the given components.
+func RestoreState(s State, store *profile.Store, engine *audience.Engine, ledger *billing.Ledger, market auction.Market, rng *stats.RNG) (*Pipeline, error) {
+	p := NewPipeline(store, engine, ledger, market, rng)
+	for _, cs := range s.Campaigns {
+		var expr attr.Expr
+		if cs.Expr != "" {
+			e, err := attr.Parse(cs.Expr)
+			if err != nil {
+				return nil, fmt.Errorf("delivery: campaign %q expr: %w", cs.ID, err)
+			}
+			expr = e
+		}
+		c := &Campaign{
+			ID: cs.ID, Advertiser: cs.Advertiser,
+			Spec: audience.Spec{
+				Include: cs.Include, IncludeAll: cs.IncludeAll,
+				Exclude: cs.Exclude, Expr: expr,
+			},
+			BidCapCPM: cs.BidCapCPM, Creative: cs.Creative,
+			FrequencyCap: cs.FrequencyCap, Budget: cs.Budget, Paused: cs.Paused,
+		}
+		if err := p.AddCampaign(c); err != nil {
+			return nil, err
+		}
+	}
+	for _, fs := range s.Freq {
+		if p.freq[fs.CampaignID] == nil {
+			return nil, fmt.Errorf("delivery: freq state for unknown campaign %q", fs.CampaignID)
+		}
+		for _, uc := range fs.Counts {
+			p.freq[fs.CampaignID][uc.User] = uc.N
+		}
+	}
+	for _, fs := range s.Feeds {
+		p.feeds[fs.User] = append([]ad.Impression(nil), fs.Impressions...)
+	}
+	for _, ss := range s.Slots {
+		p.slotCount[ss.User] = ss.N
+	}
+	return p, nil
+}

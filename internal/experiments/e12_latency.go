@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/auction"
+	"github.com/treads-project/treads/internal/core"
+	"github.com/treads-project/treads/internal/money"
+	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/sim"
+	"github.com/treads-project/treads/internal/workload"
+)
+
+// E12Row is one browsing-intensity point of the reveal-latency study: how
+// long "browsing normally" (§3.1) takes to deliver a user's full profile,
+// under a stochastic auction and per-Tread frequency caps.
+type E12Row struct {
+	Label           string
+	SessionsPerDay  float64
+	SlotsPerSession float64
+	// DaysTo50 / DaysTo95 are the first days mean coverage crossed the
+	// threshold (0 = never within the horizon).
+	DaysTo50 int
+	DaysTo95 int
+	// FinalCoverage and FinalFullyRevealed are the horizon-end values.
+	FinalCoverage      float64
+	FinalFullyRevealed float64
+	Days               int
+}
+
+// E12RevealLatency deploys Treads for a slice of catalog attributes over a
+// generated population and sweeps browsing intensity.
+func E12RevealLatency(seed uint64, users, attrCount, days int) ([]E12Row, error) {
+	models := []struct {
+		label string
+		m     sim.BrowsingModel
+	}{
+		{"light (1x2 slots/day)", sim.BrowsingModel{SessionsPerDay: 1, SlotsPerSession: 2}},
+		{"casual (3x8 slots/day)", sim.DefaultBrowsing()},
+		{"heavy (8x15 slots/day)", sim.BrowsingModel{SessionsPerDay: 8, SlotsPerSession: 15}},
+	}
+	var rows []E12Row
+	for _, mdl := range models {
+		market := auction.Market{BaseCPM: money.FromDollars(2), Sigma: 0.8, Floor: money.FromDollars(0.10)}
+		p := platform.New(platform.Config{Market: &market, Seed: seed})
+		cfg := workload.DefaultConfig()
+		cfg.Seed = seed
+		cfg.Users = users
+		cfg.Catalog = p.Catalog()
+		var uids []profile.UserID
+		for _, u := range workload.Generate(cfg) {
+			if err := p.AddUser(u); err != nil {
+				return nil, err
+			}
+			uids = append(uids, u.ID)
+		}
+		tp, err := core.NewProvider(p, core.ProviderConfig{
+			Name: "latency-tp", Mode: core.RevealObfuscated,
+			BidCapCPM: money.FromDollars(10), CodebookSeed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, uid := range uids {
+			p.LikePage(uid, tp.OptInPage())
+		}
+		var ids []attr.ID
+		for _, a := range p.Catalog().BySource(attr.SourcePlatform)[:attrCount] {
+			ids = append(ids, a.ID)
+		}
+		if _, err := tp.DeployAttrTreads(ids); err != nil {
+			return nil, err
+		}
+		dep := &sim.Deployment{
+			Platform: p, Provider: tp, Users: uids, Attrs: ids,
+			Browsing: mdl.m, Seed: seed,
+		}
+		points, err := dep.Run(days)
+		if err != nil {
+			return nil, err
+		}
+		row := E12Row{
+			Label:           mdl.label,
+			SessionsPerDay:  mdl.m.SessionsPerDay,
+			SlotsPerSession: mdl.m.SlotsPerSession,
+			Days:            days,
+		}
+		for _, pt := range points {
+			if row.DaysTo50 == 0 && pt.MeanCoverage >= 0.5 {
+				row.DaysTo50 = pt.Day
+			}
+			if row.DaysTo95 == 0 && pt.MeanCoverage >= 0.95 {
+				row.DaysTo95 = pt.Day
+			}
+		}
+		last := points[len(points)-1]
+		row.FinalCoverage = last.MeanCoverage
+		row.FinalFullyRevealed = last.FullyRevealed
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// E12Table renders the latency sweep.
+func E12Table(rows []E12Row) *Table {
+	t := &Table{
+		Title:   "E12 (extension): days of normal browsing until full transparency",
+		Columns: []string{"browsing", "days to 50%", "days to 95%", "final coverage", "fully revealed"},
+	}
+	fmtDay := func(d int) string {
+		if d == 0 {
+			return ">horizon"
+		}
+		return fmt.Sprintf("%d", d)
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Label, fmtDay(r.DaysTo50), fmtDay(r.DaysTo95),
+			cellPct(r.FinalCoverage), cellPct(r.FinalFullyRevealed),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper: \"users see these Treads while browsing normally\" — this measures how long 'normally' takes under a stochastic auction and 1-impression frequency caps")
+	return t
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/auction"
+	"github.com/treads-project/treads/internal/core"
+	"github.com/treads-project/treads/internal/money"
+	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/workload"
+)
+
+// E2Row is one line of the cost table: analytical (the paper's §3.1
+// arithmetic) vs measured (what the simulated ledger actually charged).
+type E2Row struct {
+	BidCPMUSD          float64
+	AnalyticPerAttrUSD float64 // paper: CPM/1000
+	MeasuredPerAttrUSD float64 // platform-invoiced spend per delivered impression
+	PerUser50USD       float64 // paper's "50 attributes cost $0.10" example
+	AbsentAttrUSD      float64 // cost of Treads for attributes users lack: 0
+}
+
+// E2Cost reproduces the §3.1 cost claims at both the recommended $2 CPM
+// and the validation's elevated $10 CPM. The measured column comes from a
+// real deployment: `users` opted-in users all holding a probe attribute,
+// so the campaign clears the billing threshold and the invoice is exact.
+func E2Cost(seed uint64, users int) ([]E2Row, error) {
+	if users < 25 {
+		users = 25 // must clear the billable-reach threshold
+	}
+	var rows []E2Row
+	for _, bid := range []float64{2, 10} {
+		// The market's top competing bid sits a hair under the bid cap,
+		// so the campaign wins every slot and the second price equals
+		// (to micro-dollar rounding) the bid — the paper's simplified
+		// "cost = CPM/1000" regime.
+		market := auction.Market{BaseCPM: money.FromDollars(bid) - 1, Sigma: 0, Floor: money.FromDollars(0.10)}
+		p := platform.New(platform.Config{Market: &market, Seed: seed})
+		probe := p.Catalog().BySource(attr.SourcePlatform)[0].ID
+		absent := p.Catalog().BySource(attr.SourcePlatform)[1].ID
+		for i := 0; i < users; i++ {
+			u := profile.New(profile.UserID(fmt.Sprintf("u%05d", i)))
+			u.Nation = "US"
+			u.AgeYrs = 30
+			u.SetAttr(probe)
+			if err := p.AddUser(u); err != nil {
+				return nil, err
+			}
+		}
+		tp, err := core.NewProvider(p, core.ProviderConfig{
+			Name: "cost-tp", Mode: core.RevealObfuscated,
+			BidCapCPM: money.FromDollars(bid), CodebookSeed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < users; i++ {
+			p.LikePage(profile.UserID(fmt.Sprintf("u%05d", i)), tp.OptInPage())
+		}
+		dep, err := tp.DeployAttrTreads([]attr.ID{probe, absent})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < users; i++ {
+			if _, err := p.BrowseFeed(profile.UserID(fmt.Sprintf("u%05d", i)), 10); err != nil {
+				return nil, err
+			}
+		}
+		var probeSpend, absentSpend money.Micros
+		var probeImps int
+		for cid, pl := range dep.Campaigns {
+			r, err := tp.Report(cid)
+			if err != nil {
+				return nil, err
+			}
+			switch pl.Attr {
+			case probe:
+				probeSpend = r.Spend
+				probeImps = r.Impressions
+			case absent:
+				absentSpend = r.Spend
+			}
+		}
+		measured := 0.0
+		if probeImps > 0 {
+			measured = probeSpend.Dollars() / float64(probeImps)
+		}
+		model := core.NewCostModel(money.FromDollars(bid))
+		rows = append(rows, E2Row{
+			BidCPMUSD:          bid,
+			AnalyticPerAttrUSD: model.PerAttribute().Dollars(),
+			MeasuredPerAttrUSD: measured,
+			PerUser50USD:       model.PerUser(50).Dollars(),
+			AbsentAttrUSD:      absentSpend.Dollars(),
+		})
+	}
+	return rows, nil
+}
+
+// E2Table renders the cost comparison.
+func E2Table(rows []E2Row) *Table {
+	t := &Table{
+		Title: "E2 (§3.1 Cost): per-attribute reveal cost",
+		Columns: []string{"bid CPM", "paper $/attr", "measured $/attr",
+			"50-attr user", "absent-attr cost"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("$%.0f", r.BidCPMUSD),
+			fmt.Sprintf("$%.3f", r.AnalyticPerAttrUSD),
+			fmt.Sprintf("$%.4f", r.MeasuredPerAttrUSD),
+			fmt.Sprintf("$%.2f", r.PerUser50USD),
+			fmt.Sprintf("$%.2f", r.AbsentAttrUSD),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper: $0.002/attr at $2 CPM, $0.01 at $10 CPM, $0.10 for a 50-attribute user, $0 for absent attributes",
+		"measured cost is the second price, never above the bid cap")
+	return t
+}
+
+// E2PopulationCost prices a realistic deployment: the default synthetic
+// population, analytically, at the recommended bid.
+type E2PopulationResult struct {
+	Users        int
+	MeanAttrs    float64
+	TotalUSD     float64
+	PerUserUSD   float64
+	PerUser50USD float64
+}
+
+// E2Population computes fleet-level cost for the default workload.
+func E2Population(seed uint64, users int) E2PopulationResult {
+	cfg := workload.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Users = users
+	pop := workload.Generate(cfg)
+	counts := make([]int, len(pop))
+	total := 0
+	for i, u := range pop {
+		counts[i] = u.AttrCount()
+		total += counts[i]
+	}
+	model := core.NewCostModel(money.FromDollars(2))
+	cost := model.Population(counts)
+	return E2PopulationResult{
+		Users:        len(pop),
+		MeanAttrs:    float64(total) / float64(len(pop)),
+		TotalUSD:     cost.Dollars(),
+		PerUserUSD:   cost.Dollars() / float64(len(pop)),
+		PerUser50USD: model.PerUser(50).Dollars(),
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/treads-project/treads/internal/core"
+	"github.com/treads-project/treads/internal/money"
+	"github.com/treads-project/treads/internal/workload"
+)
+
+// E2FundingRow is one line of the funding-model exploration (the future
+// work §3.1 defers: donations vs user fees).
+type E2FundingRow struct {
+	Users          int
+	MeanAttrs      float64
+	TotalCostUSD   float64
+	BreakEvenFee50 float64 // the paper's 50-attribute example fee
+	// DonationOnlyUSD is the donation pool needed with no fees.
+	DonationOnlyUSD float64
+	// FeeNoDonationsUSD is the flat per-user fee with no donations.
+	FeeNoDonationsUSD float64
+	// FeeHalfDonatedUSD is the fee when donations cover half the cost.
+	FeeHalfDonatedUSD float64
+}
+
+// E2Funding prices deployments of several sizes under the three funding
+// modes using the default workload's attribute richness.
+func E2Funding(seed uint64, sizes []int) []E2FundingRow {
+	model := core.NewFundingModel(core.NewCostModel(money.FromDollars(2)), 0)
+	var rows []E2FundingRow
+	for _, n := range sizes {
+		cfg := workload.DefaultConfig()
+		cfg.Seed = seed
+		cfg.Users = n
+		pop := workload.Generate(cfg)
+		counts := make([]int, len(pop))
+		total := 0
+		for i, u := range pop {
+			counts[i] = u.AttrCount()
+			total += counts[i]
+		}
+		var cost money.Micros
+		for _, c := range counts {
+			cost += model.BreakEvenFee(c)
+		}
+		rows = append(rows, E2FundingRow{
+			Users:             n,
+			MeanAttrs:         float64(total) / float64(len(pop)),
+			TotalCostUSD:      cost.Dollars(),
+			BreakEvenFee50:    model.BreakEvenFee(50).Dollars(),
+			DonationOnlyUSD:   cost.Dollars(),
+			FeeNoDonationsUSD: model.SustainableFee(0, counts).Dollars(),
+			FeeHalfDonatedUSD: model.SustainableFee(cost/2, counts).Dollars(),
+		})
+	}
+	return rows
+}
+
+// E2FundingTable renders the funding exploration.
+func E2FundingTable(rows []E2FundingRow) *Table {
+	t := &Table{
+		Title: "E2b (§3.1 funding, future work): donations vs user fees at $2 CPM",
+		Columns: []string{"users", "attrs/user", "total cost", "donation-only pool",
+			"fee (no donations)", "fee (half donated)"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Users),
+			fmt.Sprintf("%.1f", r.MeanAttrs),
+			fmt.Sprintf("$%.2f", r.TotalCostUSD),
+			fmt.Sprintf("$%.2f", r.DonationOnlyUSD),
+			fmt.Sprintf("$%.4f/user", r.FeeNoDonationsUSD),
+			fmt.Sprintf("$%.4f/user", r.FeeHalfDonatedUSD),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper: \"users opting-in could pay ... the cost of their own impressions, making the transparency provider's operations both scalable and sustainable\"",
+		fmt.Sprintf("the paper's 50-attribute reference user breaks even at $%.2f", rows[0].BreakEvenFee50))
+	return t
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/core"
+	"github.com/treads-project/treads/internal/explain"
+	"github.com/treads-project/treads/internal/workload"
+)
+
+// E5Result quantifies the transparency-completeness gap (§1, §2.2, via
+// Andreou et al. [1]): what fraction of a user's platform-held attributes
+// each mechanism reveals.
+type E5Result struct {
+	Users int
+	// MeanAttrs is the average number of attributes per user.
+	MeanAttrs float64
+	// PrefsCoverage: ad-preferences page (platform-sourced only).
+	PrefsCoverage float64
+	// PrefsPartnerCoverage: partner attributes visible on the page: 0.
+	PrefsPartnerCoverage float64
+	// ExplainCoverage: attributes learnable from per-ad explanations if
+	// an advertiser ran one multi-attribute ad per user (≤1 each,
+	// platform-sourced only).
+	ExplainCoverage float64
+	// TreadsCoverage: attributes revealed by a full Tread deployment.
+	TreadsCoverage float64
+	// TreadsPartnerCoverage: partner attributes revealed by Treads.
+	TreadsPartnerCoverage float64
+}
+
+// E5Completeness runs all three mechanisms over a generated population and
+// measures per-user attribute coverage.
+func E5Completeness(seed uint64, users int) (E5Result, error) {
+	p := fixedPlatform(seed, false)
+	cfg := workload.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Users = users
+	cfg.Catalog = p.Catalog()
+	pop := workload.Generate(cfg)
+	for _, u := range pop {
+		if err := p.AddUser(u); err != nil {
+			return E5Result{}, err
+		}
+	}
+	tp, err := core.NewProvider(p, core.ProviderConfig{
+		Name: "completeness-tp", Mode: core.RevealObfuscated, CodebookSeed: seed,
+	})
+	if err != nil {
+		return E5Result{}, err
+	}
+	for _, u := range pop {
+		p.LikePage(u.ID, tp.OptInPage())
+	}
+	// Deploy a Tread for every catalog attribute (binary treatment:
+	// categorical attributes count as "set" when any value is).
+	var all []attr.ID
+	for _, a := range p.Catalog().All() {
+		all = append(all, a.ID)
+	}
+	if _, err := tp.DeployAttrTreads(all); err != nil {
+		return E5Result{}, err
+	}
+	for _, u := range pop {
+		if _, err := p.BrowseFeed(u.ID, 80); err != nil {
+			return E5Result{}, err
+		}
+	}
+
+	res := E5Result{Users: len(pop)}
+	ext := &core.Extension{ProviderName: tp.Name(), Codebook: tp.Codebook()}
+	explainer := explain.New(p.Catalog(), nil)
+	var totalAttrs, prefHits, prefPartnerHits, explainHits int
+	var treadHits, treadPartnerHits, partnerTotal int
+	for _, u := range pop {
+		truth := u.Attrs()
+		totalAttrs += len(truth)
+		truthSet := make(map[attr.ID]bool, len(truth))
+		for _, id := range truth {
+			truthSet[id] = true
+			if a := p.Catalog().Get(id); a != nil && a.Source == attr.SourcePartner {
+				partnerTotal++
+			}
+		}
+		// (a) Ad preferences page.
+		prefs, err := p.AdPreferences(u.ID)
+		if err != nil {
+			return E5Result{}, err
+		}
+		for _, id := range prefs {
+			if truthSet[id] {
+				prefHits++
+				if a := p.Catalog().Get(id); a != nil && a.Source == attr.SourcePartner {
+					prefPartnerHits++
+				}
+			}
+		}
+		// (b) Explanations: even a hypothetical ad targeting ALL the
+		// user's attributes yields at most one disclosed attribute.
+		var ops []attr.Expr
+		for _, id := range truth {
+			ops = append(ops, attr.Has{ID: id})
+		}
+		if len(ops) > 0 {
+			if ex := explainer.Explain(attr.NewAnd(ops...), u); ex.Attribute != "" {
+				explainHits++
+			}
+		}
+		// (c) Treads.
+		rev := ext.Scan(p.Feed(u.ID), p.Catalog())
+		for _, id := range rev.Attrs {
+			if truthSet[id] {
+				treadHits++
+				if a := p.Catalog().Get(id); a != nil && a.Source == attr.SourcePartner {
+					treadPartnerHits++
+				}
+			}
+		}
+	}
+	if totalAttrs > 0 {
+		res.MeanAttrs = float64(totalAttrs) / float64(len(pop))
+		res.PrefsCoverage = float64(prefHits) / float64(totalAttrs)
+		res.ExplainCoverage = float64(explainHits) / float64(totalAttrs)
+		res.TreadsCoverage = float64(treadHits) / float64(totalAttrs)
+	}
+	if partnerTotal > 0 {
+		res.PrefsPartnerCoverage = float64(prefPartnerHits) / float64(partnerTotal)
+		res.TreadsPartnerCoverage = float64(treadPartnerHits) / float64(partnerTotal)
+	}
+	return res, nil
+}
+
+// E5TableOf renders the completeness gap.
+func E5TableOf(r E5Result) *Table {
+	return &Table{
+		Title:   "E5 (§1/§2.2 via [1]): transparency completeness per mechanism",
+		Columns: []string{"mechanism", "attribute coverage", "partner-attr coverage"},
+		Rows: [][]string{
+			{"ad preferences page", cellPct(r.PrefsCoverage), cellPct(r.PrefsPartnerCoverage)},
+			{"per-ad explanations (<=1 attr)", cellPct(r.ExplainCoverage), "0.0%"},
+			{"Treads", cellPct(r.TreadsCoverage), cellPct(r.TreadsPartnerCoverage)},
+		},
+		Notes: []string{
+			fmt.Sprintf("%d users, %.1f attributes/user on average", r.Users, r.MeanAttrs),
+			"paper: preferences hide all partner data; explanations reveal at most one attribute; Treads reveal everything targetable",
+		},
+	}
+}

@@ -1,0 +1,463 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableFprint(t *testing.T) {
+	tbl := &Table{
+		Title:   "t",
+		Columns: []string{"a", "longcolumn"},
+		Rows:    [][]string{{"1", "2"}, {"333333", "4"}},
+		Notes:   []string{"n1"},
+	}
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== t ==", "longcolumn", "333333", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestF1Figure1(t *testing.T) {
+	r, err := F1Figure1(2018)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.DecodeOK || !r.ExplicitOK {
+		t.Fatalf("decode flags = %+v", r)
+	}
+	if !strings.Contains(r.ExplicitBody, "Net worth: over $2,000,000") {
+		t.Errorf("explicit body = %q", r.ExplicitBody)
+	}
+	if strings.Contains(r.ObfuscatedBody, "Net worth") {
+		t.Errorf("obfuscated body leaks: %q", r.ObfuscatedBody)
+	}
+	if !strings.Contains(r.ObfuscatedBody, r.Code) {
+		t.Errorf("obfuscated body lacks code %q: %q", r.Code, r.ObfuscatedBody)
+	}
+	if r.Table() == nil {
+		t.Fatal("nil table")
+	}
+}
+
+func TestE1Validation(t *testing.T) {
+	r, err := E1Validation(2018)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TreadsDeployed != 507 {
+		t.Errorf("deployed = %d, want 507", r.TreadsDeployed)
+	}
+	if r.Rejected != 0 {
+		t.Errorf("rejected = %d", r.Rejected)
+	}
+	if !r.ControlSeenA || !r.ControlSeenB {
+		t.Error("control did not reach both authors")
+	}
+	if r.RevealedA != 11 {
+		t.Errorf("author A revealed = %d, want 11", r.RevealedA)
+	}
+	if r.RevealedB != 0 {
+		t.Errorf("author B revealed = %d, want 0", r.RevealedB)
+	}
+	if !r.ExactMatchA || !r.NoFalseReveal {
+		t.Error("revealed set does not exactly match ground truth")
+	}
+	if r.InvoicedUSD != 0 {
+		t.Errorf("invoiced = %v, want 0", r.InvoicedUSD)
+	}
+	if len(r.Table().Rows) == 0 {
+		t.Error("empty table")
+	}
+}
+
+func TestE2Cost(t *testing.T) {
+	rows, err := E2Cost(7, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// $2 CPM row.
+	if rows[0].AnalyticPerAttrUSD != 0.002 {
+		t.Errorf("analytic $/attr at $2 = %v", rows[0].AnalyticPerAttrUSD)
+	}
+	if rows[0].PerUser50USD != 0.10 {
+		t.Errorf("50-attr user = %v", rows[0].PerUser50USD)
+	}
+	// Measured second price tracks the paper's CPM/1000 arithmetic.
+	for _, r := range rows {
+		want := r.AnalyticPerAttrUSD
+		if r.MeasuredPerAttrUSD < want*0.95 || r.MeasuredPerAttrUSD > want*1.05 {
+			t.Errorf("measured $/attr at $%v CPM = %v, want ~%v", r.BidCPMUSD, r.MeasuredPerAttrUSD, want)
+		}
+		if r.AbsentAttrUSD != 0 {
+			t.Errorf("absent-attribute cost = %v, want 0", r.AbsentAttrUSD)
+		}
+	}
+	if rows[1].AnalyticPerAttrUSD != 0.01 {
+		t.Errorf("analytic $/attr at $10 = %v", rows[1].AnalyticPerAttrUSD)
+	}
+	if E2Table(rows) == nil {
+		t.Fatal("nil table")
+	}
+}
+
+func TestE2Population(t *testing.T) {
+	r := E2Population(7, 200)
+	if r.Users != 200 {
+		t.Fatalf("users = %d", r.Users)
+	}
+	if r.MeanAttrs <= 0 || r.TotalUSD <= 0 {
+		t.Fatalf("degenerate result %+v", r)
+	}
+	// Per-user cost must be mean attrs x $0.002.
+	want := r.MeanAttrs * 0.002
+	if diff := r.PerUserUSD - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("per-user = %v, want %v", r.PerUserUSD, want)
+	}
+}
+
+func TestE3Scale(t *testing.T) {
+	rows, err := E3Scale(7, []int{4, 16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.OnePerValueOK || !r.BitSplitOK {
+			t.Errorf("m=%d: decode failed (%+v)", r.M, r)
+		}
+		// "would only have to pay for one impression per user" (§3.1):
+		// exactly one of the m value-Treads delivers (control excluded).
+		if r.OnePerValuePaidImp != 1 {
+			t.Errorf("m=%d: one-per-value paid %d impressions, want 1", r.M, r.OnePerValuePaidImp)
+		}
+		if r.BitSplitTreads >= r.OnePerValueTreads && r.M > 4 {
+			t.Errorf("m=%d: bit-split (%d treads) not cheaper than one-per-value (%d)",
+				r.M, r.BitSplitTreads, r.OnePerValueTreads)
+		}
+		maxPaid := r.BitSplitTreads + 1 // + control
+		if r.BitSplitPaidImp > maxPaid {
+			t.Errorf("m=%d: bit-split paid %d > max %d", r.M, r.BitSplitPaidImp, maxPaid)
+		}
+	}
+	if E3Table(rows) == nil {
+		t.Fatal("nil table")
+	}
+}
+
+func TestE4Privacy(t *testing.T) {
+	rows, err := E4Privacy(7, []int{50, 400}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// No per-user signal: attack accuracy equals the base rate
+		// exactly (the guess is user-independent).
+		if diff := r.AttackAccuracy - r.BaseRate; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("n=%d: attack %v != base %v", r.OptedIn, r.AttackAccuracy, r.BaseRate)
+		}
+		if r.ProbeLeaks != 0 {
+			t.Errorf("n=%d: %d probe leaks under thresholded reporting", r.OptedIn, r.ProbeLeaks)
+		}
+		if r.ProbeLeaksExact == 0 {
+			t.Errorf("n=%d: exact-report ablation leaked nothing (attack should work)", r.OptedIn)
+		}
+	}
+	// Aggregate estimate improves with population: the large population's
+	// estimate must be close to truth while the small one is suppressed
+	// or noisy.
+	big := rows[1]
+	if big.EstPrevalence < big.TruePrevalence-0.1 || big.EstPrevalence > big.TruePrevalence+0.1 {
+		t.Errorf("large-n estimate %v far from truth %v", big.EstPrevalence, big.TruePrevalence)
+	}
+	if E4Table(rows) == nil {
+		t.Fatal("nil table")
+	}
+}
+
+func TestE5Completeness(t *testing.T) {
+	r, err := E5Completeness(7, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TreadsCoverage < 0.99 {
+		t.Errorf("Treads coverage = %v, want ~1", r.TreadsCoverage)
+	}
+	if r.PrefsPartnerCoverage != 0 {
+		t.Errorf("preferences partner coverage = %v, want 0", r.PrefsPartnerCoverage)
+	}
+	if r.TreadsPartnerCoverage < 0.99 {
+		t.Errorf("Treads partner coverage = %v, want ~1", r.TreadsPartnerCoverage)
+	}
+	if r.PrefsCoverage >= r.TreadsCoverage {
+		t.Errorf("preferences (%v) not worse than Treads (%v)", r.PrefsCoverage, r.TreadsCoverage)
+	}
+	if r.ExplainCoverage >= r.PrefsCoverage {
+		t.Errorf("explanations (%v) should reveal less than the preferences page (%v)",
+			r.ExplainCoverage, r.PrefsCoverage)
+	}
+	if E5TableOf(r) == nil {
+		t.Fatal("nil table")
+	}
+}
+
+func TestE6ToS(t *testing.T) {
+	rows, err := E6ToS(7, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		switch r.Mode.String() {
+		case "explicit":
+			if r.Approved != 0 || r.Rejected != r.Submitted {
+				t.Errorf("explicit: approved=%d rejected=%d", r.Approved, r.Rejected)
+			}
+			if r.DecodedByUser != 0 {
+				t.Errorf("explicit: %d revealed despite rejection", r.DecodedByUser)
+			}
+		case "obfuscated", "landing-page", "stego":
+			if r.Rejected != 0 || r.Approved != r.Submitted {
+				t.Errorf("%s: approved=%d rejected=%d", r.Mode, r.Approved, r.Rejected)
+			}
+			if r.DecodedByUser != r.UserHasAttrs {
+				t.Errorf("%s: decoded %d of %d", r.Mode, r.DecodedByUser, r.UserHasAttrs)
+			}
+		}
+	}
+	if E6Table(rows) == nil {
+		t.Fatal("nil table")
+	}
+}
+
+func TestE7BidSweep(t *testing.T) {
+	rows, err := E7BidSweep(7, []float64{0.5, 2, 10}, 120, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Monotone in bid, and the paper's 5x elevation helps a lot.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].WinProb <= rows[i-1].WinProb {
+			t.Errorf("win prob not monotone: %+v", rows)
+		}
+		if rows[i].DeliveryRate < rows[i-1].DeliveryRate {
+			t.Errorf("delivery rate not monotone: %+v", rows)
+		}
+	}
+	if rows[2].DeliveryRate < 0.95 {
+		t.Errorf("$10 bid delivery = %v, want ~1", rows[2].DeliveryRate)
+	}
+	if rows[0].DeliveryRate > 0.6 {
+		t.Errorf("$0.5 bid delivery = %v, want low", rows[0].DeliveryRate)
+	}
+	// Second price: average paid below bid cap for the elevated bid.
+	if rows[2].AvgPricePaidUSD >= 0.01 {
+		t.Errorf("avg price at $10 CPM = %v, want < bid cap 0.01", rows[2].AvgPricePaidUSD)
+	}
+	if E7Table(rows) == nil {
+		t.Fatal("nil table")
+	}
+}
+
+func TestE8Crowdsourcing(t *testing.T) {
+	rows, err := E8Crowdsourcing(7, []int{10, 50}, []int{1, 3}, []float64{0, 0.3, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.BanRate == 0 && r.Coverage != 1 {
+			t.Errorf("no bans but coverage = %v", r.Coverage)
+		}
+		if r.Coverage < 0 || r.Coverage > 1 {
+			t.Errorf("coverage out of range: %v", r.Coverage)
+		}
+	}
+	// Replication 3 beats replication 1 at the same ban rate/accounts.
+	find := func(acc, rep int, rate float64) float64 {
+		for _, r := range rows {
+			if r.Accounts == acc && r.Replication == rep && r.BanRate == rate {
+				return r.Coverage
+			}
+		}
+		t.Fatalf("row not found")
+		return 0
+	}
+	if find(50, 3, 0.3) <= find(50, 1, 0.3) {
+		t.Error("replication did not improve resilience")
+	}
+	if E8Table(rows) == nil {
+		t.Fatal("nil table")
+	}
+}
+
+func TestE9CorrelationBaseline(t *testing.T) {
+	rows, err := E9CorrelationBaseline(7, []int{5, 200}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	small, large := rows[0], rows[1]
+	if small.Recall >= large.Recall && large.Recall > 0 {
+		t.Errorf("recall did not grow: %v -> %v", small.Recall, large.Recall)
+	}
+	if large.Recall < 0.6 {
+		t.Errorf("large panel recall = %v, want high", large.Recall)
+	}
+	for _, r := range rows {
+		if r.TreadsUsers != 1 || r.TreadsRecall != 1 {
+			t.Errorf("Treads comparison wrong: %+v", r)
+		}
+	}
+	if E9Table(rows) == nil {
+		t.Fatal("nil table")
+	}
+}
+
+func TestE10OptInPaths(t *testing.T) {
+	r, err := E10OptInPaths(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.PIIUserRevealed || !r.PixelUserRevealed {
+		t.Errorf("opt-in paths failed: %+v", r)
+	}
+	if !r.ControlReachedBoth {
+		t.Error("control did not reach both users")
+	}
+	if !r.ProviderKnowsPIIHashOnly {
+		t.Error("provider holds more than a hash")
+	}
+	if r.ProviderKnowsPixelVisitor {
+		t.Error("provider identified the pixel visitor")
+	}
+	if E10Table(r) == nil {
+		t.Fatal("nil table")
+	}
+}
+
+func TestE11IntentTransparency(t *testing.T) {
+	rows, err := E11IntentTransparency(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]E11Row{}
+	for _, r := range rows {
+		byName[r.Advertiser] = r
+		if !r.IntentExtracted {
+			t.Errorf("%s: intent not extracted", r.Advertiser)
+		}
+	}
+	honest := byName["honest-salsa"]
+	if !honest.CrossCheckOK || len(honest.UndisclosedAttrs) != 0 {
+		t.Errorf("honest advertiser flagged: %+v", honest)
+	}
+	deceptive := byName["deceptive"]
+	if len(deceptive.UndisclosedAttrs) != 1 {
+		t.Errorf("regulator audit missed the concealed attribute: %+v", deceptive)
+	}
+	if !deceptive.CrossCheckOK {
+		t.Errorf("user-side cross-check should NOT catch partner concealment: %+v", deceptive)
+	}
+	piiRow := byName["pii-list"]
+	if piiRow.PlatformDisclosed != "" {
+		t.Errorf("platform disclosed %q for a PII audience", piiRow.PlatformDisclosed)
+	}
+	if !piiRow.ExternalDataDisclosed {
+		t.Errorf("external-data disclosure lost: %+v", piiRow)
+	}
+	if E11Table(rows) == nil {
+		t.Fatal("nil table")
+	}
+}
+
+func TestE2Funding(t *testing.T) {
+	rows := E2Funding(7, []int{50, 500})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TotalCostUSD <= 0 || r.MeanAttrs <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		// Fee with no donations covers the whole mean cost; half-donated
+		// roughly halves it.
+		if r.FeeHalfDonatedUSD >= r.FeeNoDonationsUSD {
+			t.Errorf("donations did not lower the fee: %+v", r)
+		}
+		if r.BreakEvenFee50 != 0.10 {
+			t.Errorf("50-attr fee = %v, want 0.10", r.BreakEvenFee50)
+		}
+	}
+	// Total cost scales ~linearly with users.
+	ratio := rows[1].TotalCostUSD / rows[0].TotalCostUSD
+	if ratio < 5 || ratio > 20 {
+		t.Errorf("cost scaling 50->500 users = %v, want ~10x", ratio)
+	}
+	if E2FundingTable(rows) == nil {
+		t.Fatal("nil table")
+	}
+}
+
+func TestE12RevealLatency(t *testing.T) {
+	rows, err := E12RevealLatency(7, 15, 10, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	light, heavy := rows[0], rows[2]
+	if heavy.FinalCoverage < light.FinalCoverage {
+		t.Errorf("heavier browsing did not help: %+v vs %+v", light, heavy)
+	}
+	if heavy.DaysTo95 == 0 {
+		t.Errorf("heavy browser never reached 95%% within the horizon: %+v", heavy)
+	}
+	if light.DaysTo95 != 0 && heavy.DaysTo95 > light.DaysTo95 {
+		t.Errorf("heavy browser slower than light: %+v vs %+v", heavy, light)
+	}
+	if E12Table(rows) == nil {
+		t.Fatal("nil table")
+	}
+}
+
+func TestTableFprintCSV(t *testing.T) {
+	tbl := &Table{
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1,5", `say "hi"`}, {"plain", "x"}},
+		Notes:   []string{"dropped"},
+	}
+	var buf bytes.Buffer
+	tbl.FprintCSV(&buf)
+	got := buf.String()
+	want := "a,b\n\"1,5\",\"say \"\"hi\"\"\"\nplain,x\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+	if strings.Contains(got, "dropped") {
+		t.Fatal("notes leaked into CSV")
+	}
+}

@@ -1,0 +1,119 @@
+// Package explain implements the advertising platform's own transparency
+// surfaces — the baseline Treads is measured against.
+//
+// Two mechanisms, both deliberately incomplete in the ways Andreou et al.
+// (NDSS 2018, the paper's reference [1]) measured on Facebook:
+//
+//   - The "ad preferences" page shows a user the attributes advertisers can
+//     target them with — but omits every attribute sourced from data
+//     brokers ("Facebook's advertising platform was recently shown to not
+//     reveal any user information that is sourced from third parties").
+//
+//   - The per-ad "why am I seeing this?" explanation reveals at most ONE of
+//     the attributes the advertiser targeted, even when the advertiser
+//     specified several — and prefers the most prevalent (least surprising)
+//     one.
+//
+// Experiment E5 quantifies the completeness gap between these surfaces and
+// Treads.
+package explain
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/profile"
+)
+
+// Explainer produces the platform-generated transparency views.
+type Explainer struct {
+	catalog *attr.Catalog
+	// prevalence returns the fraction of the population holding an
+	// attribute; the explanation picker uses it to choose the least
+	// surprising attribute to disclose. A nil function means unknown
+	// prevalence (first match wins).
+	prevalence func(attr.ID) float64
+}
+
+// New returns an Explainer over the catalog. prevalence may be nil.
+func New(catalog *attr.Catalog, prevalence func(attr.ID) float64) *Explainer {
+	return &Explainer{catalog: catalog, prevalence: prevalence}
+}
+
+// Preferences returns the attribute IDs the ad-preferences page shows the
+// user: the attributes set on their profile whose source is the platform
+// itself. Partner (data-broker) attributes are withheld — the transparency
+// gap the paper's validation targets.
+func (e *Explainer) Preferences(p *profile.Profile) []attr.ID {
+	var out []attr.ID
+	for _, id := range p.Attrs() {
+		a := e.catalog.Get(id)
+		if a != nil && a.Source == attr.SourcePlatform {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Explanation is the platform-generated "why am I seeing this ad?" text.
+type Explanation struct {
+	// Attribute is the single disclosed targeting attribute, or "" when
+	// the platform falls back to a generic demographic explanation.
+	Attribute attr.ID
+	// Text is the user-facing explanation string.
+	Text string
+}
+
+// Explain generates the explanation for an ad with the given targeting
+// expression shown to the given user. Per [1], at most one attribute is
+// disclosed; among the PLATFORM-sourced attributes the expression
+// references and the user actually has, the platform picks the most
+// prevalent one. Partner (data-broker) attributes are never disclosed in
+// explanations, consistent with the preferences page; attributes the user
+// does not have (e.g. ones the advertiser excluded) are never shown; and
+// when nothing qualifies the explanation degrades to generic demographics.
+func (e *Explainer) Explain(targeting attr.Expr, p *profile.Profile) Explanation {
+	var best attr.ID
+	bestPrev := -1.0
+	for _, id := range attr.ReferencedAttrs(targeting) {
+		if !p.HasAttr(id) {
+			continue
+		}
+		if a := e.catalog.Get(id); a != nil && a.Source == attr.SourcePartner {
+			continue
+		}
+		prev := 0.0
+		if e.prevalence != nil {
+			prev = e.prevalence(id)
+		}
+		if prev > bestPrev {
+			best, bestPrev = id, prev
+		}
+	}
+	if best == "" {
+		return Explanation{
+			Text: fmt.Sprintf(
+				"You're seeing this ad because the advertiser wants to reach people like you, based on information such as your age (%d) and location (%s).",
+				p.Age(), orUnknown(p.Region())),
+		}
+	}
+	a := e.catalog.Get(best)
+	name := string(best)
+	if a != nil {
+		name = a.Name
+	}
+	return Explanation{
+		Attribute: best,
+		Text: fmt.Sprintf(
+			"You're seeing this ad because the advertiser wants to reach people interested in %q.",
+			name),
+	}
+}
+
+func orUnknown(s string) string {
+	if strings.TrimSpace(s) == "" {
+		return "unknown"
+	}
+	return s
+}

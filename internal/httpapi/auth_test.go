@@ -1,0 +1,129 @@
+package httpapi
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"github.com/treads-project/treads/internal/auction"
+	"github.com/treads-project/treads/internal/money"
+	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/profile"
+)
+
+func authedEnv(t *testing.T) (*Client, *Authenticator) {
+	t.Helper()
+	market := auction.Market{BaseCPM: money.FromDollars(2), Sigma: 0, Floor: money.FromDollars(0.1)}
+	p := platform.New(platform.Config{Market: &market, Seed: 1})
+	u := profile.New("u0")
+	u.Nation = "US"
+	if err := p.AddUser(u); err != nil {
+		t.Fatal(err)
+	}
+	srv, auth := NewServerWithAuth(p, nil)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL), auth
+}
+
+func TestAuthTokenIssuedAtRegistration(t *testing.T) {
+	c, _ := authedEnv(t)
+	tok, err := c.RegisterAdvertiserForToken(ctx(), "tp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tok) < 20 {
+		t.Fatalf("token = %q, too short", tok)
+	}
+}
+
+func TestAuthRequiredForAdvertiserEndpoints(t *testing.T) {
+	c, _ := authedEnv(t)
+	tok, err := c.RegisterAdvertiserForToken(ctx(), "tp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the token, advertiser-scoped calls are 401.
+	if _, err := c.IssuePixel(ctx(), "tp"); err == nil {
+		t.Fatal("unauthenticated pixel issuance accepted")
+	}
+	if _, err := c.CreateCampaign(ctx(), "tp", CreateCampaignRequest{
+		BidCapUSD: 10, Creative: CreativeWire{Body: "x"},
+	}); err == nil {
+		t.Fatal("unauthenticated campaign creation accepted")
+	}
+	// With the token, they work.
+	c.Token = tok
+	if _, err := c.IssuePixel(ctx(), "tp"); err != nil {
+		t.Fatalf("authenticated pixel issuance failed: %v", err)
+	}
+	id, err := c.CreateCampaign(ctx(), "tp", CreateCampaignRequest{
+		BidCapUSD: 10, Creative: CreativeWire{Body: "x"},
+	})
+	if err != nil {
+		t.Fatalf("authenticated campaign creation failed: %v", err)
+	}
+	if _, err := c.Report(ctx(), "tp", id); err != nil {
+		t.Fatalf("authenticated report failed: %v", err)
+	}
+}
+
+func TestAuthTokensAreAccountScoped(t *testing.T) {
+	c, _ := authedEnv(t)
+	tokA, err := c.RegisterAdvertiserForToken(ctx(), "adv-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RegisterAdvertiserForToken(ctx(), "adv-b"); err != nil {
+		t.Fatal(err)
+	}
+	// adv-a's token must not authorize adv-b's endpoints.
+	c.Token = tokA
+	if _, err := c.IssuePixel(ctx(), "adv-b"); err == nil {
+		t.Fatal("cross-account token accepted")
+	}
+}
+
+func TestAuthWrongTokenRejected(t *testing.T) {
+	c, _ := authedEnv(t)
+	if _, err := c.RegisterAdvertiserForToken(ctx(), "tp"); err != nil {
+		t.Fatal(err)
+	}
+	c.Token = "tk_bogus"
+	if _, err := c.IssuePixel(ctx(), "tp"); err == nil {
+		t.Fatal("bogus token accepted")
+	}
+}
+
+func TestAuthUserEndpointsStayOpen(t *testing.T) {
+	// User-facing endpoints (feed, preferences) are session-scoped in a
+	// real deployment; advertiser tokens must not be demanded there.
+	c, _ := authedEnv(t)
+	if _, err := c.Browse(ctx(), "u0", 1); err != nil {
+		t.Fatalf("user browse blocked by advertiser auth: %v", err)
+	}
+	if _, err := c.SearchAttributes(ctx(), "jazz"); err != nil {
+		t.Fatalf("catalog search blocked: %v", err)
+	}
+}
+
+func TestAuthenticatorVerify(t *testing.T) {
+	a := NewAuthenticator()
+	tok, err := a.Issue("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Verify("x", tok) {
+		t.Fatal("valid token rejected")
+	}
+	if a.Verify("x", "") || a.Verify("x", "wrong") || a.Verify("y", tok) {
+		t.Fatal("invalid credential accepted")
+	}
+	// Re-issuing rotates the token.
+	tok2, _ := a.Issue("x")
+	if a.Verify("x", tok) {
+		t.Fatal("stale token still valid after rotation")
+	}
+	if !a.Verify("x", tok2) {
+		t.Fatal("rotated token rejected")
+	}
+}

@@ -1,0 +1,406 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+
+	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/audience"
+	"github.com/treads-project/treads/internal/money"
+	"github.com/treads-project/treads/internal/pii"
+	"github.com/treads-project/treads/internal/pixel"
+	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/profile"
+)
+
+// transparentPixelGIF is the classic 1x1 transparent GIF a tracking pixel
+// endpoint serves.
+var transparentPixelGIF = []byte{
+	0x47, 0x49, 0x46, 0x38, 0x39, 0x61, 0x01, 0x00, 0x01, 0x00, 0x80, 0x00,
+	0x00, 0x00, 0x00, 0x00, 0xff, 0xff, 0xff, 0x21, 0xf9, 0x04, 0x01, 0x00,
+	0x00, 0x00, 0x00, 0x2c, 0x00, 0x00, 0x00, 0x00, 0x01, 0x00, 0x01, 0x00,
+	0x00, 0x02, 0x02, 0x44, 0x01, 0x00, 0x3b,
+}
+
+// Server serves the platform over HTTP.
+type Server struct {
+	p    *platform.Platform
+	mux  *http.ServeMux
+	log  *log.Logger
+	auth *Authenticator // nil = open access (test/demo mode)
+}
+
+// NewServer wraps a platform. logger may be nil to disable request logging.
+// The server runs without authentication; use NewServerWithAuth for
+// deployments.
+func NewServer(p *platform.Platform, logger *log.Logger) *Server {
+	s := &Server{p: p, mux: http.NewServeMux(), log: logger}
+	s.routes()
+	return s
+}
+
+// NewServerWithAuth wraps a platform with per-advertiser API-token
+// authentication: advertiser registration returns a bearer token, and
+// every advertiser-scoped endpoint requires it.
+func NewServerWithAuth(p *platform.Platform, logger *log.Logger) (*Server, *Authenticator) {
+	s := &Server{p: p, mux: http.NewServeMux(), log: logger, auth: NewAuthenticator()}
+	s.routes()
+	return s, s.auth
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.log != nil {
+		s.log.Printf("%s %s", r.Method, r.URL.Path)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) routes() {
+	// Advertiser API. Everything scoped to an account is gated on the
+	// account's API token when authentication is enabled.
+	s.mux.HandleFunc("POST /api/v1/advertisers", s.handleRegisterAdvertiser)
+	s.mux.HandleFunc("POST /api/v1/advertisers/{name}/campaigns", s.requireAdvertiserAuth(s.handleCreateCampaign))
+	s.mux.HandleFunc("POST /api/v1/advertisers/{name}/campaigns/{id}/pause", s.requireAdvertiserAuth(s.handlePauseCampaign))
+	s.mux.HandleFunc("GET /api/v1/advertisers/{name}/campaigns/{id}/report", s.requireAdvertiserAuth(s.handleReport))
+	s.mux.HandleFunc("POST /api/v1/advertisers/{name}/audiences/pii", s.requireAdvertiserAuth(s.handleCreatePIIAudience))
+	s.mux.HandleFunc("POST /api/v1/advertisers/{name}/audiences/website", s.requireAdvertiserAuth(s.handleCreateWebsiteAudience))
+	s.mux.HandleFunc("POST /api/v1/advertisers/{name}/audiences/engagement", s.requireAdvertiserAuth(s.handleCreateEngagementAudience))
+	s.mux.HandleFunc("POST /api/v1/advertisers/{name}/audiences/affinity", s.requireAdvertiserAuth(s.handleCreateAffinityAudience))
+	s.mux.HandleFunc("POST /api/v1/advertisers/{name}/audiences/lookalike", s.requireAdvertiserAuth(s.handleCreateLookalikeAudience))
+	s.mux.HandleFunc("POST /api/v1/advertisers/{name}/pixels", s.requireAdvertiserAuth(s.handleIssuePixel))
+	s.mux.HandleFunc("POST /api/v1/advertisers/{name}/reach", s.requireAdvertiserAuth(s.handleReach))
+	s.mux.HandleFunc("GET /api/v1/attributes", s.handleSearchAttributes)
+
+	// User API.
+	s.mux.HandleFunc("POST /api/v1/users/{id}/browse", s.handleBrowse)
+	s.mux.HandleFunc("GET /api/v1/users/{id}/feed", s.handleFeed)
+	s.mux.HandleFunc("GET /api/v1/users/{id}/adpreferences", s.handleAdPreferences)
+	s.mux.HandleFunc("GET /api/v1/users/{id}/advertisers", s.handleAdvertisersTargetingMe)
+	s.mux.HandleFunc("POST /api/v1/users/{id}/likes", s.handleLike)
+	s.mux.HandleFunc("POST /api/v1/users/{id}/explain", s.handleExplain)
+
+	// The tracking-pixel endpoint: a GET for a 1x1 GIF, exactly how real
+	// pixels work. The platform identifies the browsing user (here via
+	// the uid query parameter standing in for the session cookie) and
+	// records the visit; the site owner (the transparency provider)
+	// learns nothing.
+	s.mux.HandleFunc("GET /pixel/{pixelID}", s.handlePixel)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late to change the status; nothing more to do.
+		_ = err
+	}
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 10<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("httpapi: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleRegisterAdvertiser(w http.ResponseWriter, r *http.Request) {
+	var req RegisterAdvertiserRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if err := s.p.RegisterAdvertiser(req.Name); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	resp := RegisterAdvertiserResponse{Name: req.Name}
+	if s.auth != nil {
+		tok, err := s.auth.Issue(req.Name)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Token = tok
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req CreateCampaignRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	spec, err := req.Spec.ToSpec()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.p.CreateCampaign(name, platform.CampaignParams{
+		Spec:         spec,
+		BidCapCPM:    money.FromDollars(req.BidCapUSD),
+		Creative:     req.Creative.ToCreative(),
+		FrequencyCap: req.FrequencyCap,
+		Budget:       money.FromDollars(req.BudgetUSD),
+	})
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, platform.ErrRejected) {
+			status = http.StatusUnprocessableEntity
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, CreateCampaignResponse{CampaignID: id})
+}
+
+func (s *Server) handlePauseCampaign(w http.ResponseWriter, r *http.Request) {
+	if err := s.p.PauseCampaign(r.PathValue("name"), r.PathValue("id")); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"paused": true})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.p.Report(r.PathValue("name"), r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FromReport(rep))
+}
+
+func (s *Server) handleCreatePIIAudience(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req CreatePIIAudienceRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	keys := make([]pii.MatchKey, 0, len(req.Keys))
+	for _, kw := range req.Keys {
+		k, err := kw.ToMatchKey()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		keys = append(keys, k)
+	}
+	id, err := s.p.CreatePIIAudience(name, req.Name, keys)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, AudienceResponse{AudienceID: string(id)})
+}
+
+func (s *Server) handleCreateWebsiteAudience(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req CreateWebsiteAudienceRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	id, err := s.p.CreateWebsiteAudience(name, req.Name, pixel.PixelID(req.PixelID))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, AudienceResponse{AudienceID: string(id)})
+}
+
+func (s *Server) handleCreateEngagementAudience(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req CreateEngagementAudienceRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	id, err := s.p.CreateEngagementAudience(name, req.Name, req.PageID)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, AudienceResponse{AudienceID: string(id)})
+}
+
+func (s *Server) handleCreateAffinityAudience(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req CreateAffinityAudienceRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	id, err := s.p.CreateAffinityAudience(name, req.Name, req.Phrases)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, AudienceResponse{AudienceID: string(id)})
+}
+
+func (s *Server) handleCreateLookalikeAudience(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req CreateLookalikeAudienceRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	id, err := s.p.CreateLookalikeAudience(name, req.Name, audience.AudienceID(req.Seed), req.Overlap)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, AudienceResponse{AudienceID: string(id)})
+}
+
+func (s *Server) handleIssuePixel(w http.ResponseWriter, r *http.Request) {
+	id, err := s.p.IssuePixel(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, PixelResponse{PixelID: string(id)})
+}
+
+func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req ReachRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	spec, err := req.Spec.ToSpec()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	reach, err := s.p.PotentialReach(name, spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReachResponse{Reach: reach})
+}
+
+func (s *Server) handleSearchAttributes(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	hits := s.p.SearchAttributes(q)
+	out := make([]AttributeWire, 0, len(hits))
+	for _, a := range hits {
+		out = append(out, FromAttribute(a))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
+	uid := profile.UserID(r.PathValue("id"))
+	slots := 10
+	if v := r.URL.Query().Get("slots"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 || n > 10000 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("httpapi: bad slots %q", v))
+			return
+		}
+		slots = n
+	}
+	imps, err := s.p.BrowseFeed(uid, slots)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, impressionsWire(imps))
+}
+
+func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
+	uid := profile.UserID(r.PathValue("id"))
+	if s.p.User(uid) == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("httpapi: unknown user %q", uid))
+		return
+	}
+	writeJSON(w, http.StatusOK, impressionsWire(s.p.Feed(uid)))
+}
+
+func impressionsWire(imps []ad.Impression) []ImpressionWire {
+	out := make([]ImpressionWire, 0, len(imps))
+	for _, i := range imps {
+		out = append(out, FromImpression(i))
+	}
+	return out
+}
+
+func (s *Server) handleAdPreferences(w http.ResponseWriter, r *http.Request) {
+	uid := profile.UserID(r.PathValue("id"))
+	prefs, err := s.p.AdPreferences(uid)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	out := PreferencesResponse{Attributes: make([]string, 0, len(prefs))}
+	for _, id := range prefs {
+		out.Attributes = append(out.Attributes, string(id))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleAdvertisersTargetingMe(w http.ResponseWriter, r *http.Request) {
+	uid := profile.UserID(r.PathValue("id"))
+	names, err := s.p.AdvertisersTargetingMe(uid)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AdvertisersResponse{Advertisers: names})
+}
+
+func (s *Server) handleLike(w http.ResponseWriter, r *http.Request) {
+	uid := profile.UserID(r.PathValue("id"))
+	var req LikeRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if err := s.p.LikePage(uid, req.PageID); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"liked": true})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	uid := profile.UserID(r.PathValue("id"))
+	var req ImpressionWire
+	if !readJSON(w, r, &req) {
+		return
+	}
+	ex, err := s.p.ExplainImpression(uid, req.ToImpression())
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ExplanationWire{Attribute: string(ex.Attribute), Text: ex.Text})
+}
+
+func (s *Server) handlePixel(w http.ResponseWriter, r *http.Request) {
+	px := pixel.PixelID(r.PathValue("pixelID"))
+	uid := profile.UserID(r.URL.Query().Get("uid"))
+	if uid == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("httpapi: pixel fire without uid (no platform session)"))
+		return
+	}
+	if err := s.p.VisitPage(uid, px); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/gif")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(transparentPixelGIF); err != nil {
+		_ = err // client went away; nothing to do
+	}
+}

@@ -1,0 +1,65 @@
+// Package money provides exact currency arithmetic for bids and billing.
+//
+// Amounts are integer micro-dollars, the unit real ad APIs bill in, so the
+// paper's headline figure — $2 CPM ⇒ $0.002 per impression — comes out
+// exact rather than as a float approximation.
+package money
+
+import "fmt"
+
+// Micros is an amount of USD in millionths of a dollar.
+type Micros int64
+
+// Common amounts.
+const (
+	Micro  Micros = 1
+	Cent   Micros = 10_000
+	Dollar Micros = 1_000_000
+)
+
+// FromDollars converts a float dollar amount to Micros, rounding to the
+// nearest micro-dollar.
+func FromDollars(d float64) Micros {
+	if d >= 0 {
+		return Micros(d*float64(Dollar) + 0.5)
+	}
+	return Micros(d*float64(Dollar) - 0.5)
+}
+
+// Dollars returns the amount as a float dollar value.
+func (m Micros) Dollars() float64 { return float64(m) / float64(Dollar) }
+
+// String renders the amount as dollars with up to 6 decimal places,
+// trimming trailing zeros ("$0.002", "$10").
+func (m Micros) String() string {
+	neg := m < 0
+	if neg {
+		m = -m
+	}
+	whole := m / Dollar
+	frac := m % Dollar
+	s := fmt.Sprintf("%d", whole)
+	if frac != 0 {
+		f := fmt.Sprintf("%06d", frac)
+		for len(f) > 0 && f[len(f)-1] == '0' {
+			f = f[:len(f)-1]
+		}
+		s += "." + f
+	}
+	if neg {
+		return "-$" + s
+	}
+	return "$" + s
+}
+
+// PerMille returns the cost of a single unit when m is a price per
+// thousand (i.e. a CPM): m / 1000, rounded to nearest micro.
+func (m Micros) PerMille() Micros {
+	if m >= 0 {
+		return (m + 500) / 1000
+	}
+	return (m - 500) / 1000
+}
+
+// MulInt returns m * n.
+func (m Micros) MulInt(n int) Micros { return m * Micros(n) }

@@ -1,0 +1,78 @@
+package money
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFromDollars(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want Micros
+	}{
+		{2, 2_000_000},
+		{0.002, 2_000},
+		{10, 10_000_000},
+		{0, 0},
+		{-1.5, -1_500_000},
+		{0.0000005, 1}, // rounds up
+	}
+	for _, c := range cases {
+		if got := FromDollars(c.in); got != c.want {
+			t.Errorf("FromDollars(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDollarsRoundTrip(t *testing.T) {
+	f := func(cents int32) bool {
+		m := Micros(cents) * Cent
+		return FromDollars(m.Dollars()) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		in   Micros
+		want string
+	}{
+		{2 * Dollar, "$2"},
+		{2_000, "$0.002"},
+		{10 * Dollar, "$10"},
+		{0, "$0"},
+		{-3 * Cent, "-$0.03"},
+		{1_234_567, "$1.234567"},
+		{10 * Cent, "$0.1"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPerMille(t *testing.T) {
+	// The paper's cost claim: a $2 CPM bid costs $0.002 per impression.
+	if got := FromDollars(2).PerMille(); got != FromDollars(0.002) {
+		t.Errorf("$2 CPM per impression = %v, want $0.002", got)
+	}
+	if got := FromDollars(10).PerMille(); got != FromDollars(0.01) {
+		t.Errorf("$10 CPM per impression = %v, want $0.01", got)
+	}
+	if got := Micros(1500).PerMille(); got != 2 {
+		t.Errorf("1500.PerMille() = %d, want 2 (round to nearest)", got)
+	}
+	if got := Micros(-2_000_000).PerMille(); got != -2_000 {
+		t.Errorf("negative PerMille = %d", got)
+	}
+}
+
+func TestMulInt(t *testing.T) {
+	if got := FromDollars(0.002).MulInt(50); got != FromDollars(0.10) {
+		// 50 attributes at $0.002 each = $0.10 (§3.1 Cost).
+		t.Errorf("50 attrs × $0.002 = %v, want $0.10", got)
+	}
+}

@@ -1,0 +1,75 @@
+package pixel
+
+import (
+	"fmt"
+
+	"github.com/treads-project/treads/internal/profile"
+)
+
+// State is the registry's serializable form.
+type State struct {
+	NextID int          `json:"next_id"`
+	Pixels []PixelState `json:"pixels,omitempty"`
+}
+
+// PixelState is one pixel plus its visitor log (first-visit order).
+type PixelState struct {
+	ID         PixelID          `json:"id"`
+	Advertiser string           `json:"advertiser"`
+	Visitors   []profile.UserID `json:"visitors,omitempty"`
+}
+
+// Snapshot exports the registry.
+func (r *Registry) Snapshot() State {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := State{NextID: r.nextID}
+	// Deterministic order: by first-issue is lost in the map; reconstruct
+	// a stable order by the numeric suffix embedded in issued IDs.
+	ids := make([]PixelID, 0, len(r.pixels))
+	for id := range r.pixels {
+		ids = append(ids, id)
+	}
+	sortPixelIDs(ids)
+	for _, id := range ids {
+		px := r.pixels[id]
+		s.Pixels = append(s.Pixels, PixelState{
+			ID:         px.ID,
+			Advertiser: px.Advertiser,
+			Visitors:   append([]profile.UserID(nil), r.order[id]...),
+		})
+	}
+	return s
+}
+
+func sortPixelIDs(ids []PixelID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// RestoreState rebuilds a registry from a snapshot.
+func RestoreState(s State) (*Registry, error) {
+	r := NewRegistry()
+	r.nextID = s.NextID
+	for _, ps := range s.Pixels {
+		if ps.ID == "" {
+			return nil, fmt.Errorf("pixel: state with empty pixel ID")
+		}
+		if _, dup := r.pixels[ps.ID]; dup {
+			return nil, fmt.Errorf("pixel: duplicate pixel %q in state", ps.ID)
+		}
+		px := &Pixel{ID: ps.ID, Advertiser: ps.Advertiser}
+		r.pixels[px.ID] = px
+		r.visits[px.ID] = make(map[profile.UserID]bool, len(ps.Visitors))
+		for _, uid := range ps.Visitors {
+			if !r.visits[px.ID][uid] {
+				r.visits[px.ID][uid] = true
+				r.order[px.ID] = append(r.order[px.ID], uid)
+			}
+		}
+	}
+	return r, nil
+}

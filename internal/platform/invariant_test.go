@@ -1,0 +1,176 @@
+package platform
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/auction"
+	"github.com/treads-project/treads/internal/audience"
+	"github.com/treads-project/treads/internal/money"
+	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/stats"
+	"github.com/treads-project/treads/internal/workload"
+)
+
+// TestDeliveryContractProperty is the system-level statement of the
+// paper's foundation: across randomized populations and randomized
+// targeting specs, every delivered impression goes to a user who matches
+// the campaign's spec at delivery time, and (with an always-winning bid
+// and enough slots) every matching user receives it. "A user is supposed
+// to see a targeted ad if and only if they satisfy the advertiser's
+// targeting parameters" (§1).
+func TestDeliveryContractProperty(t *testing.T) {
+	rng := stats.NewRNG(0xC0)
+	catalog := attr.DefaultCatalog()
+	plat := catalog.BySource(attr.SourcePlatform)
+	part := catalog.BySource(attr.SourcePartner)
+
+	randomExpr := func() attr.Expr {
+		pick := func() attr.ID {
+			if rng.Bool(0.5) {
+				return plat[rng.Intn(len(plat))].ID
+			}
+			return part[rng.Intn(len(part))].ID
+		}
+		var e attr.Expr = attr.Has{ID: pick()}
+		for depth := rng.Intn(3); depth > 0; depth-- {
+			switch rng.Intn(4) {
+			case 0:
+				e = attr.NewAnd(e, attr.Has{ID: pick()})
+			case 1:
+				e = attr.NewOr(e, attr.Has{ID: pick()})
+			case 2:
+				e = attr.NewAnd(e, attr.AgeBetween{Min: 18 + rng.Intn(20), Max: 50 + rng.Intn(30)})
+			case 3:
+				e = attr.Not{Op: attr.Has{ID: pick()}}
+			}
+		}
+		return e
+	}
+
+	for trial := 0; trial < 8; trial++ {
+		market := auction.Market{BaseCPM: money.FromDollars(2), Sigma: 0, Floor: money.FromDollars(0.10)}
+		p := New(Config{Market: &market, Seed: rng.Uint64()})
+		cfg := workload.DefaultConfig()
+		cfg.Users = 60
+		cfg.Seed = rng.Uint64()
+		cfg.Catalog = p.Catalog()
+		pop := workload.Generate(cfg)
+		for _, u := range pop {
+			if err := p.AddUser(u); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.RegisterAdvertiser("prop-adv"); err != nil {
+			t.Fatal(err)
+		}
+		specs := make(map[string]audience.Spec)
+		for c := 0; c < 5; c++ {
+			spec := audience.Spec{Expr: randomExpr()}
+			id, err := p.CreateCampaign("prop-adv", CampaignParams{
+				Spec:         spec,
+				BidCapCPM:    money.FromDollars(10),
+				Creative:     ad.Creative{Body: fmt.Sprintf("c%d", c)},
+				FrequencyCap: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			specs[id] = spec
+		}
+		for _, u := range pop {
+			if _, err := p.BrowseFeed(u.ID, 8); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, u := range pop {
+			seen := make(map[string]bool)
+			for _, imp := range p.Feed(u.ID) {
+				seen[imp.CampaignID] = true
+			}
+			for cid, spec := range specs {
+				matches := spec.Expr.Match(p.User(u.ID))
+				if seen[cid] && !matches {
+					t.Fatalf("trial %d: user %s saw %s without matching %q",
+						trial, u.ID, cid, spec.Expr)
+				}
+				// With a deterministic always-winning bid, 1-cap, 5
+				// campaigns and 8 slots, every matching user must have
+				// been reached.
+				if !seen[cid] && matches {
+					t.Fatalf("trial %d: user %s matches %q but never saw %s",
+						trial, u.ID, spec.Expr, cid)
+				}
+			}
+		}
+	}
+}
+
+// TestAdvertiserAPINeverExposesUserIDs sweeps every advertiser-facing
+// return value and asserts no user identity appears — the trust boundary
+// the paper's privacy analysis assumes ("the advertising platform is
+// designed to not reveal to the advertiser which particular users satisfy
+// their targeting parameters", §1).
+func TestAdvertiserAPINeverExposesUserIDs(t *testing.T) {
+	p := fixedPlatform(t, 30, false)
+	if err := p.RegisterAdvertiser("adv"); err != nil {
+		t.Fatal(err)
+	}
+	px, err := p.IssuePixel("adv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		uid := profile.UserID(fmt.Sprintf("u%02d", i))
+		if err := p.VisitPage(uid, px); err != nil {
+			t.Fatal(err)
+		}
+	}
+	webAud, err := p.CreateWebsiteAudience("adv", "visitors", px)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cid, err := p.CreateCampaign("adv", CampaignParams{
+		Spec:      audience.Spec{Include: []audience.AudienceID{webAud}},
+		BidCapCPM: money.FromDollars(10),
+		Creative:  ad.Creative{Body: "b"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		p.BrowseFeed(profile.UserID(fmt.Sprintf("u%02d", i)), 3)
+	}
+
+	// Everything the advertiser can observe:
+	report, err := p.Report("adv", cid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach, err := p.PotentialReach("adv", audience.Spec{Include: []audience.AudienceID{webAud}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observable := fmt.Sprintf("%+v %d %s %s", report, reach, cid, webAud)
+	for i := 0; i < 30; i++ {
+		uid := fmt.Sprintf("u%02d", i)
+		if containsStr(observable, uid) {
+			t.Fatalf("advertiser observable %q contains user ID %q", observable, uid)
+		}
+	}
+	// Reach is rounded, never exact-odd.
+	if reach%audience.ReachRounding != 0 {
+		t.Fatalf("reach %d not rounded to %d", reach, audience.ReachRounding)
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}

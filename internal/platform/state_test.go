@@ -1,0 +1,241 @@
+package platform
+
+import (
+	"testing"
+
+	"github.com/treads-project/treads/internal/ad"
+
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/audience"
+	"github.com/treads-project/treads/internal/money"
+	"github.com/treads-project/treads/internal/pii"
+	"github.com/treads-project/treads/internal/profile"
+)
+
+// buildRichPlatform assembles a platform exercising every stateful
+// feature: users with PII/likes/geo/values, three advertisers, all four
+// audience kinds, campaigns with budgets and pauses, delivered
+// impressions, policy violations and a ban.
+func buildRichPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p := fixedPlatform(t, 8, false)
+	life := p.Catalog().Get("platform.demographics.life_stage")
+	u0 := p.User("u00")
+	u0.SetAttrValue(life.ID, life.Values[3])
+	u0.SetLocation(42.36, -71.06)
+
+	extra := profile.New("pii-user")
+	extra.Nation = "US"
+	extra.AgeYrs = 44
+	extra.PII = pii.Record{Emails: []string{"pii-user@example.com"}}
+	extra.SetAttr(salsaID(p))
+	if err := p.AddUser(extra); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, adv := range []string{"adv-a", "adv-b", "banned-adv"} {
+		if err := p.RegisterAdvertiser(adv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Enforcer().Ban("banned-adv")
+
+	px, err := p.IssuePixel("adv-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.VisitPage("u01", px); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LikePage("u02", "page-x"); err != nil {
+		t.Fatal(err)
+	}
+	webAud, err := p.CreateWebsiteAudience("adv-a", "visitors", px)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engAud, err := p.CreateEngagementAudience("adv-a", "likers", "page-x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _ := pii.HashEmail("pii-user@example.com")
+	piiAud, err := p.CreatePIIAudience("adv-b", "list", []pii.MatchKey{k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	affAud, err := p.CreateAffinityAudience("adv-b", "dancers", []string{"salsa dance"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookAud, err := p.CreateLookalikeAudience("adv-a", "like the likers", engAud, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mk := func(adv string, spec audience.Spec, budget money.Micros) string {
+		id, err := p.CreateCampaign(adv, CampaignParams{
+			Spec:      spec,
+			BidCapCPM: money.FromDollars(10),
+			Creative:  ad2("camp for " + adv),
+			Budget:    budget,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	mk("adv-a", audience.Spec{Include: []audience.AudienceID{webAud}}, 0)
+	mk("adv-a", audience.Spec{Include: []audience.AudienceID{engAud}, Expr: attr.MustParse("age(18, 99)")}, money.FromDollars(1))
+	mk("adv-b", audience.Spec{Include: []audience.AudienceID{piiAud}}, 0)
+	mk("adv-a", audience.Spec{Include: []audience.AudienceID{lookAud}}, 0)
+	pausedID := mk("adv-b", audience.Spec{IncludeAll: []audience.AudienceID{affAud}}, 0)
+	if err := p.PauseCampaign("adv-b", pausedID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deliver some impressions.
+	for _, uid := range []profile.UserID{"u01", "u02", "pii-user"} {
+		if _, err := p.BrowseFeed(uid, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	orig := buildRichPlatform(t)
+	snap := orig.Snapshot(99)
+	raw, err := MarshalSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := UnmarshalSnapshot(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Users and their profile details survive.
+	if got, want := len(restored.Users()), len(orig.Users()); got != want {
+		t.Fatalf("users = %d, want %d", got, want)
+	}
+	u0 := restored.User("u00")
+	if u0 == nil || !u0.HasGeo {
+		t.Fatal("u00 geo lost")
+	}
+	life := restored.Catalog().Get("platform.demographics.life_stage")
+	if v, ok := u0.AttrValue(life.ID); !ok || v != life.Values[3] {
+		t.Fatalf("categorical value lost: %q %v", v, ok)
+	}
+	if !restored.User("u02").LikesPage("page-x") {
+		t.Fatal("page like lost")
+	}
+
+	// Feeds survive byte-for-byte.
+	for _, uid := range []profile.UserID{"u01", "u02", "pii-user"} {
+		a, b := orig.Feed(uid), restored.Feed(uid)
+		if len(a) != len(b) {
+			t.Fatalf("feed length for %s: %d vs %d", uid, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].CampaignID != b[i].CampaignID || a[i].Creative.Body != b[i].Creative.Body {
+				t.Fatalf("feed for %s differs at %d", uid, i)
+			}
+		}
+	}
+
+	// Reports (spend, impressions, reach) survive.
+	for _, o := range snap.Owner {
+		ra, err := orig.Report(o.Advertiser, o.CampaignID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := restored.Report(o.Advertiser, o.CampaignID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra != rb {
+			t.Fatalf("report for %s differs: %+v vs %+v", o.CampaignID, ra, rb)
+		}
+	}
+
+	// Bans survive.
+	if !restored.Enforcer().Banned("banned-adv") {
+		t.Fatal("ban lost")
+	}
+	// Ownership survives: cross-advertiser report still rejected.
+	if _, err := restored.Report("adv-b", snap.Owner[0].CampaignID); err == nil {
+		t.Fatal("ownership lost")
+	}
+}
+
+func TestSnapshotRestoredPlatformKeepsWorking(t *testing.T) {
+	orig := buildRichPlatform(t)
+	restored, err := Restore(orig.Snapshot(123))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frequency caps survive: the pixel visitor already saw the web
+	// campaign (cap 2 default); after two more views nothing new arrives
+	// from that campaign.
+	before := len(restored.Feed("u01"))
+	if _, err := restored.BrowseFeed("u01", 10); err != nil {
+		t.Fatal(err)
+	}
+	after := len(restored.Feed("u01"))
+	if after-before > 1 {
+		t.Fatalf("restored pipeline over-delivered: %d new impressions", after-before)
+	}
+	// New advertisers and campaigns still work and get fresh IDs.
+	if err := restored.RegisterAdvertiser("post-restore"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := restored.CreateCampaign("post-restore", CampaignParams{
+		BidCapCPM: money.FromDollars(10),
+		Creative:  ad2("fresh"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range orig.Snapshot(1).Owner {
+		if o.CampaignID == id {
+			t.Fatalf("restored platform reused campaign ID %s", id)
+		}
+	}
+}
+
+func TestSnapshotVersionCheck(t *testing.T) {
+	s := buildRichPlatform(t).Snapshot(1)
+	s.Version = 99
+	if _, err := Restore(s); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+func TestUnmarshalSnapshotErrors(t *testing.T) {
+	if _, err := UnmarshalSnapshot([]byte("{not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	a, err := MarshalSnapshot(buildRichPlatform(t).Snapshot(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalSnapshot(buildRichPlatform(t).Snapshot(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("snapshots of identical platforms differ")
+	}
+}
+
+// ad2 builds a tiny creative.
+func ad2(body string) ad.Creative {
+	return ad.Creative{Body: body}
+}

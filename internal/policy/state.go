@@ -1,0 +1,46 @@
+package policy
+
+import "sort"
+
+// State is the enforcer's serializable form.
+type State struct {
+	BanAfter   int              `json:"ban_after"`
+	Violations []AccountActions `json:"violations,omitempty"`
+	Banned     []string         `json:"banned,omitempty"`
+}
+
+// AccountActions records one advertiser's violation count.
+type AccountActions struct {
+	Advertiser string `json:"advertiser"`
+	Count      int    `json:"count"`
+}
+
+// Snapshot exports the enforcer.
+func (e *Enforcer) Snapshot() State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := State{BanAfter: e.BanAfter}
+	for adv, n := range e.violations {
+		s.Violations = append(s.Violations, AccountActions{Advertiser: adv, Count: n})
+	}
+	sort.Slice(s.Violations, func(i, j int) bool {
+		return s.Violations[i].Advertiser < s.Violations[j].Advertiser
+	})
+	for adv := range e.banned {
+		s.Banned = append(s.Banned, adv)
+	}
+	sort.Strings(s.Banned)
+	return s
+}
+
+// RestoreState rebuilds an enforcer.
+func RestoreState(s State) *Enforcer {
+	e := NewEnforcer(s.BanAfter)
+	for _, v := range s.Violations {
+		e.violations[v.Advertiser] = v.Count
+	}
+	for _, adv := range s.Banned {
+		e.banned[adv] = true
+	}
+	return e
+}

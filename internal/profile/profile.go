@@ -1,0 +1,220 @@
+// Package profile models the user profiles an advertising platform builds
+// from on- and off-platform activity, and the store the platform keeps them
+// in.
+//
+// A profile is the platform's belief about a user: demographics, the set of
+// targeting attributes that hold for them (both platform-computed and
+// data-broker sourced), the PII the platform has associated with the
+// account, and the pages the user has liked. Profiles are what targeting
+// expressions evaluate against and what Treads ultimately make transparent.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/pii"
+)
+
+// UserID identifies a platform user.
+type UserID string
+
+// Profile is one user's platform-held profile. It implements attr.Subject.
+// Profiles are not safe for concurrent mutation; the Store serializes
+// access.
+type Profile struct {
+	ID     UserID
+	AgeYrs int
+	Sex    string
+	Nation string // country code, e.g. "US"
+	City   string
+	// Lat/Lon are the platform's belief about the user's coordinates;
+	// HasGeo marks whether the platform has located the user at all.
+	Lat, Lon float64
+	HasGeo   bool
+	PII      pii.Record
+	Likes    map[string]bool // page IDs the user has liked
+	binary   map[attr.ID]bool
+	values   map[attr.ID]string
+}
+
+// New returns an empty profile for the given user.
+func New(id UserID) *Profile {
+	return &Profile{
+		ID:     id,
+		Likes:  make(map[string]bool),
+		binary: make(map[attr.ID]bool),
+		values: make(map[attr.ID]string),
+	}
+}
+
+// SetAttr marks a binary attribute as set for the user.
+func (p *Profile) SetAttr(id attr.ID) { p.binary[id] = true }
+
+// ClearAttr removes a binary or categorical attribute.
+func (p *Profile) ClearAttr(id attr.ID) {
+	delete(p.binary, id)
+	delete(p.values, id)
+}
+
+// SetAttrValue assigns a categorical attribute value.
+func (p *Profile) SetAttrValue(id attr.ID, value string) { p.values[id] = value }
+
+// HasAttr implements attr.Subject: true if the binary attribute is set or
+// the categorical attribute has any value.
+func (p *Profile) HasAttr(id attr.ID) bool {
+	if p.binary[id] {
+		return true
+	}
+	_, ok := p.values[id]
+	return ok
+}
+
+// AttrValue implements attr.Subject.
+func (p *Profile) AttrValue(id attr.ID) (string, bool) {
+	v, ok := p.values[id]
+	return v, ok
+}
+
+// Age implements attr.Subject.
+func (p *Profile) Age() int { return p.AgeYrs }
+
+// Gender implements attr.Subject.
+func (p *Profile) Gender() string { return p.Sex }
+
+// Country implements attr.Subject.
+func (p *Profile) Country() string { return p.Nation }
+
+// Region implements attr.Subject.
+func (p *Profile) Region() string { return p.City }
+
+// LatLon implements attr.GeoSubject.
+func (p *Profile) LatLon() (float64, float64, bool) { return p.Lat, p.Lon, p.HasGeo }
+
+// SetLocation records the platform's belief about the user's coordinates.
+func (p *Profile) SetLocation(lat, lon float64) {
+	p.Lat, p.Lon, p.HasGeo = lat, lon, true
+}
+
+var _ attr.GeoSubject = (*Profile)(nil)
+
+// Attrs returns all set attribute IDs (binary and categorical), sorted.
+func (p *Profile) Attrs() []attr.ID {
+	out := make([]attr.ID, 0, len(p.binary)+len(p.values))
+	for id := range p.binary {
+		out = append(out, id)
+	}
+	for id := range p.values {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AttrCount returns the number of set attributes.
+func (p *Profile) AttrCount() int { return len(p.binary) + len(p.values) }
+
+// Like records that the user likes the given page.
+func (p *Profile) Like(pageID string) { p.Likes[pageID] = true }
+
+// LikesPage reports whether the user likes the page.
+func (p *Profile) LikesPage(pageID string) bool { return p.Likes[pageID] }
+
+var _ attr.Subject = (*Profile)(nil)
+
+// Store is the platform's profile database: profiles indexed by user ID and
+// by hashed PII match key (the index PII-based custom audiences resolve
+// against). Store is safe for concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	profiles map[UserID]*Profile
+	order    []UserID // insertion order, for deterministic iteration
+	byPII    map[pii.MatchKey][]UserID
+}
+
+// NewStore returns an empty profile store.
+func NewStore() *Store {
+	return &Store{
+		profiles: make(map[UserID]*Profile),
+		byPII:    make(map[pii.MatchKey][]UserID),
+	}
+}
+
+// Add inserts a profile. Adding a duplicate user ID is an error.
+func (s *Store) Add(p *Profile) error {
+	if p == nil || p.ID == "" {
+		return fmt.Errorf("profile: nil profile or empty user ID")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.profiles[p.ID]; dup {
+		return fmt.Errorf("profile: duplicate user %q", p.ID)
+	}
+	s.profiles[p.ID] = p
+	s.order = append(s.order, p.ID)
+	for _, k := range p.PII.MatchKeys() {
+		s.byPII[k] = append(s.byPII[k], p.ID)
+	}
+	return nil
+}
+
+// Get returns the profile for the user, or nil.
+func (s *Store) Get(id UserID) *Profile {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.profiles[id]
+}
+
+// Len returns the number of profiles.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.profiles)
+}
+
+// UserIDs returns every user ID in insertion order.
+func (s *Store) UserIDs() []UserID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]UserID(nil), s.order...)
+}
+
+// MatchPII returns the users whose platform-held PII matches the given
+// hashed key, in insertion order. This is the platform-internal matching
+// step of custom-audience creation; its results are never exposed to
+// advertisers directly.
+func (s *Store) MatchPII(key pii.MatchKey) []UserID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]UserID(nil), s.byPII[key]...)
+}
+
+// Each calls fn for every profile in insertion order. fn must not mutate
+// the store.
+func (s *Store) Each(fn func(*Profile)) {
+	s.mu.RLock()
+	ids := append([]UserID(nil), s.order...)
+	s.mu.RUnlock()
+	for _, id := range ids {
+		s.mu.RLock()
+		p := s.profiles[id]
+		s.mu.RUnlock()
+		if p != nil {
+			fn(p)
+		}
+	}
+}
+
+// Matching returns the user IDs whose profiles satisfy the expression, in
+// insertion order.
+func (s *Store) Matching(e attr.Expr) []UserID {
+	var out []UserID
+	s.Each(func(p *Profile) {
+		if e.Match(p) {
+			out = append(out, p.ID)
+		}
+	})
+	return out
+}

@@ -1,0 +1,221 @@
+package profile
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/pii"
+)
+
+func TestProfileAttrOps(t *testing.T) {
+	p := New("u1")
+	if p.HasAttr("a.b.c") {
+		t.Error("fresh profile has attribute")
+	}
+	p.SetAttr("a.b.c")
+	if !p.HasAttr("a.b.c") {
+		t.Error("SetAttr did not set")
+	}
+	p.SetAttrValue("cat.x", "v2")
+	if !p.HasAttr("cat.x") {
+		t.Error("categorical value should count as set")
+	}
+	v, ok := p.AttrValue("cat.x")
+	if !ok || v != "v2" {
+		t.Errorf("AttrValue = %q, %v", v, ok)
+	}
+	if _, ok := p.AttrValue("a.b.c"); ok {
+		t.Error("binary attribute should have no value")
+	}
+	if p.AttrCount() != 2 {
+		t.Errorf("AttrCount = %d", p.AttrCount())
+	}
+	got := p.Attrs()
+	if len(got) != 2 || got[0] != "a.b.c" || got[1] != "cat.x" {
+		t.Errorf("Attrs = %v", got)
+	}
+	p.ClearAttr("a.b.c")
+	p.ClearAttr("cat.x")
+	if p.AttrCount() != 0 {
+		t.Error("ClearAttr did not clear")
+	}
+}
+
+func TestProfileSubjectInterface(t *testing.T) {
+	p := New("u1")
+	p.AgeYrs = 34
+	p.Sex = "male"
+	p.Nation = "US"
+	p.City = "Boston"
+	p.SetAttr("platform.music.jazz")
+	var s attr.Subject = p
+	if s.Age() != 34 || s.Gender() != "male" || s.Country() != "US" || s.Region() != "Boston" {
+		t.Error("Subject accessors wrong")
+	}
+	e := attr.MustParse("attr(platform.music.jazz) AND age(30, 65) AND country(US)")
+	if !e.Match(p) {
+		t.Error("expression should match profile")
+	}
+}
+
+func TestProfileLikes(t *testing.T) {
+	p := New("u1")
+	if p.LikesPage("page1") {
+		t.Error("fresh profile likes a page")
+	}
+	p.Like("page1")
+	if !p.LikesPage("page1") {
+		t.Error("Like did not register")
+	}
+}
+
+func TestStoreAddGet(t *testing.T) {
+	s := NewStore()
+	p := New("u1")
+	if err := s.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get("u1") != p {
+		t.Error("Get returned wrong profile")
+	}
+	if s.Get("missing") != nil {
+		t.Error("Get of missing user not nil")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if err := s.Add(New("u1")); err == nil {
+		t.Error("duplicate add accepted")
+	}
+	if err := s.Add(nil); err == nil {
+		t.Error("nil profile accepted")
+	}
+	if err := s.Add(New("")); err == nil {
+		t.Error("empty ID accepted")
+	}
+}
+
+func TestStoreInsertionOrder(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 10; i++ {
+		if err := s.Add(New(UserID(fmt.Sprintf("u%02d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := s.UserIDs()
+	for i, id := range ids {
+		if want := UserID(fmt.Sprintf("u%02d", i)); id != want {
+			t.Fatalf("UserIDs[%d] = %q, want %q", i, id, want)
+		}
+	}
+	var visited []UserID
+	s.Each(func(p *Profile) { visited = append(visited, p.ID) })
+	if len(visited) != 10 || visited[0] != "u00" || visited[9] != "u09" {
+		t.Fatalf("Each order = %v", visited)
+	}
+}
+
+func TestStoreMatchPII(t *testing.T) {
+	s := NewStore()
+	p1 := New("u1")
+	p1.PII = pii.Record{Emails: []string{"alice@example.com"}, Phones: []string{"617-555-0123"}}
+	p2 := New("u2")
+	p2.PII = pii.Record{Emails: []string{"alice@example.com"}} // shared email
+	p3 := New("u3")
+	for _, p := range []*Profile{p1, p2, p3} {
+		if err := s.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ek, _ := pii.HashEmail("Alice@Example.com")
+	got := s.MatchPII(ek)
+	if len(got) != 2 || got[0] != "u1" || got[1] != "u2" {
+		t.Fatalf("MatchPII(email) = %v", got)
+	}
+	pk, _ := pii.HashPhone("+16175550123")
+	got = s.MatchPII(pk)
+	if len(got) != 1 || got[0] != "u1" {
+		t.Fatalf("MatchPII(phone) = %v", got)
+	}
+	unknown, _ := pii.HashEmail("nobody@example.com")
+	if len(s.MatchPII(unknown)) != 0 {
+		t.Error("MatchPII of unknown key should be empty")
+	}
+}
+
+func TestStoreMatching(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 20; i++ {
+		p := New(UserID(fmt.Sprintf("u%02d", i)))
+		p.AgeYrs = 20 + i
+		p.Nation = "US"
+		if i%2 == 0 {
+			p.SetAttr("platform.music.jazz")
+		}
+		if err := s.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Matching(attr.MustParse("attr(platform.music.jazz) AND age(25, 30)"))
+	// Even i with age 20+i in [25,30] -> i in {6,8,10} (even only).
+	want := []UserID{"u06", "u08", "u10"}
+	if len(got) != len(want) {
+		t.Fatalf("Matching = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Matching = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStoreConcurrentReads(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 100; i++ {
+		p := New(UserID(fmt.Sprintf("u%d", i)))
+		p.SetAttr("x")
+		if err := s.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if s.Get(UserID(fmt.Sprintf("u%d", i))) == nil {
+					t.Error("missing profile")
+					return
+				}
+				_ = s.Matching(attr.Has{ID: "x"})
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestStoreConcurrentAddAndRead(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			_ = s.Add(New(UserID(fmt.Sprintf("w%d", i))))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			_ = s.Len()
+			_ = s.UserIDs()
+		}
+	}()
+	wg.Wait()
+	if s.Len() != 500 {
+		t.Fatalf("Len = %d after concurrent adds", s.Len())
+	}
+}

@@ -1,0 +1,6 @@
+package sim
+
+import "math"
+
+// mathExp isolates the single math dependency of the Poisson sampler.
+func mathExp(x float64) float64 { return math.Exp(x) }
