@@ -4,6 +4,7 @@
 //
 //	adplatformd [-addr :8080] [-users 1000] [-seed 1] [-review] [-auth]
 //	            [-load state.json] [-save state.json]
+//	            [-journal dir] [-batch-window 2ms] [-compact-every 5m]
 //
 // Without -load, the platform starts pre-populated with a deterministic
 // synthetic population (user IDs user-000000 .. user-NNNNNN) so Treads
@@ -13,26 +14,47 @@
 //	curl "localhost:8080/api/v1/attributes?q=net+worth"
 //	curl "localhost:8080/pixel/px-000001?uid=user-000000"
 //
+// With -journal, every mutating operation is written to a write-ahead
+// journal in the given directory before it is acknowledged, so a crash or
+// kill -9 loses nothing: the next run with the same -journal recovers the
+// newest snapshot and deterministically replays the journal suffix
+// (-load/-users/-seed only shape the very first boot of the directory).
+// The journal is compacted in the background every -compact-every, and on
+// demand via POST /admin/v1/compact.
+//
 // With -save, the full platform state (accounts, audiences, campaigns,
-// feeds, billing) is written as JSON on SIGINT/SIGTERM; a later run with
-// -load resumes from it.
+// feeds, billing) is written as JSON on SIGINT/SIGTERM — atomically, via a
+// temp file and rename; a later run with -load resumes from it. Shutdown
+// is graceful either way: in-flight requests drain before the process
+// exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
+	"time"
 
 	"github.com/treads-project/treads/internal/httpapi"
+	"github.com/treads-project/treads/internal/journal"
 	"github.com/treads-project/treads/internal/platform"
 	"github.com/treads-project/treads/internal/workload"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "adplatformd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
 	users := flag.Int("users", 1000, "synthetic population size (ignored with -load)")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
@@ -41,27 +63,34 @@ func main() {
 	requireAuth := flag.Bool("auth", false, "require per-advertiser API tokens (issued at registration)")
 	loadPath := flag.String("load", "", "restore platform state from this JSON snapshot")
 	savePath := flag.String("save", "", "write platform state to this JSON snapshot on shutdown")
+	journalDir := flag.String("journal", "", "write-ahead journal directory; enables crash recovery")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "journal group-commit window (0 = fsync per op)")
+	compactEvery := flag.Duration("compact-every", 5*time.Minute, "background journal compaction interval (0 = never)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "adplatformd: ", log.LstdFlags)
 
-	var p *platform.Platform
-	if *loadPath != "" {
-		raw, err := os.ReadFile(*loadPath)
-		if err != nil {
-			logger.Fatalf("reading snapshot: %v", err)
+	// boot builds the initial platform from -load or the synthetic
+	// population. With -journal it only runs on the directory's first
+	// open; afterwards the journal itself is the source of truth.
+	boot := func() (*platform.Platform, error) {
+		if *loadPath != "" {
+			raw, err := os.ReadFile(*loadPath)
+			if err != nil {
+				return nil, fmt.Errorf("reading snapshot: %w", err)
+			}
+			state, err := platform.UnmarshalSnapshot(raw)
+			if err != nil {
+				return nil, fmt.Errorf("parsing snapshot: %w", err)
+			}
+			p, err := platform.Restore(state)
+			if err != nil {
+				return nil, fmt.Errorf("restoring snapshot: %w", err)
+			}
+			logger.Printf("restored %d users from %s", len(p.Users()), *loadPath)
+			return p, nil
 		}
-		state, err := platform.UnmarshalSnapshot(raw)
-		if err != nil {
-			logger.Fatalf("parsing snapshot: %v", err)
-		}
-		p, err = platform.Restore(state)
-		if err != nil {
-			logger.Fatalf("restoring snapshot: %v", err)
-		}
-		logger.Printf("restored %d users from %s", len(p.Users()), *loadPath)
-	} else {
-		p = platform.New(platform.Config{
+		p := platform.New(platform.Config{
 			Seed:      *seed,
 			ReviewAds: *review,
 			BanAfter:  *banAfter,
@@ -72,46 +101,163 @@ func main() {
 		cfg.Catalog = p.Catalog()
 		for _, u := range workload.Generate(cfg) {
 			if err := p.AddUser(u); err != nil {
-				logger.Fatalf("loading population: %v", err)
+				return nil, fmt.Errorf("loading population: %w", err)
 			}
 		}
+		return p, nil
 	}
-	logger.Printf("platform ready: %d users, %d attributes (review=%v auth=%v)",
-		len(p.Users()), p.Catalog().Len(), *review, *requireAuth)
-	logger.Printf("listening on %s", *addr)
 
-	var handler http.Handler
-	if *requireAuth {
-		handler, _ = httpapi.NewServerWithAuth(p, logger)
+	// Assemble the backend: journaled and crash-recoverable with
+	// -journal, plain in-memory otherwise.
+	var (
+		backend httpapi.Backend
+		jp      *platform.Journaled
+	)
+	if *journalDir != "" {
+		var err error
+		jp, err = platform.OpenJournaled(*journalDir, journal.Options{
+			BatchWindow: *batchWindow,
+		}, boot)
+		if err != nil {
+			return fmt.Errorf("opening journal: %w", err)
+		}
+		backend = jp
+		logger.Printf("journal open in %s (recovered through LSN %d)", *journalDir, jp.LastLSN())
 	} else {
-		handler = httpapi.NewServer(p, logger)
+		p, err := boot()
+		if err != nil {
+			return err
+		}
+		backend = p
 	}
+	ground := underlying(backend, jp)
+	logger.Printf("platform ready: %d users, %d attributes (review=%v auth=%v journal=%v)",
+		len(ground.Users()), ground.Catalog().Len(), *review, *requireAuth, *journalDir != "")
+
+	var handler *httpapi.Server
+	if *requireAuth {
+		var auth *httpapi.Authenticator
+		handler, auth = httpapi.NewServerWithAuth(backend, logger)
+		// The admin token guards operator endpoints (journal
+		// compaction). Logged once at startup; rotate by restarting.
+		adminTok, err := auth.Issue("admin")
+		if err != nil {
+			return fmt.Errorf("issuing admin token: %w", err)
+		}
+		logger.Printf("admin token: %s", adminTok)
+	} else {
+		handler = httpapi.NewServer(backend, logger)
+	}
+	if jp != nil {
+		handler.SetCompactor(jp)
+	}
+
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: handler,
 	}
 
-	if *savePath != "" {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	// Background journal compaction keeps recovery time bounded.
+	stopCompact := make(chan struct{})
+	if jp != nil && *compactEvery > 0 {
 		go func() {
-			<-sig
-			logger.Printf("saving state to %s", *savePath)
-			raw, err := platform.MarshalSnapshot(p.Snapshot(*seed + 1))
-			if err != nil {
-				logger.Printf("snapshot failed: %v", err)
-				os.Exit(1)
+			t := time.NewTicker(*compactEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if lsn, err := jp.Compact(); err != nil {
+						logger.Printf("background compaction: %v", err)
+					} else {
+						logger.Printf("compacted journal through LSN %d", lsn)
+					}
+				case <-stopCompact:
+					return
+				}
 			}
-			if err := os.WriteFile(*savePath, raw, 0o644); err != nil {
-				logger.Printf("writing snapshot: %v", err)
-				os.Exit(1)
-			}
-			os.Exit(0)
 		}()
 	}
 
-	if err := srv.ListenAndServe(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	// Graceful shutdown: stop accepting, drain in-flight requests, then
+	// persist (final compaction with -journal, atomic snapshot with
+	// -save) before exiting.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Printf("listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		logger.Printf("received %v, shutting down", s)
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("draining requests: %v", err)
+	}
+	close(stopCompact)
+
+	if jp != nil {
+		if lsn, err := jp.Compact(); err != nil {
+			logger.Printf("final compaction: %v", err)
+		} else {
+			logger.Printf("final snapshot through LSN %d", lsn)
+		}
+	}
+	if *savePath != "" {
+		var state platform.State
+		if jp != nil {
+			state = jp.State()
+		} else {
+			state = ground.Snapshot(*seed + 1)
+		}
+		if err := saveAtomic(*savePath, state); err != nil {
+			return fmt.Errorf("saving state: %w", err)
+		}
+		logger.Printf("saved state to %s", *savePath)
+	}
+	if jp != nil {
+		if err := jp.Close(); err != nil {
+			return fmt.Errorf("closing journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// underlying returns the raw platform for read-only introspection.
+func underlying(b httpapi.Backend, jp *platform.Journaled) *platform.Platform {
+	if jp != nil {
+		return jp.Underlying()
+	}
+	return b.(*platform.Platform)
+}
+
+// saveAtomic writes the snapshot through a temp file and rename so a crash
+// mid-write can never leave a truncated snapshot at the target path.
+func saveAtomic(path string, state platform.State) error {
+	raw, err := platform.MarshalSnapshot(state)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

@@ -203,6 +203,16 @@ func (p *Pipeline) fillSlot(prof *profile.Profile) (*ad.Impression, error) {
 	return &imp, nil
 }
 
+// RNGState returns the auction RNG's current state. Snapshotting with
+// this value as the reseed makes a restored pipeline draw the exact same
+// auction randomness the live pipeline would have — the property the
+// journal's deterministic replay depends on.
+func (p *Pipeline) RNGState() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.State()
+}
+
 // Campaigns returns a snapshot of all registered campaigns in
 // registration order.
 func (p *Pipeline) Campaigns() []*Campaign {

@@ -9,12 +9,51 @@ import (
 	"strconv"
 
 	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/attr"
 	"github.com/treads-project/treads/internal/audience"
+	"github.com/treads-project/treads/internal/billing"
+	"github.com/treads-project/treads/internal/explain"
 	"github.com/treads-project/treads/internal/money"
 	"github.com/treads-project/treads/internal/pii"
 	"github.com/treads-project/treads/internal/pixel"
 	"github.com/treads-project/treads/internal/platform"
 	"github.com/treads-project/treads/internal/profile"
+)
+
+// Backend is the platform surface the HTTP server drives. Both
+// *platform.Platform (in-memory) and *platform.Journaled (write-ahead
+// journaled, crash-recoverable) satisfy it, so the HTTP layer is agnostic
+// to whether mutations are durable: handing NewServer a Journaled routes
+// every mutating request through the journal.
+type Backend interface {
+	// Advertiser surface.
+	RegisterAdvertiser(name string) error
+	CreateCampaign(advertiser string, params platform.CampaignParams) (string, error)
+	PauseCampaign(advertiser, campaignID string) error
+	Report(advertiser, campaignID string) (billing.Report, error)
+	CreatePIIAudience(advertiser, name string, keys []pii.MatchKey) (audience.AudienceID, error)
+	CreateWebsiteAudience(advertiser, name string, px pixel.PixelID) (audience.AudienceID, error)
+	CreateEngagementAudience(advertiser, name, pageID string) (audience.AudienceID, error)
+	CreateAffinityAudience(advertiser, name string, phrases []string) (audience.AudienceID, error)
+	CreateLookalikeAudience(advertiser, name string, seed audience.AudienceID, overlap float64) (audience.AudienceID, error)
+	IssuePixel(advertiser string) (pixel.PixelID, error)
+	PotentialReach(advertiser string, spec audience.Spec) (int, error)
+	SearchAttributes(query string) []*attr.Attribute
+
+	// User surface.
+	BrowseFeed(uid profile.UserID, slots int) ([]ad.Impression, error)
+	Feed(uid profile.UserID) []ad.Impression
+	User(uid profile.UserID) *profile.Profile
+	AdPreferences(uid profile.UserID) ([]attr.ID, error)
+	AdvertisersTargetingMe(uid profile.UserID) ([]string, error)
+	LikePage(uid profile.UserID, pageID string) error
+	VisitPage(uid profile.UserID, px pixel.PixelID) error
+	ExplainImpression(uid profile.UserID, imp ad.Impression) (explain.Explanation, error)
+}
+
+var (
+	_ Backend = (*platform.Platform)(nil)
+	_ Backend = (*platform.Journaled)(nil)
 )
 
 // transparentPixelGIF is the classic 1x1 transparent GIF a tracking pixel
@@ -28,25 +67,28 @@ var transparentPixelGIF = []byte{
 
 // Server serves the platform over HTTP.
 type Server struct {
-	p    *platform.Platform
-	mux  *http.ServeMux
-	log  *log.Logger
-	auth *Authenticator // nil = open access (test/demo mode)
+	p         Backend
+	mux       *http.ServeMux
+	log       *log.Logger
+	auth      *Authenticator // nil = open access (test/demo mode)
+	compactor Compactor      // nil = compaction endpoint disabled
 }
 
-// NewServer wraps a platform. logger may be nil to disable request logging.
-// The server runs without authentication; use NewServerWithAuth for
-// deployments.
-func NewServer(p *platform.Platform, logger *log.Logger) *Server {
+// NewServer wraps a platform backend. logger may be nil to disable request
+// logging. The server runs without authentication; use NewServerWithAuth
+// for deployments.
+func NewServer(p Backend, logger *log.Logger) *Server {
 	s := &Server{p: p, mux: http.NewServeMux(), log: logger}
 	s.routes()
 	return s
 }
 
-// NewServerWithAuth wraps a platform with per-advertiser API-token
+// NewServerWithAuth wraps a platform backend with per-advertiser API-token
 // authentication: advertiser registration returns a bearer token, and
-// every advertiser-scoped endpoint requires it.
-func NewServerWithAuth(p *platform.Platform, logger *log.Logger) (*Server, *Authenticator) {
+// every advertiser-scoped endpoint requires it. The returned Authenticator
+// must not be discarded by deployments that need operator access — admin
+// endpoints (journal compaction) verify against its "admin" account.
+func NewServerWithAuth(p Backend, logger *log.Logger) (*Server, *Authenticator) {
 	s := &Server{p: p, mux: http.NewServeMux(), log: logger, auth: NewAuthenticator()}
 	s.routes()
 	return s, s.auth
@@ -90,6 +132,10 @@ func (s *Server) routes() {
 	// records the visit; the site owner (the transparency provider)
 	// learns nothing.
 	s.mux.HandleFunc("GET /pixel/{pixelID}", s.handlePixel)
+
+	// Operator API. Always routed; returns 404 until a compactor is
+	// configured (i.e. the daemon is running with -journal).
+	s.mux.HandleFunc("POST /admin/v1/compact", s.requireAdminAuth(s.handleCompact))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -1,0 +1,354 @@
+// Package journal implements a durable, segmented write-ahead log with
+// group commit, torn-tail repair, and snapshot-based compaction.
+//
+// The journal stores opaque payloads as length-prefixed, CRC-32C-checksummed
+// records in append-only segment files. Every record is assigned a
+// monotonically increasing log sequence number (LSN, starting at 1).
+// Appends from concurrent goroutines coalesce into a single fsync per
+// batch window, so the per-operation durability cost is amortized across
+// whatever arrived while the previous batch was syncing.
+//
+// Crash behaviour: a crash can lose at most the records whose Append (or
+// whose AppendBuffered wait) had not yet returned. A partially written
+// final record — the torn tail a kill mid-write leaves — is detected by
+// checksum on the next Open and truncated away; everything before it is
+// intact. A record in any position other than the tail that fails its
+// checksum is reported as corruption, never silently skipped.
+//
+// Compaction: callers periodically write a snapshot of their full state
+// via WriteSnapshot(lsn, data); segments whose records are all covered by
+// the snapshot are deleted. Recovery is Snapshot() + Replay(snapLSN, fn).
+package journal
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// DefaultSegmentBytes is the segment rotation threshold when
+// Options.SegmentBytes is zero.
+const DefaultSegmentBytes = 64 << 20
+
+// Options parameterizes a Journal.
+type Options struct {
+	// SegmentBytes rotates the active segment once its size reaches this
+	// threshold. Zero selects DefaultSegmentBytes.
+	SegmentBytes int64
+	// BatchWindow is the group-commit window: the goroutine that ends up
+	// leading an fsync batch first sleeps this long so concurrent appends
+	// can join the batch and share the single fsync. Zero syncs as soon as
+	// the leader runs (batches still form underneath a slow fsync).
+	BatchWindow time.Duration
+	// NoSync skips fsync entirely. Appends are still written (and
+	// buffered data is flushed to the OS), but nothing is durable across
+	// a machine crash. For tests and benchmarks.
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	return o
+}
+
+// Journal is an open write-ahead log directory. It is safe for concurrent
+// use; Append never reorders relative to the LSNs it hands out.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex // guards the active segment and LSN counter
+	f        *os.File
+	w        *bufio.Writer
+	size     int64
+	firstLSN uint64 // first LSN of the active segment
+	nextLSN  uint64
+	closed   bool
+	failed   error // sticky write/rotation error; the journal is dead after one
+
+	syncMu   sync.Mutex // guards the durability watermark
+	syncCond *sync.Cond
+	syncing  bool
+	durable  uint64 // highest LSN known flushed+fsynced
+	syncErr  error  // sticky fsync error
+}
+
+// Open opens (creating if needed) the journal in dir. A torn tail on the
+// final segment is truncated; the returned journal continues appending at
+// the next LSN.
+func Open(dir string, opts Options) (*Journal, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: creating %s: %w", dir, err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	snapLSN, err := newestSnapshotLSN(dir)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{dir: dir, opts: opts}
+	j.syncCond = sync.NewCond(&j.syncMu)
+
+	switch {
+	case len(segs) == 0:
+		if err := j.openNewSegmentLocked(snapLSN + 1); err != nil {
+			return nil, err
+		}
+		j.nextLSN = snapLSN + 1
+	default:
+		last := segs[len(segs)-1]
+		count, _, err := repairTail(last.path)
+		if err != nil {
+			return nil, err
+		}
+		next := last.first + count
+		if next < snapLSN+1 {
+			// The snapshot is ahead of every surviving log record (e.g.
+			// a crash between snapshot write and compaction finishing):
+			// start a fresh segment at the snapshot boundary.
+			if err := j.openNewSegmentLocked(snapLSN + 1); err != nil {
+				return nil, err
+			}
+			j.nextLSN = snapLSN + 1
+		} else {
+			f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				return nil, fmt.Errorf("journal: reopening segment: %w", err)
+			}
+			st, err := f.Stat()
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("journal: stat segment: %w", err)
+			}
+			j.f = f
+			j.w = bufio.NewWriterSize(f, 256<<10)
+			j.size = st.Size()
+			j.firstLSN = last.first
+			j.nextLSN = next
+		}
+	}
+	// Everything that survived on disk at open is the durable baseline.
+	j.durable = j.nextLSN - 1
+	return j, nil
+}
+
+// openNewSegmentLocked creates and activates the segment whose first
+// record will be LSN first. Callers hold j.mu (or have exclusive access
+// during Open).
+func (j *Journal) openNewSegmentLocked(first uint64) error {
+	path := segmentPath(j.dir, first)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: creating segment: %w", err)
+	}
+	if !j.opts.NoSync {
+		if err := syncDir(j.dir); err != nil {
+			f.Close()
+			return fmt.Errorf("journal: syncing dir after segment create: %w", err)
+		}
+	}
+	j.f = f
+	j.w = bufio.NewWriterSize(f, 256<<10)
+	j.size = 0
+	j.firstLSN = first
+	return nil
+}
+
+// Append durably appends payload and returns its LSN. It blocks until the
+// record (and, incidentally, every earlier record) is fsynced — or merely
+// flushed, under Options.NoSync.
+func (j *Journal) Append(payload []byte) (uint64, error) {
+	lsn, wait, err := j.AppendBuffered(payload)
+	if err != nil {
+		return 0, err
+	}
+	return lsn, wait()
+}
+
+// AppendBuffered appends payload to the log buffer and returns its LSN
+// immediately, plus a wait function that blocks until the record is
+// durable. Callers that must order appends against other work can do so
+// under their own lock and pay the durability wait outside it; LSN order
+// always equals buffer-write order.
+func (j *Journal) AppendBuffered(payload []byte) (uint64, func() error, error) {
+	if len(payload) == 0 {
+		return 0, nil, fmt.Errorf("journal: empty record")
+	}
+	if len(payload) > MaxRecordBytes {
+		return 0, nil, fmt.Errorf("journal: record of %d bytes exceeds the %d-byte limit", len(payload), MaxRecordBytes)
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return 0, nil, fmt.Errorf("journal: appending to closed journal")
+	}
+	if j.failed != nil {
+		err := j.failed
+		j.mu.Unlock()
+		return 0, nil, err
+	}
+	if j.size >= j.opts.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			j.failed = err
+			j.mu.Unlock()
+			return 0, nil, err
+		}
+	}
+	lsn := j.nextLSN
+	n, err := writeRecordTo(j.w, payload)
+	if err != nil {
+		j.failed = fmt.Errorf("journal: appending record %d: %w", lsn, err)
+		err = j.failed
+		j.mu.Unlock()
+		return 0, nil, err
+	}
+	j.size += n
+	j.nextLSN++
+	j.mu.Unlock()
+	return lsn, func() error { return j.waitDurable(lsn) }, nil
+}
+
+// rotateLocked seals the active segment (flush, fsync, close) and opens a
+// fresh one starting at the next LSN. Caller holds j.mu.
+func (j *Journal) rotateLocked() error {
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("journal: flushing segment before rotation: %w", err)
+	}
+	if !j.opts.NoSync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: syncing segment before rotation: %w", err)
+		}
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("journal: closing sealed segment: %w", err)
+	}
+	// The sealed segment is fully durable; advance the watermark so
+	// waiters covered by it don't trigger a redundant fsync.
+	j.advanceDurable(j.nextLSN - 1)
+	return j.openNewSegmentLocked(j.nextLSN)
+}
+
+func (j *Journal) advanceDurable(upTo uint64) {
+	j.syncMu.Lock()
+	if upTo > j.durable {
+		j.durable = upTo
+	}
+	j.syncCond.Broadcast()
+	j.syncMu.Unlock()
+}
+
+// waitDurable blocks until LSN lsn is durable, electing this goroutine as
+// the fsync leader when no sync is in flight. The leader sleeps the batch
+// window, then flushes and fsyncs everything buffered so far, covering
+// every append that joined during the window (and during the fsync
+// itself) in one disk round trip.
+func (j *Journal) waitDurable(lsn uint64) error {
+	j.syncMu.Lock()
+	for {
+		if j.syncErr != nil {
+			err := j.syncErr
+			j.syncMu.Unlock()
+			return err
+		}
+		if j.durable >= lsn {
+			j.syncMu.Unlock()
+			return nil
+		}
+		if j.syncing {
+			j.syncCond.Wait()
+			continue
+		}
+		j.syncing = true
+		j.syncMu.Unlock()
+
+		if d := j.opts.BatchWindow; d > 0 {
+			time.Sleep(d)
+		}
+		covered, err := j.syncNow()
+
+		j.syncMu.Lock()
+		j.syncing = false
+		if err != nil {
+			j.syncErr = err
+		} else if covered > j.durable {
+			j.durable = covered
+		}
+		j.syncCond.Broadcast()
+	}
+}
+
+// syncNow flushes the buffer and fsyncs the active segment, returning the
+// highest LSN the sync covers.
+func (j *Journal) syncNow() (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.failed != nil {
+		return 0, j.failed
+	}
+	covered := j.nextLSN - 1
+	if err := j.w.Flush(); err != nil {
+		j.failed = fmt.Errorf("journal: flushing: %w", err)
+		return 0, j.failed
+	}
+	if !j.opts.NoSync {
+		if err := j.f.Sync(); err != nil {
+			j.failed = fmt.Errorf("journal: fsync: %w", err)
+			return 0, j.failed
+		}
+	}
+	return covered, nil
+}
+
+// Sync blocks until every record appended so far is durable.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	last := j.nextLSN - 1
+	closed := j.closed
+	j.mu.Unlock()
+	if closed {
+		return fmt.Errorf("journal: sync on closed journal")
+	}
+	if last == 0 {
+		return nil
+	}
+	return j.waitDurable(last)
+}
+
+// LastLSN returns the LSN of the most recently appended record, or one
+// less than the first assignable LSN when the log is empty.
+func (j *Journal) LastLSN() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.nextLSN - 1
+}
+
+// Dir returns the journal's directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Close syncs outstanding records and closes the active segment. The
+// journal is unusable afterwards.
+func (j *Journal) Close() error {
+	syncErr := j.Sync()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	var closeErr error
+	if j.f != nil {
+		closeErr = j.f.Close()
+		j.f = nil
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

@@ -1,0 +1,222 @@
+package journal
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot files hold a caller-provided serialization of the full state
+// through some LSN, named snap-<LSN, 16 hex>.db and written atomically
+// (temp file, fsync, rename, dir fsync). The contents reuse the record
+// framing, so a snapshot is self-checksumming. Once a snapshot lands,
+// every segment wholly covered by it — and every older snapshot — is
+// garbage and is deleted.
+
+const (
+	snapshotPrefix = "snap-"
+	snapshotSuffix = ".db"
+)
+
+type snapshotFile struct {
+	path string
+	lsn  uint64
+}
+
+func snapshotPath(dir string, lsn uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016x%s", snapshotPrefix, lsn, snapshotSuffix))
+}
+
+func parseSnapshotName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, snapshotSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, snapshotPrefix), snapshotSuffix)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSnapshots returns the directory's snapshots sorted by LSN.
+func listSnapshots(dir string) ([]snapshotFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: listing %s: %w", dir, err)
+	}
+	var snaps []snapshotFile
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if lsn, ok := parseSnapshotName(e.Name()); ok {
+			snaps = append(snaps, snapshotFile{path: filepath.Join(dir, e.Name()), lsn: lsn})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].lsn < snaps[j].lsn })
+	return snaps, nil
+}
+
+// newestSnapshotLSN returns the highest snapshot LSN present, 0 if none.
+func newestSnapshotLSN(dir string) (uint64, error) {
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(snaps) == 0 {
+		return 0, nil
+	}
+	return snaps[len(snaps)-1].lsn, nil
+}
+
+// WriteSnapshot durably stores data as the state through lsn and then
+// compacts the journal: older snapshots are removed and so is every
+// segment whose records the snapshot fully covers. lsn must not exceed
+// the last appended LSN (callers Sync() first, then snapshot at LastLSN).
+func (j *Journal) WriteSnapshot(lsn uint64, data []byte) error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return fmt.Errorf("journal: snapshot on closed journal")
+	}
+	if j.failed != nil {
+		err := j.failed
+		j.mu.Unlock()
+		return err
+	}
+	if lsn >= j.nextLSN {
+		next := j.nextLSN
+		j.mu.Unlock()
+		return fmt.Errorf("journal: snapshot at LSN %d beyond last record %d", lsn, next-1)
+	}
+	j.mu.Unlock()
+
+	tmp := snapshotPath(j.dir, lsn) + ".tmp"
+	if err := writeSnapshotFile(tmp, data, j.opts.NoSync); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, snapshotPath(j.dir, lsn)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: publishing snapshot: %w", err)
+	}
+	if !j.opts.NoSync {
+		if err := syncDir(j.dir); err != nil {
+			return fmt.Errorf("journal: syncing dir after snapshot: %w", err)
+		}
+	}
+	return j.compact(lsn)
+}
+
+func writeSnapshotFile(path string, data []byte, noSync bool) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: creating snapshot: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if _, err := writeRecordTo(bw, data); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: writing snapshot: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: flushing snapshot: %w", err)
+	}
+	if !noSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("journal: syncing snapshot: %w", err)
+		}
+	}
+	return f.Close()
+}
+
+// Snapshot returns the newest readable snapshot's contents and LSN, or
+// (nil, 0, nil) when the journal has no snapshot. A snapshot that fails
+// its checksum is skipped in favour of an older one — it can only be the
+// product of external tampering, since snapshots are published by rename.
+func (j *Journal) Snapshot() ([]byte, uint64, error) {
+	snaps, err := listSnapshots(j.dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		data, rerr := readSnapshotFile(snaps[i].path)
+		if rerr == nil {
+			return data, snaps[i].lsn, nil
+		}
+		err = rerr
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: no readable snapshot: %w", err)
+	}
+	return nil, 0, nil
+}
+
+func readSnapshotFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	data, err := readRecord(br)
+	if err != nil {
+		return nil, fmt.Errorf("journal: snapshot %s: %w", path, err)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("journal: snapshot %s: trailing bytes", path)
+	}
+	return data, nil
+}
+
+// compact removes snapshots older than lsn and every sealed segment whose
+// records are all <= lsn. The active segment is never removed.
+func (j *Journal) compact(lsn uint64) error {
+	snaps, err := listSnapshots(j.dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range snaps {
+		if s.lsn < lsn {
+			if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("journal: removing stale snapshot: %w", err)
+			}
+		}
+	}
+	segs, err := listSegments(j.dir)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	active := j.firstLSN
+	j.mu.Unlock()
+	for i, seg := range segs {
+		if seg.first == active {
+			break
+		}
+		// A sealed segment's records all precede the next segment's first
+		// LSN; it is garbage once that bound is within the snapshot.
+		if i+1 >= len(segs) || segs[i+1].first > lsn+1 {
+			break
+		}
+		if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("journal: removing compacted segment: %w", err)
+		}
+	}
+	if !j.opts.NoSync {
+		if err := syncDir(j.dir); err != nil {
+			return fmt.Errorf("journal: syncing dir after compaction: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,515 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/audience"
+	"github.com/treads-project/treads/internal/billing"
+	"github.com/treads-project/treads/internal/explain"
+	"github.com/treads-project/treads/internal/journal"
+	"github.com/treads-project/treads/internal/money"
+	"github.com/treads-project/treads/internal/pii"
+	"github.com/treads-project/treads/internal/pixel"
+	"github.com/treads-project/treads/internal/profile"
+)
+
+// Journaled is the platform's durability layer: a Platform whose every
+// mutating operation is recorded to a write-ahead journal before the
+// caller gets its answer, so a crash or kill -9 loses nothing that was
+// acknowledged. Recovery (OpenJournaled on an existing directory) restores
+// the newest snapshot and deterministically replays the journal suffix,
+// reconstructing the exact pre-crash state — including the delivery RNG,
+// whose state snapshots freeze via Pipeline.RNGState.
+//
+// Every *attempted* mutation is journaled, including ones the platform
+// refuses (duplicate advertiser, rejected creative, unknown user): some
+// refusals still mutate state (a rejected creative advances the policy
+// enforcer; a failed campaign burns a campaign ID), and since the platform
+// is deterministic, replaying the refusal reproduces it exactly. The
+// journal is therefore simply "the sequence of calls", with no per-op
+// bookkeeping about outcomes.
+//
+// Read-only operations delegate straight to the wrapped platform and are
+// never journaled.
+type Journaled struct {
+	mu sync.Mutex // serializes mutations so journal order == apply order
+	p  *Platform
+	j  *journal.Journal
+}
+
+// OpenJournaled opens (or creates) a journaled platform backed by the
+// write-ahead journal in dir. On a fresh directory, boot() supplies the
+// initial platform, which is immediately snapshotted so recovery never
+// needs to re-run boot. On an existing directory boot is not called: the
+// pre-crash platform is recovered from the newest snapshot plus replay of
+// the journal suffix.
+func OpenJournaled(dir string, opts journal.Options, boot func() (*Platform, error)) (*Journaled, error) {
+	j, err := journal.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	data, snapLSN, err := j.Snapshot()
+	if err != nil {
+		j.Close()
+		return nil, err
+	}
+	if data == nil {
+		if j.LastLSN() != 0 {
+			j.Close()
+			return nil, fmt.Errorf("platform: journal %s has records but no snapshot", dir)
+		}
+		p, err := boot()
+		if err != nil {
+			j.Close()
+			return nil, fmt.Errorf("platform: booting journaled platform: %w", err)
+		}
+		jp := &Journaled{p: p, j: j}
+		if _, err := jp.Compact(); err != nil {
+			j.Close()
+			return nil, fmt.Errorf("platform: writing boot snapshot: %w", err)
+		}
+		return jp, nil
+	}
+	state, err := UnmarshalSnapshot(data)
+	if err != nil {
+		j.Close()
+		return nil, err
+	}
+	p, err := Restore(state)
+	if err != nil {
+		j.Close()
+		return nil, fmt.Errorf("platform: restoring journal snapshot: %w", err)
+	}
+	err = j.Replay(snapLSN, func(lsn uint64, payload []byte) error {
+		var rec opRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("platform: journal record %d: %w", lsn, err)
+		}
+		return applyRecord(p, lsn, rec)
+	})
+	if err != nil {
+		j.Close()
+		return nil, err
+	}
+	return &Journaled{p: p, j: j}, nil
+}
+
+// Underlying returns the wrapped platform for read-only access (catalog,
+// ledger ground truth, user listings). Mutating it directly bypasses the
+// journal and forfeits crash recovery for those mutations.
+func (jp *Journaled) Underlying() *Platform { return jp.p }
+
+// LastLSN returns the LSN of the most recently journaled operation.
+func (jp *Journaled) LastLSN() uint64 { return jp.j.LastLSN() }
+
+// Close syncs and closes the journal. The wrapped platform remains usable
+// in memory, but further mutations through the Journaled fail.
+func (jp *Journaled) Close() error { return jp.j.Close() }
+
+// State exports the platform state exactly as recovery would reconstruct
+// it: the recorded seed is the delivery RNG's current state, so a
+// Restore of this snapshot resumes auctions mid-stream.
+func (jp *Journaled) State() State {
+	jp.mu.Lock()
+	defer jp.mu.Unlock()
+	return jp.stateLocked()
+}
+
+func (jp *Journaled) stateLocked() State {
+	return jp.p.Snapshot(jp.p.pipeline.RNGState())
+}
+
+// Compact durably snapshots the current state and prunes the journal to
+// what the snapshot does not cover. It returns the LSN the snapshot
+// covers. Mutations are blocked for the duration; with the default JSON
+// state encoding this is the platform's stop-the-world checkpoint.
+func (jp *Journaled) Compact() (uint64, error) {
+	jp.mu.Lock()
+	defer jp.mu.Unlock()
+	if err := jp.j.Sync(); err != nil {
+		return 0, err
+	}
+	raw, err := MarshalSnapshot(jp.stateLocked())
+	if err != nil {
+		return 0, err
+	}
+	lsn := jp.j.LastLSN()
+	if err := jp.j.WriteSnapshot(lsn, raw); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// logged journals rec and applies it while holding the op lock — journal
+// order always equals application order, which is what makes replay
+// deterministic — then waits (outside the lock) until the record is
+// durable. Concurrent operations' durability waits coalesce into shared
+// group-commit fsyncs.
+func (jp *Journaled) logged(rec opRecord, apply func()) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("platform: encoding journal record: %w", err)
+	}
+	jp.mu.Lock()
+	_, wait, err := jp.j.AppendBuffered(payload)
+	if err != nil {
+		jp.mu.Unlock()
+		return fmt.Errorf("platform: journaling %s: %w", rec.Op, err)
+	}
+	apply()
+	jp.mu.Unlock()
+	if err := wait(); err != nil {
+		return fmt.Errorf("platform: journal sync for %s: %w", rec.Op, err)
+	}
+	return nil
+}
+
+// --- journaled mutations (the advertiser and user write surfaces) ---
+
+// AddUser journals and inserts a user profile.
+func (jp *Journaled) AddUser(pr *profile.Profile) error {
+	st := pr.Snapshot()
+	var opErr error
+	if err := jp.logged(opRecord{Op: opAddUser, Profile: &st}, func() {
+		opErr = jp.p.AddUser(pr)
+	}); err != nil {
+		return err
+	}
+	return opErr
+}
+
+// RegisterAdvertiser journals and creates an advertiser account.
+func (jp *Journaled) RegisterAdvertiser(name string) error {
+	var opErr error
+	if err := jp.logged(opRecord{Op: opRegisterAdvertiser, Name: name}, func() {
+		opErr = jp.p.RegisterAdvertiser(name)
+	}); err != nil {
+		return err
+	}
+	return opErr
+}
+
+// CreateCampaign journals and registers a campaign.
+func (jp *Journaled) CreateCampaign(advertiser string, params CampaignParams) (string, error) {
+	ps := campaignParamsToState(params)
+	var id string
+	var opErr error
+	if err := jp.logged(opRecord{Op: opCreateCampaign, Advertiser: advertiser, Params: &ps}, func() {
+		id, opErr = jp.p.CreateCampaign(advertiser, params)
+	}); err != nil {
+		return "", err
+	}
+	return id, opErr
+}
+
+// PauseCampaign journals and pauses a campaign.
+func (jp *Journaled) PauseCampaign(advertiser, campaignID string) error {
+	var opErr error
+	if err := jp.logged(opRecord{Op: opPauseCampaign, Advertiser: advertiser, Campaign: campaignID}, func() {
+		opErr = jp.p.PauseCampaign(advertiser, campaignID)
+	}); err != nil {
+		return err
+	}
+	return opErr
+}
+
+// CreatePIIAudience journals and uploads a customer-list audience.
+func (jp *Journaled) CreatePIIAudience(advertiser, name string, keys []pii.MatchKey) (audience.AudienceID, error) {
+	var id audience.AudienceID
+	var opErr error
+	if err := jp.logged(opRecord{Op: opPIIAudience, Advertiser: advertiser, Name: name, Keys: keys}, func() {
+		id, opErr = jp.p.CreatePIIAudience(advertiser, name, keys)
+	}); err != nil {
+		return "", err
+	}
+	return id, opErr
+}
+
+// CreateWebsiteAudience journals and builds a pixel-backed audience.
+func (jp *Journaled) CreateWebsiteAudience(advertiser, name string, px pixel.PixelID) (audience.AudienceID, error) {
+	var id audience.AudienceID
+	var opErr error
+	if err := jp.logged(opRecord{Op: opWebsiteAudience, Advertiser: advertiser, Name: name, Pixel: string(px)}, func() {
+		id, opErr = jp.p.CreateWebsiteAudience(advertiser, name, px)
+	}); err != nil {
+		return "", err
+	}
+	return id, opErr
+}
+
+// CreateAffinityAudience journals and builds a keyword audience.
+func (jp *Journaled) CreateAffinityAudience(advertiser, name string, phrases []string) (audience.AudienceID, error) {
+	var id audience.AudienceID
+	var opErr error
+	if err := jp.logged(opRecord{Op: opAffinityAudience, Advertiser: advertiser, Name: name, Phrases: phrases}, func() {
+		id, opErr = jp.p.CreateAffinityAudience(advertiser, name, phrases)
+	}); err != nil {
+		return "", err
+	}
+	return id, opErr
+}
+
+// CreateLookalikeAudience journals and derives a similarity audience.
+func (jp *Journaled) CreateLookalikeAudience(advertiser, name string, seed audience.AudienceID, overlap float64) (audience.AudienceID, error) {
+	var id audience.AudienceID
+	var opErr error
+	if err := jp.logged(opRecord{Op: opLookalikeAudience, Advertiser: advertiser, Name: name, Seed: string(seed), Overlap: overlap}, func() {
+		id, opErr = jp.p.CreateLookalikeAudience(advertiser, name, seed, overlap)
+	}); err != nil {
+		return "", err
+	}
+	return id, opErr
+}
+
+// CreateEngagementAudience journals and builds a page-like audience.
+func (jp *Journaled) CreateEngagementAudience(advertiser, name, pageID string) (audience.AudienceID, error) {
+	var id audience.AudienceID
+	var opErr error
+	if err := jp.logged(opRecord{Op: opEngagementAudience, Advertiser: advertiser, Name: name, Page: pageID}, func() {
+		id, opErr = jp.p.CreateEngagementAudience(advertiser, name, pageID)
+	}); err != nil {
+		return "", err
+	}
+	return id, opErr
+}
+
+// IssuePixel journals and issues a tracking pixel.
+func (jp *Journaled) IssuePixel(advertiser string) (pixel.PixelID, error) {
+	var id pixel.PixelID
+	var opErr error
+	if err := jp.logged(opRecord{Op: opIssuePixel, Advertiser: advertiser}, func() {
+		id, opErr = jp.p.IssuePixel(advertiser)
+	}); err != nil {
+		return "", err
+	}
+	return id, opErr
+}
+
+// BrowseFeed journals and runs a feed session. The journal records only
+// the intent (user, slot count); the auctions re-run identically on
+// replay because the RNG state is part of every snapshot.
+func (jp *Journaled) BrowseFeed(uid profile.UserID, slots int) ([]ad.Impression, error) {
+	var imps []ad.Impression
+	var opErr error
+	if err := jp.logged(opRecord{Op: opBrowse, User: uid, Slots: slots}, func() {
+		imps, opErr = jp.p.BrowseFeed(uid, slots)
+	}); err != nil {
+		return nil, err
+	}
+	return imps, opErr
+}
+
+// VisitPage journals and records a pixel fire.
+func (jp *Journaled) VisitPage(uid profile.UserID, px pixel.PixelID) error {
+	var opErr error
+	if err := jp.logged(opRecord{Op: opVisitPage, User: uid, Pixel: string(px)}, func() {
+		opErr = jp.p.VisitPage(uid, px)
+	}); err != nil {
+		return err
+	}
+	return opErr
+}
+
+// LikePage journals and records a page like.
+func (jp *Journaled) LikePage(uid profile.UserID, pageID string) error {
+	var opErr error
+	if err := jp.logged(opRecord{Op: opLikePage, User: uid, Page: pageID}, func() {
+		opErr = jp.p.LikePage(uid, pageID)
+	}); err != nil {
+		return err
+	}
+	return opErr
+}
+
+// --- read-only pass-throughs ---
+
+// Catalog returns the attribute catalog.
+func (jp *Journaled) Catalog() *attr.Catalog { return jp.p.Catalog() }
+
+// User returns a user's profile (simulation ground truth).
+func (jp *Journaled) User(id profile.UserID) *profile.Profile { return jp.p.User(id) }
+
+// Users returns all user IDs in insertion order.
+func (jp *Journaled) Users() []profile.UserID { return jp.p.Users() }
+
+// PotentialReach returns the thresholded reach estimate.
+func (jp *Journaled) PotentialReach(advertiser string, spec audience.Spec) (int, error) {
+	return jp.p.PotentialReach(advertiser, spec)
+}
+
+// SearchAttributes searches the catalog.
+func (jp *Journaled) SearchAttributes(query string) []*attr.Attribute {
+	return jp.p.SearchAttributes(query)
+}
+
+// Report returns a campaign's advertiser-visible report.
+func (jp *Journaled) Report(advertiser, campaignID string) (billing.Report, error) {
+	return jp.p.Report(advertiser, campaignID)
+}
+
+// Feed returns every impression the user has been shown.
+func (jp *Journaled) Feed(uid profile.UserID) []ad.Impression { return jp.p.Feed(uid) }
+
+// AdPreferences returns the user's transparency-page attributes.
+func (jp *Journaled) AdPreferences(uid profile.UserID) ([]attr.ID, error) {
+	return jp.p.AdPreferences(uid)
+}
+
+// AdvertisersTargetingMe returns advertisers targeting the user via
+// custom data.
+func (jp *Journaled) AdvertisersTargetingMe(uid profile.UserID) ([]string, error) {
+	return jp.p.AdvertisersTargetingMe(uid)
+}
+
+// ExplainImpression generates "why am I seeing this?" text.
+func (jp *Journaled) ExplainImpression(uid profile.UserID, imp ad.Impression) (explain.Explanation, error) {
+	return jp.p.ExplainImpression(uid, imp)
+}
+
+// --- journal record encoding ---
+
+// Op names are part of the on-disk format; never renumber or reuse them.
+const (
+	opAddUser            = "add_user"
+	opRegisterAdvertiser = "register_advertiser"
+	opCreateCampaign     = "create_campaign"
+	opPauseCampaign      = "pause_campaign"
+	opPIIAudience        = "pii_audience"
+	opWebsiteAudience    = "website_audience"
+	opAffinityAudience   = "affinity_audience"
+	opLookalikeAudience  = "lookalike_audience"
+	opEngagementAudience = "engagement_audience"
+	opIssuePixel         = "issue_pixel"
+	opBrowse             = "browse"
+	opVisitPage          = "visit_page"
+	opLikePage           = "like_page"
+)
+
+// opRecord is one journaled platform mutation. A single struct with
+// omitempty fields keeps the wire format flat and diffable; Op selects
+// which fields are meaningful.
+type opRecord struct {
+	Op         string               `json:"op"`
+	Advertiser string               `json:"advertiser,omitempty"`
+	Name       string               `json:"name,omitempty"`
+	Campaign   string               `json:"campaign,omitempty"`
+	User       profile.UserID       `json:"user,omitempty"`
+	Pixel      string               `json:"pixel,omitempty"`
+	Page       string               `json:"page,omitempty"`
+	Slots      int                  `json:"slots,omitempty"`
+	Seed       string               `json:"seed,omitempty"`
+	Overlap    float64              `json:"overlap,omitempty"`
+	Phrases    []string             `json:"phrases,omitempty"`
+	Keys       []pii.MatchKey       `json:"keys,omitempty"`
+	Profile    *profile.State       `json:"profile,omitempty"`
+	Params     *campaignParamsState `json:"params,omitempty"`
+}
+
+// campaignParamsState is CampaignParams in serializable form; the
+// targeting expression travels as its canonical text, exactly like
+// delivery.CampaignState.
+type campaignParamsState struct {
+	Include      []audience.AudienceID `json:"include,omitempty"`
+	IncludeAll   []audience.AudienceID `json:"include_all,omitempty"`
+	Exclude      []audience.AudienceID `json:"exclude,omitempty"`
+	Expr         string                `json:"expr,omitempty"`
+	BidCapCPM    money.Micros          `json:"bid_cap_cpm,omitempty"`
+	Creative     ad.Creative           `json:"creative"`
+	FrequencyCap int                   `json:"frequency_cap,omitempty"`
+	Budget       money.Micros          `json:"budget,omitempty"`
+}
+
+func campaignParamsToState(p CampaignParams) campaignParamsState {
+	s := campaignParamsState{
+		Include:      append([]audience.AudienceID(nil), p.Spec.Include...),
+		IncludeAll:   append([]audience.AudienceID(nil), p.Spec.IncludeAll...),
+		Exclude:      append([]audience.AudienceID(nil), p.Spec.Exclude...),
+		BidCapCPM:    p.BidCapCPM,
+		Creative:     p.Creative,
+		FrequencyCap: p.FrequencyCap,
+		Budget:       p.Budget,
+	}
+	if p.Spec.Expr != nil {
+		s.Expr = p.Spec.Expr.String()
+	}
+	return s
+}
+
+func (s *campaignParamsState) toParams() (CampaignParams, error) {
+	p := CampaignParams{
+		Spec: audience.Spec{
+			Include:    s.Include,
+			IncludeAll: s.IncludeAll,
+			Exclude:    s.Exclude,
+		},
+		BidCapCPM:    s.BidCapCPM,
+		Creative:     s.Creative,
+		FrequencyCap: s.FrequencyCap,
+		Budget:       s.Budget,
+	}
+	if s.Expr != "" {
+		e, err := attr.Parse(s.Expr)
+		if err != nil {
+			return CampaignParams{}, fmt.Errorf("platform: journaled campaign expr: %w", err)
+		}
+		p.Spec.Expr = e
+	}
+	return p, nil
+}
+
+// applyRecord replays one journaled mutation against the platform.
+// Platform-level refusals (duplicate names, unknown users, rejected
+// creatives) replay deterministically and are deliberately ignored — the
+// original caller already saw them. Only an undecodable record is an
+// error: state past it cannot be trusted.
+func applyRecord(p *Platform, lsn uint64, rec opRecord) error {
+	switch rec.Op {
+	case opAddUser:
+		if rec.Profile == nil {
+			return fmt.Errorf("platform: journal record %d: add_user without profile", lsn)
+		}
+		pr, err := profile.FromState(*rec.Profile)
+		if err != nil {
+			return fmt.Errorf("platform: journal record %d: %w", lsn, err)
+		}
+		_ = p.AddUser(pr)
+	case opRegisterAdvertiser:
+		_ = p.RegisterAdvertiser(rec.Name)
+	case opCreateCampaign:
+		if rec.Params == nil {
+			return fmt.Errorf("platform: journal record %d: create_campaign without params", lsn)
+		}
+		params, err := rec.Params.toParams()
+		if err != nil {
+			return fmt.Errorf("platform: journal record %d: %w", lsn, err)
+		}
+		_, _ = p.CreateCampaign(rec.Advertiser, params)
+	case opPauseCampaign:
+		_ = p.PauseCampaign(rec.Advertiser, rec.Campaign)
+	case opPIIAudience:
+		_, _ = p.CreatePIIAudience(rec.Advertiser, rec.Name, rec.Keys)
+	case opWebsiteAudience:
+		_, _ = p.CreateWebsiteAudience(rec.Advertiser, rec.Name, pixel.PixelID(rec.Pixel))
+	case opAffinityAudience:
+		_, _ = p.CreateAffinityAudience(rec.Advertiser, rec.Name, rec.Phrases)
+	case opLookalikeAudience:
+		_, _ = p.CreateLookalikeAudience(rec.Advertiser, rec.Name, audience.AudienceID(rec.Seed), rec.Overlap)
+	case opEngagementAudience:
+		_, _ = p.CreateEngagementAudience(rec.Advertiser, rec.Name, rec.Page)
+	case opIssuePixel:
+		_, _ = p.IssuePixel(rec.Advertiser)
+	case opBrowse:
+		_, _ = p.BrowseFeed(rec.User, rec.Slots)
+	case opVisitPage:
+		_ = p.VisitPage(rec.User, pixel.PixelID(rec.Pixel))
+	case opLikePage:
+		_ = p.LikePage(rec.User, rec.Page)
+	default:
+		return fmt.Errorf("platform: journal record %d: unknown op %q", lsn, rec.Op)
+	}
+	return nil
+}

@@ -1,0 +1,443 @@
+package platform
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/audience"
+	"github.com/treads-project/treads/internal/journal"
+	"github.com/treads-project/treads/internal/money"
+	"github.com/treads-project/treads/internal/pii"
+	"github.com/treads-project/treads/internal/pixel"
+	"github.com/treads-project/treads/internal/profile"
+)
+
+// mutator is the write surface shared by *Platform and *Journaled; the
+// recovery tests drive identical scripts through both.
+type mutator interface {
+	AddUser(*profile.Profile) error
+	RegisterAdvertiser(string) error
+	CreateCampaign(string, CampaignParams) (string, error)
+	PauseCampaign(string, string) error
+	CreatePIIAudience(string, string, []pii.MatchKey) (audience.AudienceID, error)
+	CreateWebsiteAudience(string, string, pixel.PixelID) (audience.AudienceID, error)
+	CreateAffinityAudience(string, string, []string) (audience.AudienceID, error)
+	CreateLookalikeAudience(string, string, audience.AudienceID, float64) (audience.AudienceID, error)
+	CreateEngagementAudience(string, string, string) (audience.AudienceID, error)
+	IssuePixel(string) (pixel.PixelID, error)
+	BrowseFeed(profile.UserID, int) ([]ad.Impression, error)
+	VisitPage(profile.UserID, pixel.PixelID) error
+	LikePage(profile.UserID, string) error
+}
+
+var (
+	_ mutator = (*Platform)(nil)
+	_ mutator = (*Journaled)(nil)
+)
+
+// journalBoot builds the deterministic initial platform the journaled
+// tests start from: default market (so auctions draw real randomness),
+// users with PII, likes, and attributes.
+func journalBoot() (*Platform, error) {
+	p := New(Config{Seed: 7})
+	salsa := p.Catalog().Search("Salsa dance")[0].ID
+	for i := 0; i < 10; i++ {
+		pr := profile.New(profile.UserID(fmt.Sprintf("ju%02d", i)))
+		pr.Nation = "US"
+		pr.AgeYrs = 25 + i
+		pr.PII = pii.Record{Emails: []string{fmt.Sprintf("ju%02d@example.com", i)}}
+		if i%2 == 0 {
+			pr.SetAttr(salsa)
+		}
+		if err := p.AddUser(pr); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// journalScript is a realistic mutation sequence touching every journaled
+// operation, including refused ones (duplicate registration, campaign
+// against an unknown audience — which still burns a campaign ID — and a
+// pixel fire for an unknown user). Each step is one journal record.
+func journalScript(t *testing.T) []func(m mutator) {
+	t.Helper()
+	key, err := pii.HashEmail("ju03@example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stranger, err := pii.HashEmail("nobody@example.net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newcomer := func() *profile.Profile {
+		pr := profile.New("ju-late")
+		pr.Nation = "US"
+		pr.AgeYrs = 52
+		pr.PII = pii.Record{Emails: []string{"ju-late@example.com"}}
+		return pr
+	}
+	return []func(m mutator){
+		func(m mutator) { m.RegisterAdvertiser("wal-adv") },
+		func(m mutator) { m.RegisterAdvertiser("wal-adv") }, // refused: duplicate
+		func(m mutator) { m.RegisterAdvertiser("other-adv") },
+		func(m mutator) { m.IssuePixel("wal-adv") }, // px-000001
+		func(m mutator) { m.VisitPage("ju01", "px-000001") },
+		func(m mutator) { m.VisitPage("ghost", "px-000001") }, // refused: unknown user
+		func(m mutator) { m.LikePage("ju02", "page-w") },
+		func(m mutator) { m.LikePage("ju04", "page-w") },
+		func(m mutator) { m.CreateEngagementAudience("wal-adv", "eng", "page-w") },                // aud-000001
+		func(m mutator) { m.CreatePIIAudience("wal-adv", "list", []pii.MatchKey{key, stranger}) }, // aud-000002
+		func(m mutator) { m.CreateWebsiteAudience("wal-adv", "web", "px-000001") },                // aud-000003
+		func(m mutator) { m.CreateAffinityAudience("wal-adv", "aff", []string{"salsa"}) },         // aud-000004
+		func(m mutator) {
+			m.CreateCampaign("wal-adv", CampaignParams{
+				Spec:      audience.Spec{Include: []audience.AudienceID{"aud-000004"}},
+				BidCapCPM: money.FromDollars(10),
+				Creative:  ad.Creative{Headline: "salsa shoes", Body: "dance!"},
+			}) // camp-000001
+		},
+		func(m mutator) {
+			m.CreateCampaign("wal-adv", CampaignParams{
+				Spec: audience.Spec{Include: []audience.AudienceID{"aud-999999"}},
+			}) // refused: unknown audience, but burns camp-000002
+		},
+		func(m mutator) { m.BrowseFeed("ju00", 5) },
+		func(m mutator) { m.BrowseFeed("ju01", 5) },
+		func(m mutator) { m.BrowseFeed("ju02", 3) },
+		func(m mutator) { m.CreateLookalikeAudience("wal-adv", "look", "aud-000001", 0.5) },
+		func(m mutator) {
+			m.CreateCampaign("other-adv", CampaignParams{
+				Spec:      audience.Spec{Exclude: []audience.AudienceID{"aud-000002"}},
+				BidCapCPM: money.FromDollars(10),
+				Creative:  ad.Creative{Headline: "generic", Body: "buy things"},
+			}) // camp-000003
+		},
+		func(m mutator) { m.BrowseFeed("ju03", 4) },
+		func(m mutator) { m.PauseCampaign("wal-adv", "camp-000001") },
+		func(m mutator) { m.BrowseFeed("ju04", 4) },
+		func(m mutator) { m.AddUser(newcomer()) },
+		func(m mutator) { m.BrowseFeed("ju-late", 6) },
+		func(m mutator) { m.BrowseFeed("ju00", 2) },
+	}
+}
+
+func marshalState(t *testing.T, s State) []byte {
+	t.Helper()
+	raw, err := MarshalSnapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// exactState snapshots a plain platform with its live RNG state, the same
+// export Journaled.State produces.
+func exactState(t *testing.T, p *Platform) []byte {
+	t.Helper()
+	return marshalState(t, p.Snapshot(p.pipeline.RNGState()))
+}
+
+func mustOpenJournaled(t *testing.T, dir string, opts journal.Options, boot func() (*Platform, error)) *Journaled {
+	t.Helper()
+	jp, err := OpenJournaled(dir, opts, boot)
+	if err != nil {
+		t.Fatalf("OpenJournaled(%s): %v", dir, err)
+	}
+	return jp
+}
+
+func noBoot(t *testing.T) func() (*Platform, error) {
+	return func() (*Platform, error) {
+		t.Fatal("boot called during recovery of an existing journal")
+		return nil, nil
+	}
+}
+
+// TestJournaledRecoveryIdentical drives the full script, closes cleanly
+// WITHOUT compacting, recovers purely via snapshot+replay, and requires
+// the recovered state to be byte-identical — feeds, frequency caps,
+// billing, policy state, RNG position and all.
+func TestJournaledRecoveryIdentical(t *testing.T) {
+	dir := t.TempDir()
+	jp := mustOpenJournaled(t, dir, journal.Options{NoSync: true}, journalBoot)
+	for _, step := range journalScript(t) {
+		step(jp)
+	}
+	want := marshalState(t, jp.State())
+	if err := jp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jp2 := mustOpenJournaled(t, dir, journal.Options{NoSync: true}, noBoot(t))
+	defer jp2.Close()
+	got := marshalState(t, jp2.State())
+	if !bytes.Equal(want, got) {
+		t.Fatalf("recovered state differs from pre-crash state:\nwant %d bytes\ngot  %d bytes", len(want), len(got))
+	}
+	// The recovered platform keeps working and stays deterministic: the
+	// same browse on original and recovered yields the same impressions.
+	imps1, err1 := jp.p.BrowseFeed("ju01", 3)
+	imps2, err2 := jp2.BrowseFeed("ju01", 3)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("post-recovery browse: %v / %v", err1, err2)
+	}
+	if len(imps1) != len(imps2) {
+		t.Fatalf("post-recovery divergence: %d vs %d impressions", len(imps1), len(imps2))
+	}
+	for i := range imps1 {
+		if fmt.Sprintf("%+v", imps1[i]) != fmt.Sprintf("%+v", imps2[i]) {
+			t.Fatalf("post-recovery impression %d differs: %+v vs %+v", i, imps1[i], imps2[i])
+		}
+	}
+}
+
+// TestJournaledRecoveryAfterCompaction compacts mid-script (so recovery
+// restores a mid-stream snapshot — frozen RNG included — and replays only
+// the suffix) and again requires byte-identical state.
+func TestJournaledRecoveryAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	jp := mustOpenJournaled(t, dir, journal.Options{NoSync: true, SegmentBytes: 512}, journalBoot)
+	script := journalScript(t)
+	for i, step := range script {
+		step(jp)
+		if i == len(script)/2 {
+			if _, err := jp.Compact(); err != nil {
+				t.Fatalf("mid-script Compact: %v", err)
+			}
+		}
+	}
+	want := marshalState(t, jp.State())
+	if err := jp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jp2 := mustOpenJournaled(t, dir, journal.Options{NoSync: true, SegmentBytes: 512}, noBoot(t))
+	defer jp2.Close()
+	if got := marshalState(t, jp2.State()); !bytes.Equal(want, got) {
+		t.Fatal("state recovered from mid-stream snapshot + replay differs from pre-crash state")
+	}
+}
+
+// TestJournaledCrashSweep is the acceptance crash test: the final journal
+// segment is truncated at EVERY byte offset, and each truncation must
+// recover to exactly the state reached after some prefix of the script —
+// verified byte-for-byte against independently computed reference states.
+func TestJournaledCrashSweep(t *testing.T) {
+	master := t.TempDir()
+	jp := mustOpenJournaled(t, master, journal.Options{NoSync: true}, journalBoot)
+	script := journalScript(t)
+	for _, step := range script {
+		step(jp)
+	}
+	if err := jp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference states: boot state, then one per completed op, computed on
+	// a plain platform recovered from the boot snapshot (the same base the
+	// journaled recovery will use).
+	data, snapLSN, err := readJournalSnapshot(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapLSN != 0 {
+		t.Fatalf("boot snapshot at LSN %d, want 0", snapLSN)
+	}
+	bootState, err := UnmarshalSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Restore(bootState)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refStates := [][]byte{exactState(t, ref)}
+	for _, step := range script {
+		step(ref)
+		refStates = append(refStates, exactState(t, ref))
+	}
+
+	// Locate the single WAL segment and sweep every truncation point.
+	segPath, whole := readOnlySegment(t, master)
+	stride := 1
+	if testing.Short() {
+		stride = 17
+	}
+	for cut := 0; cut <= len(whole); cut += stride {
+		dir := filepath.Join(t.TempDir(), "crash")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		copyFile(t, filepath.Join(dir, "snap-0000000000000000.db"), nil, master)
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(segPath)), whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jc, err := OpenJournaled(dir, journal.Options{NoSync: true}, noBoot(t))
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		k := jc.LastLSN()
+		if k > uint64(len(script)) {
+			t.Fatalf("cut %d: recovered %d ops, script only has %d", cut, k, len(script))
+		}
+		if got := marshalState(t, jc.State()); !bytes.Equal(got, refStates[k]) {
+			t.Fatalf("cut %d: recovered state (after %d ops) differs from reference", cut, k)
+		}
+		// The recovered platform must accept new work.
+		if err := jc.RegisterAdvertiser(fmt.Sprintf("post-crash-%d", cut)); err != nil {
+			t.Fatalf("cut %d: post-recovery mutation: %v", cut, err)
+		}
+		jc.Close()
+	}
+}
+
+// readJournalSnapshot opens the journal read-only to fetch its newest
+// snapshot (test helper around journal internals).
+func readJournalSnapshot(dir string) ([]byte, uint64, error) {
+	j, err := journal.Open(dir, journal.Options{NoSync: true})
+	if err != nil {
+		return nil, 0, err
+	}
+	defer j.Close()
+	return j.Snapshot()
+}
+
+// readOnlySegment returns the path and contents of the journal's single
+// WAL segment, failing if rotation produced more than one.
+func readOnlySegment(t *testing.T, dir string) (string, []byte) {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("want exactly 1 segment for the sweep, got %v", matches)
+	}
+	raw, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches[0], raw
+}
+
+// copyFile copies the boot snapshot from master into dir (contents may be
+// passed pre-read to avoid rereading).
+func copyFile(t *testing.T, dst string, contents []byte, master string) {
+	t.Helper()
+	if contents == nil {
+		var err error
+		contents, err = os.ReadFile(filepath.Join(master, filepath.Base(dst)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(dst, contents, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournaledConcurrentMutations exercises the group-commit path under
+// the race detector and checks every acknowledged op survives recovery.
+func TestJournaledConcurrentMutations(t *testing.T) {
+	dir := t.TempDir()
+	jp := mustOpenJournaled(t, dir, journal.Options{}, journalBoot)
+	if err := jp.RegisterAdvertiser("conc-adv"); err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 6, 15
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			uid := profile.UserID(fmt.Sprintf("ju%02d", g%10))
+			for i := 0; i < perG; i++ {
+				switch i % 3 {
+				case 0:
+					if _, err := jp.BrowseFeed(uid, 2); err != nil {
+						t.Errorf("browse: %v", err)
+					}
+				case 1:
+					if err := jp.LikePage(uid, fmt.Sprintf("page-%d-%d", g, i)); err != nil {
+						t.Errorf("like: %v", err)
+					}
+				case 2:
+					if _, err := jp.CreateEngagementAudience("conc-adv", fmt.Sprintf("aud-%d-%d", g, i), "page-x"); err != nil {
+						t.Errorf("audience: %v", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	wantOps := uint64(1 + goroutines*perG)
+	if got := jp.LastLSN(); got != wantOps {
+		t.Fatalf("journal has %d ops, want %d", got, wantOps)
+	}
+	want := marshalState(t, jp.State())
+	if err := jp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jp2 := mustOpenJournaled(t, dir, journal.Options{}, noBoot(t))
+	defer jp2.Close()
+	if got := marshalState(t, jp2.State()); !bytes.Equal(want, got) {
+		t.Fatal("recovered state differs after concurrent mutations")
+	}
+}
+
+// TestJournaledFreshBootWritesSnapshot checks the zero-state invariants:
+// boot runs once, a snapshot exists immediately, and reopening an empty
+// (but initialized) journal does not re-run boot.
+func TestJournaledFreshBootWritesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	boots := 0
+	jp := mustOpenJournaled(t, dir, journal.Options{NoSync: true}, func() (*Platform, error) {
+		boots++
+		return journalBoot()
+	})
+	if boots != 1 {
+		t.Fatalf("boot ran %d times, want 1", boots)
+	}
+	want := marshalState(t, jp.State())
+	if err := jp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jp2 := mustOpenJournaled(t, dir, journal.Options{NoSync: true}, noBoot(t))
+	defer jp2.Close()
+	if got := marshalState(t, jp2.State()); !bytes.Equal(want, got) {
+		t.Fatal("reopened boot state differs")
+	}
+}
+
+// TestJournaledCompactIsLossless compacts after every few ops and checks
+// the final recovery still matches a never-compacted reference run.
+func TestJournaledCompactIsLossless(t *testing.T) {
+	dir := t.TempDir()
+	jp := mustOpenJournaled(t, dir, journal.Options{NoSync: true, SegmentBytes: 256}, journalBoot)
+	ref, err := journalBoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, step := range journalScript(t) {
+		step(jp)
+		step(ref)
+		if i%4 == 3 {
+			if _, err := jp.Compact(); err != nil {
+				t.Fatalf("compact after op %d: %v", i, err)
+			}
+		}
+	}
+	if err := jp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jp2 := mustOpenJournaled(t, dir, journal.Options{NoSync: true, SegmentBytes: 256}, noBoot(t))
+	defer jp2.Close()
+	if got, want := marshalState(t, jp2.State()), exactState(t, ref); !bytes.Equal(got, want) {
+		t.Fatal("repeatedly compacted journal recovered to a different state than the uncompacted reference")
+	}
+}

@@ -20,6 +20,11 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// State returns the generator's complete internal state. NewRNG(State())
+// resumes the sequence exactly where this generator stands, which is what
+// lets a platform snapshot freeze auction randomness mid-stream.
+func (r *RNG) State() uint64 { return r.state }
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
