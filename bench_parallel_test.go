@@ -1,0 +1,101 @@
+package treads
+
+// Contention benchmarks for the single-Platform hot paths. Every user and
+// advertiser operation on one Platform ultimately serializes on a handful
+// of subsystem mutexes, so parallel load on a multi-core box exposes the
+// ceiling the sharded Cluster (internal/cluster) raises — run these next
+// to BenchmarkClusterBrowseFeedParallel in internal/cluster to compare.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/audience"
+	"github.com/treads-project/treads/internal/money"
+	"github.com/treads-project/treads/internal/pixel"
+	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/profile"
+)
+
+// benchPlatform builds a loaded platform: users, one always-eligible
+// campaign (so browses run real auctions), and one pixel.
+func benchPlatform(b *testing.B, users int) (*platform.Platform, []profile.UserID, pixel.PixelID) {
+	b.Helper()
+	p := platform.New(platform.Config{Seed: 42})
+	ids := make([]profile.UserID, users)
+	for i := range ids {
+		pr := profile.New(profile.UserID(fmt.Sprintf("user-%06d", i)))
+		pr.Nation = "US"
+		pr.AgeYrs = 20 + i%50
+		if err := p.AddUser(pr); err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = pr.ID
+	}
+	if err := p.RegisterAdvertiser("bench"); err != nil {
+		b.Fatal(err)
+	}
+	px, err := p.IssuePixel("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.CreateCampaign("bench", platform.CampaignParams{
+		Spec:      audience.Spec{Expr: attr.MustParse("age(18, 80)")},
+		BidCapCPM: money.FromDollars(4),
+		Creative:  ad.Creative{Headline: "bench", Body: "bench"},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return p, ids, px
+}
+
+// BenchmarkPlatformBrowseFeedParallel hammers the delivery pipeline from
+// all cores: the auction, frequency-cap, and billing paths all contend on
+// their subsystem locks.
+func BenchmarkPlatformBrowseFeedParallel(b *testing.B) {
+	p, ids, _ := benchPlatform(b, 2000)
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			uid := ids[int(next.Add(1))%len(ids)]
+			if _, err := p.BrowseFeed(uid, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPlatformPotentialReachParallel hammers the audience-resolution
+// read path (full profile-store scans per call).
+func BenchmarkPlatformPotentialReachParallel(b *testing.B) {
+	p, _, _ := benchPlatform(b, 2000)
+	spec := audience.Spec{Expr: attr.MustParse("age(18, 80)")}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := p.PotentialReach("bench", spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPlatformVisitPageParallel hammers the pixel registry's write
+// lock — the pure-mutation hot path.
+func BenchmarkPlatformVisitPageParallel(b *testing.B) {
+	p, ids, px := benchPlatform(b, 2000)
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			uid := ids[int(next.Add(1))%len(ids)]
+			if err := p.VisitPage(uid, px); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

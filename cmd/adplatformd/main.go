@@ -3,6 +3,7 @@
 // pages, and the tracking-pixel endpoint.
 //
 //	adplatformd [-addr :8080] [-users 1000] [-seed 1] [-review] [-auth]
+//	            [-shards N]
 //	            [-load state.json] [-save state.json]
 //	            [-journal dir] [-batch-window 2ms] [-compact-every 5m]
 //
@@ -14,13 +15,21 @@
 //	curl "localhost:8080/api/v1/attributes?q=net+worth"
 //	curl "localhost:8080/pixel/px-000001?uid=user-000000"
 //
+// With -shards N (N > 1), the population is partitioned across N
+// independent platform shards by consistent hashing on the user ID; user
+// requests route to the owning shard, advertiser mutations replicate to
+// every shard, and aggregate reads merge exact per-shard totals before
+// privacy thresholds apply. The HTTP API is identical — sharding is
+// invisible on the wire. -load/-save snapshots are single-shard only.
+//
 // With -journal, every mutating operation is written to a write-ahead
-// journal in the given directory before it is acknowledged, so a crash or
-// kill -9 loses nothing: the next run with the same -journal recovers the
-// newest snapshot and deterministically replays the journal suffix
-// (-load/-users/-seed only shape the very first boot of the directory).
-// The journal is compacted in the background every -compact-every, and on
-// demand via POST /admin/v1/compact.
+// journal before it is acknowledged, so a crash or kill -9 loses nothing:
+// the next run with the same -journal recovers the newest snapshot and
+// deterministically replays the journal suffix (-load/-users/-seed only
+// shape the very first boot of the directory). Sharded servers keep one
+// journal per shard under <dir>/shard-<i>/, each recovered independently
+// at boot. The journal is compacted in the background every
+// -compact-every, and on demand via POST /admin/v1/compact.
 //
 // With -save, the full platform state (accounts, audiences, campaigns,
 // feeds, billing) is written as JSON on SIGINT/SIGTERM — atomically, via a
@@ -33,6 +42,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -41,9 +51,13 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/cluster"
 	"github.com/treads-project/treads/internal/httpapi"
 	"github.com/treads-project/treads/internal/journal"
 	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/stats"
 	"github.com/treads-project/treads/internal/workload"
 )
 
@@ -54,88 +68,87 @@ func main() {
 	}
 }
 
+// options are the parsed command-line flags.
+type options struct {
+	Addr         string
+	Users        int
+	Seed         uint64
+	Shards       int
+	Review       bool
+	BanAfter     int
+	Auth         bool
+	Load         string
+	Save         string
+	JournalDir   string
+	BatchWindow  time.Duration
+	CompactEvery time.Duration
+}
+
+// parseFlags registers the flag set on fs and parses args into options.
+func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
+	var o options
+	fs.StringVar(&o.Addr, "addr", ":8080", "listen address")
+	fs.IntVar(&o.Users, "users", 1000, "synthetic population size (ignored with -load)")
+	fs.Uint64Var(&o.Seed, "seed", 1, "deterministic seed")
+	fs.IntVar(&o.Shards, "shards", 1, "number of platform shards (consistent-hash partitioned by user)")
+	fs.BoolVar(&o.Review, "review", false, "enable ToS ad review")
+	fs.IntVar(&o.BanAfter, "ban-after", 0, "ban advertisers after N rejected ads (0 = never)")
+	fs.BoolVar(&o.Auth, "auth", false, "require per-advertiser API tokens (issued at registration)")
+	fs.StringVar(&o.Load, "load", "", "restore platform state from this JSON snapshot")
+	fs.StringVar(&o.Save, "save", "", "write platform state to this JSON snapshot on shutdown")
+	fs.StringVar(&o.JournalDir, "journal", "", "write-ahead journal directory; enables crash recovery")
+	fs.DurationVar(&o.BatchWindow, "batch-window", 2*time.Millisecond, "journal group-commit window (0 = fsync per op)")
+	fs.DurationVar(&o.CompactEvery, "compact-every", 5*time.Minute, "background journal compaction interval (0 = never)")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	return o, nil
+}
+
+// validate rejects flag combinations the server cannot honor, with errors
+// that name the flag and the rule.
+func (o options) validate() error {
+	if o.Shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", o.Shards)
+	}
+	if o.Users < 0 {
+		return fmt.Errorf("-users must not be negative, got %d", o.Users)
+	}
+	if o.BanAfter < 0 {
+		return fmt.Errorf("-ban-after must not be negative, got %d", o.BanAfter)
+	}
+	if o.BatchWindow < 0 {
+		return fmt.Errorf("-batch-window must not be negative, got %v (0 means fsync per op)", o.BatchWindow)
+	}
+	if o.CompactEvery < 0 {
+		return fmt.Errorf("-compact-every must not be negative, got %v (0 disables background compaction)", o.CompactEvery)
+	}
+	if o.Shards > 1 && (o.Load != "" || o.Save != "") {
+		return fmt.Errorf("-load/-save snapshots are single-shard only; with -shards %d use -journal for persistence", o.Shards)
+	}
+	return nil
+}
+
 func run() error {
-	addr := flag.String("addr", ":8080", "listen address")
-	users := flag.Int("users", 1000, "synthetic population size (ignored with -load)")
-	seed := flag.Uint64("seed", 1, "deterministic seed")
-	review := flag.Bool("review", false, "enable ToS ad review")
-	banAfter := flag.Int("ban-after", 0, "ban advertisers after N rejected ads (0 = never)")
-	requireAuth := flag.Bool("auth", false, "require per-advertiser API tokens (issued at registration)")
-	loadPath := flag.String("load", "", "restore platform state from this JSON snapshot")
-	savePath := flag.String("save", "", "write platform state to this JSON snapshot on shutdown")
-	journalDir := flag.String("journal", "", "write-ahead journal directory; enables crash recovery")
-	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "journal group-commit window (0 = fsync per op)")
-	compactEvery := flag.Duration("compact-every", 5*time.Minute, "background journal compaction interval (0 = never)")
-	flag.Parse()
+	opts, err := parseFlags(flag.CommandLine, os.Args[1:])
+	if err != nil {
+		return err
+	}
+	if err := opts.validate(); err != nil {
+		return err
+	}
 
 	logger := log.New(os.Stderr, "adplatformd: ", log.LstdFlags)
 
-	// boot builds the initial platform from -load or the synthetic
-	// population. With -journal it only runs on the directory's first
-	// open; afterwards the journal itself is the source of truth.
-	boot := func() (*platform.Platform, error) {
-		if *loadPath != "" {
-			raw, err := os.ReadFile(*loadPath)
-			if err != nil {
-				return nil, fmt.Errorf("reading snapshot: %w", err)
-			}
-			state, err := platform.UnmarshalSnapshot(raw)
-			if err != nil {
-				return nil, fmt.Errorf("parsing snapshot: %w", err)
-			}
-			p, err := platform.Restore(state)
-			if err != nil {
-				return nil, fmt.Errorf("restoring snapshot: %w", err)
-			}
-			logger.Printf("restored %d users from %s", len(p.Users()), *loadPath)
-			return p, nil
-		}
-		p := platform.New(platform.Config{
-			Seed:      *seed,
-			ReviewAds: *review,
-			BanAfter:  *banAfter,
-		})
-		cfg := workload.DefaultConfig()
-		cfg.Users = *users
-		cfg.Seed = *seed
-		cfg.Catalog = p.Catalog()
-		for _, u := range workload.Generate(cfg) {
-			if err := p.AddUser(u); err != nil {
-				return nil, fmt.Errorf("loading population: %w", err)
-			}
-		}
-		return p, nil
+	backend, jp, compactor, err := openBackend(opts, logger)
+	if err != nil {
+		return err
 	}
-
-	// Assemble the backend: journaled and crash-recoverable with
-	// -journal, plain in-memory otherwise.
-	var (
-		backend httpapi.Backend
-		jp      *platform.Journaled
-	)
-	if *journalDir != "" {
-		var err error
-		jp, err = platform.OpenJournaled(*journalDir, journal.Options{
-			BatchWindow: *batchWindow,
-		}, boot)
-		if err != nil {
-			return fmt.Errorf("opening journal: %w", err)
-		}
-		backend = jp
-		logger.Printf("journal open in %s (recovered through LSN %d)", *journalDir, jp.LastLSN())
-	} else {
-		p, err := boot()
-		if err != nil {
-			return err
-		}
-		backend = p
-	}
-	ground := underlying(backend, jp)
-	logger.Printf("platform ready: %d users, %d attributes (review=%v auth=%v journal=%v)",
-		len(ground.Users()), ground.Catalog().Len(), *review, *requireAuth, *journalDir != "")
+	logger.Printf("platform ready: %d users, %d attributes (shards=%d review=%v auth=%v journal=%v)",
+		len(backend.Users()), backend.Catalog().Len(), opts.Shards, opts.Review, opts.Auth, opts.JournalDir != "")
 
 	var handler *httpapi.Server
-	if *requireAuth {
+	if opts.Auth {
 		var auth *httpapi.Authenticator
 		handler, auth = httpapi.NewServerWithAuth(backend, logger)
 		// The admin token guards operator endpoints (journal
@@ -148,25 +161,25 @@ func run() error {
 	} else {
 		handler = httpapi.NewServer(backend, logger)
 	}
-	if jp != nil {
-		handler.SetCompactor(jp)
+	if compactor != nil {
+		handler.SetCompactor(compactor)
 	}
 
 	srv := &http.Server{
-		Addr:    *addr,
+		Addr:    opts.Addr,
 		Handler: handler,
 	}
 
 	// Background journal compaction keeps recovery time bounded.
 	stopCompact := make(chan struct{})
-	if jp != nil && *compactEvery > 0 {
+	if compactor != nil && opts.CompactEvery > 0 {
 		go func() {
-			t := time.NewTicker(*compactEvery)
+			t := time.NewTicker(opts.CompactEvery)
 			defer t.Stop()
 			for {
 				select {
 				case <-t.C:
-					if lsn, err := jp.Compact(); err != nil {
+					if lsn, err := compactor.Compact(); err != nil {
 						logger.Printf("background compaction: %v", err)
 					} else {
 						logger.Printf("compacted journal through LSN %d", lsn)
@@ -185,7 +198,7 @@ func run() error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	logger.Printf("listening on %s", *addr)
+	logger.Printf("listening on %s", opts.Addr)
 
 	select {
 	case err := <-errc:
@@ -200,39 +213,144 @@ func run() error {
 	}
 	close(stopCompact)
 
-	if jp != nil {
-		if lsn, err := jp.Compact(); err != nil {
+	if compactor != nil {
+		if lsn, err := compactor.Compact(); err != nil {
 			logger.Printf("final compaction: %v", err)
 		} else {
 			logger.Printf("final snapshot through LSN %d", lsn)
 		}
 	}
-	if *savePath != "" {
+	if opts.Save != "" {
+		// validate() restricts -save to single-shard servers, so exactly
+		// one platform's state exists to snapshot.
 		var state platform.State
 		if jp != nil {
 			state = jp.State()
 		} else {
-			state = ground.Snapshot(*seed + 1)
+			state = backend.(*platform.Platform).Snapshot(opts.Seed + 1)
 		}
-		if err := saveAtomic(*savePath, state); err != nil {
+		if err := saveAtomic(opts.Save, state); err != nil {
 			return fmt.Errorf("saving state: %w", err)
 		}
-		logger.Printf("saved state to %s", *savePath)
+		logger.Printf("saved state to %s", opts.Save)
 	}
-	if jp != nil {
-		if err := jp.Close(); err != nil {
-			return fmt.Errorf("closing journal: %w", err)
+	if c, ok := backend.(io.Closer); ok {
+		if err := c.Close(); err != nil {
+			return fmt.Errorf("closing backend: %w", err)
 		}
 	}
 	return nil
 }
 
-// underlying returns the raw platform for read-only introspection.
-func underlying(b httpapi.Backend, jp *platform.Journaled) *platform.Platform {
-	if jp != nil {
-		return jp.Underlying()
+// serverBackend is httpapi.Backend plus the introspection the daemon logs
+// at startup. *platform.Platform, *platform.Journaled, and
+// *cluster.Cluster all satisfy it.
+type serverBackend interface {
+	httpapi.Backend
+	Users() []profile.UserID
+	Catalog() *attr.Catalog
+}
+
+// openBackend assembles the configured backend: a single platform (plain
+// or journaled) or an N-shard cluster (in-memory or one journal per
+// shard). jp is non-nil only for the single-shard journaled case, where
+// -save needs the journaled state; compactor is non-nil whenever a journal
+// is in play.
+func openBackend(opts options, logger *log.Logger) (serverBackend, *platform.Journaled, httpapi.Compactor, error) {
+	if opts.Shards == 1 {
+		if opts.JournalDir != "" {
+			jp, err := platform.OpenJournaled(opts.JournalDir, journal.Options{
+				BatchWindow: opts.BatchWindow,
+			}, bootShard(opts, 0, logger))
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("opening journal: %w", err)
+			}
+			logger.Printf("journal open in %s (recovered through LSN %d)", opts.JournalDir, jp.LastLSN())
+			return jp, jp, jp, nil
+		}
+		p, err := bootShard(opts, 0, logger)()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return p, nil, nil, nil
 	}
-	return b.(*platform.Platform)
+
+	shards := make([]cluster.Shard, opts.Shards)
+	var compactor httpapi.Compactor
+	for i := range shards {
+		if opts.JournalDir != "" {
+			dir := filepath.Join(opts.JournalDir, fmt.Sprintf("shard-%03d", i))
+			jp, err := platform.OpenJournaled(dir, journal.Options{
+				BatchWindow: opts.BatchWindow,
+			}, bootShard(opts, i, logger))
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("opening journal for shard %d: %w", i, err)
+			}
+			logger.Printf("shard %d journal open in %s (recovered through LSN %d)", i, dir, jp.LastLSN())
+			shards[i] = jp
+		} else {
+			p, err := bootShard(opts, i, logger)()
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("booting shard %d: %w", i, err)
+			}
+			shards[i] = p
+		}
+	}
+	c, err := cluster.New(shards, cluster.Options{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if opts.JournalDir != "" {
+		compactor = c
+	}
+	return c, nil, compactor, nil
+}
+
+// bootShard returns the boot function for shard i: restore from -load
+// (single-shard only), or generate the deterministic synthetic population
+// and keep the slice the consistent-hash ring assigns this shard. Every
+// shard runs the same generator with the same seed, so the union over
+// shards is exactly the single-shard population. With -journal this runs
+// only on the directory's first open; afterwards the journal itself is the
+// source of truth.
+func bootShard(opts options, i int, logger *log.Logger) func() (*platform.Platform, error) {
+	return func() (*platform.Platform, error) {
+		if opts.Load != "" {
+			raw, err := os.ReadFile(opts.Load)
+			if err != nil {
+				return nil, fmt.Errorf("reading snapshot: %w", err)
+			}
+			state, err := platform.UnmarshalSnapshot(raw)
+			if err != nil {
+				return nil, fmt.Errorf("parsing snapshot: %w", err)
+			}
+			p, err := platform.Restore(state)
+			if err != nil {
+				return nil, fmt.Errorf("restoring snapshot: %w", err)
+			}
+			logger.Printf("restored %d users from %s", len(p.Users()), opts.Load)
+			return p, nil
+		}
+		p := platform.New(platform.Config{
+			Seed:      stats.SubSeed(opts.Seed, uint64(i)),
+			ReviewAds: opts.Review,
+			BanAfter:  opts.BanAfter,
+		})
+		cfg := workload.DefaultConfig()
+		cfg.Users = opts.Users
+		cfg.Seed = opts.Seed
+		cfg.Catalog = p.Catalog()
+		ring := cluster.NewRing(opts.Shards, 0)
+		for _, u := range workload.Generate(cfg) {
+			if opts.Shards > 1 && ring.Owner(string(u.ID)) != i {
+				continue
+			}
+			if err := p.AddUser(u); err != nil {
+				return nil, fmt.Errorf("loading population: %w", err)
+			}
+		}
+		return p, nil
+	}
 }
 
 // saveAtomic writes the snapshot through a temp file and rename so a crash

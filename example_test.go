@@ -102,3 +102,44 @@ func ExampleHashEmail() {
 	// Output:
 	// normalized equal: true
 }
+
+// ExampleNewCluster runs the same end-to-end Treads flow as
+// ExampleNewProvider, but on a 4-shard cluster: the user lives on one
+// shard, the Treads replicate to all of them, and the reveal is identical.
+func ExampleNewCluster() {
+	c, err := treads.NewCluster(4, treads.PlatformConfig{
+		Seed:   1,
+		Market: &treads.Market{BaseCPM: treads.Dollars(2), Floor: treads.Dollars(0.10)},
+	}, treads.ClusterOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := treads.NewProfile("alice")
+	u.Nation = "US"
+	u.AgeYrs = 34
+	netWorth := c.Catalog().Search("Net worth: over $2,000,000")[0].ID
+	u.SetAttr(netWorth)
+	if err := c.AddUser(u); err != nil {
+		log.Fatal(err)
+	}
+
+	tp, err := treads.NewProviderOn(c, treads.ProviderConfig{
+		Name: "tp", Mode: treads.RevealObfuscated, CodebookSeed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.LikePage("alice", tp.OptInPage())
+	if _, err := tp.DeployAttrTreads([]treads.AttrID{netWorth}); err != nil {
+		log.Fatal(err)
+	}
+	c.BrowseFeed("alice", 10)
+
+	ext := &treads.Extension{ProviderName: tp.Name(), Codebook: tp.Codebook()}
+	rev := ext.Scan(c.Feed("alice"), c.Catalog())
+	fmt.Println("control seen:", rev.ControlSeen)
+	fmt.Println("revealed:", c.Catalog().Get(rev.Attrs[0]).Name)
+	// Output:
+	// control seen: true
+	// revealed: Net worth: over $2,000,000
+}

@@ -108,23 +108,32 @@ func (r Report) String() string {
 func (l *Ledger) Report(campaignID string) Report {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	r := Report{CampaignID: campaignID}
 	acct := l.campaigns[campaignID]
 	if acct == nil {
-		return r
+		return Report{CampaignID: campaignID}
 	}
-	r.Impressions = acct.impressions
-	trueReach := len(acct.reached)
-	if trueReach >= l.billableThreshold {
-		r.Spend = acct.spend
+	return MakeReport(campaignID, acct.impressions, len(acct.reached), acct.spend, l.billableThreshold)
+}
+
+// MakeReport derives the advertiser-visible report from exact delivery
+// totals: impressions, distinct-user reach, and accrued spend. It is the
+// single place the billable threshold and reach rounding are applied, so a
+// cluster coordinator that sums exact per-shard totals and calls MakeReport
+// once reports exactly what one big ledger would — thresholding per shard
+// and then summing would both over-suppress and leak shard boundaries.
+// billableThreshold == 0 selects the exact-reporting ablation mode.
+func MakeReport(campaignID string, impressions, trueReach int, spend money.Micros, billableThreshold int) Report {
+	r := Report{CampaignID: campaignID, Impressions: impressions}
+	if trueReach >= billableThreshold {
+		r.Spend = spend
 	}
-	if trueReach >= ReachReportThreshold && l.billableThreshold > 0 {
+	if trueReach >= ReachReportThreshold && billableThreshold > 0 {
 		r.Reach = trueReach - trueReach%ReachRounding
-	} else if l.billableThreshold == 0 {
+	} else if billableThreshold == 0 {
 		// Ablation mode: exact reporting, the unsafe configuration E4
 		// demonstrates membership inference against.
 		r.Reach = trueReach
-		r.Spend = acct.spend
+		r.Spend = spend
 	}
 	return r
 }
@@ -137,6 +146,19 @@ func (l *Ledger) TrueSpend(campaignID string) money.Micros {
 	defer l.mu.RUnlock()
 	if acct := l.campaigns[campaignID]; acct != nil {
 		return acct.spend
+	}
+	return 0
+}
+
+// TrueImpressions returns the exact impression count for a campaign.
+// Impressions are reported to advertisers exactly anyway; this accessor
+// exists so cluster coordinators can merge shard ledgers without going
+// through Report.
+func (l *Ledger) TrueImpressions(campaignID string) int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if acct := l.campaigns[campaignID]; acct != nil {
+		return acct.impressions
 	}
 	return 0
 }

@@ -1,0 +1,112 @@
+package cluster_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/audience"
+	"github.com/treads-project/treads/internal/cluster"
+	"github.com/treads-project/treads/internal/money"
+	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/workload"
+)
+
+// benchCluster builds an n-shard cluster loaded with users and one
+// always-eligible campaign, so every BrowseFeed runs real auctions.
+func benchCluster(b *testing.B, n, users int) (*cluster.Cluster, []profile.UserID) {
+	b.Helper()
+	c, err := cluster.NewInMemory(n, platform.Config{Seed: 42}, cluster.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]profile.UserID, users)
+	for i := range ids {
+		pr := profile.New(profile.UserID(fmt.Sprintf("user-%06d", i)))
+		pr.Nation = "US"
+		pr.AgeYrs = 20 + i%50
+		if err := c.AddUser(pr); err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = pr.ID
+	}
+	if err := c.RegisterAdvertiser("bench"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.CreateCampaign("bench", platform.CampaignParams{
+		Spec:      audience.Spec{Expr: attr.MustParse("age(18, 80)")},
+		BidCapCPM: money.FromDollars(4),
+		Creative:  ad.Creative{Headline: "bench", Body: "bench"},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return c, ids
+}
+
+// BenchmarkClusterBrowseFeedParallel is the scaling proof for the
+// tentpole: the same parallel browse workload against 1, 2, 4, and 8
+// shards. The 1-shard case is the single-mutex baseline; with user
+// traffic partitioned, more shards means less lock contention per shard
+// and higher aggregate throughput on multi-core hardware.
+func BenchmarkClusterBrowseFeedParallel(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c, ids := benchCluster(b, shards, 2000)
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					uid := ids[int(next.Add(1))%len(ids)]
+					if _, err := c.BrowseFeed(uid, 3); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkClusterPotentialReachParallel measures the scatter-gather read
+// path under parallel load: every call fans out to all shards through the
+// bounded worker pool and merges exact counts.
+func BenchmarkClusterPotentialReachParallel(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c, _ := benchCluster(b, shards, 2000)
+			spec := audience.Spec{Expr: attr.MustParse("age(18, 80)")}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := c.PotentialReach("bench", spec); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkClusterMixedWorkload runs the workload driver's op mix through
+// the cluster — the end-to-end number for the concurrent-driver satellite.
+func BenchmarkClusterMixedWorkload(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c, ids := benchCluster(b, shards, 2000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st := workload.Drive(c, workload.DriverConfig{
+					Goroutines:      8,
+					OpsPerGoroutine: 50,
+					Users:           ids,
+					Seed:            uint64(i + 1),
+				})
+				if st.Errors != 0 {
+					b.Fatalf("driver errors: %d", st.Errors)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,389 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/audience"
+	"github.com/treads-project/treads/internal/explain"
+	"github.com/treads-project/treads/internal/httpapi"
+	"github.com/treads-project/treads/internal/pii"
+	"github.com/treads-project/treads/internal/pixel"
+	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/stats"
+)
+
+// Shard is the per-partition platform surface the coordinator drives. Both
+// *platform.Platform and *platform.Journaled satisfy it, so a cluster can
+// be fully in-memory or durable per shard.
+type Shard interface {
+	// User-scoped (routed to the owning shard).
+	AddUser(*profile.Profile) error
+	User(profile.UserID) *profile.Profile
+	Users() []profile.UserID
+	BrowseFeed(profile.UserID, int) ([]ad.Impression, error)
+	Feed(profile.UserID) []ad.Impression
+	VisitPage(profile.UserID, pixel.PixelID) error
+	LikePage(profile.UserID, string) error
+	AdPreferences(profile.UserID) ([]attr.ID, error)
+	AdvertisersTargetingMe(profile.UserID) ([]string, error)
+	ExplainImpression(profile.UserID, ad.Impression) (explain.Explanation, error)
+
+	// Advertiser-scoped mutations (replicated to every shard in order).
+	RegisterAdvertiser(string) error
+	CreateCampaign(string, platform.CampaignParams) (string, error)
+	PauseCampaign(string, string) error
+	CreatePIIAudience(string, string, []pii.MatchKey) (audience.AudienceID, error)
+	CreateWebsiteAudience(string, string, pixel.PixelID) (audience.AudienceID, error)
+	CreateEngagementAudience(string, string, string) (audience.AudienceID, error)
+	CreateAffinityAudience(string, string, []string) (audience.AudienceID, error)
+	CreateLookalikeAudience(string, string, audience.AudienceID, float64) (audience.AudienceID, error)
+	IssuePixel(string) (pixel.PixelID, error)
+
+	// Aggregate reads (scatter-gathered and merged at the cluster edge).
+	RawReach(advertiser string, spec audience.Spec) (int, error)
+	CampaignTotals(advertiser, campaignID string) (platform.CampaignTotals, error)
+
+	// Shared, replicated state.
+	Catalog() *attr.Catalog
+	SearchAttributes(string) []*attr.Attribute
+}
+
+var (
+	_ Shard = (*platform.Platform)(nil)
+	_ Shard = (*platform.Journaled)(nil)
+)
+
+// Options tunes a cluster.
+type Options struct {
+	// VirtualNodes per shard on the consistent-hash ring; <= 0 selects
+	// DefaultVirtualNodes. Boot loaders that pre-partition a population
+	// must build their Ring with the same value.
+	VirtualNodes int
+	// Workers bounds concurrent per-shard calls during scatter-gather
+	// reads; <= 0 selects min(GOMAXPROCS, shards).
+	Workers int
+}
+
+// Cluster coordinates N platform shards behind the httpapi.Backend
+// surface. User-scoped calls take only the owning shard's locks, so a
+// cluster uses as many cores as it has shards; the coordinator itself
+// serializes nothing on those paths.
+type Cluster struct {
+	shards  []Shard
+	ring    *Ring
+	workers int
+
+	// repMu serializes replicated advertiser mutations so every shard
+	// applies them in the same order — that order equality is what keeps
+	// the deterministic per-shard ID counters (camp-/aud-/px-) in sync
+	// across the cluster. User-scoped traffic never touches it.
+	repMu sync.Mutex
+}
+
+var _ httpapi.Backend = (*Cluster)(nil)
+
+// New assembles a cluster over pre-built shards. The shards must agree on
+// catalog and advertiser-side state (fresh shards, or shards recovered from
+// per-shard journals that were only ever driven through a cluster).
+func New(shards []Shard, opts Options) (*Cluster, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: no shards")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	return &Cluster{
+		shards:  shards,
+		ring:    NewRing(len(shards), opts.VirtualNodes),
+		workers: workers,
+	}, nil
+}
+
+// NewInMemory builds an n-shard cluster of fresh in-memory platforms.
+// Shard i is seeded with stats.SubSeed(cfg.Seed, i), so shard 0 of a
+// 1-shard cluster draws the exact auction randomness the bare platform
+// would — the equivalence the cluster tests pin down.
+func NewInMemory(n int, cfg platform.Config, opts Options) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 shard, got %d", n)
+	}
+	shards := make([]Shard, n)
+	for i := range shards {
+		shardCfg := cfg
+		shardCfg.Seed = stats.SubSeed(cfg.Seed, uint64(i))
+		shards[i] = platform.New(shardCfg)
+	}
+	return New(shards, opts)
+}
+
+// Shards returns the number of shards.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Ring returns the cluster's consistent-hash ring.
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Owner returns the shard index owning a user.
+func (c *Cluster) Owner(uid profile.UserID) int { return c.ring.Owner(string(uid)) }
+
+func (c *Cluster) owner(uid profile.UserID) Shard {
+	return c.shards[c.ring.Owner(string(uid))]
+}
+
+// --- user-scoped operations: route to the owning shard ---
+
+// AddUser inserts the profile into its owning shard.
+func (c *Cluster) AddUser(pr *profile.Profile) error { return c.owner(pr.ID).AddUser(pr) }
+
+// User returns the user's profile from the owning shard.
+func (c *Cluster) User(uid profile.UserID) *profile.Profile { return c.owner(uid).User(uid) }
+
+// BrowseFeed runs a feed session on the user's shard.
+func (c *Cluster) BrowseFeed(uid profile.UserID, slots int) ([]ad.Impression, error) {
+	return c.owner(uid).BrowseFeed(uid, slots)
+}
+
+// Feed returns the user's full feed from the owning shard.
+func (c *Cluster) Feed(uid profile.UserID) []ad.Impression { return c.owner(uid).Feed(uid) }
+
+// VisitPage records a pixel fire on the user's shard. Pixels are
+// replicated, so the shard resolves the pixel locally.
+func (c *Cluster) VisitPage(uid profile.UserID, px pixel.PixelID) error {
+	return c.owner(uid).VisitPage(uid, px)
+}
+
+// LikePage records a page like on the user's shard.
+func (c *Cluster) LikePage(uid profile.UserID, pageID string) error {
+	return c.owner(uid).LikePage(uid, pageID)
+}
+
+// AdPreferences returns the transparency-page attributes from the user's
+// shard.
+func (c *Cluster) AdPreferences(uid profile.UserID) ([]attr.ID, error) {
+	return c.owner(uid).AdPreferences(uid)
+}
+
+// AdvertisersTargetingMe answers from the user's shard; campaigns and
+// audiences are replicated, and the user's custom-data memberships live
+// where the user lives.
+func (c *Cluster) AdvertisersTargetingMe(uid profile.UserID) ([]string, error) {
+	return c.owner(uid).AdvertisersTargetingMe(uid)
+}
+
+// ExplainImpression generates the "why am I seeing this?" text on the
+// user's shard.
+func (c *Cluster) ExplainImpression(uid profile.UserID, imp ad.Impression) (explain.Explanation, error) {
+	return c.owner(uid).ExplainImpression(uid, imp)
+}
+
+// --- advertiser-scoped mutations: replicate to every shard ---
+
+// replicate applies op to every shard in shard order under the replication
+// lock and returns shard 0's result. Shards are deterministic state
+// machines fed the same mutation sequence, so they must agree; any
+// disagreement means the shards' advertiser-side states have drifted and
+// the cluster is unsafe to keep using, which is reported as an error
+// rather than papered over. (Error texts may differ across shards — only
+// refusal vs success and the returned ID must match.)
+func replicate[T comparable](c *Cluster, opName string, op func(Shard) (T, error)) (T, error) {
+	c.repMu.Lock()
+	defer c.repMu.Unlock()
+	var first T
+	var firstErr error
+	for i, s := range c.shards {
+		v, err := op(s)
+		if i == 0 {
+			first, firstErr = v, err
+			continue
+		}
+		if (err == nil) != (firstErr == nil) {
+			return first, fmt.Errorf("cluster: %s diverged: shard %d returned %v, shard 0 returned %v", opName, i, err, firstErr)
+		}
+		if err == nil && v != first {
+			return first, fmt.Errorf("cluster: %s diverged: shard %d returned %v, shard 0 returned %v", opName, i, v, first)
+		}
+	}
+	return first, firstErr
+}
+
+// RegisterAdvertiser creates the advertiser account on every shard.
+func (c *Cluster) RegisterAdvertiser(name string) error {
+	_, err := replicate(c, "RegisterAdvertiser", func(s Shard) (struct{}, error) {
+		return struct{}{}, s.RegisterAdvertiser(name)
+	})
+	return err
+}
+
+// CreateCampaign registers the campaign on every shard; all shards mint the
+// same campaign ID.
+func (c *Cluster) CreateCampaign(advertiser string, params platform.CampaignParams) (string, error) {
+	return replicate(c, "CreateCampaign", func(s Shard) (string, error) {
+		return s.CreateCampaign(advertiser, params)
+	})
+}
+
+// PauseCampaign pauses the campaign on every shard.
+func (c *Cluster) PauseCampaign(advertiser, campaignID string) error {
+	_, err := replicate(c, "PauseCampaign", func(s Shard) (struct{}, error) {
+		return struct{}{}, s.PauseCampaign(advertiser, campaignID)
+	})
+	return err
+}
+
+// CreatePIIAudience uploads the customer list to every shard; each shard
+// matches its own users against the hashed keys.
+func (c *Cluster) CreatePIIAudience(advertiser, name string, keys []pii.MatchKey) (audience.AudienceID, error) {
+	return replicate(c, "CreatePIIAudience", func(s Shard) (audience.AudienceID, error) {
+		return s.CreatePIIAudience(advertiser, name, keys)
+	})
+}
+
+// CreateWebsiteAudience builds the pixel-backed audience on every shard.
+func (c *Cluster) CreateWebsiteAudience(advertiser, name string, px pixel.PixelID) (audience.AudienceID, error) {
+	return replicate(c, "CreateWebsiteAudience", func(s Shard) (audience.AudienceID, error) {
+		return s.CreateWebsiteAudience(advertiser, name, px)
+	})
+}
+
+// CreateEngagementAudience builds the page-like audience on every shard.
+func (c *Cluster) CreateEngagementAudience(advertiser, name, pageID string) (audience.AudienceID, error) {
+	return replicate(c, "CreateEngagementAudience", func(s Shard) (audience.AudienceID, error) {
+		return s.CreateEngagementAudience(advertiser, name, pageID)
+	})
+}
+
+// CreateAffinityAudience builds the keyword audience on every shard.
+func (c *Cluster) CreateAffinityAudience(advertiser, name string, phrases []string) (audience.AudienceID, error) {
+	return replicate(c, "CreateAffinityAudience", func(s Shard) (audience.AudienceID, error) {
+		return s.CreateAffinityAudience(advertiser, name, phrases)
+	})
+}
+
+// CreateLookalikeAudience derives the similarity audience on every shard.
+// Each shard expands the seed audience over its own users, so the
+// lookalike is computed per partition — the same locality approximation
+// production systems make.
+func (c *Cluster) CreateLookalikeAudience(advertiser, name string, seed audience.AudienceID, overlap float64) (audience.AudienceID, error) {
+	return replicate(c, "CreateLookalikeAudience", func(s Shard) (audience.AudienceID, error) {
+		return s.CreateLookalikeAudience(advertiser, name, seed, overlap)
+	})
+}
+
+// IssuePixel issues the tracking pixel on every shard under the same ID,
+// so a pixel fire resolves on whichever shard owns the visiting user.
+func (c *Cluster) IssuePixel(advertiser string) (pixel.PixelID, error) {
+	return replicate(c, "IssuePixel", func(s Shard) (pixel.PixelID, error) {
+		return s.IssuePixel(advertiser)
+	})
+}
+
+// --- replicated reads: any shard answers ---
+
+// Catalog returns the attribute catalog (identical on every shard).
+func (c *Cluster) Catalog() *attr.Catalog { return c.shards[0].Catalog() }
+
+// SearchAttributes searches the catalog on shard 0.
+func (c *Cluster) SearchAttributes(query string) []*attr.Attribute {
+	return c.shards[0].SearchAttributes(query)
+}
+
+// Users returns every user ID in the cluster. A 1-shard cluster preserves
+// the shard's insertion order (matching the bare platform); with more
+// shards there is no global insertion order, so IDs come back sorted.
+func (c *Cluster) Users() []profile.UserID {
+	if len(c.shards) == 1 {
+		return c.shards[0].Users()
+	}
+	perShard := make([][]profile.UserID, len(c.shards))
+	_ = c.gather(func(i int, s Shard) error {
+		perShard[i] = s.Users()
+		return nil
+	})
+	var all []profile.UserID
+	for _, ids := range perShard {
+		all = append(all, ids...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all
+}
+
+// --- durability plumbing (journaled shards) ---
+
+// compactor is the per-shard durability surface; *platform.Journaled
+// satisfies it.
+type compactor interface {
+	Compact() (uint64, error)
+	LastLSN() uint64
+}
+
+// Compact snapshots and prunes every journaled shard's journal,
+// sequentially (each shard's compaction is its own stop-the-world; doing
+// them one at a time keeps the rest of the cluster serving). It returns
+// the minimum per-shard snapshot LSN — the prefix length every journaled
+// shard is guaranteed to have durably folded into a snapshot. Per-shard
+// LSNs are independent sequences, so the minimum is a conservative
+// progress indicator, not a global order. Clusters with no journaled
+// shards return 0.
+func (c *Cluster) Compact() (uint64, error) {
+	var minLSN uint64
+	seen := false
+	for i, s := range c.shards {
+		jc, ok := s.(compactor)
+		if !ok {
+			continue
+		}
+		lsn, err := jc.Compact()
+		if err != nil {
+			return 0, fmt.Errorf("cluster: compacting shard %d: %w", i, err)
+		}
+		if !seen || lsn < minLSN {
+			minLSN = lsn
+		}
+		seen = true
+	}
+	return minLSN, nil
+}
+
+// LastLSN returns the minimum last-journaled LSN across journaled shards
+// (0 if none are journaled) — the same conservative reading Compact uses.
+func (c *Cluster) LastLSN() uint64 {
+	var minLSN uint64
+	seen := false
+	for _, s := range c.shards {
+		jc, ok := s.(compactor)
+		if !ok {
+			continue
+		}
+		if lsn := jc.LastLSN(); !seen || lsn < minLSN {
+			minLSN = lsn
+			seen = true
+		}
+	}
+	return minLSN
+}
+
+// Close closes every shard that is closable (journaled shards sync and
+// close their journals). The first error wins; remaining shards still get
+// closed.
+func (c *Cluster) Close() error {
+	var firstErr error
+	for i, s := range c.shards {
+		cl, ok := s.(interface{ Close() error })
+		if !ok {
+			continue
+		}
+		if err := cl.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: closing shard %d: %w", i, err)
+		}
+	}
+	return firstErr
+}

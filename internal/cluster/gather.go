@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+
+	"github.com/treads-project/treads/internal/audience"
+	"github.com/treads-project/treads/internal/billing"
+	"github.com/treads-project/treads/internal/platform"
+)
+
+// gather runs fn once per shard with at most c.workers concurrent calls
+// and returns the join of all per-shard errors. The bound keeps a wide
+// cluster's fan-out from spawning one goroutine per shard per request
+// under load; fn(i, …) writes its answer into caller-owned slot i, so no
+// further synchronization is needed.
+func (c *Cluster) gather(fn func(i int, s Shard) error) error {
+	if len(c.shards) == 1 {
+		return fn(0, c.shards[0])
+	}
+	sem := make(chan struct{}, c.workers)
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i, s := range c.shards {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, s Shard) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i, s)
+		}(i, s)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// PotentialReach scatter-gathers the exact per-shard match counts and
+// applies the advertiser-visible threshold and rounding once, on the sum.
+// Users are partitioned, so per-shard counts are disjoint and the sum is
+// the exact cluster-wide audience size; thresholding per shard instead
+// would report 0 for any audience spread thinner than MinReportableReach
+// per shard and would leak the partition layout through rounding seams.
+func (c *Cluster) PotentialReach(advertiser string, spec audience.Spec) (int, error) {
+	counts := make([]int, len(c.shards))
+	err := c.gather(func(i int, s Shard) error {
+		n, err := s.RawReach(advertiser, spec)
+		counts[i] = n
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total < audience.MinReportableReach {
+		return 0, nil
+	}
+	return total - total%audience.ReachRounding, nil
+}
+
+// Report scatter-gathers each shard's exact campaign totals and derives
+// the advertiser-visible report from the merged totals with the default
+// billing thresholds — exactly what one big ledger would report, because
+// per-shard reaches are disjoint (users live on one shard) and impressions
+// and spend are additive.
+func (c *Cluster) Report(advertiser, campaignID string) (billing.Report, error) {
+	totals := make([]platform.CampaignTotals, len(c.shards))
+	err := c.gather(func(i int, s Shard) error {
+		t, err := s.CampaignTotals(advertiser, campaignID)
+		totals[i] = t
+		return err
+	})
+	if err != nil {
+		return billing.Report{}, err
+	}
+	var merged platform.CampaignTotals
+	for _, t := range totals {
+		merged.Impressions += t.Impressions
+		merged.Reach += t.Reach
+		merged.Spend += t.Spend
+	}
+	return billing.MakeReport(campaignID, merged.Impressions, merged.Reach, merged.Spend, billing.ReachReportThreshold), nil
+}

@@ -39,6 +39,30 @@ type ProviderConfig struct {
 // DefaultBidCapCPM is the validation's elevated bid: 5x the $2 default.
 var DefaultBidCapCPM = money.FromDollars(10)
 
+// PlatformAPI is the advertiser-facing platform surface a provider drives:
+// exactly the endpoints a real transparency provider could reach from the
+// outside, nothing platform-internal. *platform.Platform,
+// *platform.Journaled, and *cluster.Cluster all satisfy it, so the whole
+// Treads mechanism runs unchanged against an in-memory platform, a
+// journaled one, or a sharded multi-core cluster.
+type PlatformAPI interface {
+	Catalog() *attr.Catalog
+	RegisterAdvertiser(name string) error
+	IssuePixel(advertiser string) (pixel.PixelID, error)
+	CreateCampaign(advertiser string, params platform.CampaignParams) (string, error)
+	CreatePIIAudience(advertiser, name string, keys []pii.MatchKey) (audience.AudienceID, error)
+	CreateWebsiteAudience(advertiser, name string, px pixel.PixelID) (audience.AudienceID, error)
+	CreateEngagementAudience(advertiser, name, pageID string) (audience.AudienceID, error)
+	CreateAffinityAudience(advertiser, name string, phrases []string) (audience.AudienceID, error)
+	CreateLookalikeAudience(advertiser, name string, seed audience.AudienceID, overlap float64) (audience.AudienceID, error)
+	Report(advertiser, campaignID string) (billing.Report, error)
+}
+
+var (
+	_ PlatformAPI = (*platform.Platform)(nil)
+	_ PlatformAPI = (*platform.Journaled)(nil)
+)
+
 // Provider is a transparency provider: an entity (the paper suggests a
 // non-profit) that signs up as an advertiser and runs one Tread per
 // targeting parameter against its opted-in audience, so that each user
@@ -50,7 +74,7 @@ var DefaultBidCapCPM = money.FromDollars(10)
 // (see the crowdsourced example).
 type Provider struct {
 	cfg      ProviderConfig
-	platform *platform.Platform
+	platform PlatformAPI
 	rng      *stats.RNG
 
 	pixelID  pixel.PixelID
@@ -71,7 +95,7 @@ type Provider struct {
 // NewProvider registers the provider as an advertiser on the platform and
 // provisions its opt-in channels (a tracking pixel for anonymous opt-in and
 // a page for engagement opt-in).
-func NewProvider(p *platform.Platform, cfg ProviderConfig) (*Provider, error) {
+func NewProvider(p PlatformAPI, cfg ProviderConfig) (*Provider, error) {
 	if cfg.Name == "" {
 		cfg.Name = "transparency-provider"
 	}

@@ -341,6 +341,16 @@ func (jp *Journaled) PotentialReach(advertiser string, spec audience.Spec) (int,
 	return jp.p.PotentialReach(advertiser, spec)
 }
 
+// RawReach returns the exact pre-threshold match count (cluster merges).
+func (jp *Journaled) RawReach(advertiser string, spec audience.Spec) (int, error) {
+	return jp.p.RawReach(advertiser, spec)
+}
+
+// CampaignTotals returns the campaign's exact totals (cluster merges).
+func (jp *Journaled) CampaignTotals(advertiser, campaignID string) (CampaignTotals, error) {
+	return jp.p.CampaignTotals(advertiser, campaignID)
+}
+
 // SearchAttributes searches the catalog.
 func (jp *Journaled) SearchAttributes(query string) []*attr.Attribute {
 	return jp.p.SearchAttributes(query)

@@ -318,6 +318,48 @@ func (p *Platform) PotentialReach(advertiser string, spec audience.Spec) (int, e
 	return p.audiences.PotentialReach(spec)
 }
 
+// RawReach returns the exact number of this platform's users matching the
+// spec, before the advertiser-visible thresholding PotentialReach applies.
+// It exists for cluster coordinators, which must sum exact per-shard counts
+// and threshold the total once — thresholding per shard would suppress any
+// audience that is merely spread thin. It is never exposed to advertisers
+// directly.
+func (p *Platform) RawReach(advertiser string, spec audience.Spec) (int, error) {
+	if err := p.checkAdvertiser(advertiser); err != nil {
+		return 0, err
+	}
+	ids, err := p.audiences.Resolve(spec)
+	if err != nil {
+		return 0, err
+	}
+	return len(ids), nil
+}
+
+// CampaignTotals are one campaign's exact delivery totals on one platform,
+// before any advertiser-visible threshold: the mergeable form of a report.
+type CampaignTotals struct {
+	Impressions int
+	// Reach is the exact distinct-user count. Shards partition users, so
+	// per-shard reaches are disjoint and sum to the cluster-wide reach.
+	Reach int
+	// Spend is the accrued (not thresholded) spend.
+	Spend money.Micros
+}
+
+// CampaignTotals returns the campaign's exact totals after the same
+// ownership check Report performs. Cluster coordinators sum totals across
+// shards and apply the billing thresholds once, via billing.MakeReport.
+func (p *Platform) CampaignTotals(advertiser, campaignID string) (CampaignTotals, error) {
+	if err := p.ownCheck(advertiser, campaignID); err != nil {
+		return CampaignTotals{}, err
+	}
+	return CampaignTotals{
+		Impressions: p.ledger.TrueImpressions(campaignID),
+		Reach:       p.ledger.TrueReach(campaignID),
+		Spend:       p.ledger.TrueSpend(campaignID),
+	}, nil
+}
+
 // SearchAttributes is the ads-manager keyword search over the catalog.
 func (p *Platform) SearchAttributes(query string) []*attr.Attribute {
 	return p.catalog.Search(query)

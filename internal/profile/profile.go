@@ -22,8 +22,10 @@ import (
 type UserID string
 
 // Profile is one user's platform-held profile. It implements attr.Subject.
-// Profiles are not safe for concurrent mutation; the Store serializes
-// access.
+// Demographic fields and attributes are written only before the profile is
+// added to a Store; page likes are the one surface mutated by live user
+// traffic, so they carry their own lock and Like/LikesPage/LikedPages are
+// safe to call concurrently.
 type Profile struct {
 	ID     UserID
 	AgeYrs int
@@ -35,7 +37,8 @@ type Profile struct {
 	Lat, Lon float64
 	HasGeo   bool
 	PII      pii.Record
-	Likes    map[string]bool // page IDs the user has liked
+	likesMu  sync.RWMutex
+	likes    map[string]bool // page IDs the user has liked
 	binary   map[attr.ID]bool
 	values   map[attr.ID]string
 }
@@ -44,7 +47,7 @@ type Profile struct {
 func New(id UserID) *Profile {
 	return &Profile{
 		ID:     id,
-		Likes:  make(map[string]bool),
+		likes:  make(map[string]bool),
 		binary: make(map[attr.ID]bool),
 		values: make(map[attr.ID]string),
 	}
@@ -117,10 +120,30 @@ func (p *Profile) Attrs() []attr.ID {
 func (p *Profile) AttrCount() int { return len(p.binary) + len(p.values) }
 
 // Like records that the user likes the given page.
-func (p *Profile) Like(pageID string) { p.Likes[pageID] = true }
+func (p *Profile) Like(pageID string) {
+	p.likesMu.Lock()
+	defer p.likesMu.Unlock()
+	p.likes[pageID] = true
+}
 
 // LikesPage reports whether the user likes the page.
-func (p *Profile) LikesPage(pageID string) bool { return p.Likes[pageID] }
+func (p *Profile) LikesPage(pageID string) bool {
+	p.likesMu.RLock()
+	defer p.likesMu.RUnlock()
+	return p.likes[pageID]
+}
+
+// LikedPages returns the pages the user likes, sorted.
+func (p *Profile) LikedPages() []string {
+	p.likesMu.RLock()
+	out := make([]string, 0, len(p.likes))
+	for page := range p.likes {
+		out = append(out, page)
+	}
+	p.likesMu.RUnlock()
+	sort.Strings(out)
+	return out
+}
 
 var _ attr.Subject = (*Profile)(nil)
 

@@ -34,10 +34,7 @@ func (p *Profile) Snapshot() State {
 		Emails: append([]string(nil), p.PII.Emails...),
 		Phones: append([]string(nil), p.PII.Phones...),
 	}
-	for page := range p.Likes {
-		s.Likes = append(s.Likes, page)
-	}
-	sort.Strings(s.Likes)
+	s.Likes = p.LikedPages()
 	for id := range p.binary {
 		s.Binary = append(s.Binary, id)
 	}

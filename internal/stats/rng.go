@@ -106,3 +106,19 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 func (r *RNG) Fork() *RNG {
 	return NewRNG(r.Uint64())
 }
+
+// SubSeed derives the seed for an indexed substream (a cluster shard, a
+// worker) from a base seed. Stream 0 is the identity — SubSeed(s, 0) == s —
+// so a 1-shard cluster draws the exact sequence the unsharded platform
+// would, which is what the cluster equivalence tests pin down. Non-zero
+// streams pass through a SplitMix64 finalizer so that adjacent stream
+// indices land far apart in seed space.
+func SubSeed(seed uint64, stream uint64) uint64 {
+	if stream == 0 {
+		return seed
+	}
+	z := seed + stream*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

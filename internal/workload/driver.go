@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/pixel"
+	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/stats"
+)
+
+// Target is the user-facing platform surface the concurrent driver
+// exercises. *platform.Platform, *platform.Journaled, and *cluster.Cluster
+// all satisfy it (it is a subset of httpapi.Backend), so the same traffic
+// generator measures any backend.
+type Target interface {
+	BrowseFeed(profile.UserID, int) ([]ad.Impression, error)
+	VisitPage(profile.UserID, pixel.PixelID) error
+	LikePage(profile.UserID, string) error
+	AdPreferences(profile.UserID) ([]attr.ID, error)
+}
+
+// OpMix weights the driver's operation types. Zero-weight operations are
+// never issued; an all-zero mix browses only.
+type OpMix struct {
+	Browse int
+	Visit  int
+	Like   int
+	Prefs  int
+}
+
+// DefaultOpMix approximates feed-heavy consumer traffic.
+func DefaultOpMix() OpMix { return OpMix{Browse: 60, Visit: 15, Like: 15, Prefs: 10} }
+
+// DriverConfig parameterizes a concurrent driver run.
+type DriverConfig struct {
+	// Goroutines is the number of concurrent workers (default 4).
+	Goroutines int
+	// OpsPerGoroutine is how many operations each worker issues
+	// (default 100).
+	OpsPerGoroutine int
+	// Users is the population to draw from; required.
+	Users []profile.UserID
+	// Pixels are fired by Visit operations; with none, Visit weight is
+	// folded into Browse.
+	Pixels []pixel.PixelID
+	// Pages are liked by Like operations (default: a small fixed set).
+	Pages []string
+	// BrowseSlots per Browse operation (default 5).
+	BrowseSlots int
+	// Mix weights the operation types (default DefaultOpMix).
+	Mix OpMix
+	// Seed makes each worker's operation sequence deterministic: worker g
+	// draws from stats.SubSeed(Seed, g+1). Interleaving across workers is
+	// scheduler-dependent; the multiset of issued operations is not.
+	Seed uint64
+}
+
+// DriverStats counts what a driver run did. Counters are totals across all
+// workers.
+type DriverStats struct {
+	Browses     int64
+	Impressions int64
+	Visits      int64
+	Likes       int64
+	Prefs       int64
+	// Errors counts operations the backend refused. Driving a well-formed
+	// config against a consistent backend, this must be zero.
+	Errors int64
+}
+
+// Ops returns the total operations issued.
+func (s DriverStats) Ops() int64 { return s.Browses + s.Visits + s.Likes + s.Prefs }
+
+// Drive floods the target with a concurrent mixed workload and returns the
+// aggregate counts. It blocks until every worker has issued its full
+// budget. The driver targets the user-facing hot paths — the ones a
+// sharded cluster parallelizes — and is what the cluster smoke tests and
+// contention benchmarks run.
+func Drive(t Target, cfg DriverConfig) DriverStats {
+	if cfg.Goroutines <= 0 {
+		cfg.Goroutines = 4
+	}
+	if cfg.OpsPerGoroutine <= 0 {
+		cfg.OpsPerGoroutine = 100
+	}
+	if cfg.BrowseSlots <= 0 {
+		cfg.BrowseSlots = 5
+	}
+	if cfg.Mix == (OpMix{}) {
+		cfg.Mix = DefaultOpMix()
+	}
+	if len(cfg.Pixels) == 0 {
+		cfg.Mix.Browse += cfg.Mix.Visit
+		cfg.Mix.Visit = 0
+	}
+	if len(cfg.Pages) == 0 {
+		cfg.Pages = []string{"page-alpha", "page-beta", "page-gamma"}
+	}
+	if len(cfg.Users) == 0 {
+		return DriverStats{}
+	}
+
+	var st DriverStats
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.Goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := stats.NewRNG(stats.SubSeed(cfg.Seed, uint64(g+1)))
+			for i := 0; i < cfg.OpsPerGoroutine; i++ {
+				uid := cfg.Users[rng.Intn(len(cfg.Users))]
+				switch pickOp(cfg.Mix, rng) {
+				case opBrowse:
+					imps, err := t.BrowseFeed(uid, cfg.BrowseSlots)
+					atomic.AddInt64(&st.Browses, 1)
+					atomic.AddInt64(&st.Impressions, int64(len(imps)))
+					countErr(&st, err)
+				case opVisit:
+					err := t.VisitPage(uid, cfg.Pixels[rng.Intn(len(cfg.Pixels))])
+					atomic.AddInt64(&st.Visits, 1)
+					countErr(&st, err)
+				case opLike:
+					err := t.LikePage(uid, cfg.Pages[rng.Intn(len(cfg.Pages))])
+					atomic.AddInt64(&st.Likes, 1)
+					countErr(&st, err)
+				case opPrefs:
+					_, err := t.AdPreferences(uid)
+					atomic.AddInt64(&st.Prefs, 1)
+					countErr(&st, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	return st
+}
+
+func countErr(st *DriverStats, err error) {
+	if err != nil {
+		atomic.AddInt64(&st.Errors, 1)
+	}
+}
+
+type opKind int
+
+const (
+	opBrowse opKind = iota
+	opVisit
+	opLike
+	opPrefs
+)
+
+// pickOp samples an operation kind proportionally to the mix weights.
+func pickOp(mix OpMix, rng *stats.RNG) opKind {
+	total := mix.Browse + mix.Visit + mix.Like + mix.Prefs
+	if total <= 0 {
+		return opBrowse
+	}
+	n := rng.Intn(total)
+	if n < mix.Browse {
+		return opBrowse
+	}
+	n -= mix.Browse
+	if n < mix.Visit {
+		return opVisit
+	}
+	n -= mix.Visit
+	if n < mix.Like {
+		return opLike
+	}
+	return opPrefs
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/pixel"
+	"github.com/treads-project/treads/internal/profile"
+)
+
+// countingTarget records per-op totals and fails nothing — it isolates the
+// driver's own accounting from any backend behavior.
+type countingTarget struct {
+	browses, visits, likes, prefs atomic.Int64
+}
+
+func (c *countingTarget) BrowseFeed(profile.UserID, int) ([]ad.Impression, error) {
+	c.browses.Add(1)
+	return []ad.Impression{{}, {}}, nil
+}
+func (c *countingTarget) VisitPage(profile.UserID, pixel.PixelID) error {
+	c.visits.Add(1)
+	return nil
+}
+func (c *countingTarget) LikePage(profile.UserID, string) error {
+	c.likes.Add(1)
+	return nil
+}
+func (c *countingTarget) AdPreferences(profile.UserID) ([]attr.ID, error) {
+	c.prefs.Add(1)
+	return nil, nil
+}
+
+func users(n int) []profile.UserID {
+	out := make([]profile.UserID, n)
+	for i := range out {
+		out[i] = profile.UserID(string(rune('a' + i)))
+	}
+	return out
+}
+
+func TestDriveIssuesExactBudget(t *testing.T) {
+	tgt := &countingTarget{}
+	st := Drive(tgt, DriverConfig{
+		Goroutines:      6,
+		OpsPerGoroutine: 250,
+		Users:           users(10),
+		Pixels:          []pixel.PixelID{"px-000001"},
+		Seed:            9,
+	})
+	const want = 6 * 250
+	if st.Ops() != want {
+		t.Fatalf("driver counted %d ops, want %d", st.Ops(), want)
+	}
+	got := tgt.browses.Load() + tgt.visits.Load() + tgt.likes.Load() + tgt.prefs.Load()
+	if got != want {
+		t.Fatalf("target saw %d ops, want %d", got, want)
+	}
+	if st.Browses != tgt.browses.Load() || st.Visits != tgt.visits.Load() ||
+		st.Likes != tgt.likes.Load() || st.Prefs != tgt.prefs.Load() {
+		t.Fatalf("driver counts %+v disagree with target counts", st)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("errors against an infallible target: %d", st.Errors)
+	}
+	if st.Impressions != 2*st.Browses {
+		t.Fatalf("impressions %d, want 2 per browse (%d browses)", st.Impressions, st.Browses)
+	}
+	// The default mix issues every op kind over a 1500-op run.
+	if st.Browses == 0 || st.Visits == 0 || st.Likes == 0 || st.Prefs == 0 {
+		t.Fatalf("mix starved an op kind: %+v", st)
+	}
+}
+
+func TestDriveDeterministicMultiset(t *testing.T) {
+	cfg := DriverConfig{
+		Goroutines:      4,
+		OpsPerGoroutine: 200,
+		Users:           users(8),
+		Pixels:          []pixel.PixelID{"px-000001"},
+		Seed:            3,
+	}
+	a := Drive(&countingTarget{}, cfg)
+	b := Drive(&countingTarget{}, cfg)
+	if a != b {
+		t.Fatalf("same seed produced different op multisets:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestDriveVisitWeightFoldsWithoutPixels(t *testing.T) {
+	st := Drive(&countingTarget{}, DriverConfig{
+		Goroutines:      2,
+		OpsPerGoroutine: 300,
+		Users:           users(4),
+		Seed:            5,
+	})
+	if st.Visits != 0 {
+		t.Fatalf("driver issued %d visits with no pixels configured", st.Visits)
+	}
+	if st.Ops() != 600 {
+		t.Fatalf("ops %d, want 600", st.Ops())
+	}
+}
+
+func TestDriveZeroUsersIsNoop(t *testing.T) {
+	if st := Drive(&countingTarget{}, DriverConfig{Goroutines: 3}); st != (DriverStats{}) {
+		t.Fatalf("driver ran with no users: %+v", st)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"github.com/treads-project/treads/internal/audience"
 	"github.com/treads-project/treads/internal/baseline"
 	"github.com/treads-project/treads/internal/billing"
+	"github.com/treads-project/treads/internal/cluster"
 	"github.com/treads-project/treads/internal/core"
 	"github.com/treads-project/treads/internal/explain"
 	"github.com/treads-project/treads/internal/httpapi"
@@ -171,6 +172,47 @@ func NewProvider(p *Platform, cfg ProviderConfig) (*Provider, error) {
 	return core.NewProvider(p, cfg)
 }
 
+// PlatformAPI is the advertiser-facing surface a transparency provider
+// needs: a bare Platform, a journaled Platform, and a sharded Cluster all
+// satisfy it.
+type PlatformAPI = core.PlatformAPI
+
+// NewProviderOn registers a transparency provider on any PlatformAPI
+// backend — use it to run a provider against a Cluster; the reveal
+// semantics are identical to the single-platform case.
+func NewProviderOn(p PlatformAPI, cfg ProviderConfig) (*Provider, error) {
+	return core.NewProvider(p, cfg)
+}
+
+// --- sharded cluster ---
+
+// Cluster partitions users across independent platform shards behind the
+// same advertiser and user API as a single Platform: user operations route
+// to the owning shard, advertiser mutations replicate deterministically to
+// every shard, and aggregate reads scatter-gather with privacy thresholds
+// applied once on the merged totals.
+type Cluster = cluster.Cluster
+
+// ClusterOptions tunes ring and scatter-gather parameters.
+type ClusterOptions = cluster.Options
+
+// ClusterShard is the per-shard surface a Cluster coordinates; *Platform
+// and journaled platforms satisfy it.
+type ClusterShard = cluster.Shard
+
+// NewCluster builds an n-shard in-memory cluster. Each shard derives its
+// own RNG stream from cfg.Seed; a 1-shard cluster behaves identically to
+// NewPlatform with the same config.
+func NewCluster(n int, cfg PlatformConfig, opts ClusterOptions) (*Cluster, error) {
+	return cluster.NewInMemory(n, cfg, opts)
+}
+
+// NewClusterFromShards assembles a cluster over caller-built shards (for
+// example journaled platforms with per-shard directories).
+func NewClusterFromShards(shards []ClusterShard, opts ClusterOptions) (*Cluster, error) {
+	return cluster.New(shards, opts)
+}
+
 // RevealMode selects how a Tread carries its payload.
 type RevealMode = core.RevealMode
 
@@ -255,6 +297,22 @@ func GeneratePopulation(cfg WorkloadConfig) []*Profile { return workload.Generat
 // DefaultWorkload is the population config the experiments default to.
 func DefaultWorkload() WorkloadConfig { return workload.DefaultConfig() }
 
+// WorkloadTarget is the user-facing surface the concurrent driver
+// exercises; Platform and Cluster both satisfy it.
+type WorkloadTarget = workload.Target
+
+// DriverConfig parameterizes the concurrent workload driver.
+type DriverConfig = workload.DriverConfig
+
+// DriverStats are a driver run's aggregate operation counts.
+type DriverStats = workload.DriverStats
+
+// DriveWorkload floods a backend with a concurrent mixed workload and
+// returns the counts; see DriverConfig for knobs.
+func DriveWorkload(t WorkloadTarget, cfg DriverConfig) DriverStats {
+	return workload.Drive(t, cfg)
+}
+
 // PaperAuthors reconstructs the validation's two opted-in users: one with
 // the paper's eleven broker attributes, one with no broker record.
 func PaperAuthors(catalog *Catalog) (authorA, authorB *Profile, err error) {
@@ -282,6 +340,14 @@ type Client = httpapi.Client
 // NewServer wraps a platform in an HTTP handler (no authentication; use
 // NewServerWithAuth for deployments).
 func NewServer(p *Platform) *Server { return httpapi.NewServer(p, nil) }
+
+// Backend is the full platform surface the HTTP server exposes; Platform,
+// journaled platforms, and Cluster all satisfy it.
+type Backend = httpapi.Backend
+
+// NewServerFor wraps any Backend — notably a sharded Cluster — in the
+// HTTP handler. Sharding is invisible on the wire.
+func NewServerFor(b Backend) *Server { return httpapi.NewServer(b, nil) }
 
 // Authenticator issues and verifies per-advertiser API tokens.
 type Authenticator = httpapi.Authenticator
