@@ -6,6 +6,7 @@
 //	            [-shards N]
 //	            [-load state.json] [-save state.json]
 //	            [-journal dir] [-batch-window 2ms] [-compact-every 5m]
+//	            [-debug-addr :6060]
 //
 // Without -load, the platform starts pre-populated with a deterministic
 // synthetic population (user IDs user-000000 .. user-NNNNNN) so Treads
@@ -31,6 +32,14 @@
 // at boot. The journal is compacted in the background every
 // -compact-every, and on demand via POST /admin/v1/compact.
 //
+// Metrics are always exported: GET /metrics on the API address serves
+// every registered metric family (request latency, per-shard routing,
+// journal fsync timing, delivery throughput) in Prometheus text format —
+// aggregates only, never per-user data. With -debug-addr, a second
+// listener additionally serves net/http/pprof under /debug/pprof/ plus a
+// copy of /metrics; keep that address private, pprof exposes heap and
+// goroutine internals.
+//
 // With -save, the full platform state (accounts, audiences, campaigns,
 // feeds, billing) is written as JSON on SIGINT/SIGTERM — atomically, via a
 // temp file and rename; a later run with -load resumes from it. Shutdown
@@ -45,6 +54,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -55,6 +65,7 @@ import (
 	"github.com/treads-project/treads/internal/cluster"
 	"github.com/treads-project/treads/internal/httpapi"
 	"github.com/treads-project/treads/internal/journal"
+	"github.com/treads-project/treads/internal/obs"
 	"github.com/treads-project/treads/internal/platform"
 	"github.com/treads-project/treads/internal/profile"
 	"github.com/treads-project/treads/internal/stats"
@@ -82,6 +93,7 @@ type options struct {
 	JournalDir   string
 	BatchWindow  time.Duration
 	CompactEvery time.Duration
+	DebugAddr    string
 }
 
 // parseFlags registers the flag set on fs and parses args into options.
@@ -99,6 +111,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 	fs.StringVar(&o.JournalDir, "journal", "", "write-ahead journal directory; enables crash recovery")
 	fs.DurationVar(&o.BatchWindow, "batch-window", 2*time.Millisecond, "journal group-commit window (0 = fsync per op)")
 	fs.DurationVar(&o.CompactEvery, "compact-every", 5*time.Minute, "background journal compaction interval (0 = never)")
+	fs.StringVar(&o.DebugAddr, "debug-addr", "", "private listen address for pprof and /metrics (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -125,6 +138,9 @@ func (o options) validate() error {
 	}
 	if o.Shards > 1 && (o.Load != "" || o.Save != "") {
 		return fmt.Errorf("-load/-save snapshots are single-shard only; with -shards %d use -journal for persistence", o.Shards)
+	}
+	if o.DebugAddr != "" && o.DebugAddr == o.Addr {
+		return fmt.Errorf("-debug-addr must differ from -addr; pprof belongs on a private listener")
 	}
 	return nil
 }
@@ -170,6 +186,19 @@ func run() error {
 		Handler: handler,
 	}
 
+	// The optional debug listener: pprof plus a /metrics copy, on its own
+	// mux so nothing here ever reaches the public API address.
+	var debugSrv *http.Server
+	if opts.DebugAddr != "" {
+		debugSrv = &http.Server{Addr: opts.DebugAddr, Handler: debugMux()}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Printf("debug server: %v", err)
+			}
+		}()
+		logger.Printf("debug server (pprof, /metrics) on %s", opts.DebugAddr)
+	}
+
 	// Background journal compaction keeps recovery time bounded.
 	stopCompact := make(chan struct{})
 	if compactor != nil && opts.CompactEvery > 0 {
@@ -210,6 +239,11 @@ func run() error {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		logger.Printf("draining requests: %v", err)
+	}
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(ctx); err != nil {
+			logger.Printf("stopping debug server: %v", err)
+		}
 	}
 	close(stopCompact)
 
@@ -259,13 +293,10 @@ type serverBackend interface {
 func openBackend(opts options, logger *log.Logger) (serverBackend, *platform.Journaled, httpapi.Compactor, error) {
 	if opts.Shards == 1 {
 		if opts.JournalDir != "" {
-			jp, err := platform.OpenJournaled(opts.JournalDir, journal.Options{
-				BatchWindow: opts.BatchWindow,
-			}, bootShard(opts, 0, logger))
+			jp, err := openJournaledShard(opts, 0, opts.JournalDir, logger)
 			if err != nil {
 				return nil, nil, nil, fmt.Errorf("opening journal: %w", err)
 			}
-			logger.Printf("journal open in %s (recovered through LSN %d)", opts.JournalDir, jp.LastLSN())
 			return jp, jp, jp, nil
 		}
 		p, err := bootShard(opts, 0, logger)()
@@ -280,13 +311,10 @@ func openBackend(opts options, logger *log.Logger) (serverBackend, *platform.Jou
 	for i := range shards {
 		if opts.JournalDir != "" {
 			dir := filepath.Join(opts.JournalDir, fmt.Sprintf("shard-%03d", i))
-			jp, err := platform.OpenJournaled(dir, journal.Options{
-				BatchWindow: opts.BatchWindow,
-			}, bootShard(opts, i, logger))
+			jp, err := openJournaledShard(opts, i, dir, logger)
 			if err != nil {
 				return nil, nil, nil, fmt.Errorf("opening journal for shard %d: %w", i, err)
 			}
-			logger.Printf("shard %d journal open in %s (recovered through LSN %d)", i, dir, jp.LastLSN())
 			shards[i] = jp
 		} else {
 			p, err := bootShard(opts, i, logger)()
@@ -296,7 +324,7 @@ func openBackend(opts options, logger *log.Logger) (serverBackend, *platform.Jou
 			shards[i] = p
 		}
 	}
-	c, err := cluster.New(shards, cluster.Options{})
+	c, err := cluster.New(shards, cluster.Options{Registry: obs.Default})
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -304,6 +332,42 @@ func openBackend(opts options, logger *log.Logger) (serverBackend, *platform.Jou
 		compactor = c
 	}
 	return c, nil, compactor, nil
+}
+
+// openJournaledShard opens (booting or recovering) one journaled shard,
+// with the journal instrumented under the shard's label and the recovery
+// wall time logged and exported as startup_recovery_seconds{shard}.
+func openJournaledShard(opts options, i int, dir string, logger *log.Logger) (*platform.Journaled, error) {
+	shard := fmt.Sprintf("%d", i)
+	start := time.Now()
+	jp, err := platform.OpenJournaled(dir, journal.Options{
+		BatchWindow: opts.BatchWindow,
+		Metrics:     journal.NewMetrics(obs.Default, shard),
+	}, bootShard(opts, i, logger))
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	obs.Default.GaugeVec("startup_recovery_seconds",
+		"Wall time each shard spent opening its journal at boot: snapshot load plus deterministic replay of the journal suffix.",
+		"shard").With(shard).Set(elapsed.Seconds())
+	logger.Printf("shard %d journal open in %s (recovered through LSN %d in %v)", i, dir, jp.LastLSN(), elapsed.Round(time.Millisecond))
+	return jp, nil
+}
+
+// debugMux builds the private debug handler: net/http/pprof under
+// /debug/pprof/ and the default metrics registry at /metrics. Deliberately
+// its own mux — registering pprof on http.DefaultServeMux would expose it
+// to anything else that serves the default mux.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", obs.Default.Handler())
+	return mux
 }
 
 // bootShard returns the boot function for shard i: restore from -load

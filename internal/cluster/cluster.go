@@ -11,6 +11,7 @@ import (
 	"github.com/treads-project/treads/internal/audience"
 	"github.com/treads-project/treads/internal/explain"
 	"github.com/treads-project/treads/internal/httpapi"
+	"github.com/treads-project/treads/internal/obs"
 	"github.com/treads-project/treads/internal/pii"
 	"github.com/treads-project/treads/internal/pixel"
 	"github.com/treads-project/treads/internal/platform"
@@ -68,6 +69,10 @@ type Options struct {
 	// Workers bounds concurrent per-shard calls during scatter-gather
 	// reads; <= 0 selects min(GOMAXPROCS, shards).
 	Workers int
+	// Registry receives the coordinator's metrics (per-shard routing
+	// counts, replication counters, scatter-gather latency). Nil leaves
+	// the cluster instrumented against unregistered metrics.
+	Registry *obs.Registry
 }
 
 // Cluster coordinates N platform shards behind the httpapi.Backend
@@ -78,6 +83,7 @@ type Cluster struct {
 	shards  []Shard
 	ring    *Ring
 	workers int
+	m       *clusterMetrics
 
 	// repMu serializes replicated advertiser mutations so every shard
 	// applies them in the same order — that order equality is what keeps
@@ -102,10 +108,15 @@ func New(shards []Shard, opts Options) (*Cluster, error) {
 	if workers > len(shards) {
 		workers = len(shards)
 	}
+	m := noopClusterMetrics(len(shards))
+	if opts.Registry != nil {
+		m = newClusterMetrics(opts.Registry, len(shards))
+	}
 	return &Cluster{
 		shards:  shards,
 		ring:    NewRing(len(shards), opts.VirtualNodes),
 		workers: workers,
+		m:       m,
 	}, nil
 }
 
@@ -136,7 +147,9 @@ func (c *Cluster) Ring() *Ring { return c.ring }
 func (c *Cluster) Owner(uid profile.UserID) int { return c.ring.Owner(string(uid)) }
 
 func (c *Cluster) owner(uid profile.UserID) Shard {
-	return c.shards[c.ring.Owner(string(uid))]
+	i := c.ring.Owner(string(uid))
+	c.m.shardOps[i].Inc()
+	return c.shards[i]
 }
 
 // --- user-scoped operations: route to the owning shard ---
@@ -197,6 +210,7 @@ func (c *Cluster) ExplainImpression(uid profile.UserID, imp ad.Impression) (expl
 func replicate[T comparable](c *Cluster, opName string, op func(Shard) (T, error)) (T, error) {
 	c.repMu.Lock()
 	defer c.repMu.Unlock()
+	c.m.replicatedOps.Inc()
 	var first T
 	var firstErr error
 	for i, s := range c.shards {
@@ -206,9 +220,11 @@ func replicate[T comparable](c *Cluster, opName string, op func(Shard) (T, error
 			continue
 		}
 		if (err == nil) != (firstErr == nil) {
+			c.m.divergence.Inc()
 			return first, fmt.Errorf("cluster: %s diverged: shard %d returned %v, shard 0 returned %v", opName, i, err, firstErr)
 		}
 		if err == nil && v != first {
+			c.m.divergence.Inc()
 			return first, fmt.Errorf("cluster: %s diverged: shard %d returned %v, shard 0 returned %v", opName, i, v, first)
 		}
 	}

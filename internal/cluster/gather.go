@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"github.com/treads-project/treads/internal/audience"
 	"github.com/treads-project/treads/internal/billing"
@@ -13,8 +14,11 @@ import (
 // and returns the join of all per-shard errors. The bound keeps a wide
 // cluster's fan-out from spawning one goroutine per shard per request
 // under load; fn(i, …) writes its answer into caller-owned slot i, so no
-// further synchronization is needed.
+// further synchronization is needed. Wall time for the whole fan-out —
+// dominated by the slowest shard — lands in cluster_gather_seconds.
 func (c *Cluster) gather(fn func(i int, s Shard) error) error {
+	start := time.Now()
+	defer c.m.gatherSeconds.ObserveSince(start)
 	if len(c.shards) == 1 {
 		return fn(0, c.shards[0])
 	}

@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"strconv"
+
+	"github.com/treads-project/treads/internal/obs"
+)
+
+// clusterMetrics is the coordinator's instrumentation. Per-shard counters
+// are resolved into a slice indexed by shard — the routing hot path does a
+// slice load and an atomic add, nothing else. Shard count is fixed at
+// construction, so the label cardinality is too.
+type clusterMetrics struct {
+	shardOps      []*obs.Counter // cluster_shard_user_ops_total{shard}, indexed by shard
+	replicatedOps *obs.Counter
+	divergence    *obs.Counter
+	gatherSeconds *obs.Histogram
+}
+
+func newClusterMetrics(reg *obs.Registry, shards int) *clusterMetrics {
+	shardOps := reg.CounterVec("cluster_shard_user_ops_total",
+		"User-scoped operations routed to each shard; skew here means skew on the consistent-hash ring.",
+		"shard")
+	m := &clusterMetrics{
+		shardOps: make([]*obs.Counter, shards),
+		replicatedOps: reg.Counter("cluster_replicated_ops_total",
+			"Advertiser-scoped mutations replicated to every shard."),
+		divergence: reg.Counter("cluster_replication_divergence_total",
+			"Replicated mutations on which a shard disagreed with shard 0. Any nonzero value means drifted shard state."),
+		gatherSeconds: reg.Histogram("cluster_gather_seconds",
+			"Scatter-gather fan-out time for cluster-wide reads (reach, reports, user listing)."),
+	}
+	for i := range m.shardOps {
+		m.shardOps[i] = shardOps.With(strconv.Itoa(i))
+	}
+	return m
+}
+
+// noopClusterMetrics returns standalone, unregistered metrics.
+func noopClusterMetrics(shards int) *clusterMetrics {
+	m := &clusterMetrics{
+		shardOps:      make([]*obs.Counter, shards),
+		replicatedOps: obs.NewCounter(),
+		divergence:    obs.NewCounter(),
+		gatherSeconds: obs.NewHistogram(),
+	}
+	for i := range m.shardOps {
+		m.shardOps[i] = obs.NewCounter()
+	}
+	return m
+}

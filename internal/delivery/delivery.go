@@ -186,6 +186,7 @@ func (p *Pipeline) fillSlot(prof *profile.Profile) (*ad.Impression, error) {
 	out := auction.Run(bids, p.market, p.rng)
 	if !out.Won {
 		p.mu.Unlock()
+		auctionsRun.Inc()
 		return nil, nil
 	}
 	c := eligible[out.CampaignID]
@@ -198,6 +199,8 @@ func (p *Pipeline) fillSlot(prof *profile.Profile) (*ad.Impression, error) {
 	}
 	p.feeds[prof.ID] = append(p.feeds[prof.ID], imp)
 	p.mu.Unlock()
+	auctionsRun.Inc()
+	impressionsServed.Inc()
 
 	p.ledger.RecordImpression(c.ID, prof.ID, out.PricePaid)
 	return &imp, nil

@@ -1,0 +1,15 @@
+package delivery
+
+import "github.com/treads-project/treads/internal/obs"
+
+// Delivery counts every slot auction and won impression across all
+// pipelines in the process — the platform's core throughput numbers. They
+// register into obs.Default at init because delivery has no configuration
+// surface to thread a registry through, and the counts only make sense
+// process-wide anyway.
+var (
+	auctionsRun = obs.Default.Counter("delivery_auctions_total",
+		"Slot auctions run (one per feed slot browsed, whether or not a campaign won).")
+	impressionsServed = obs.Default.Counter("delivery_impressions_total",
+		"Impressions served: slot auctions a campaign won against the background market.")
+)

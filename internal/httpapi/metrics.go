@@ -1,0 +1,103 @@
+package httpapi
+
+import (
+	"net/http"
+	"time"
+
+	"github.com/treads-project/treads/internal/obs"
+)
+
+// Request metrics. Every route registered through Server.handle is wrapped
+// in middleware that counts the request by status class and observes its
+// latency, labeled by the route *pattern* (never the concrete path — path
+// segments carry user and advertiser IDs, and metrics must stay
+// aggregate-only). Label cardinality is therefore fixed at registration
+// time: one histogram child per route, six status-class counters per
+// route, all resolved once so the per-request work is two atomic bumps,
+// one histogram observe, and one gauge swing.
+
+// serverMetrics is a Server's handle on its registry's HTTP families.
+type serverMetrics struct {
+	reg      *obs.Registry
+	requests *obs.CounterVec   // http_requests_total{route,status}
+	latency  *obs.HistogramVec // http_request_seconds{route}
+	inflight *obs.Gauge        // http_inflight_requests
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		reg: reg,
+		requests: reg.CounterVec("http_requests_total",
+			"HTTP requests served, by route pattern and status class.",
+			"route", "status"),
+		latency: reg.HistogramVec("http_request_seconds",
+			"HTTP request latency by route pattern, handler time inclusive of backend work.",
+			"route"),
+		inflight: reg.Gauge("http_inflight_requests",
+			"HTTP requests currently being handled."),
+	}
+}
+
+// statusClasses are the status label values, indexed by status/100 (0 =
+// anything outside 100..599, which a correct handler never produces).
+var statusClasses = [6]string{"other", "1xx", "2xx", "3xx", "4xx", "5xx"}
+
+func statusClassIndex(code int) int {
+	if idx := code / 100; idx >= 1 && idx <= 5 {
+		return idx
+	}
+	return 0
+}
+
+// routeMetrics is the pre-resolved instrumentation for one route pattern.
+type routeMetrics struct {
+	latency  *obs.Histogram
+	status   [6]*obs.Counter
+	inflight *obs.Gauge
+}
+
+func (sm *serverMetrics) route(pattern string) *routeMetrics {
+	rm := &routeMetrics{
+		latency:  sm.latency.With(pattern),
+		inflight: sm.inflight,
+	}
+	for i, class := range statusClasses {
+		rm.status[i] = sm.requests.With(pattern, class)
+	}
+	return rm
+}
+
+// wrap instruments a handler with the route's metrics.
+func (rm *routeMetrics) wrap(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rm.inflight.Add(1)
+		start := time.Now()
+		sw := statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(&sw, r)
+		rm.latency.Observe(time.Since(start))
+		rm.status[statusClassIndex(sw.code)].Inc()
+		rm.inflight.Add(-1)
+	}
+}
+
+// statusWriter captures the status code a handler writes. Handlers that
+// never call WriteHeader implicitly send 200.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handleMetrics serves GET /metrics: the server's registry in Prometheus
+// text format. The endpoint itself is not instrumented, so scrapes do not
+// pollute the request counters they read. Everything exported is an
+// aggregate — the same trust boundary as the advertiser API: no user IDs,
+// no per-user counts, no audience memberships.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.reg.WritePrometheus(w)
+}

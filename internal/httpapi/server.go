@@ -14,6 +14,7 @@ import (
 	"github.com/treads-project/treads/internal/billing"
 	"github.com/treads-project/treads/internal/explain"
 	"github.com/treads-project/treads/internal/money"
+	"github.com/treads-project/treads/internal/obs"
 	"github.com/treads-project/treads/internal/pii"
 	"github.com/treads-project/treads/internal/pixel"
 	"github.com/treads-project/treads/internal/platform"
@@ -72,13 +73,22 @@ type Server struct {
 	log       *log.Logger
 	auth      *Authenticator // nil = open access (test/demo mode)
 	compactor Compactor      // nil = compaction endpoint disabled
+	metrics   *serverMetrics
 }
 
 // NewServer wraps a platform backend. logger may be nil to disable request
 // logging. The server runs without authentication; use NewServerWithAuth
-// for deployments.
+// for deployments. Request metrics register into obs.Default; use
+// NewServerWithRegistry for an isolated registry.
 func NewServer(p Backend, logger *log.Logger) *Server {
-	s := &Server{p: p, mux: http.NewServeMux(), log: logger}
+	return NewServerWithRegistry(p, logger, obs.Default)
+}
+
+// NewServerWithRegistry is NewServer with request metrics registered into
+// reg instead of obs.Default, and reg served on GET /metrics. Tests that
+// assert on counter values use this to avoid cross-test pollution.
+func NewServerWithRegistry(p Backend, logger *log.Logger, reg *obs.Registry) *Server {
+	s := &Server{p: p, mux: http.NewServeMux(), log: logger, metrics: newServerMetrics(reg)}
 	s.routes()
 	return s
 }
@@ -89,9 +99,18 @@ func NewServer(p Backend, logger *log.Logger) *Server {
 // must not be discarded by deployments that need operator access — admin
 // endpoints (journal compaction) verify against its "admin" account.
 func NewServerWithAuth(p Backend, logger *log.Logger) (*Server, *Authenticator) {
-	s := &Server{p: p, mux: http.NewServeMux(), log: logger, auth: NewAuthenticator()}
+	s := &Server{p: p, mux: http.NewServeMux(), log: logger, auth: NewAuthenticator(),
+		metrics: newServerMetrics(obs.Default)}
 	s.routes()
 	return s, s.auth
+}
+
+// handle registers a handler under pattern, wrapped in the request-metrics
+// middleware. The pattern doubles as the route label: it is the only
+// bounded-cardinality name for the route available on go 1.22 (the mux
+// does not expose the matched pattern to handlers until go 1.23).
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, s.metrics.route(pattern).wrap(h))
 }
 
 // ServeHTTP implements http.Handler.
@@ -105,37 +124,41 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) routes() {
 	// Advertiser API. Everything scoped to an account is gated on the
 	// account's API token when authentication is enabled.
-	s.mux.HandleFunc("POST /api/v1/advertisers", s.handleRegisterAdvertiser)
-	s.mux.HandleFunc("POST /api/v1/advertisers/{name}/campaigns", s.requireAdvertiserAuth(s.handleCreateCampaign))
-	s.mux.HandleFunc("POST /api/v1/advertisers/{name}/campaigns/{id}/pause", s.requireAdvertiserAuth(s.handlePauseCampaign))
-	s.mux.HandleFunc("GET /api/v1/advertisers/{name}/campaigns/{id}/report", s.requireAdvertiserAuth(s.handleReport))
-	s.mux.HandleFunc("POST /api/v1/advertisers/{name}/audiences/pii", s.requireAdvertiserAuth(s.handleCreatePIIAudience))
-	s.mux.HandleFunc("POST /api/v1/advertisers/{name}/audiences/website", s.requireAdvertiserAuth(s.handleCreateWebsiteAudience))
-	s.mux.HandleFunc("POST /api/v1/advertisers/{name}/audiences/engagement", s.requireAdvertiserAuth(s.handleCreateEngagementAudience))
-	s.mux.HandleFunc("POST /api/v1/advertisers/{name}/audiences/affinity", s.requireAdvertiserAuth(s.handleCreateAffinityAudience))
-	s.mux.HandleFunc("POST /api/v1/advertisers/{name}/audiences/lookalike", s.requireAdvertiserAuth(s.handleCreateLookalikeAudience))
-	s.mux.HandleFunc("POST /api/v1/advertisers/{name}/pixels", s.requireAdvertiserAuth(s.handleIssuePixel))
-	s.mux.HandleFunc("POST /api/v1/advertisers/{name}/reach", s.requireAdvertiserAuth(s.handleReach))
-	s.mux.HandleFunc("GET /api/v1/attributes", s.handleSearchAttributes)
+	s.handle("POST /api/v1/advertisers", s.handleRegisterAdvertiser)
+	s.handle("POST /api/v1/advertisers/{name}/campaigns", s.requireAdvertiserAuth(s.handleCreateCampaign))
+	s.handle("POST /api/v1/advertisers/{name}/campaigns/{id}/pause", s.requireAdvertiserAuth(s.handlePauseCampaign))
+	s.handle("GET /api/v1/advertisers/{name}/campaigns/{id}/report", s.requireAdvertiserAuth(s.handleReport))
+	s.handle("POST /api/v1/advertisers/{name}/audiences/pii", s.requireAdvertiserAuth(s.handleCreatePIIAudience))
+	s.handle("POST /api/v1/advertisers/{name}/audiences/website", s.requireAdvertiserAuth(s.handleCreateWebsiteAudience))
+	s.handle("POST /api/v1/advertisers/{name}/audiences/engagement", s.requireAdvertiserAuth(s.handleCreateEngagementAudience))
+	s.handle("POST /api/v1/advertisers/{name}/audiences/affinity", s.requireAdvertiserAuth(s.handleCreateAffinityAudience))
+	s.handle("POST /api/v1/advertisers/{name}/audiences/lookalike", s.requireAdvertiserAuth(s.handleCreateLookalikeAudience))
+	s.handle("POST /api/v1/advertisers/{name}/pixels", s.requireAdvertiserAuth(s.handleIssuePixel))
+	s.handle("POST /api/v1/advertisers/{name}/reach", s.requireAdvertiserAuth(s.handleReach))
+	s.handle("GET /api/v1/attributes", s.handleSearchAttributes)
 
 	// User API.
-	s.mux.HandleFunc("POST /api/v1/users/{id}/browse", s.handleBrowse)
-	s.mux.HandleFunc("GET /api/v1/users/{id}/feed", s.handleFeed)
-	s.mux.HandleFunc("GET /api/v1/users/{id}/adpreferences", s.handleAdPreferences)
-	s.mux.HandleFunc("GET /api/v1/users/{id}/advertisers", s.handleAdvertisersTargetingMe)
-	s.mux.HandleFunc("POST /api/v1/users/{id}/likes", s.handleLike)
-	s.mux.HandleFunc("POST /api/v1/users/{id}/explain", s.handleExplain)
+	s.handle("POST /api/v1/users/{id}/browse", s.handleBrowse)
+	s.handle("GET /api/v1/users/{id}/feed", s.handleFeed)
+	s.handle("GET /api/v1/users/{id}/adpreferences", s.handleAdPreferences)
+	s.handle("GET /api/v1/users/{id}/advertisers", s.handleAdvertisersTargetingMe)
+	s.handle("POST /api/v1/users/{id}/likes", s.handleLike)
+	s.handle("POST /api/v1/users/{id}/explain", s.handleExplain)
 
 	// The tracking-pixel endpoint: a GET for a 1x1 GIF, exactly how real
 	// pixels work. The platform identifies the browsing user (here via
 	// the uid query parameter standing in for the session cookie) and
 	// records the visit; the site owner (the transparency provider)
 	// learns nothing.
-	s.mux.HandleFunc("GET /pixel/{pixelID}", s.handlePixel)
+	s.handle("GET /pixel/{pixelID}", s.handlePixel)
 
 	// Operator API. Always routed; returns 404 until a compactor is
 	// configured (i.e. the daemon is running with -journal).
-	s.mux.HandleFunc("POST /admin/v1/compact", s.requireAdminAuth(s.handleCompact))
+	s.handle("POST /admin/v1/compact", s.requireAdminAuth(s.handleCompact))
+
+	// Observability. Served from the raw mux: scraping /metrics must not
+	// perturb the request counters it reports.
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

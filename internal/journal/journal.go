@@ -46,6 +46,10 @@ type Options struct {
 	// buffered data is flushed to the OS), but nothing is durable across
 	// a machine crash. For tests and benchmarks.
 	NoSync bool
+	// Metrics receives this journal's instrumentation (see NewMetrics).
+	// Nil leaves the journal instrumented against unregistered metrics,
+	// which cost the same but export nowhere.
+	Metrics *Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -60,6 +64,7 @@ func (o Options) withDefaults() Options {
 type Journal struct {
 	dir  string
 	opts Options
+	m    *Metrics
 
 	mu       sync.Mutex // guards the active segment and LSN counter
 	f        *os.File
@@ -93,7 +98,10 @@ func Open(dir string, opts Options) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	j := &Journal{dir: dir, opts: opts}
+	j := &Journal{dir: dir, opts: opts, m: opts.Metrics}
+	if j.m == nil {
+		j.m = noopMetrics()
+	}
 	j.syncCond = sync.NewCond(&j.syncMu)
 
 	switch {
@@ -194,6 +202,7 @@ func (j *Journal) AppendBuffered(payload []byte) (uint64, func() error, error) {
 		j.mu.Unlock()
 		return 0, nil, err
 	}
+	start := time.Now()
 	if j.size >= j.opts.SegmentBytes {
 		if err := j.rotateLocked(); err != nil {
 			j.failed = err
@@ -211,6 +220,8 @@ func (j *Journal) AppendBuffered(payload []byte) (uint64, func() error, error) {
 	}
 	j.size += n
 	j.nextLSN++
+	j.m.appendSeconds.ObserveSince(start)
+	j.m.appends.Inc()
 	j.mu.Unlock()
 	return lsn, func() error { return j.waitDurable(lsn) }, nil
 }
@@ -232,7 +243,11 @@ func (j *Journal) rotateLocked() error {
 	// The sealed segment is fully durable; advance the watermark so
 	// waiters covered by it don't trigger a redundant fsync.
 	j.advanceDurable(j.nextLSN - 1)
-	return j.openNewSegmentLocked(j.nextLSN)
+	if err := j.openNewSegmentLocked(j.nextLSN); err != nil {
+		return err
+	}
+	j.m.rotations.Inc()
+	return nil
 }
 
 func (j *Journal) advanceDurable(upTo uint64) {
@@ -293,6 +308,7 @@ func (j *Journal) syncNow() (uint64, error) {
 		return 0, j.failed
 	}
 	covered := j.nextLSN - 1
+	start := time.Now()
 	if err := j.w.Flush(); err != nil {
 		j.failed = fmt.Errorf("journal: flushing: %w", err)
 		return 0, j.failed
@@ -303,6 +319,8 @@ func (j *Journal) syncNow() (uint64, error) {
 			return 0, j.failed
 		}
 	}
+	j.m.fsyncSeconds.ObserveSince(start)
+	j.m.fsyncs.Inc()
 	return covered, nil
 }
 

@@ -1,0 +1,61 @@
+package journal
+
+import (
+	"github.com/treads-project/treads/internal/obs"
+)
+
+// Metrics is a journal's instrumentation, one set per journal (per shard,
+// in a cluster). Construct with NewMetrics and pass via Options.Metrics;
+// journals opened without one fall back to unregistered metrics, so the
+// append and fsync paths never branch on nil.
+type Metrics struct {
+	appendSeconds    *obs.Histogram // buffer-write time under the journal lock
+	fsyncSeconds     *obs.Histogram // flush+fsync time per group commit
+	appends          *obs.Counter
+	fsyncs           *obs.Counter
+	rotations        *obs.Counter
+	snapshots        *obs.Counter
+	recoveredRecords *obs.Counter
+}
+
+// NewMetrics registers (or finds) the journal metric families in reg and
+// resolves their children for the given shard label.
+func NewMetrics(reg *obs.Registry, shard string) *Metrics {
+	return &Metrics{
+		appendSeconds: reg.HistogramVec("journal_append_seconds",
+			"Write-ahead journal append time: record framing and buffer write, under the journal lock.",
+			"shard").With(shard),
+		fsyncSeconds: reg.HistogramVec("journal_fsync_seconds",
+			"Write-ahead journal group-commit time: buffer flush plus fsync of the active segment.",
+			"shard").With(shard),
+		appends: reg.CounterVec("journal_appends_total",
+			"Records appended to the write-ahead journal.",
+			"shard").With(shard),
+		fsyncs: reg.CounterVec("journal_fsyncs_total",
+			"Group commits (flush+fsync batches) the journal has performed.",
+			"shard").With(shard),
+		rotations: reg.CounterVec("journal_segment_rotations_total",
+			"Segment rotations: active segment sealed and a fresh one opened.",
+			"shard").With(shard),
+		snapshots: reg.CounterVec("journal_snapshots_total",
+			"Snapshots written (each followed by compaction of covered segments).",
+			"shard").With(shard),
+		recoveredRecords: reg.CounterVec("journal_recovered_records_total",
+			"Records replayed from the journal during recovery and reads.",
+			"shard").With(shard),
+	}
+}
+
+// noopMetrics returns standalone, unregistered metrics: updated but
+// exported nowhere.
+func noopMetrics() *Metrics {
+	return &Metrics{
+		appendSeconds:    obs.NewHistogram(),
+		fsyncSeconds:     obs.NewHistogram(),
+		appends:          obs.NewCounter(),
+		fsyncs:           obs.NewCounter(),
+		rotations:        obs.NewCounter(),
+		snapshots:        obs.NewCounter(),
+		recoveredRecords: obs.NewCounter(),
+	}
+}

@@ -49,7 +49,10 @@ func (j *Journal) Replay(from uint64, fn func(lsn uint64, payload []byte) error)
 		if scannedAny && seg.first != expectNext {
 			return fmt.Errorf("journal: segment chain gap: %s starts at %d, want %d", seg.path, seg.first, expectNext)
 		}
-		last, err := replaySegment(seg, from, final, fn)
+		last, err := replaySegment(seg, from, final, func(lsn uint64, payload []byte) error {
+			j.m.recoveredRecords.Inc()
+			return fn(lsn, payload)
+		})
 		if err != nil {
 			return err
 		}

@@ -114,6 +114,7 @@ func (j *Journal) WriteSnapshot(lsn uint64, data []byte) error {
 			return fmt.Errorf("journal: syncing dir after snapshot: %w", err)
 		}
 	}
+	j.m.snapshots.Inc()
 	return j.compact(lsn)
 }
 

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// BenchmarkHistogramObserve is the hot-path guard CI smokes on every push:
+// it must run, and it must report 0 allocs/op.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		d := 42 * time.Microsecond
+		for pb.Next() {
+			h.Observe(d)
+		}
+	})
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewCounter()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}
+
+func BenchmarkCounterVecWith(b *testing.B) {
+	r := NewRegistry()
+	v := r.CounterVec("bench_total", "bench", "route")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("GET /feed").Inc()
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	hv := r.HistogramVec("bench_seconds", "bench", "route")
+	for _, route := range []string{"a", "b", "c", "d"} {
+		h := hv.With(route)
+		for i := 0; i < 10000; i++ {
+			h.Observe(time.Duration(i) * time.Microsecond)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelPairRE  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// ValidatePrometheusText checks text against the Prometheus exposition
+// grammar this package emits: every non-comment, non-blank line must be
+// `name{label="value",...} number`, with a parseable value (+Inf accepted,
+// as in le positions and sample values). Label values may contain any
+// escaped byte — including braces, as in route patterns — so the label
+// block is scanned quote-aware rather than matched with a regex. It exists
+// so integration tests can assert a live /metrics scrape is well-formed
+// without a Prometheus dependency.
+func ValidatePrometheusText(text string) error {
+	for i, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := validateSampleLine(line); err != nil {
+			return fmt.Errorf("line %d: %v: %q", i+1, err, line)
+		}
+	}
+	return nil
+}
+
+func validateSampleLine(line string) error {
+	rest := line
+	// Metric name runs to the first '{' or ' '.
+	end := strings.IndexAny(rest, "{ ")
+	if end < 0 {
+		return fmt.Errorf("no sample value")
+	}
+	if name := rest[:end]; !metricNameRE.MatchString(name) {
+		return fmt.Errorf("bad metric name %q", name)
+	}
+	if rest[end] == '{' {
+		labels, after, err := scanLabelBlock(rest[end:])
+		if err != nil {
+			return err
+		}
+		if labels != "" {
+			for _, pair := range splitLabelPairs(labels) {
+				if !labelPairRE.MatchString(pair) {
+					return fmt.Errorf("bad label pair %q", pair)
+				}
+			}
+		}
+		rest = after
+		if !strings.HasPrefix(rest, " ") {
+			return fmt.Errorf("no space after label block")
+		}
+		rest = rest[1:]
+	} else {
+		rest = rest[end+1:]
+	}
+	if rest == "" || strings.ContainsRune(rest, ' ') {
+		return fmt.Errorf("expected exactly one sample value, got %q", rest)
+	}
+	if rest != "+Inf" && rest != "-Inf" && rest != "NaN" {
+		if _, err := strconv.ParseFloat(rest, 64); err != nil {
+			return fmt.Errorf("bad sample value %q", rest)
+		}
+	}
+	return nil
+}
+
+// scanLabelBlock consumes a `{...}` label block from the front of s,
+// treating '}' inside a quoted label value as data (label values hold
+// route patterns like "GET /users/{id}/feed"). It returns the block's
+// interior and whatever follows the closing brace.
+func scanLabelBlock(s string) (inner, rest string, err error) {
+	inQuote, escaped := false, false
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\':
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == '}' && !inQuote:
+			return s[1:i], s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label block")
+}
+
+// splitLabelPairs splits `a="x",b="y"` on commas that are not inside a
+// quoted label value.
+func splitLabelPairs(s string) []string {
+	var pairs []string
+	start, inQuote, escaped := 0, false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\':
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == ',' && !inQuote:
+			pairs = append(pairs, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(pairs, s[start:])
+}

@@ -1,0 +1,16 @@
+package platform
+
+import "github.com/treads-project/treads/internal/obs"
+
+// revealsServed counts uses of the transparency surfaces — the product the
+// paper argues for. The surface label is bounded to the three reveal
+// endpoints; nothing about who asked or what was revealed is recorded.
+var revealsServed = obs.Default.CounterVec("platform_reveals_total",
+	"Transparency reveals served, by surface: ad preferences, advertisers-targeting-me, impression explanations.",
+	"surface")
+
+var (
+	revealsPreferences = revealsServed.With("adpreferences")
+	revealsAdvertisers = revealsServed.With("advertisers")
+	revealsExplain     = revealsServed.With("explain")
+)

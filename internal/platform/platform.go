@@ -412,6 +412,7 @@ func (p *Platform) AdPreferences(uid profile.UserID) ([]attr.ID, error) {
 	if pr == nil {
 		return nil, fmt.Errorf("platform: unknown user %q", uid)
 	}
+	revealsPreferences.Inc()
 	return p.explainer.Preferences(pr), nil
 }
 
@@ -439,6 +440,7 @@ func (p *Platform) AdvertisersTargetingMe(uid profile.UserID) ([]string, error) 
 		out = append(out, name)
 	}
 	sort.Strings(out)
+	revealsAdvertisers.Inc()
 	return out, nil
 }
 
@@ -457,5 +459,6 @@ func (p *Platform) ExplainImpression(uid profile.UserID, imp ad.Impression) (exp
 	if expr == nil {
 		expr = attr.MatchAll{}
 	}
+	revealsExplain.Inc()
 	return p.explainer.Explain(expr, pr), nil
 }

@@ -3,6 +3,7 @@ package workload
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/treads-project/treads/internal/ad"
 	"github.com/treads-project/treads/internal/attr"
@@ -69,10 +70,21 @@ type DriverStats struct {
 	// Errors counts operations the backend refused. Driving a well-formed
 	// config against a consistent backend, this must be zero.
 	Errors int64
+	// Elapsed is the wall time of the run, first worker start to last
+	// worker finish.
+	Elapsed time.Duration
 }
 
 // Ops returns the total operations issued.
 func (s DriverStats) Ops() int64 { return s.Browses + s.Visits + s.Likes + s.Prefs }
+
+// AchievedQPS returns the run's realized operations per second.
+func (s DriverStats) AchievedQPS() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Ops()) / s.Elapsed.Seconds()
+}
 
 // Drive floods the target with a concurrent mixed workload and returns the
 // aggregate counts. It blocks until every worker has issued its full
@@ -105,6 +117,7 @@ func Drive(t Target, cfg DriverConfig) DriverStats {
 
 	var st DriverStats
 	var wg sync.WaitGroup
+	start := time.Now()
 	for g := 0; g < cfg.Goroutines; g++ {
 		wg.Add(1)
 		go func(g int) {
@@ -117,30 +130,37 @@ func Drive(t Target, cfg DriverConfig) DriverStats {
 					imps, err := t.BrowseFeed(uid, cfg.BrowseSlots)
 					atomic.AddInt64(&st.Browses, 1)
 					atomic.AddInt64(&st.Impressions, int64(len(imps)))
+					driverOpsBrowse.Inc()
 					countErr(&st, err)
 				case opVisit:
 					err := t.VisitPage(uid, cfg.Pixels[rng.Intn(len(cfg.Pixels))])
 					atomic.AddInt64(&st.Visits, 1)
+					driverOpsVisit.Inc()
 					countErr(&st, err)
 				case opLike:
 					err := t.LikePage(uid, cfg.Pages[rng.Intn(len(cfg.Pages))])
 					atomic.AddInt64(&st.Likes, 1)
+					driverOpsLike.Inc()
 					countErr(&st, err)
 				case opPrefs:
 					_, err := t.AdPreferences(uid)
 					atomic.AddInt64(&st.Prefs, 1)
+					driverOpsPrefs.Inc()
 					countErr(&st, err)
 				}
 			}
 		}(g)
 	}
 	wg.Wait()
+	st.Elapsed = time.Since(start)
+	achievedQPS.Set(st.AchievedQPS())
 	return st
 }
 
 func countErr(st *DriverStats, err error) {
 	if err != nil {
 		atomic.AddInt64(&st.Errors, 1)
+		driverOpErrors.Inc()
 	}
 }
 

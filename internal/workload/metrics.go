@@ -1,0 +1,21 @@
+package workload
+
+import "github.com/treads-project/treads/internal/obs"
+
+// Driver-side metrics: what load was actually delivered, as opposed to the
+// server-side families that record what was absorbed. Comparing
+// workload_achieved_qps against the server's request rate is how an
+// operator tells "the driver is the bottleneck" from "the platform is".
+var (
+	driverOps = obs.Default.CounterVec("workload_ops_total",
+		"Operations issued by the workload driver, by operation type.",
+		"op")
+	driverOpsBrowse = driverOps.With("browse")
+	driverOpsVisit  = driverOps.With("visit")
+	driverOpsLike   = driverOps.With("like")
+	driverOpsPrefs  = driverOps.With("prefs")
+	driverOpErrors  = obs.Default.Counter("workload_op_errors_total",
+		"Driver operations the backend refused.")
+	achievedQPS = obs.Default.Gauge("workload_achieved_qps",
+		"Operations per second achieved by the most recent (or current) driver run.")
+)
