@@ -7,6 +7,7 @@ package treads
 // to BenchmarkClusterBrowseFeedParallel in internal/cluster to compare.
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -77,7 +78,7 @@ func BenchmarkPlatformPotentialReachParallel(b *testing.B) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, err := p.PotentialReach("bench", spec); err != nil {
+			if _, err := p.PotentialReach(context.Background(), "bench", spec); err != nil {
 				b.Fatal(err)
 			}
 		}

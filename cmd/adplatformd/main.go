@@ -7,6 +7,10 @@
 //	            [-load state.json] [-save state.json]
 //	            [-journal dir] [-batch-window 2ms] [-compact-every 5m]
 //	            [-debug-addr :6060]
+//	adplatformd -shard-serve -shard-index I -shard-count N
+//	            [-rpc-secret S] [-journal dir] ...
+//	adplatformd -peers host:port,host:port,... [-rpc-secret S]
+//	            [-rpc-timeout 2s] [-hedge-after 0] [-peer-wait 30s] ...
 //
 // Without -load, the platform starts pre-populated with a deterministic
 // synthetic population (user IDs user-000000 .. user-NNNNNN) so Treads
@@ -22,6 +26,17 @@
 // every shard, and aggregate reads merge exact per-shard totals before
 // privacy thresholds apply. The HTTP API is identical — sharding is
 // invisible on the wire. -load/-save snapshots are single-shard only.
+//
+// The second and third forms split one logical cluster across processes
+// (or machines). A node with -shard-serve holds shard I of N and serves
+// the internal shard RPC surface (/rpc/v1/...) instead of the public API;
+// give each node its own -journal directory for crash recovery. A node
+// with -peers is a router: it holds no user state, connects one RPC client
+// per shard node (retries, deadlines, hedged reads, circuit breaking), and
+// serves the identical public HTTP API over the remote cluster. Both sides
+// authenticate shard RPCs with -rpc-secret (or the ADPLATFORM_RPC_SECRET
+// environment variable), compared in constant time. The router gates
+// startup on every shard node reporting healthy within -peer-wait.
 //
 // With -journal, every mutating operation is written to a write-ahead
 // journal before it is acknowledged, so a crash or kill -9 loses nothing:
@@ -58,6 +73,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,6 +84,7 @@ import (
 	"github.com/treads-project/treads/internal/obs"
 	"github.com/treads-project/treads/internal/platform"
 	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/rpc"
 	"github.com/treads-project/treads/internal/stats"
 	"github.com/treads-project/treads/internal/workload"
 )
@@ -94,6 +111,16 @@ type options struct {
 	BatchWindow  time.Duration
 	CompactEvery time.Duration
 	DebugAddr    string
+
+	// Networked-cluster modes.
+	ShardServe bool
+	ShardIndex int
+	ShardCount int
+	Peers      string
+	RPCSecret  string
+	RPCTimeout time.Duration
+	HedgeAfter time.Duration
+	PeerWait   time.Duration
 }
 
 // parseFlags registers the flag set on fs and parses args into options.
@@ -112,8 +139,19 @@ func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 	fs.DurationVar(&o.BatchWindow, "batch-window", 2*time.Millisecond, "journal group-commit window (0 = fsync per op)")
 	fs.DurationVar(&o.CompactEvery, "compact-every", 5*time.Minute, "background journal compaction interval (0 = never)")
 	fs.StringVar(&o.DebugAddr, "debug-addr", "", "private listen address for pprof and /metrics (empty = disabled)")
+	fs.BoolVar(&o.ShardServe, "shard-serve", false, "serve the internal shard RPC surface instead of the public HTTP API")
+	fs.IntVar(&o.ShardIndex, "shard-index", 0, "this node's shard index (with -shard-serve)")
+	fs.IntVar(&o.ShardCount, "shard-count", 1, "total shard nodes in the cluster (with -shard-serve)")
+	fs.StringVar(&o.Peers, "peers", "", "comma-separated shard-node addresses (host:port); run as a router over remote shards")
+	fs.StringVar(&o.RPCSecret, "rpc-secret", "", "shared shard-RPC secret (falls back to ADPLATFORM_RPC_SECRET)")
+	fs.DurationVar(&o.RPCTimeout, "rpc-timeout", 2*time.Second, "per-attempt deadline for shard RPCs (router mode)")
+	fs.DurationVar(&o.HedgeAfter, "hedge-after", 0, "hedge idempotent shard reads after this delay (0 = disabled)")
+	fs.DurationVar(&o.PeerWait, "peer-wait", 30*time.Second, "how long the router waits at startup for every shard node to report healthy")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
+	}
+	if o.RPCSecret == "" {
+		o.RPCSecret = os.Getenv("ADPLATFORM_RPC_SECRET")
 	}
 	return o, nil
 }
@@ -142,6 +180,43 @@ func (o options) validate() error {
 	if o.DebugAddr != "" && o.DebugAddr == o.Addr {
 		return fmt.Errorf("-debug-addr must differ from -addr; pprof belongs on a private listener")
 	}
+	if o.ShardServe && o.Peers != "" {
+		return fmt.Errorf("-shard-serve and -peers are mutually exclusive: a node either holds a shard or routes to them")
+	}
+	if o.ShardServe {
+		if o.ShardCount < 1 {
+			return fmt.Errorf("-shard-count must be at least 1, got %d", o.ShardCount)
+		}
+		if o.ShardIndex < 0 || o.ShardIndex >= o.ShardCount {
+			return fmt.Errorf("-shard-index must be in [0, %d), got %d", o.ShardCount, o.ShardIndex)
+		}
+		if o.Shards != 1 {
+			return fmt.Errorf("-shards is the in-process cluster; a shard node is exactly one shard — size the fleet with -shard-count")
+		}
+		if o.Load != "" || o.Save != "" {
+			return fmt.Errorf("-load/-save snapshots do not apply to shard nodes; use -journal for durability")
+		}
+		if o.Auth {
+			return fmt.Errorf("-auth guards the public API; shard nodes authenticate with -rpc-secret")
+		}
+	}
+	if o.Peers != "" {
+		if o.Shards != 1 {
+			return fmt.Errorf("-shards and -peers are mutually exclusive: the shard count of a router is the number of peers")
+		}
+		if o.JournalDir != "" || o.Load != "" || o.Save != "" {
+			return fmt.Errorf("-journal/-load/-save do not apply to a router; state lives on the shard nodes")
+		}
+		if o.RPCTimeout <= 0 {
+			return fmt.Errorf("-rpc-timeout must be positive, got %v", o.RPCTimeout)
+		}
+		if o.HedgeAfter < 0 {
+			return fmt.Errorf("-hedge-after must not be negative, got %v (0 disables hedging)", o.HedgeAfter)
+		}
+		if o.PeerWait < 0 {
+			return fmt.Errorf("-peer-wait must not be negative, got %v", o.PeerWait)
+		}
+	}
 	return nil
 }
 
@@ -155,6 +230,10 @@ func run() error {
 	}
 
 	logger := log.New(os.Stderr, "adplatformd: ", log.LstdFlags)
+
+	if opts.ShardServe {
+		return runShardServer(opts, logger)
+	}
 
 	backend, jp, compactor, err := openBackend(opts, logger)
 	if err != nil {
@@ -181,6 +260,36 @@ func run() error {
 		handler.SetCompactor(compactor)
 	}
 
+	if err := serveAndDrain(opts, logger, handler, compactor); err != nil {
+		return err
+	}
+	if opts.Save != "" {
+		// validate() restricts -save to single-shard servers, so exactly
+		// one platform's state exists to snapshot.
+		var state platform.State
+		if jp != nil {
+			state = jp.State()
+		} else {
+			state = backend.(*platform.Platform).Snapshot(opts.Seed + 1)
+		}
+		if err := saveAtomic(opts.Save, state); err != nil {
+			return fmt.Errorf("saving state: %w", err)
+		}
+		logger.Printf("saved state to %s", opts.Save)
+	}
+	if c, ok := backend.(io.Closer); ok {
+		if err := c.Close(); err != nil {
+			return fmt.Errorf("closing backend: %w", err)
+		}
+	}
+	return nil
+}
+
+// serveAndDrain runs the handler on opts.Addr (plus the optional private
+// debug listener and the background compaction ticker) until
+// SIGINT/SIGTERM, drains in-flight requests, and runs a final compaction.
+// Mode-specific persistence (-save) stays with the caller.
+func serveAndDrain(opts options, logger *log.Logger, handler http.Handler, compactor httpapi.Compactor) error {
 	srv := &http.Server{
 		Addr:    opts.Addr,
 		Handler: handler,
@@ -221,8 +330,7 @@ func run() error {
 	}
 
 	// Graceful shutdown: stop accepting, drain in-flight requests, then
-	// persist (final compaction with -journal, atomic snapshot with
-	// -save) before exiting.
+	// persist (final compaction with -journal) before returning.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
@@ -254,26 +362,140 @@ func run() error {
 			logger.Printf("final snapshot through LSN %d", lsn)
 		}
 	}
-	if opts.Save != "" {
-		// validate() restricts -save to single-shard servers, so exactly
-		// one platform's state exists to snapshot.
-		var state platform.State
-		if jp != nil {
-			state = jp.State()
-		} else {
-			state = backend.(*platform.Platform).Snapshot(opts.Seed + 1)
+	return nil
+}
+
+// runShardServer is the -shard-serve mode: boot this node's shard of the
+// partitioned population (plain or journaled) and serve the internal RPC
+// surface plus /metrics, with the same graceful-shutdown and compaction
+// lifecycle as the public server.
+func runShardServer(opts options, logger *log.Logger) error {
+	if opts.RPCSecret == "" {
+		logger.Printf("warning: no -rpc-secret (or ADPLATFORM_RPC_SECRET); shard RPC surface is UNAUTHENTICATED")
+	}
+
+	// The population generator partitions by ring ownership; a shard node
+	// keeps slice ShardIndex of a ShardCount-way split.
+	boot := opts
+	boot.Shards = opts.ShardCount
+
+	var backend rpc.Backend
+	var compactor httpapi.Compactor
+	if opts.JournalDir != "" {
+		jp, err := openJournaledShard(boot, opts.ShardIndex, opts.JournalDir, logger)
+		if err != nil {
+			return fmt.Errorf("opening journal: %w", err)
 		}
-		if err := saveAtomic(opts.Save, state); err != nil {
-			return fmt.Errorf("saving state: %w", err)
+		backend = jp
+		compactor = jp
+	} else {
+		p, err := bootShard(boot, opts.ShardIndex, logger)()
+		if err != nil {
+			return err
 		}
-		logger.Printf("saved state to %s", opts.Save)
+		backend = p
+	}
+	logger.Printf("shard node ready: shard %d of %d, %d users (journal=%v auth=%v)",
+		opts.ShardIndex, opts.ShardCount, len(backend.Users()), opts.JournalDir != "", opts.RPCSecret != "")
+
+	mux := http.NewServeMux()
+	mux.Handle(rpc.PathPrefix, rpc.NewServer(backend, opts.RPCSecret, obs.Default))
+	mux.Handle("GET /metrics", obs.Default.Handler())
+
+	if err := serveAndDrain(opts, logger, mux, compactor); err != nil {
+		return err
 	}
 	if c, ok := backend.(io.Closer); ok {
 		if err := c.Close(); err != nil {
-			return fmt.Errorf("closing backend: %w", err)
+			return fmt.Errorf("closing shard: %w", err)
 		}
 	}
 	return nil
+}
+
+// openRouterBackend is the -peers mode: one RPC client per shard node,
+// wrapped as RemoteShards under the same cluster coordinator the
+// in-process shards use. Startup gates on every peer reporting healthy so
+// the router never serves over a half-up fleet.
+func openRouterBackend(opts options, logger *log.Logger) (serverBackend, error) {
+	addrs := splitPeers(opts.Peers)
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("-peers is empty after parsing %q", opts.Peers)
+	}
+	shards := make([]cluster.Shard, len(addrs))
+	remotes := make([]*cluster.RemoteShard, len(addrs))
+	for i, a := range addrs {
+		c := rpc.NewClient(peerURL(a), rpc.Options{
+			Secret:      opts.RPCSecret,
+			CallTimeout: opts.RPCTimeout,
+			HedgeDelay:  opts.HedgeAfter,
+			Registry:    obs.Default,
+		})
+		remotes[i] = cluster.NewRemoteShard(c)
+		shards[i] = remotes[i]
+	}
+	if err := waitForPeers(remotes, opts.PeerWait, logger); err != nil {
+		return nil, err
+	}
+	return cluster.New(shards, cluster.Options{Registry: obs.Default})
+}
+
+// waitForPeers polls every shard node's health endpoint until all report
+// healthy or the deadline passes. Logged per peer as it comes up, so an
+// operator watching startup sees exactly which node is holding the fleet.
+func waitForPeers(remotes []*cluster.RemoteShard, wait time.Duration, logger *log.Logger) error {
+	ctx, cancel := context.WithTimeout(context.Background(), wait)
+	defer cancel()
+	up := make([]bool, len(remotes))
+	var lastErr error
+	for {
+		ready := 0
+		for i, r := range remotes {
+			if up[i] {
+				ready++
+				continue
+			}
+			h, err := r.Client().Health(ctx)
+			if err != nil || !h.OK {
+				if err != nil {
+					lastErr = err
+				}
+				continue
+			}
+			up[i] = true
+			ready++
+			logger.Printf("shard node %s healthy: %d users, last LSN %d", r.Client().Peer(), h.Users, h.LastLSN)
+		}
+		if ready == len(remotes) {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("waiting for shard nodes: %d/%d healthy after %v (last error: %v)",
+				ready, len(remotes), wait, lastErr)
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}
+
+// splitPeers parses the -peers list, dropping empty segments.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// peerURL turns a host:port into a base URL (scheme-qualified addresses
+// pass through).
+func peerURL(a string) string {
+	if strings.Contains(a, "://") {
+		return a
+	}
+	return "http://" + a
 }
 
 // serverBackend is httpapi.Backend plus the introspection the daemon logs
@@ -291,6 +513,10 @@ type serverBackend interface {
 // -save needs the journaled state; compactor is non-nil whenever a journal
 // is in play.
 func openBackend(opts options, logger *log.Logger) (serverBackend, *platform.Journaled, httpapi.Compactor, error) {
+	if opts.Peers != "" {
+		c, err := openRouterBackend(opts, logger)
+		return c, nil, nil, err
+	}
 	if opts.Shards == 1 {
 		if opts.JournalDir != "" {
 			jp, err := openJournaledShard(opts, 0, opts.JournalDir, logger)

@@ -41,6 +41,23 @@ func TestValidateFlags(t *testing.T) {
 		{name: "negative compact interval", args: []string{"-compact-every", "-1s"}, wantErr: "-compact-every must not be negative"},
 		{name: "load with shards", args: []string{"-shards", "2", "-load", "a.json"}, wantErr: "single-shard only"},
 		{name: "save with shards", args: []string{"-shards", "2", "-save", "b.json"}, wantErr: "single-shard only"},
+
+		{name: "shard node", args: []string{"-shard-serve", "-shard-index", "1", "-shard-count", "3"}},
+		{name: "journaled shard node", args: []string{"-shard-serve", "-shard-count", "2", "-journal", "j"}},
+		{name: "router", args: []string{"-peers", "a:1,b:2,c:3", "-rpc-secret", "s"}},
+		{name: "router with hedging", args: []string{"-peers", "a:1", "-hedge-after", "5ms"}},
+
+		{name: "shard node and router", args: []string{"-shard-serve", "-peers", "a:1"}, wantErr: "mutually exclusive"},
+		{name: "shard node zero count", args: []string{"-shard-serve", "-shard-count", "0"}, wantErr: "-shard-count must be at least 1"},
+		{name: "shard index out of range", args: []string{"-shard-serve", "-shard-index", "3", "-shard-count", "3"}, wantErr: "-shard-index must be in [0, 3)"},
+		{name: "shard node with in-process shards", args: []string{"-shard-serve", "-shard-count", "2", "-shards", "4"}, wantErr: "exactly one shard"},
+		{name: "shard node with snapshot", args: []string{"-shard-serve", "-shard-count", "2", "-save", "s.json"}, wantErr: "do not apply to shard nodes"},
+		{name: "shard node with public auth", args: []string{"-shard-serve", "-shard-count", "2", "-auth"}, wantErr: "-rpc-secret"},
+		{name: "router with in-process shards", args: []string{"-peers", "a:1", "-shards", "2"}, wantErr: "mutually exclusive"},
+		{name: "router with journal", args: []string{"-peers", "a:1", "-journal", "j"}, wantErr: "state lives on the shard nodes"},
+		{name: "router zero rpc timeout", args: []string{"-peers", "a:1", "-rpc-timeout", "0s"}, wantErr: "-rpc-timeout must be positive"},
+		{name: "router negative hedge", args: []string{"-peers", "a:1", "-hedge-after", "-1ms"}, wantErr: "-hedge-after must not be negative"},
+		{name: "router negative peer wait", args: []string{"-peers", "a:1", "-peer-wait", "-1s"}, wantErr: "-peer-wait must not be negative"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

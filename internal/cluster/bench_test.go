@@ -1,6 +1,7 @@
 package cluster_test
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -80,7 +81,7 @@ func BenchmarkClusterPotentialReachParallel(b *testing.B) {
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
-					if _, err := c.PotentialReach("bench", spec); err != nil {
+					if _, err := c.PotentialReach(context.Background(), "bench", spec); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -47,8 +48,10 @@ type Shard interface {
 	IssuePixel(string) (pixel.PixelID, error)
 
 	// Aggregate reads (scatter-gathered and merged at the cluster edge).
-	RawReach(advertiser string, spec audience.Spec) (int, error)
-	CampaignTotals(advertiser, campaignID string) (platform.CampaignTotals, error)
+	// These carry the caller's context so a coordinator's deadline bounds
+	// the remote calls behind a networked shard.
+	RawReach(ctx context.Context, advertiser string, spec audience.Spec) (int, error)
+	CampaignTotals(ctx context.Context, advertiser, campaignID string) (platform.CampaignTotals, error)
 
 	// Shared, replicated state.
 	Catalog() *attr.Catalog
@@ -146,56 +149,107 @@ func (c *Cluster) Ring() *Ring { return c.ring }
 // Owner returns the shard index owning a user.
 func (c *Cluster) Owner(uid profile.UserID) int { return c.ring.Owner(string(uid)) }
 
-func (c *Cluster) owner(uid profile.UserID) Shard {
+// owner resolves the shard owning a user, or an ErrShardUnavailable error
+// when that shard's transport is down. User state lives on exactly one
+// shard, so there is no healthy peer to fail over to — the typed error is
+// the honest answer for reads and writes alike.
+func (c *Cluster) owner(uid profile.UserID) (Shard, error) {
 	i := c.ring.Owner(string(uid))
+	if !c.healthy(i) {
+		return nil, fmt.Errorf("cluster: user %q: shard %d: %w", uid, i, ErrShardUnavailable)
+	}
 	c.m.shardOps[i].Inc()
-	return c.shards[i]
+	return c.shards[i], nil
 }
 
 // --- user-scoped operations: route to the owning shard ---
 
 // AddUser inserts the profile into its owning shard.
-func (c *Cluster) AddUser(pr *profile.Profile) error { return c.owner(pr.ID).AddUser(pr) }
+func (c *Cluster) AddUser(pr *profile.Profile) error {
+	s, err := c.owner(pr.ID)
+	if err != nil {
+		return err
+	}
+	return s.AddUser(pr)
+}
 
-// User returns the user's profile from the owning shard.
-func (c *Cluster) User(uid profile.UserID) *profile.Profile { return c.owner(uid).User(uid) }
+// User returns the user's profile from the owning shard (nil when the
+// shard is unavailable — the same answer an unknown user gets).
+func (c *Cluster) User(uid profile.UserID) *profile.Profile {
+	s, err := c.owner(uid)
+	if err != nil {
+		return nil
+	}
+	return s.User(uid)
+}
 
 // BrowseFeed runs a feed session on the user's shard.
 func (c *Cluster) BrowseFeed(uid profile.UserID, slots int) ([]ad.Impression, error) {
-	return c.owner(uid).BrowseFeed(uid, slots)
+	s, err := c.owner(uid)
+	if err != nil {
+		return nil, err
+	}
+	return s.BrowseFeed(uid, slots)
 }
 
-// Feed returns the user's full feed from the owning shard.
-func (c *Cluster) Feed(uid profile.UserID) []ad.Impression { return c.owner(uid).Feed(uid) }
+// Feed returns the user's full feed from the owning shard (nil when the
+// shard is unavailable).
+func (c *Cluster) Feed(uid profile.UserID) []ad.Impression {
+	s, err := c.owner(uid)
+	if err != nil {
+		return nil
+	}
+	return s.Feed(uid)
+}
 
 // VisitPage records a pixel fire on the user's shard. Pixels are
 // replicated, so the shard resolves the pixel locally.
 func (c *Cluster) VisitPage(uid profile.UserID, px pixel.PixelID) error {
-	return c.owner(uid).VisitPage(uid, px)
+	s, err := c.owner(uid)
+	if err != nil {
+		return err
+	}
+	return s.VisitPage(uid, px)
 }
 
 // LikePage records a page like on the user's shard.
 func (c *Cluster) LikePage(uid profile.UserID, pageID string) error {
-	return c.owner(uid).LikePage(uid, pageID)
+	s, err := c.owner(uid)
+	if err != nil {
+		return err
+	}
+	return s.LikePage(uid, pageID)
 }
 
 // AdPreferences returns the transparency-page attributes from the user's
 // shard.
 func (c *Cluster) AdPreferences(uid profile.UserID) ([]attr.ID, error) {
-	return c.owner(uid).AdPreferences(uid)
+	s, err := c.owner(uid)
+	if err != nil {
+		return nil, err
+	}
+	return s.AdPreferences(uid)
 }
 
 // AdvertisersTargetingMe answers from the user's shard; campaigns and
 // audiences are replicated, and the user's custom-data memberships live
 // where the user lives.
 func (c *Cluster) AdvertisersTargetingMe(uid profile.UserID) ([]string, error) {
-	return c.owner(uid).AdvertisersTargetingMe(uid)
+	s, err := c.owner(uid)
+	if err != nil {
+		return nil, err
+	}
+	return s.AdvertisersTargetingMe(uid)
 }
 
 // ExplainImpression generates the "why am I seeing this?" text on the
 // user's shard.
 func (c *Cluster) ExplainImpression(uid profile.UserID, imp ad.Impression) (explain.Explanation, error) {
-	return c.owner(uid).ExplainImpression(uid, imp)
+	s, err := c.owner(uid)
+	if err != nil {
+		return explain.Explanation{}, err
+	}
+	return s.ExplainImpression(uid, imp)
 }
 
 // --- advertiser-scoped mutations: replicate to every shard ---
@@ -210,6 +264,15 @@ func (c *Cluster) ExplainImpression(uid profile.UserID, imp ad.Impression) (expl
 func replicate[T comparable](c *Cluster, opName string, op func(Shard) (T, error)) (T, error) {
 	c.repMu.Lock()
 	defer c.repMu.Unlock()
+	// A shard whose transport is down cannot apply the mutation; applying
+	// it to the others anyway would fork the replicated advertiser state
+	// (the per-shard ID counters would drift). Refuse up front with the
+	// typed error so callers can retry the whole mutation once the shard
+	// is back.
+	if err := c.checkAllHealthy(); err != nil {
+		var zero T
+		return zero, fmt.Errorf("cluster: %s: %w", opName, err)
+	}
 	c.m.replicatedOps.Inc()
 	var first T
 	var firstErr error
@@ -304,12 +367,26 @@ func (c *Cluster) IssuePixel(advertiser string) (pixel.PixelID, error) {
 
 // --- replicated reads: any shard answers ---
 
-// Catalog returns the attribute catalog (identical on every shard).
-func (c *Cluster) Catalog() *attr.Catalog { return c.shards[0].Catalog() }
+// replicatedReader returns a shard suitable for answering replicated-state
+// reads (catalog, attribute search): state identical on every shard, so a
+// circuit-open peer is simply skipped in favor of the first healthy one.
+// With every shard down it falls back to shard 0 — the caller's call will
+// then surface that shard's transport error rather than a nil-deref here.
+func (c *Cluster) replicatedReader() Shard {
+	for i := range c.shards {
+		if c.healthy(i) {
+			return c.shards[i]
+		}
+	}
+	return c.shards[0]
+}
 
-// SearchAttributes searches the catalog on shard 0.
+// Catalog returns the attribute catalog (identical on every shard).
+func (c *Cluster) Catalog() *attr.Catalog { return c.replicatedReader().Catalog() }
+
+// SearchAttributes searches the catalog on the first healthy shard.
 func (c *Cluster) SearchAttributes(query string) []*attr.Attribute {
-	return c.shards[0].SearchAttributes(query)
+	return c.replicatedReader().SearchAttributes(query)
 }
 
 // Users returns every user ID in the cluster. A 1-shard cluster preserves
@@ -320,7 +397,7 @@ func (c *Cluster) Users() []profile.UserID {
 		return c.shards[0].Users()
 	}
 	perShard := make([][]profile.UserID, len(c.shards))
-	_ = c.gather(func(i int, s Shard) error {
+	_ = c.gather(context.Background(), func(_ context.Context, i int, s Shard) error {
 		perShard[i] = s.Users()
 		return nil
 	})

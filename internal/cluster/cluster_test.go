@@ -1,6 +1,7 @@
 package cluster_test
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sort"
@@ -47,8 +48,8 @@ type backend interface {
 	CreateAffinityAudience(string, string, []string) (audience.AudienceID, error)
 	CreateLookalikeAudience(string, string, audience.AudienceID, float64) (audience.AudienceID, error)
 	IssuePixel(string) (pixel.PixelID, error)
-	PotentialReach(string, audience.Spec) (int, error)
-	Report(string, string) (billing.Report, error)
+	PotentialReach(context.Context, string, audience.Spec) (int, error)
+	Report(context.Context, string, string) (billing.Report, error)
 	SearchAttributes(string) []*attr.Attribute
 	Catalog() *attr.Catalog
 }
@@ -232,29 +233,39 @@ func TestClusterSingleShardEquivalence(t *testing.T) {
 	}
 	wantRes := runScenario(t, bare)
 	gotRes := runScenario(t, clustered)
+	assertEquivalent(t, bare, wantRes, clustered, gotRes)
+}
+
+// assertEquivalent checks that two backends driven through the same
+// scenario are observationally identical: campaign IDs, feeds, every
+// transparency surface, reveal sets, reports, and reach. The networked
+// equivalence test reuses it verbatim — byte-identical over the wire is
+// the acceptance bar, not "close enough".
+func assertEquivalent(t *testing.T, want backend, wantRes scenarioResult, got backend, gotRes scenarioResult) {
+	t.Helper()
 	if !reflect.DeepEqual(wantRes.campaigns, gotRes.campaigns) {
-		t.Fatalf("campaign IDs diverged:\nbare    %v\ncluster %v", wantRes.campaigns, gotRes.campaigns)
+		t.Fatalf("campaign IDs diverged:\nwant %v\ngot  %v", wantRes.campaigns, gotRes.campaigns)
 	}
 
 	for _, uid := range wantRes.users {
-		if want, got := bare.Feed(uid), clustered.Feed(uid); !reflect.DeepEqual(want, got) {
-			t.Fatalf("feed(%s): bare %d imps, cluster %d imps (diverged)", uid, len(want), len(got))
+		if w, g := want.Feed(uid), got.Feed(uid); !reflect.DeepEqual(w, g) {
+			t.Fatalf("feed(%s): want %d imps, got %d imps (diverged)", uid, len(w), len(g))
 		}
-		want, err1 := bare.AdPreferences(uid)
-		got, err2 := clustered.AdPreferences(uid)
+		w, err1 := want.AdPreferences(uid)
+		g, err2 := got.AdPreferences(uid)
 		if err1 != nil || err2 != nil {
 			t.Fatalf("AdPreferences(%s): %v / %v", uid, err1, err2)
 		}
-		if !reflect.DeepEqual(want, got) {
+		if !reflect.DeepEqual(w, g) {
 			t.Fatalf("AdPreferences(%s) diverged", uid)
 		}
-		wantAdv, _ := bare.AdvertisersTargetingMe(uid)
-		gotAdv, _ := clustered.AdvertisersTargetingMe(uid)
+		wantAdv, _ := want.AdvertisersTargetingMe(uid)
+		gotAdv, _ := got.AdvertisersTargetingMe(uid)
 		if !reflect.DeepEqual(wantAdv, gotAdv) {
 			t.Fatalf("AdvertisersTargetingMe(%s): %v vs %v", uid, wantAdv, gotAdv)
 		}
-		wantRev := revealedAttrs(t, bare, wantRes.provider, uid)
-		gotRev := revealedAttrs(t, clustered, gotRes.provider, uid)
+		wantRev := revealedAttrs(t, want, wantRes.provider, uid)
+		gotRev := revealedAttrs(t, got, gotRes.provider, uid)
 		if !reflect.DeepEqual(wantRev, gotRev) {
 			t.Fatalf("reveal set(%s): %v vs %v", uid, wantRev, gotRev)
 		}
@@ -265,18 +276,18 @@ func TestClusterSingleShardEquivalence(t *testing.T) {
 		if strings.HasPrefix(camp, "camp-") && !contains(wantRes.campaigns[:2], camp) {
 			adv = wantRes.provider.Name()
 		}
-		want, err1 := bare.Report(adv, camp)
-		got, err2 := clustered.Report(adv, camp)
+		w, err1 := want.Report(context.Background(), adv, camp)
+		g, err2 := got.Report(context.Background(), adv, camp)
 		if (err1 == nil) != (err2 == nil) {
 			t.Fatalf("Report(%s): %v vs %v", camp, err1, err2)
 		}
-		if want != got {
-			t.Fatalf("Report(%s): %+v vs %+v", camp, want, got)
+		if w != g {
+			t.Fatalf("Report(%s): %+v vs %+v", camp, w, g)
 		}
 	}
 
-	wantReach, err1 := bare.PotentialReach("acme", wantRes.reachSpec)
-	gotReach, err2 := clustered.PotentialReach("acme", gotRes.reachSpec)
+	wantReach, err1 := want.PotentialReach(context.Background(), "acme", wantRes.reachSpec)
+	gotReach, err2 := got.PotentialReach(context.Background(), "acme", gotRes.reachSpec)
 	if err1 != nil || err2 != nil {
 		t.Fatalf("PotentialReach: %v / %v", err1, err2)
 	}
@@ -286,16 +297,16 @@ func TestClusterSingleShardEquivalence(t *testing.T) {
 
 	// ExplainImpression agrees on a delivered impression.
 	for _, uid := range wantRes.users {
-		feed := bare.Feed(uid)
+		feed := want.Feed(uid)
 		if len(feed) == 0 {
 			continue
 		}
-		want, err1 := bare.ExplainImpression(uid, feed[0])
-		got, err2 := clustered.ExplainImpression(uid, feed[0])
+		w, err1 := want.ExplainImpression(uid, feed[0])
+		g, err2 := got.ExplainImpression(uid, feed[0])
 		if err1 != nil || err2 != nil {
 			t.Fatalf("ExplainImpression(%s): %v / %v", uid, err1, err2)
 		}
-		if want != got {
+		if w != g {
 			t.Fatalf("ExplainImpression(%s) diverged", uid)
 		}
 		break
@@ -388,7 +399,7 @@ func TestClusterShardedCorrectness(t *testing.T) {
 		if !contains(res.campaigns[:2], camp) {
 			adv = res.provider.Name()
 		}
-		rep, err := c.Report(adv, camp)
+		rep, err := c.Report(context.Background(), adv, camp)
 		if err != nil {
 			t.Fatalf("Report(%s): %v", camp, err)
 		}
@@ -410,13 +421,13 @@ func TestClusterShardedCorrectness(t *testing.T) {
 
 	// Reach merge: cluster-wide potential reach is thresholded on the sum
 	// of exact per-shard counts.
-	gotReach, err := c.PotentialReach("acme", res.reachSpec)
+	gotReach, err := c.PotentialReach(context.Background(), "acme", res.reachSpec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	exact := 0
 	for _, p := range plats {
-		n, err := p.RawReach("acme", res.reachSpec)
+		n, err := p.RawReach(context.Background(), "acme", res.reachSpec)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -10,17 +12,60 @@ import (
 	"github.com/treads-project/treads/internal/platform"
 )
 
+// ErrShardUnavailable marks operations refused because a shard's transport
+// is down (its circuit breaker is open or its health probe fails). It is
+// surfaced instead of partial results: a scatter-gather that silently
+// skipped a shard would report wrong totals, and a user-scoped write that
+// silently dropped would lose acknowledged state. errors.Is against this
+// sentinel distinguishes "the cluster is degraded" from application
+// refusals.
+var ErrShardUnavailable = errors.New("cluster: shard unavailable")
+
+// HealthReporter is implemented by shards that know their own liveness —
+// RemoteShard reports its peer's circuit-breaker state. Shards that do not
+// implement it (in-process platforms) are always considered healthy.
+type HealthReporter interface {
+	Healthy() bool
+}
+
+// healthy reports whether shard i is currently serviceable.
+func (c *Cluster) healthy(i int) bool {
+	if hr, ok := c.shards[i].(HealthReporter); ok {
+		return hr.Healthy()
+	}
+	return true
+}
+
+// checkAllHealthy returns ErrShardUnavailable (wrapped with the shard
+// index) if any shard's transport is down. Exact scatter-gather and
+// ordered replication both need every shard; failing fast here beats
+// burning the full call deadline against a peer known to be dead.
+func (c *Cluster) checkAllHealthy() error {
+	for i := range c.shards {
+		if !c.healthy(i) {
+			return fmt.Errorf("shard %d: %w", i, ErrShardUnavailable)
+		}
+	}
+	return nil
+}
+
 // gather runs fn once per shard with at most c.workers concurrent calls
 // and returns the join of all per-shard errors. The bound keeps a wide
 // cluster's fan-out from spawning one goroutine per shard per request
 // under load; fn(i, …) writes its answer into caller-owned slot i, so no
-// further synchronization is needed. Wall time for the whole fan-out —
+// further synchronization is needed. The context bounds the whole fan-out:
+// remote shards propagate it into their RPCs, and a shard whose circuit is
+// open fails the gather up front with ErrShardUnavailable rather than
+// returning silently wrong totals. Wall time for the whole fan-out —
 // dominated by the slowest shard — lands in cluster_gather_seconds.
-func (c *Cluster) gather(fn func(i int, s Shard) error) error {
+func (c *Cluster) gather(ctx context.Context, fn func(ctx context.Context, i int, s Shard) error) error {
 	start := time.Now()
 	defer c.m.gatherSeconds.ObserveSince(start)
+	if err := c.checkAllHealthy(); err != nil {
+		return err
+	}
 	if len(c.shards) == 1 {
-		return fn(0, c.shards[0])
+		return fn(ctx, 0, c.shards[0])
 	}
 	sem := make(chan struct{}, c.workers)
 	errs := make([]error, len(c.shards))
@@ -31,7 +76,7 @@ func (c *Cluster) gather(fn func(i int, s Shard) error) error {
 		go func(i int, s Shard) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			errs[i] = fn(i, s)
+			errs[i] = fn(ctx, i, s)
 		}(i, s)
 	}
 	wg.Wait()
@@ -44,10 +89,10 @@ func (c *Cluster) gather(fn func(i int, s Shard) error) error {
 // the exact cluster-wide audience size; thresholding per shard instead
 // would report 0 for any audience spread thinner than MinReportableReach
 // per shard and would leak the partition layout through rounding seams.
-func (c *Cluster) PotentialReach(advertiser string, spec audience.Spec) (int, error) {
+func (c *Cluster) PotentialReach(ctx context.Context, advertiser string, spec audience.Spec) (int, error) {
 	counts := make([]int, len(c.shards))
-	err := c.gather(func(i int, s Shard) error {
-		n, err := s.RawReach(advertiser, spec)
+	err := c.gather(ctx, func(ctx context.Context, i int, s Shard) error {
+		n, err := s.RawReach(ctx, advertiser, spec)
 		counts[i] = n
 		return err
 	})
@@ -69,10 +114,10 @@ func (c *Cluster) PotentialReach(advertiser string, spec audience.Spec) (int, er
 // billing thresholds — exactly what one big ledger would report, because
 // per-shard reaches are disjoint (users live on one shard) and impressions
 // and spend are additive.
-func (c *Cluster) Report(advertiser, campaignID string) (billing.Report, error) {
+func (c *Cluster) Report(ctx context.Context, advertiser, campaignID string) (billing.Report, error) {
 	totals := make([]platform.CampaignTotals, len(c.shards))
-	err := c.gather(func(i int, s Shard) error {
-		t, err := s.CampaignTotals(advertiser, campaignID)
+	err := c.gather(ctx, func(ctx context.Context, i int, s Shard) error {
+		t, err := s.CampaignTotals(ctx, advertiser, campaignID)
 		totals[i] = t
 		return err
 	})

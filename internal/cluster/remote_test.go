@@ -1,0 +1,263 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/audience"
+	"github.com/treads-project/treads/internal/cluster"
+	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/rpc"
+	"github.com/treads-project/treads/internal/stats"
+)
+
+// newNetworkedCluster boots n platform shards, each behind a real RPC
+// server on a loopback HTTP listener, and assembles a Cluster over
+// RemoteShards talking to them — the full wire path the multi-node
+// deployment runs, minus only the process boundary.
+func newNetworkedCluster(t *testing.T, n int, seed uint64, secret string) *cluster.Cluster {
+	t.Helper()
+	shards := make([]cluster.Shard, n)
+	for i := 0; i < n; i++ {
+		p := platform.New(platform.Config{Seed: stats.SubSeed(seed, uint64(i))})
+		srv := httptest.NewServer(rpc.NewServer(p, secret, nil))
+		t.Cleanup(srv.Close)
+		rs := cluster.NewRemoteShard(rpc.NewClient(srv.URL, rpc.Options{Secret: secret}))
+		t.Cleanup(func() { rs.Close() })
+		shards[i] = rs
+	}
+	c, err := cluster.New(shards, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRemoteClusterEquivalence is the networked acceptance test: a 3-node
+// cluster reached over the shard RPC transport must be byte-identical to
+// the in-process 3-shard cluster on the same seed — same campaign IDs,
+// feeds, reveal sets, reports, and reach. Any wire-marshalling loss (a
+// dropped field, a float detour, a reordered slice) fails here.
+func TestRemoteClusterEquivalence(t *testing.T) {
+	local, err := cluster.NewInMemory(3, platform.Config{Seed: scenarioSeed}, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := newNetworkedCluster(t, 3, scenarioSeed, "equivalence-secret")
+
+	wantRes := runScenario(t, local)
+	gotRes := runScenario(t, remote)
+	assertEquivalent(t, local, wantRes, remote, gotRes)
+}
+
+// flakyShard wraps an in-process platform with a controllable health
+// signal and counts replicated-read traffic, so routing decisions are
+// observable without a real network.
+type flakyShard struct {
+	*platform.Platform
+	healthy      bool
+	catalogCalls int
+	searchCalls  int
+}
+
+func (f *flakyShard) Healthy() bool { return f.healthy }
+func (f *flakyShard) Catalog() *attr.Catalog {
+	f.catalogCalls++
+	return f.Platform.Catalog()
+}
+func (f *flakyShard) SearchAttributes(q string) []*attr.Attribute {
+	f.searchCalls++
+	return f.Platform.SearchAttributes(q)
+}
+
+// TestUnhealthyShardRouting pins the cluster's failover policy: replicated
+// reads skip a circuit-open shard in favor of a healthy peer, while
+// operations that NEED the dead shard — user ops it owns, exact
+// scatter-gather, ordered replication — surface ErrShardUnavailable
+// instead of silently wrong answers.
+func TestUnhealthyShardRouting(t *testing.T) {
+	const nShards = 3
+	shards := make([]cluster.Shard, nShards)
+	flakies := make([]*flakyShard, nShards)
+	for i := range shards {
+		f := &flakyShard{
+			Platform: platform.New(platform.Config{Seed: stats.SubSeed(scenarioSeed, uint64(i))}),
+			healthy:  true,
+		}
+		shards[i], flakies[i] = f, f
+	}
+	c, err := cluster.New(shards, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed state while everything is up: an advertiser and one user per
+	// shard (found by ring ownership).
+	if err := c.RegisterAdvertiser("acme"); err != nil {
+		t.Fatal(err)
+	}
+	ownedBy := make(map[int]profile.UserID)
+	for i := 0; len(ownedBy) < nShards; i++ {
+		uid := profile.UserID(fmt.Sprintf("user-%06d", i))
+		if _, taken := ownedBy[c.Owner(uid)]; !taken {
+			ownedBy[c.Owner(uid)] = uid
+		}
+	}
+	for _, uid := range ownedBy {
+		pr := profile.New(uid)
+		pr.Nation = "US"
+		pr.AgeYrs = 33
+		if err := c.AddUser(pr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Take shard 0 down.
+	flakies[0].healthy = false
+	flakies[0].catalogCalls, flakies[0].searchCalls = 0, 0
+
+	// Replicated reads fail over: the catalog comes from a healthy peer
+	// and the dead shard is never consulted.
+	if cat := c.Catalog(); cat == nil {
+		t.Fatal("Catalog returned nil with healthy peers available")
+	}
+	if res := c.SearchAttributes("interest"); res == nil {
+		t.Fatal("SearchAttributes returned nil with healthy peers available")
+	}
+	if flakies[0].catalogCalls != 0 || flakies[0].searchCalls != 0 {
+		t.Fatalf("unhealthy shard served %d catalog + %d search reads; reads must skip it",
+			flakies[0].catalogCalls, flakies[0].searchCalls)
+	}
+
+	// A user op owned by the dead shard is refused with the typed error —
+	// there is no replica to fail over to.
+	deadUID := ownedBy[0]
+	if _, err := c.BrowseFeed(deadUID, 5); !errors.Is(err, cluster.ErrShardUnavailable) {
+		t.Fatalf("BrowseFeed(owned by dead shard) err = %v, want ErrShardUnavailable", err)
+	}
+	if _, err := c.AdPreferences(deadUID); !errors.Is(err, cluster.ErrShardUnavailable) {
+		t.Fatalf("AdPreferences err = %v, want ErrShardUnavailable", err)
+	}
+	// A user on a healthy shard is unaffected.
+	liveUID := ownedBy[1]
+	if _, err := c.BrowseFeed(liveUID, 5); err != nil {
+		t.Fatalf("BrowseFeed on a healthy shard failed: %v", err)
+	}
+
+	// Exact scatter-gather refuses rather than reporting a partial sum.
+	partner := booleanAttrs(c.Catalog().BySource(attr.SourcePartner))
+	reachSpec := audience.Spec{Expr: attr.MustParse(fmt.Sprintf("attr(%s)", partner[0].ID))}
+	if _, err := c.PotentialReach(context.Background(), "acme", reachSpec); !errors.Is(err, cluster.ErrShardUnavailable) {
+		t.Fatalf("PotentialReach err = %v, want ErrShardUnavailable", err)
+	}
+
+	// Replicated writes refuse rather than desyncing the dead shard's
+	// deterministic ID counters.
+	if _, err := c.IssuePixel("acme"); !errors.Is(err, cluster.ErrShardUnavailable) {
+		t.Fatalf("IssuePixel err = %v, want ErrShardUnavailable", err)
+	}
+
+	// Recovery: the shard comes back and everything flows again.
+	flakies[0].healthy = true
+	if _, err := c.BrowseFeed(deadUID, 5); err != nil {
+		t.Fatalf("BrowseFeed after recovery: %v", err)
+	}
+	if _, err := c.IssuePixel("acme"); err != nil {
+		t.Fatalf("IssuePixel after recovery: %v", err)
+	}
+}
+
+// TestRemoteShardTypedErrors pins the error taxonomy as seen THROUGH a
+// RemoteShard: each transport failure mode surfaces its own sentinel, so
+// operators (and the router's logs) can tell configuration rot from
+// network weather from a genuinely down peer.
+func TestRemoteShardTypedErrors(t *testing.T) {
+	t.Run("auth", func(t *testing.T) {
+		p := platform.New(platform.Config{Seed: 1})
+		srv := httptest.NewServer(rpc.NewServer(p, "right-secret", nil))
+		defer srv.Close()
+		rs := cluster.NewRemoteShard(rpc.NewClient(srv.URL, rpc.Options{Secret: "wrong-secret"}))
+		defer rs.Close()
+		if _, err := rs.AdPreferences("user-000001"); !errors.Is(err, rpc.ErrAuth) {
+			t.Fatalf("err = %v, want ErrAuth", err)
+		}
+	})
+	t.Run("malformed", func(t *testing.T) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, "<html>definitely not the rpc protocol</html>")
+		}))
+		defer srv.Close()
+		rs := cluster.NewRemoteShard(rpc.NewClient(srv.URL, rpc.Options{MaxRetries: -1}))
+		defer rs.Close()
+		if _, err := rs.AdPreferences("user-000001"); !errors.Is(err, rpc.ErrMalformed) {
+			t.Fatalf("err = %v, want ErrMalformed", err)
+		}
+	})
+	t.Run("timeout", func(t *testing.T) {
+		block := make(chan struct{})
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			select {
+			case <-block:
+			case <-r.Context().Done():
+			}
+		}))
+		defer srv.Close()
+		defer close(block) // LIFO: release the handler before srv.Close waits on it
+		rs := cluster.NewRemoteShard(rpc.NewClient(srv.URL, rpc.Options{
+			CallTimeout: 25 * time.Millisecond, MaxRetries: -1,
+		}))
+		defer rs.Close()
+		if _, err := rs.AdPreferences("user-000001"); !errors.Is(err, rpc.ErrTimeout) {
+			t.Fatalf("err = %v, want ErrTimeout", err)
+		}
+	})
+	t.Run("drop", func(t *testing.T) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("no hijacking support")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			fmt.Fprint(conn, "HTTP/1.1 200 OK\r\nContent-Length: 500\r\n\r\n{\"attr")
+			conn.Close()
+		}))
+		defer srv.Close()
+		rs := cluster.NewRemoteShard(rpc.NewClient(srv.URL, rpc.Options{MaxRetries: -1}))
+		defer rs.Close()
+		if _, err := rs.AdPreferences("user-000001"); !errors.Is(err, rpc.ErrUnavailable) {
+			t.Fatalf("err = %v, want ErrUnavailable", err)
+		}
+	})
+	t.Run("circuit-feeds-cluster-health", func(t *testing.T) {
+		// A RemoteShard whose peer is dead trips its breaker, and the
+		// cluster sees that through HealthReporter: the typed cluster
+		// error appears without waiting out another transport timeout.
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "dead", http.StatusInternalServerError)
+		}))
+		defer srv.Close()
+		rs := cluster.NewRemoteShard(rpc.NewClient(srv.URL, rpc.Options{
+			MaxRetries: -1, FailureThreshold: 2, CircuitCooldown: time.Minute,
+		}))
+		defer rs.Close()
+		for i := 0; i < 2; i++ {
+			if _, err := rs.AdPreferences("user-000001"); err == nil {
+				t.Fatal("call against a dead peer succeeded")
+			}
+		}
+		if rs.Healthy() {
+			t.Fatal("RemoteShard still Healthy after the breaker opened")
+		}
+	})
+}

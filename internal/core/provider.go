@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 
 	"fmt"
@@ -55,7 +56,7 @@ type PlatformAPI interface {
 	CreateEngagementAudience(advertiser, name, pageID string) (audience.AudienceID, error)
 	CreateAffinityAudience(advertiser, name string, phrases []string) (audience.AudienceID, error)
 	CreateLookalikeAudience(advertiser, name string, seed audience.AudienceID, overlap float64) (audience.AudienceID, error)
-	Report(advertiser, campaignID string) (billing.Report, error)
+	Report(ctx context.Context, advertiser, campaignID string) (billing.Report, error)
 }
 
 var (
@@ -559,7 +560,7 @@ func (pr *Provider) PayloadOf(campaignID string) (Payload, bool) {
 // provider's campaigns — the entirety of what the provider can observe
 // about delivery.
 func (pr *Provider) Report(campaignID string) (billing.Report, error) {
-	return pr.platform.Report(pr.cfg.Name, campaignID)
+	return pr.platform.Report(context.Background(), pr.cfg.Name, campaignID)
 }
 
 // TotalInvoiced sums the provider's invoices across all its campaigns.

@@ -50,14 +50,30 @@ func (a *Authenticator) Verify(advertiser, token string) bool {
 	return subtle.ConstantTimeCompare([]byte(want), []byte(token)) == 1
 }
 
-// bearerToken extracts the Bearer token from a request, "" if absent.
-func bearerToken(r *http.Request) string {
+// BearerToken extracts the Bearer token from a request, "" if absent. It
+// is exported for the shard RPC transport, which authenticates peers with
+// the same Authorization header the advertiser API uses.
+func BearerToken(r *http.Request) string {
 	h := r.Header.Get("Authorization")
 	const prefix = "Bearer "
 	if !strings.HasPrefix(h, prefix) {
 		return ""
 	}
 	return strings.TrimSpace(h[len(prefix):])
+}
+
+// bearerToken is the internal alias BearerToken grew out of.
+func bearerToken(r *http.Request) string { return BearerToken(r) }
+
+// SecretEqual reports whether a presented secret matches the expected one,
+// in constant time, so the comparison leaks nothing about the expected
+// value through timing. An empty expected secret never matches — callers
+// that want "no auth configured" must decide that before comparing.
+func SecretEqual(expected, presented string) bool {
+	if expected == "" {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(expected), []byte(presented)) == 1
 }
 
 // requireAdvertiserAuth wraps an advertiser-scoped handler with the token

@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,14 +32,14 @@ type Backend interface {
 	RegisterAdvertiser(name string) error
 	CreateCampaign(advertiser string, params platform.CampaignParams) (string, error)
 	PauseCampaign(advertiser, campaignID string) error
-	Report(advertiser, campaignID string) (billing.Report, error)
+	Report(ctx context.Context, advertiser, campaignID string) (billing.Report, error)
 	CreatePIIAudience(advertiser, name string, keys []pii.MatchKey) (audience.AudienceID, error)
 	CreateWebsiteAudience(advertiser, name string, px pixel.PixelID) (audience.AudienceID, error)
 	CreateEngagementAudience(advertiser, name, pageID string) (audience.AudienceID, error)
 	CreateAffinityAudience(advertiser, name string, phrases []string) (audience.AudienceID, error)
 	CreateLookalikeAudience(advertiser, name string, seed audience.AudienceID, overlap float64) (audience.AudienceID, error)
 	IssuePixel(advertiser string) (pixel.PixelID, error)
-	PotentialReach(advertiser string, spec audience.Spec) (int, error)
+	PotentialReach(ctx context.Context, advertiser string, spec audience.Spec) (int, error)
 	SearchAttributes(query string) []*attr.Attribute
 
 	// User surface.
@@ -243,7 +244,7 @@ func (s *Server) handlePauseCampaign(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	rep, err := s.p.Report(r.PathValue("name"), r.PathValue("id"))
+	rep, err := s.p.Report(r.Context(), r.PathValue("name"), r.PathValue("id"))
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
@@ -350,7 +351,7 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	reach, err := s.p.PotentialReach(name, spec)
+	reach, err := s.p.PotentialReach(r.Context(), name, spec)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return

@@ -131,6 +131,11 @@ func (w MatchKeyWire) ToMatchKey() (pii.MatchKey, error) {
 	}
 }
 
+// FromMatchKey converts to the wire form.
+func FromMatchKey(k pii.MatchKey) MatchKeyWire {
+	return MatchKeyWire{Type: k.Type.String(), Hash: k.Hash}
+}
+
 // CreatePIIAudienceRequest uploads hashed PII as a customer-list audience.
 type CreatePIIAudienceRequest struct {
 	Name string         `json:"name"`

@@ -1,0 +1,65 @@
+package httpapi
+
+import (
+	"context"
+
+	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/pixel"
+	"github.com/treads-project/treads/internal/profile"
+)
+
+// DriverTarget adapts a Client into the workload driver's Target surface,
+// so the same traffic generator that floods an in-process platform can
+// flood a running node — single-process or a router fronting remote shards
+// — over the real HTTP API. It lives here rather than in internal/workload
+// to keep that package free of an httpapi dependency (platform's tests
+// import workload, and httpapi imports platform); workload.Target is
+// structural, so the fit is asserted where both packages are visible.
+type DriverTarget struct {
+	c   *Client
+	ctx context.Context
+}
+
+// NewDriverTarget wraps an API client. ctx (nil for Background) bounds
+// every operation the driver issues — cancel it to abort an in-flight run.
+func NewDriverTarget(c *Client, ctx context.Context) *DriverTarget {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &DriverTarget{c: c, ctx: ctx}
+}
+
+// BrowseFeed runs a feed session. The driver only counts impressions, so
+// the returned slice carries length, not reconstructed creatives.
+func (t *DriverTarget) BrowseFeed(uid profile.UserID, slots int) ([]ad.Impression, error) {
+	ws, err := t.c.Browse(t.ctx, string(uid), slots)
+	if err != nil {
+		return nil, err
+	}
+	return make([]ad.Impression, len(ws)), nil
+}
+
+// VisitPage fires the tracking pixel as the user.
+func (t *DriverTarget) VisitPage(uid profile.UserID, px pixel.PixelID) error {
+	_, err := t.c.FirePixel(t.ctx, string(px), string(uid))
+	return err
+}
+
+// LikePage records a page like.
+func (t *DriverTarget) LikePage(uid profile.UserID, pageID string) error {
+	return t.c.Like(t.ctx, string(uid), pageID)
+}
+
+// AdPreferences fetches the user's transparency-page attributes.
+func (t *DriverTarget) AdPreferences(uid profile.UserID) ([]attr.ID, error) {
+	ids, err := t.c.AdPreferences(t.ctx, string(uid))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]attr.ID, len(ids))
+	for i, id := range ids {
+		out[i] = attr.ID(id)
+	}
+	return out, nil
+}

@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -145,11 +146,11 @@ func TestAdvertiserAPINeverExposesUserIDs(t *testing.T) {
 	}
 
 	// Everything the advertiser can observe:
-	report, err := p.Report("adv", cid)
+	report, err := p.Report(context.Background(), "adv", cid)
 	if err != nil {
 		t.Fatal(err)
 	}
-	reach, err := p.PotentialReach("adv", audience.Spec{Include: []audience.AudienceID{webAud}})
+	reach, err := p.PotentialReach(context.Background(), "adv", audience.Spec{Include: []audience.AudienceID{webAud}})
 	if err != nil {
 		t.Fatal(err)
 	}

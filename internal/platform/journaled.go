@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -337,18 +338,18 @@ func (jp *Journaled) User(id profile.UserID) *profile.Profile { return jp.p.User
 func (jp *Journaled) Users() []profile.UserID { return jp.p.Users() }
 
 // PotentialReach returns the thresholded reach estimate.
-func (jp *Journaled) PotentialReach(advertiser string, spec audience.Spec) (int, error) {
-	return jp.p.PotentialReach(advertiser, spec)
+func (jp *Journaled) PotentialReach(ctx context.Context, advertiser string, spec audience.Spec) (int, error) {
+	return jp.p.PotentialReach(ctx, advertiser, spec)
 }
 
 // RawReach returns the exact pre-threshold match count (cluster merges).
-func (jp *Journaled) RawReach(advertiser string, spec audience.Spec) (int, error) {
-	return jp.p.RawReach(advertiser, spec)
+func (jp *Journaled) RawReach(ctx context.Context, advertiser string, spec audience.Spec) (int, error) {
+	return jp.p.RawReach(ctx, advertiser, spec)
 }
 
 // CampaignTotals returns the campaign's exact totals (cluster merges).
-func (jp *Journaled) CampaignTotals(advertiser, campaignID string) (CampaignTotals, error) {
-	return jp.p.CampaignTotals(advertiser, campaignID)
+func (jp *Journaled) CampaignTotals(ctx context.Context, advertiser, campaignID string) (CampaignTotals, error) {
+	return jp.p.CampaignTotals(ctx, advertiser, campaignID)
 }
 
 // SearchAttributes searches the catalog.
@@ -357,8 +358,8 @@ func (jp *Journaled) SearchAttributes(query string) []*attr.Attribute {
 }
 
 // Report returns a campaign's advertiser-visible report.
-func (jp *Journaled) Report(advertiser, campaignID string) (billing.Report, error) {
-	return jp.p.Report(advertiser, campaignID)
+func (jp *Journaled) Report(ctx context.Context, advertiser, campaignID string) (billing.Report, error) {
+	return jp.p.Report(ctx, advertiser, campaignID)
 }
 
 // Feed returns every impression the user has been shown.

@@ -11,6 +11,7 @@
 package platform
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -310,8 +311,15 @@ func (p *Platform) IssuePixel(advertiser string) (pixel.PixelID, error) {
 }
 
 // PotentialReach returns the rounded, thresholded reach estimate for a
-// targeting spec — the only audience-size signal advertisers get.
-func (p *Platform) PotentialReach(advertiser string, spec audience.Spec) (int, error) {
+// targeting spec — the only audience-size signal advertisers get. The
+// context carries the caller's deadline: in-process resolution honors it
+// only at entry, but the same signature on a cluster coordinator bounds
+// the network scatter-gather, so httpapi request deadlines propagate all
+// the way to remote shards.
+func (p *Platform) PotentialReach(ctx context.Context, advertiser string, spec audience.Spec) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if err := p.checkAdvertiser(advertiser); err != nil {
 		return 0, err
 	}
@@ -324,7 +332,10 @@ func (p *Platform) PotentialReach(advertiser string, spec audience.Spec) (int, e
 // and threshold the total once — thresholding per shard would suppress any
 // audience that is merely spread thin. It is never exposed to advertisers
 // directly.
-func (p *Platform) RawReach(advertiser string, spec audience.Spec) (int, error) {
+func (p *Platform) RawReach(ctx context.Context, advertiser string, spec audience.Spec) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if err := p.checkAdvertiser(advertiser); err != nil {
 		return 0, err
 	}
@@ -349,7 +360,10 @@ type CampaignTotals struct {
 // CampaignTotals returns the campaign's exact totals after the same
 // ownership check Report performs. Cluster coordinators sum totals across
 // shards and apply the billing thresholds once, via billing.MakeReport.
-func (p *Platform) CampaignTotals(advertiser, campaignID string) (CampaignTotals, error) {
+func (p *Platform) CampaignTotals(ctx context.Context, advertiser, campaignID string) (CampaignTotals, error) {
+	if err := ctx.Err(); err != nil {
+		return CampaignTotals{}, err
+	}
 	if err := p.ownCheck(advertiser, campaignID); err != nil {
 		return CampaignTotals{}, err
 	}
@@ -366,7 +380,10 @@ func (p *Platform) SearchAttributes(query string) []*attr.Attribute {
 }
 
 // Report returns the campaign's advertiser-visible performance report.
-func (p *Platform) Report(advertiser, campaignID string) (billing.Report, error) {
+func (p *Platform) Report(ctx context.Context, advertiser, campaignID string) (billing.Report, error) {
+	if err := ctx.Err(); err != nil {
+		return billing.Report{}, err
+	}
 	if err := p.ownCheck(advertiser, campaignID); err != nil {
 		return billing.Report{}, err
 	}

@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -95,7 +96,7 @@ func TestCampaignDeliveryEndToEnd(t *testing.T) {
 			t.Errorf("user %s delivery mismatch", uid)
 		}
 	}
-	r, err := p.Report("tp", id)
+	r, err := p.Report(context.Background(), "tp", id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,10 +117,10 @@ func TestReportOwnership(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Report("a2", id); err == nil {
+	if _, err := p.Report(context.Background(), "a2", id); err == nil {
 		t.Error("cross-advertiser report accepted")
 	}
-	if _, err := p.Report("a1", "camp-bogus"); err == nil {
+	if _, err := p.Report(context.Background(), "a1", "camp-bogus"); err == nil {
 		t.Error("unknown campaign accepted")
 	}
 	if err := p.PauseCampaign("a2", id); err == nil {
@@ -265,14 +266,14 @@ func TestLikePageEngagementFlow(t *testing.T) {
 func TestPotentialReach(t *testing.T) {
 	p := fixedPlatform(t, 100, false)
 	p.RegisterAdvertiser("tp")
-	reach, err := p.PotentialReach("tp", audience.Spec{Expr: attr.Has{ID: salsaID(p)}})
+	reach, err := p.PotentialReach(context.Background(), "tp", audience.Spec{Expr: attr.Has{ID: salsaID(p)}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if reach != 50 {
 		t.Fatalf("reach = %d, want 50", reach)
 	}
-	if _, err := p.PotentialReach("ghost", audience.Spec{}); err == nil {
+	if _, err := p.PotentialReach(context.Background(), "ghost", audience.Spec{}); err == nil {
 		t.Error("unknown advertiser accepted")
 	}
 }

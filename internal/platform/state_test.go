@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"testing"
 
 	"github.com/treads-project/treads/internal/ad"
@@ -149,11 +150,11 @@ func TestSnapshotRoundTrip(t *testing.T) {
 
 	// Reports (spend, impressions, reach) survive.
 	for _, o := range snap.Owner {
-		ra, err := orig.Report(o.Advertiser, o.CampaignID)
+		ra, err := orig.Report(context.Background(), o.Advertiser, o.CampaignID)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rb, err := restored.Report(o.Advertiser, o.CampaignID)
+		rb, err := restored.Report(context.Background(), o.Advertiser, o.CampaignID)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -167,7 +168,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		t.Fatal("ban lost")
 	}
 	// Ownership survives: cross-advertiser report still rejected.
-	if _, err := restored.Report("adv-b", snap.Owner[0].CampaignID); err == nil {
+	if _, err := restored.Report(context.Background(), "adv-b", snap.Owner[0].CampaignID); err == nil {
 		t.Fatal("ownership lost")
 	}
 }

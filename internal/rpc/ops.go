@@ -1,0 +1,226 @@
+package rpc
+
+import (
+	"context"
+
+	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/audience"
+	"github.com/treads-project/treads/internal/explain"
+	"github.com/treads-project/treads/internal/httpapi"
+	"github.com/treads-project/treads/internal/pii"
+	"github.com/treads-project/treads/internal/pixel"
+	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/profile"
+)
+
+// Typed operation methods — one per shard op, mirroring the cluster.Shard
+// surface. The idempotent flag on each call is the retry/hedge policy:
+// pure reads may be safely re-executed (full retries, hedging), anything
+// that moves shard state gets one shot unless the connection was refused
+// before the request left this process. BrowseFeed is a mutation here even
+// though it "reads" the feed: it runs auctions and spends budget.
+
+// AddUser ships a full profile snapshot to the shard.
+func (c *Client) AddUser(ctx context.Context, p *profile.Profile) error {
+	return c.Call(ctx, "adduser", false, AddUserReq{Profile: p.Snapshot()}, nil)
+}
+
+// User fetches a profile snapshot; nil for an unknown user.
+func (c *Client) User(ctx context.Context, uid profile.UserID) (*profile.Profile, error) {
+	var resp UserResp
+	if err := c.Call(ctx, "user", true, UserIDReq{UserID: string(uid)}, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Profile == nil {
+		return nil, nil
+	}
+	return profile.FromState(*resp.Profile)
+}
+
+// Users lists every user ID on the shard.
+func (c *Client) Users(ctx context.Context) ([]profile.UserID, error) {
+	var resp UsersResp
+	if err := c.Call(ctx, "users", true, nil, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Users) == 0 {
+		return nil, nil
+	}
+	out := make([]profile.UserID, len(resp.Users))
+	for i, u := range resp.Users {
+		out[i] = profile.UserID(u)
+	}
+	return out, nil
+}
+
+// BrowseFeed runs a feed session (auctions, spend — a mutation).
+func (c *Client) BrowseFeed(ctx context.Context, uid profile.UserID, slots int) ([]ad.Impression, error) {
+	var resp ImpressionsResp
+	if err := c.Call(ctx, "browse", false, BrowseReq{UserID: string(uid), Slots: slots}, &resp); err != nil {
+		return nil, err
+	}
+	return toImpressions(resp.Impressions), nil
+}
+
+// Feed returns the user's accumulated feed.
+func (c *Client) Feed(ctx context.Context, uid profile.UserID) ([]ad.Impression, error) {
+	var resp ImpressionsResp
+	if err := c.Call(ctx, "feed", true, UserIDReq{UserID: string(uid)}, &resp); err != nil {
+		return nil, err
+	}
+	return toImpressions(resp.Impressions), nil
+}
+
+// VisitPage records a pixel fire.
+func (c *Client) VisitPage(ctx context.Context, uid profile.UserID, px pixel.PixelID) error {
+	return c.Call(ctx, "visit", false, VisitReq{UserID: string(uid), PixelID: string(px)}, nil)
+}
+
+// LikePage records a page like.
+func (c *Client) LikePage(ctx context.Context, uid profile.UserID, pageID string) error {
+	return c.Call(ctx, "like", false, LikeReq{UserID: string(uid), PageID: pageID}, nil)
+}
+
+// AdPreferences returns the user's transparency-page attributes.
+func (c *Client) AdPreferences(ctx context.Context, uid profile.UserID) ([]attr.ID, error) {
+	var resp AttrIDsResp
+	if err := c.Call(ctx, "adpreferences", true, UserIDReq{UserID: string(uid)}, &resp); err != nil {
+		return nil, err
+	}
+	return toAttrIDs(resp.Attributes), nil
+}
+
+// AdvertisersTargetingMe returns the advertisers with the user in an
+// active target set.
+func (c *Client) AdvertisersTargetingMe(ctx context.Context, uid profile.UserID) ([]string, error) {
+	var resp NamesResp
+	if err := c.Call(ctx, "advertisers", true, UserIDReq{UserID: string(uid)}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+// ExplainImpression asks the shard for the "why am I seeing this?" text.
+func (c *Client) ExplainImpression(ctx context.Context, uid profile.UserID, imp ad.Impression) (explain.Explanation, error) {
+	var resp ExplainResp
+	req := ExplainReq{UserID: string(uid), Impression: httpapi.FromImpression(imp)}
+	if err := c.Call(ctx, "explain", true, req, &resp); err != nil {
+		return explain.Explanation{}, err
+	}
+	return explain.Explanation{Attribute: attr.ID(resp.Attribute), Text: resp.Text}, nil
+}
+
+// RegisterAdvertiser creates the advertiser account.
+func (c *Client) RegisterAdvertiser(ctx context.Context, name string) error {
+	return c.Call(ctx, "register", false, RegisterReq{Name: name}, nil)
+}
+
+// CreateCampaign registers a campaign and returns the shard-minted ID.
+func (c *Client) CreateCampaign(ctx context.Context, advertiser string, params platform.CampaignParams) (string, error) {
+	var resp CampaignIDResp
+	req := CreateCampaignReq{Advertiser: advertiser, Params: FromCampaignParams(params)}
+	if err := c.Call(ctx, "createcampaign", false, req, &resp); err != nil {
+		return "", err
+	}
+	return resp.CampaignID, nil
+}
+
+// PauseCampaign pauses a campaign.
+func (c *Client) PauseCampaign(ctx context.Context, advertiser, campaignID string) error {
+	return c.Call(ctx, "pausecampaign", false, CampaignReq{Advertiser: advertiser, CampaignID: campaignID}, nil)
+}
+
+// CreatePIIAudience uploads hashed match keys.
+func (c *Client) CreatePIIAudience(ctx context.Context, advertiser, name string, keys []pii.MatchKey) (audience.AudienceID, error) {
+	wire := make([]httpapi.MatchKeyWire, len(keys))
+	for i, k := range keys {
+		wire[i] = httpapi.FromMatchKey(k)
+	}
+	var resp AudienceIDResp
+	req := CreatePIIAudienceReq{Advertiser: advertiser, Name: name, Keys: wire}
+	if err := c.Call(ctx, "createpiiaudience", false, req, &resp); err != nil {
+		return "", err
+	}
+	return audience.AudienceID(resp.AudienceID), nil
+}
+
+// CreateWebsiteAudience builds a pixel-backed audience.
+func (c *Client) CreateWebsiteAudience(ctx context.Context, advertiser, name string, px pixel.PixelID) (audience.AudienceID, error) {
+	var resp AudienceIDResp
+	req := CreateWebsiteAudienceReq{Advertiser: advertiser, Name: name, PixelID: string(px)}
+	if err := c.Call(ctx, "createwebsiteaudience", false, req, &resp); err != nil {
+		return "", err
+	}
+	return audience.AudienceID(resp.AudienceID), nil
+}
+
+// CreateEngagementAudience builds a page-like audience.
+func (c *Client) CreateEngagementAudience(ctx context.Context, advertiser, name, pageID string) (audience.AudienceID, error) {
+	var resp AudienceIDResp
+	req := CreateEngagementAudienceReq{Advertiser: advertiser, Name: name, PageID: pageID}
+	if err := c.Call(ctx, "createengagementaudience", false, req, &resp); err != nil {
+		return "", err
+	}
+	return audience.AudienceID(resp.AudienceID), nil
+}
+
+// CreateAffinityAudience builds a keyword audience.
+func (c *Client) CreateAffinityAudience(ctx context.Context, advertiser, name string, phrases []string) (audience.AudienceID, error) {
+	var resp AudienceIDResp
+	req := CreateAffinityAudienceReq{Advertiser: advertiser, Name: name, Phrases: phrases}
+	if err := c.Call(ctx, "createaffinityaudience", false, req, &resp); err != nil {
+		return "", err
+	}
+	return audience.AudienceID(resp.AudienceID), nil
+}
+
+// CreateLookalikeAudience derives a similarity audience.
+func (c *Client) CreateLookalikeAudience(ctx context.Context, advertiser, name string, seed audience.AudienceID, overlap float64) (audience.AudienceID, error) {
+	var resp AudienceIDResp
+	req := CreateLookalikeAudienceReq{Advertiser: advertiser, Name: name, Seed: string(seed), Overlap: overlap}
+	if err := c.Call(ctx, "createlookalikeaudience", false, req, &resp); err != nil {
+		return "", err
+	}
+	return audience.AudienceID(resp.AudienceID), nil
+}
+
+// IssuePixel issues a tracking pixel.
+func (c *Client) IssuePixel(ctx context.Context, advertiser string) (pixel.PixelID, error) {
+	var resp PixelIDResp
+	if err := c.Call(ctx, "issuepixel", false, AdvertiserReq{Advertiser: advertiser}, &resp); err != nil {
+		return "", err
+	}
+	return pixel.PixelID(resp.PixelID), nil
+}
+
+// RawReach returns the shard's exact pre-threshold match count.
+func (c *Client) RawReach(ctx context.Context, advertiser string, spec audience.Spec) (int, error) {
+	var resp RawReachResp
+	req := RawReachReq{Advertiser: advertiser, Spec: FromSpec(spec)}
+	if err := c.Call(ctx, "rawreach", true, req, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// CampaignTotals returns the shard's mergeable campaign totals.
+func (c *Client) CampaignTotals(ctx context.Context, advertiser, campaignID string) (platform.CampaignTotals, error) {
+	var resp CampaignTotalsResp
+	req := CampaignReq{Advertiser: advertiser, CampaignID: campaignID}
+	if err := c.Call(ctx, "campaigntotals", true, req, &resp); err != nil {
+		return platform.CampaignTotals{}, err
+	}
+	return resp.ToTotals(), nil
+}
+
+func toImpressions(ws []httpapi.ImpressionWire) []ad.Impression {
+	if len(ws) == 0 {
+		return nil
+	}
+	out := make([]ad.Impression, len(ws))
+	for i, w := range ws {
+		out[i] = w.ToImpression()
+	}
+	return out
+}

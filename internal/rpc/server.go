@@ -1,0 +1,335 @@
+package rpc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/audience"
+	"github.com/treads-project/treads/internal/explain"
+	"github.com/treads-project/treads/internal/httpapi"
+	"github.com/treads-project/treads/internal/obs"
+	"github.com/treads-project/treads/internal/pii"
+	"github.com/treads-project/treads/internal/pixel"
+	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/profile"
+)
+
+// Backend is the shard surface the RPC server exposes. It is structurally
+// the cluster.Shard operation set minus the catalog reads (the attribute
+// catalog is compiled into every binary, so routers answer those locally
+// instead of shipping the catalog over the wire). *platform.Platform and
+// *platform.Journaled satisfy it.
+type Backend interface {
+	AddUser(*profile.Profile) error
+	User(profile.UserID) *profile.Profile
+	Users() []profile.UserID
+	BrowseFeed(profile.UserID, int) ([]ad.Impression, error)
+	Feed(profile.UserID) []ad.Impression
+	VisitPage(profile.UserID, pixel.PixelID) error
+	LikePage(profile.UserID, string) error
+	AdPreferences(profile.UserID) ([]attr.ID, error)
+	AdvertisersTargetingMe(profile.UserID) ([]string, error)
+	ExplainImpression(profile.UserID, ad.Impression) (explain.Explanation, error)
+
+	RegisterAdvertiser(string) error
+	CreateCampaign(string, platform.CampaignParams) (string, error)
+	PauseCampaign(string, string) error
+	CreatePIIAudience(string, string, []pii.MatchKey) (audience.AudienceID, error)
+	CreateWebsiteAudience(string, string, pixel.PixelID) (audience.AudienceID, error)
+	CreateEngagementAudience(string, string, string) (audience.AudienceID, error)
+	CreateAffinityAudience(string, string, []string) (audience.AudienceID, error)
+	CreateLookalikeAudience(string, string, audience.AudienceID, float64) (audience.AudienceID, error)
+	IssuePixel(string) (pixel.PixelID, error)
+
+	RawReach(ctx context.Context, advertiser string, spec audience.Spec) (int, error)
+	CampaignTotals(ctx context.Context, advertiser, campaignID string) (platform.CampaignTotals, error)
+}
+
+var (
+	_ Backend = (*platform.Platform)(nil)
+	_ Backend = (*platform.Journaled)(nil)
+)
+
+// lsnReporter is the optional durability introspection the health endpoint
+// surfaces; *platform.Journaled satisfies it.
+type lsnReporter interface {
+	LastLSN() uint64
+}
+
+// protoError marks a request the server could not even parse; it maps to
+// 400 instead of the 422 application refusals get, so clients never
+// confuse "I spoke the protocol wrong" with "the shard said no".
+type protoError struct{ err error }
+
+func (e protoError) Error() string { return e.err.Error() }
+
+// opHandler decodes one operation's body, runs it, and returns the
+// response value to serialize.
+type opHandler func(ctx context.Context, body []byte) (any, error)
+
+// Server exposes a shard backend over the versioned HTTP/JSON transport.
+// It is an http.Handler; mount it as the root handler of a shard node's
+// listener. All endpoints demand the shared secret (constant-time
+// compared) when one is configured.
+type Server struct {
+	b        Backend
+	secret   string
+	mux      *http.ServeMux
+	handlers map[string]opHandler
+	m        *serverMetrics
+}
+
+// NewServer wraps a shard backend. secret "" disables authentication
+// (tests only — production shard nodes must set one). registry nil leaves
+// the server instrumented against unregistered metrics.
+func NewServer(b Backend, secret string, registry *obs.Registry) *Server {
+	s := &Server{
+		b:        b,
+		secret:   secret,
+		mux:      http.NewServeMux(),
+		handlers: make(map[string]opHandler),
+		m:        newServerMetrics(registry),
+	}
+	s.register()
+	s.mux.HandleFunc("GET "+PathPrefix+"health", s.handleHealth)
+	s.mux.HandleFunc("POST "+PathPrefix+"{op}", s.handleOp)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// authorized enforces the shared secret.
+func (s *Server) authorized(w http.ResponseWriter, r *http.Request) bool {
+	if s.secret == "" {
+		return true
+	}
+	if !httpapi.SecretEqual(s.secret, httpapi.BearerToken(r)) {
+		s.m.authFailures.Inc()
+		writeRPCError(w, http.StatusUnauthorized, "missing or invalid shard secret")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if !s.authorized(w, r) {
+		return
+	}
+	resp := HealthResp{OK: true, Users: len(s.b.Users())}
+	if lr, ok := s.b.(lsnReporter); ok {
+		resp.LastLSN = lr.LastLSN()
+	}
+	writeRPCJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer s.m.requestSeconds.ObserveSince(start)
+	if !s.authorized(w, r) {
+		return
+	}
+	op := r.PathValue("op")
+	h, ok := s.handlers[op]
+	if !ok {
+		writeRPCError(w, http.StatusNotFound, fmt.Sprintf("unknown op %q", op))
+		return
+	}
+	s.m.op(op).Inc()
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxBody+1))
+	if err != nil {
+		s.m.opErr(op).Inc()
+		writeRPCError(w, http.StatusBadRequest, "reading request: "+err.Error())
+		return
+	}
+	if len(body) > MaxBody {
+		s.m.opErr(op).Inc()
+		writeRPCError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("request exceeds %d bytes", MaxBody))
+		return
+	}
+	resp, err := h(r.Context(), body)
+	if err != nil {
+		s.m.opErr(op).Inc()
+		if pe, ok := err.(protoError); ok {
+			writeRPCError(w, http.StatusBadRequest, pe.Error())
+			return
+		}
+		// Application refusal: 422 keeps it distinct from every
+		// transport-level status, so the client re-raises it as a
+		// *RemoteError with the shard's own message.
+		writeRPCError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeRPCJSON(w, http.StatusOK, resp)
+}
+
+// handle registers a typed operation: decode Req, run, reply Resp.
+func handle[Req, Resp any](s *Server, name string, fn func(ctx context.Context, req Req) (Resp, error)) {
+	s.handlers[name] = func(ctx context.Context, body []byte) (any, error) {
+		var req Req
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, protoError{fmt.Errorf("decoding %s request: %w", name, err)}
+			}
+		}
+		return fn(ctx, req)
+	}
+}
+
+type empty struct{}
+
+// register wires every shard operation to its endpoint name. The names
+// are the protocol — the client's typed methods refer to the same
+// constants-by-convention strings.
+func (s *Server) register() {
+	handle(s, "adduser", func(_ context.Context, req AddUserReq) (empty, error) {
+		p, err := profile.FromState(req.Profile)
+		if err != nil {
+			return empty{}, protoError{err}
+		}
+		return empty{}, s.b.AddUser(p)
+	})
+	handle(s, "user", func(_ context.Context, req UserIDReq) (UserResp, error) {
+		p := s.b.User(profile.UserID(req.UserID))
+		if p == nil {
+			return UserResp{}, nil
+		}
+		st := p.Snapshot()
+		return UserResp{Profile: &st}, nil
+	})
+	handle(s, "users", func(_ context.Context, _ empty) (UsersResp, error) {
+		ids := s.b.Users()
+		out := make([]string, len(ids))
+		for i, id := range ids {
+			out[i] = string(id)
+		}
+		return UsersResp{Users: out}, nil
+	})
+	handle(s, "browse", func(_ context.Context, req BrowseReq) (ImpressionsResp, error) {
+		imps, err := s.b.BrowseFeed(profile.UserID(req.UserID), req.Slots)
+		if err != nil {
+			return ImpressionsResp{}, err
+		}
+		return ImpressionsResp{Impressions: impressionsWire(imps)}, nil
+	})
+	handle(s, "feed", func(_ context.Context, req UserIDReq) (ImpressionsResp, error) {
+		return ImpressionsResp{Impressions: impressionsWire(s.b.Feed(profile.UserID(req.UserID)))}, nil
+	})
+	handle(s, "visit", func(_ context.Context, req VisitReq) (empty, error) {
+		return empty{}, s.b.VisitPage(profile.UserID(req.UserID), pixel.PixelID(req.PixelID))
+	})
+	handle(s, "like", func(_ context.Context, req LikeReq) (empty, error) {
+		return empty{}, s.b.LikePage(profile.UserID(req.UserID), req.PageID)
+	})
+	handle(s, "adpreferences", func(_ context.Context, req UserIDReq) (AttrIDsResp, error) {
+		ids, err := s.b.AdPreferences(profile.UserID(req.UserID))
+		if err != nil {
+			return AttrIDsResp{}, err
+		}
+		return AttrIDsResp{Attributes: attrIDs(ids)}, nil
+	})
+	handle(s, "advertisers", func(_ context.Context, req UserIDReq) (NamesResp, error) {
+		names, err := s.b.AdvertisersTargetingMe(profile.UserID(req.UserID))
+		if err != nil {
+			return NamesResp{}, err
+		}
+		return NamesResp{Names: names}, nil
+	})
+	handle(s, "explain", func(_ context.Context, req ExplainReq) (ExplainResp, error) {
+		ex, err := s.b.ExplainImpression(profile.UserID(req.UserID), req.Impression.ToImpression())
+		if err != nil {
+			return ExplainResp{}, err
+		}
+		return ExplainResp{Attribute: string(ex.Attribute), Text: ex.Text}, nil
+	})
+
+	handle(s, "register", func(_ context.Context, req RegisterReq) (empty, error) {
+		return empty{}, s.b.RegisterAdvertiser(req.Name)
+	})
+	handle(s, "createcampaign", func(_ context.Context, req CreateCampaignReq) (CampaignIDResp, error) {
+		params, err := req.Params.ToParams()
+		if err != nil {
+			return CampaignIDResp{}, protoError{err}
+		}
+		id, err := s.b.CreateCampaign(req.Advertiser, params)
+		return CampaignIDResp{CampaignID: id}, err
+	})
+	handle(s, "pausecampaign", func(_ context.Context, req CampaignReq) (empty, error) {
+		return empty{}, s.b.PauseCampaign(req.Advertiser, req.CampaignID)
+	})
+	handle(s, "createpiiaudience", func(_ context.Context, req CreatePIIAudienceReq) (AudienceIDResp, error) {
+		keys := make([]pii.MatchKey, 0, len(req.Keys))
+		for _, kw := range req.Keys {
+			k, err := kw.ToMatchKey()
+			if err != nil {
+				return AudienceIDResp{}, protoError{err}
+			}
+			keys = append(keys, k)
+		}
+		id, err := s.b.CreatePIIAudience(req.Advertiser, req.Name, keys)
+		return AudienceIDResp{AudienceID: string(id)}, err
+	})
+	handle(s, "createwebsiteaudience", func(_ context.Context, req CreateWebsiteAudienceReq) (AudienceIDResp, error) {
+		id, err := s.b.CreateWebsiteAudience(req.Advertiser, req.Name, pixel.PixelID(req.PixelID))
+		return AudienceIDResp{AudienceID: string(id)}, err
+	})
+	handle(s, "createengagementaudience", func(_ context.Context, req CreateEngagementAudienceReq) (AudienceIDResp, error) {
+		id, err := s.b.CreateEngagementAudience(req.Advertiser, req.Name, req.PageID)
+		return AudienceIDResp{AudienceID: string(id)}, err
+	})
+	handle(s, "createaffinityaudience", func(_ context.Context, req CreateAffinityAudienceReq) (AudienceIDResp, error) {
+		id, err := s.b.CreateAffinityAudience(req.Advertiser, req.Name, req.Phrases)
+		return AudienceIDResp{AudienceID: string(id)}, err
+	})
+	handle(s, "createlookalikeaudience", func(_ context.Context, req CreateLookalikeAudienceReq) (AudienceIDResp, error) {
+		id, err := s.b.CreateLookalikeAudience(req.Advertiser, req.Name, audience.AudienceID(req.Seed), req.Overlap)
+		return AudienceIDResp{AudienceID: string(id)}, err
+	})
+	handle(s, "issuepixel", func(_ context.Context, req AdvertiserReq) (PixelIDResp, error) {
+		id, err := s.b.IssuePixel(req.Advertiser)
+		return PixelIDResp{PixelID: string(id)}, err
+	})
+
+	handle(s, "rawreach", func(ctx context.Context, req RawReachReq) (RawReachResp, error) {
+		spec, err := req.Spec.ToSpec()
+		if err != nil {
+			return RawReachResp{}, protoError{err}
+		}
+		n, err := s.b.RawReach(ctx, req.Advertiser, spec)
+		return RawReachResp{Count: n}, err
+	})
+	handle(s, "campaigntotals", func(ctx context.Context, req CampaignReq) (CampaignTotalsResp, error) {
+		t, err := s.b.CampaignTotals(ctx, req.Advertiser, req.CampaignID)
+		if err != nil {
+			return CampaignTotalsResp{}, err
+		}
+		return CampaignTotalsResp{
+			Impressions: t.Impressions,
+			Reach:       t.Reach,
+			SpendMicros: int64(t.Spend),
+		}, nil
+	})
+}
+
+func impressionsWire(imps []ad.Impression) []httpapi.ImpressionWire {
+	out := make([]httpapi.ImpressionWire, len(imps))
+	for i, imp := range imps {
+		out[i] = httpapi.FromImpression(imp)
+	}
+	return out
+}
+
+func writeRPCJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeRPCError(w http.ResponseWriter, status int, msg string) {
+	writeRPCJSON(w, status, errorBody{Error: msg})
+}

@@ -73,6 +73,10 @@ type DriverStats struct {
 	// Elapsed is the wall time of the run, first worker start to last
 	// worker finish.
 	Elapsed time.Duration
+	// QPS is the realized operations-per-second of the run
+	// (Ops()/Elapsed), recorded so stats snapshots carry throughput
+	// without recomputation.
+	QPS float64
 }
 
 // Ops returns the total operations issued.
@@ -153,7 +157,8 @@ func Drive(t Target, cfg DriverConfig) DriverStats {
 	}
 	wg.Wait()
 	st.Elapsed = time.Since(start)
-	achievedQPS.Set(st.AchievedQPS())
+	st.QPS = st.AchievedQPS()
+	achievedQPS.Set(st.QPS)
 	return st
 }
 
