@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz cover experiments clean
+.PHONY: all build vet test race bench fuzz cover chaos experiments clean
 
 all: build vet test
 
@@ -29,6 +29,13 @@ fuzz:
 
 cover:
 	$(GO) test -cover ./...
+
+# Long deterministic fault-injection sweep: 200 in-process schedules plus
+# 50 over real loopback RPC. A violation prints the failing seed; replay
+# it with `go run ./cmd/treads-chaos -seed <n> -v -keep`.
+chaos:
+	$(GO) run ./cmd/treads-chaos -seeds 200 -require-coverage
+	$(GO) run ./cmd/treads-chaos -net -seeds 50 -workers 2 -require-coverage
 
 # Regenerate every table/figure of the paper.
 experiments:

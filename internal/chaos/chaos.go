@@ -1,0 +1,536 @@
+// Package chaos is the deterministic fault-injection harness that proves
+// the platform's crash and partition story end-to-end. One Run boots a
+// multi-shard cluster (in-process or over real loopback RPC) whose disks
+// and links go through the faults package's seams, drives the concurrent
+// workload at it for several rounds while injecting scheduled failures —
+// short writes, failed fsyncs, torn renames, dropped and duplicated and
+// mid-body-reset requests, partitions, and whole-shard crashes — then
+// quiesces and checks the invariants that must hold no matter what the
+// schedule did:
+//
+//   - durability: every impression acknowledged to a user survives into
+//     the merged post-recovery campaign totals;
+//   - accounting: the platform never bills impressions beyond what was
+//     acknowledged plus the slots of operations that failed
+//     indeterminately (and exactly equals acked when nothing was
+//     indeterminate);
+//   - no double billing: the ledger's impression and reach totals equal a
+//     recount of every user feed, and the cluster's advertiser-visible
+//     report equals billing.MakeReport over the merged exact totals;
+//   - convergence: replicated advertiser state (advertiser set, campaign
+//     ownership, campaign counter) is identical on every shard, and a
+//     live replicated mutation still succeeds;
+//   - recovery identity: each shard's state marshals byte-identically
+//     before a clean close and after reopening from disk;
+//   - coverage: every configured fault kind actually reached its
+//     injection point — a silently dead seam fails the run rather than
+//     passing vacuously.
+//
+// The whole schedule is a pure function of Config.Seed (see the faults
+// package for the per-site derivation), so a failing seed printed by the
+// chaos binary replays the identical fault schedule. With Workers == 1
+// the run is fully deterministic end to end: same seed, same ops, same
+// faults, same Result.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/audience"
+	"github.com/treads-project/treads/internal/cluster"
+	"github.com/treads-project/treads/internal/money"
+	"github.com/treads-project/treads/internal/faults"
+	"github.com/treads-project/treads/internal/journal"
+	"github.com/treads-project/treads/internal/obs"
+	"github.com/treads-project/treads/internal/pixel"
+	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/rpc"
+	"github.com/treads-project/treads/internal/stats"
+	"github.com/treads-project/treads/internal/workload"
+)
+
+// Config parameterizes one chaos run. The zero value is not runnable; use
+// DefaultConfig as the base.
+type Config struct {
+	// Seed determines the entire fault schedule, the workload, the crash
+	// and partition decisions, and every shard's platform seed.
+	Seed uint64
+	// Shards, Users, Campaigns size the simulated deployment.
+	Shards    int
+	Users     int
+	Campaigns int
+	// Rounds alternates drive-under-faults with crash/restart decisions.
+	Rounds int
+	// OpsPerRound is the total operation budget per round, split across
+	// Workers driver goroutines. Workers == 1 makes the run fully
+	// deterministic (the multiset of operations is deterministic either
+	// way; interleaving is not).
+	OpsPerRound int
+	Workers     int
+	// BrowseSlots per Browse operation (the accounting upper bound for a
+	// browse that errored indeterminately).
+	BrowseSlots int
+	// CrashProb is the per-shard probability of a crash after each round.
+	// Independently, one shard is always crashed after the first round so
+	// every run exercises recovery.
+	CrashProb float64
+	// PartitionProb is the per-round probability of partitioning one
+	// shard (networked mode only); one partition is always injected so no
+	// networked run passes without exercising it.
+	PartitionProb float64
+	// Disk configures filesystem fault probabilities for every shard's
+	// journal directory.
+	Disk faults.DiskConfig
+	// Net, when non-nil, runs the cluster over real loopback RPC with
+	// this link-fault configuration. Nil runs shards in-process.
+	Net *faults.NetConfig
+	// SegmentBytes and BatchWindow are passed to each shard's journal;
+	// small segments make rotation, snapshot shadowing, and tail repair
+	// happen constantly instead of rarely.
+	SegmentBytes int64
+	BatchWindow  time.Duration
+	// Dir is the scratch directory for shard journals. Empty creates a
+	// temp dir, removed again when the run passes (kept on failure, and
+	// always kept when Keep is set, so a failing seed's disk state is
+	// inspectable).
+	Dir  string
+	Keep bool
+	// Registry receives the injector's fault counters; nil uses a private
+	// registry so harness runs don't pollute the process-global exporter.
+	Registry *obs.Registry
+	// Logf, when set, receives progress lines (the chaos binary wires
+	// this to stdout; tests wire it to t.Logf).
+	Logf func(format string, args ...any)
+}
+
+// DefaultConfig returns a run sized for CI smoke: a few seconds per seed,
+// every disk fault kind reachable, crashes every run.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:          seed,
+		Shards:        3,
+		Users:         96,
+		Campaigns:     2,
+		Rounds:        3,
+		OpsPerRound:   160,
+		Workers:       1,
+		BrowseSlots:   3,
+		CrashProb:     0.4,
+		PartitionProb: 0.3,
+		Disk: faults.DiskConfig{
+			ShortWrite:  0.005,
+			WriteError:  0.005,
+			SyncError:   0.008,
+			RenameError: 0.25,
+		},
+		SegmentBytes: 16 << 10,
+	}
+}
+
+// DefaultNetConfig returns the link-fault mix the networked harness mode
+// uses: occasional refused dials, frequent small delays, duplicated
+// idempotent deliveries, and rare mid-body resets.
+func DefaultNetConfig() faults.NetConfig {
+	return faults.NetConfig{
+		DialError: 0.02,
+		Delay:     0.25,
+		DelayMax:  5 * time.Millisecond,
+		Duplicate: 0.25,
+		ResetBody: 0.05,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig(c.Seed)
+	if c.Shards <= 0 {
+		c.Shards = d.Shards
+	}
+	if c.Users <= 0 {
+		c.Users = d.Users
+	}
+	if c.Campaigns <= 0 {
+		c.Campaigns = d.Campaigns
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = d.Rounds
+	}
+	if c.OpsPerRound <= 0 {
+		c.OpsPerRound = d.OpsPerRound
+	}
+	if c.Workers <= 0 {
+		c.Workers = d.Workers
+	}
+	if c.BrowseSlots <= 0 {
+		c.BrowseSlots = d.BrowseSlots
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = d.SegmentBytes
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Violation is one invariant the run broke. Any violation means a real
+// bug (in the platform or in the harness); the seed reproduces it.
+type Violation struct {
+	Invariant string // durability, accounting, billing, convergence, recovery, coverage
+	Detail    string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// Result is what one chaos run did and found.
+type Result struct {
+	Seed               uint64
+	Ops                int64
+	AckedImpressions   int64
+	IndeterminateSlots int64
+	DefiniteFailures   int64
+	Crashes            int
+	Partitions         int
+	// Faults and Opportunities are the injector's per-kind fire and
+	// reach counts (plus harness-driven kinds: crash tears, partitions).
+	Faults        map[faults.Kind]uint64
+	Opportunities map[faults.Kind]uint64
+	Violations    []Violation
+	Dir           string
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+func (r *Result) violate(invariant, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+}
+
+// harness is the mutable state of one run.
+type harness struct {
+	cfg Config
+	inj *faults.Injector
+	// hrng drives the harness's own decisions (which shard to crash or
+	// partition) — separate from the injector's per-site streams so
+	// harness choices don't shift fault schedules.
+	hrng  *stats.RNG
+	nodes []*node
+	clu   *cluster.Cluster
+
+	advertiser string
+	campaigns  []string
+	px         pixel.PixelID
+	users      []profile.UserID
+
+	ledger ackLedger
+}
+
+// Run executes one chaos schedule and returns what it found. A non-nil
+// error means the harness itself could not run (scratch dir, boot
+// failure); invariant breaks are reported as Result.Violations, not
+// errors.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{Seed: cfg.Seed}
+
+	dir := cfg.Dir
+	cleanup := false
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "treads-chaos-*")
+		if err != nil {
+			return nil, err
+		}
+		cleanup = !cfg.Keep
+	}
+	res.Dir = dir
+
+	h := &harness{
+		cfg:        cfg,
+		inj:        faults.NewInjector(cfg.Seed, cfg.Registry),
+		hrng:       stats.NewRNG(stats.SubSeed(cfg.Seed, 0xC4A05)),
+		advertiser: "chaos",
+	}
+	h.ledger.acked = make(map[string]int64)
+
+	if err := h.boot(dir); err != nil {
+		h.shutdown()
+		return res, err
+	}
+	if err := h.setup(); err != nil {
+		h.shutdown()
+		return res, err
+	}
+	if err := h.rounds(res); err != nil {
+		h.shutdown()
+		return res, err
+	}
+	h.quiesce(res)
+	h.verify(res)
+	h.probeReplication(res)
+	h.shutdown()
+
+	res.Ops = h.ledger.ops
+	res.AckedImpressions = h.ledger.ackedTotal
+	res.IndeterminateSlots = h.ledger.indeterminate
+	res.DefiniteFailures = h.ledger.definite
+	res.Faults = h.inj.Counts()
+	res.Opportunities = h.inj.Opportunities()
+	h.coverage(res)
+
+	if cleanup && !res.Failed() {
+		os.RemoveAll(dir)
+		res.Dir = ""
+	}
+	return res, nil
+}
+
+// boot creates the per-shard nodes on fault-injecting filesystems and
+// assembles the cluster, in-process or networked.
+func (h *harness) boot(dir string) error {
+	cfg := h.cfg
+	shards := make([]cluster.Shard, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		ndir := filepath.Join(dir, fmt.Sprintf("shard%d", i))
+		if err := os.MkdirAll(ndir, 0o755); err != nil {
+			return err
+		}
+		ffs := faults.NewFaultFS(faults.OS{}, h.inj, cfg.Disk, fmt.Sprintf("shard%d/", i))
+		// Elide the real fsyncs (the durable-watermark simulation is what
+		// matters) so a chaos sweep is CPU-bound, not disk-bound.
+		ffs.SkipSync = true
+		pseed := stats.SubSeed(cfg.Seed, uint64(100+i))
+		n := &node{
+			idx: i,
+			dir: ndir,
+			ffs: ffs,
+			jopts: journal.Options{
+				SegmentBytes: cfg.SegmentBytes,
+				BatchWindow:  cfg.BatchWindow,
+				FS:           ffs,
+			},
+			boot: func() (*platform.Platform, error) {
+				return platform.New(platform.Config{Seed: pseed}), nil
+			},
+		}
+		if err := n.open(); err != nil {
+			return err
+		}
+		h.nodes = append(h.nodes, n)
+
+		if cfg.Net == nil {
+			shards[i] = &inprocShard{n: n}
+			continue
+		}
+		if err := n.serve(); err != nil {
+			return err
+		}
+		n.tr = faults.NewTransport(h.inj, *cfg.Net, fmt.Sprintf("node%d", i), nil)
+		n.cl = rpc.NewClient("http://"+n.addr, rpc.Options{
+			Secret:           chaosSecret,
+			Transport:        n.tr,
+			CallTimeout:      2 * time.Second,
+			MaxRetries:       2,
+			BackoffBase:      2 * time.Millisecond,
+			BackoffMax:       20 * time.Millisecond,
+			HedgeDelay:       25 * time.Millisecond,
+			FailureThreshold: 5,
+			CircuitCooldown:  100 * time.Millisecond,
+		})
+		shards[i] = cluster.NewRemoteShard(n.cl)
+	}
+	clu, err := cluster.New(shards, cluster.Options{Workers: cfg.Workers})
+	if err != nil {
+		return err
+	}
+	h.clu = clu
+	return nil
+}
+
+// setup seeds the population and advertiser surface with faults disarmed:
+// replicated mutations have no partial-failure recovery by design (the
+// cluster treats replication divergence as fatal), so the harness only
+// injects faults into the user-facing traffic it can account for.
+func (h *harness) setup() error {
+	cfg := h.cfg
+	profiles := workload.Generate(workload.Config{
+		Users:             cfg.Users,
+		BrokerCoverage:    0.8,
+		MeanPlatformAttrs: 12,
+		MeanPartnerAttrs:  6,
+		Seed:              stats.SubSeed(cfg.Seed, 7),
+	})
+	for _, pr := range profiles {
+		if err := h.clu.AddUser(pr); err != nil {
+			return fmt.Errorf("seeding users: %w", err)
+		}
+		h.users = append(h.users, pr.ID)
+	}
+	if err := h.clu.RegisterAdvertiser(h.advertiser); err != nil {
+		return err
+	}
+	px, err := h.clu.IssuePixel(h.advertiser)
+	if err != nil {
+		return err
+	}
+	h.px = px
+	for j := 0; j < cfg.Campaigns; j++ {
+		id, err := h.clu.CreateCampaign(h.advertiser, chaosCampaign(fmt.Sprintf("chaos-%d", j)))
+		if err != nil {
+			return fmt.Errorf("seeding campaigns: %w", err)
+		}
+		h.campaigns = append(h.campaigns, id)
+	}
+	return nil
+}
+
+// rounds alternates driving the workload under armed faults with
+// crash/partition/heal decisions between rounds.
+func (h *harness) rounds(res *Result) error {
+	cfg := h.cfg
+	forced := h.hrng.Intn(cfg.Shards) // one guaranteed crash target
+	for r := 0; r < cfg.Rounds; r++ {
+		h.inj.Arm(true)
+
+		// Snapshot at round start, when every journal is fresh from
+		// recovery and healthy: this guarantees the snapshot-publish
+		// seams (tmp write, rename, dir sync) are reached every round
+		// even on schedules where faults later kill every journal
+		// before the end-of-round compaction.
+		h.compactHealthy()
+
+		var partitioned []int
+		if cfg.Net != nil && (r == 0 || h.hrng.Float64() < cfg.PartitionProb) {
+			p := h.hrng.Intn(cfg.Shards)
+			h.nodes[p].tr.SetPartitioned(true)
+			partitioned = append(partitioned, p)
+			res.Partitions++
+			cfg.Logf("round %d: partitioned shard %d", r, p)
+		}
+
+		ds := workload.Drive(h.clu, workload.DriverConfig{
+			Goroutines:      cfg.Workers,
+			OpsPerGoroutine: max(1, cfg.OpsPerRound/cfg.Workers),
+			Users:           h.users,
+			Pixels:          []pixel.PixelID{h.px},
+			BrowseSlots:     cfg.BrowseSlots,
+			Seed:            stats.SubSeed(cfg.Seed, uint64(1000+r)),
+			Observe:         h.ledger.observe,
+		})
+		cfg.Logf("round %d: %d ops, %d errors", r, ds.Ops(), ds.Errors)
+
+		// Snapshot again under full post-traffic state. A failed
+		// snapshot is not sticky; a failed pre-snapshot fsync is.
+		h.compactHealthy()
+
+		h.inj.Arm(false)
+		for _, p := range partitioned {
+			h.nodes[p].tr.SetPartitioned(false)
+		}
+
+		for i, n := range h.nodes {
+			sticky := n.jp.JournalFailed() != nil
+			if !sticky && !(r == 0 && i == forced) && h.hrng.Float64() >= cfg.CrashProb {
+				continue
+			}
+			if sticky {
+				cfg.Logf("round %d: shard %d journal failed sticky; crash-recovering", r, i)
+			} else {
+				cfg.Logf("round %d: crashing shard %d", r, i)
+			}
+			if err := n.crash(cfg.Net != nil); err != nil {
+				return err
+			}
+			res.Crashes++
+		}
+		if cfg.Net != nil {
+			for _, n := range h.nodes {
+				if err := n.awaitHealthy(5 * time.Second); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// compactHealthy snapshots every shard whose journal is still serving —
+// the snapshot-publish path (tmp write, fsync, rename, dir sync) is a
+// fault surface of its own, so the harness drives it deliberately while
+// armed. Errors are expected and ignored: snapshot failure is not sticky,
+// and a pre-snapshot fsync failure is picked up by the round's
+// crash/recovery sweep.
+func (h *harness) compactHealthy() {
+	for _, n := range h.nodes {
+		if n.jp.JournalFailed() == nil {
+			n.jp.Compact()
+		}
+	}
+}
+
+// shutdown tears everything down; safe to call after partial boot.
+func (h *harness) shutdown() {
+	for _, n := range h.nodes {
+		n.stopServe()
+		if n.cl != nil {
+			n.cl.Close()
+		}
+		if n.jp != nil {
+			n.jp.Close()
+		}
+	}
+}
+
+// chaosCampaign is the broad-targeting campaign the harness delivers
+// against: every adult qualifies, so auctions always have a bidder.
+func chaosCampaign(name string) platform.CampaignParams {
+	return platform.CampaignParams{
+		Spec:      audience.Spec{Expr: attr.MustParse("age(18, 80)")},
+		BidCapCPM: money.FromDollars(4),
+		Creative:  ad.Creative{Headline: name, Body: "chaos harness filler"},
+	}
+}
+
+// ackLedger is the harness's own account of what the platform
+// acknowledged to users, kept from the driver's Observe callback. It is
+// the "client side" of the durability invariant.
+type ackLedger struct {
+	mu            sync.Mutex
+	acked         map[string]int64
+	ackedTotal    int64
+	indeterminate int64
+	definite      int64
+	ops           int64
+}
+
+// observe classifies one driver operation. A success is acked (the
+// platform must never lose it). An ErrShardUnavailable failure was
+// provably refused before reaching the shard. Any other browse failure is
+// indeterminate — the shard may have committed up to Slots impressions
+// before the error — and widens the accounting upper bound by that much.
+func (l *ackLedger) observe(r workload.OpResult) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ops++
+	if r.Err == nil {
+		for _, imp := range r.Impressions {
+			l.acked[imp.CampaignID]++
+			l.ackedTotal++
+		}
+		return
+	}
+	if errors.Is(r.Err, cluster.ErrShardUnavailable) {
+		l.definite++
+		return
+	}
+	if r.Op == workload.OpBrowse {
+		l.indeterminate += int64(r.Slots)
+	}
+}

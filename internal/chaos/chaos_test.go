@@ -1,0 +1,120 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/treads-project/treads/internal/faults"
+)
+
+// A control run — crashes and restarts but zero disk/net faults — must
+// account exactly: no failures means no indeterminacy, so the merged
+// recovered totals must equal the acknowledged impressions to the unit.
+func TestChaosControlRunIsExact(t *testing.T) {
+	cfg := DefaultConfig(11)
+	cfg.Disk = faults.DiskConfig{}
+	cfg.CrashProb = 0.5 // crash plenty; the forced crash guarantees ≥ 1 anyway
+	cfg.Logf = t.Logf
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("control run: %v", err)
+	}
+	if res.Failed() {
+		for _, v := range res.Violations {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatalf("control run violated invariants (dir kept at %s)", res.Dir)
+	}
+	if res.IndeterminateSlots != 0 || res.DefiniteFailures != 0 {
+		t.Fatalf("control run saw failures: %d indeterminate slots, %d definite", res.IndeterminateSlots, res.DefiniteFailures)
+	}
+	if res.AckedImpressions == 0 {
+		t.Fatal("control run delivered nothing; the workload is not exercising delivery")
+	}
+	if res.Crashes == 0 {
+		t.Fatal("control run never crashed a shard")
+	}
+}
+
+// The full disk-fault mix across several seeds: recovery must hold the
+// invariants on every schedule, and the coverage check inside Run fails
+// the run if a configured fault kind never reached its seam.
+func TestChaosDiskFaultSeeds(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		cfg := DefaultConfig(seed)
+		cfg.Logf = t.Logf
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Failed() {
+			for _, v := range res.Violations {
+				t.Errorf("seed %d violation: %s", seed, v)
+			}
+			t.Fatalf("seed %d violated invariants (dir kept at %s)", seed, res.Dir)
+		}
+		t.Logf("seed %d: ops=%d acked=%d crashes=%d faults=%v", seed, res.Ops, res.AckedImpressions, res.Crashes, res.Faults)
+	}
+}
+
+// Same seed, single worker: the entire run — operations, fault schedule,
+// crash decisions, final counts — must reproduce exactly. This is what
+// makes a failing seed printed by the chaos binary actionable.
+func TestChaosSameSeedReproducesSchedule(t *testing.T) {
+	run := func() *Result {
+		cfg := DefaultConfig(5)
+		cfg.Workers = 1
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if res.Failed() {
+			t.Fatalf("violations: %v", res.Violations)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Ops != b.Ops || a.AckedImpressions != b.AckedImpressions ||
+		a.Crashes != b.Crashes || a.IndeterminateSlots != b.IndeterminateSlots {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if !reflect.DeepEqual(a.Faults, b.Faults) {
+		t.Fatalf("fault schedules diverged: %v vs %v", a.Faults, b.Faults)
+	}
+	if !reflect.DeepEqual(a.Opportunities, b.Opportunities) {
+		t.Fatalf("opportunity counts diverged: %v vs %v", a.Opportunities, b.Opportunities)
+	}
+}
+
+// Networked mode: the same invariants over real loopback RPC with link
+// faults (refused dials, delays, duplicates, mid-body resets) and a
+// partitioned shard, plus crash/restart of the server processes.
+func TestChaosNetworked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("networked chaos run in -short mode")
+	}
+	cfg := DefaultConfig(9)
+	nc := DefaultNetConfig()
+	cfg.Net = &nc
+	cfg.Workers = 2
+	cfg.Logf = t.Logf
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("networked run: %v", err)
+	}
+	if res.Failed() {
+		for _, v := range res.Violations {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatalf("networked run violated invariants (dir kept at %s)", res.Dir)
+	}
+	if res.Partitions == 0 {
+		t.Fatal("networked run injected no partition")
+	}
+	t.Logf("networked: ops=%d acked=%d crashes=%d partitions=%d faults=%v",
+		res.Ops, res.AckedImpressions, res.Crashes, res.Partitions, res.Faults)
+}

@@ -1,0 +1,277 @@
+package chaos
+
+// Post-quiescence verification: the five invariant families the harness
+// asserts after the last round. Everything here is read-only against the
+// recovered shards except probeReplication, which runs last because it
+// mutates replicated state on purpose.
+
+import (
+	"bytes"
+	"context"
+	"time"
+
+	"github.com/treads-project/treads/internal/billing"
+	"github.com/treads-project/treads/internal/faults"
+	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/profile"
+)
+
+// quiesce brings every shard to a healthy, recovered steady state and
+// runs the recovery-identity check: each shard's state must marshal
+// byte-identically before a clean close and after reopening from disk. A
+// shard whose journal went sticky is crash-recovered first — that is the
+// documented remedy — so the identity check always runs against a journal
+// that can be cleanly closed.
+func (h *harness) quiesce(res *Result) {
+	h.inj.Arm(false)
+	networked := h.cfg.Net != nil
+	for _, n := range h.nodes {
+		if n.tr != nil {
+			n.tr.SetPartitioned(false)
+		}
+	}
+	for _, n := range h.nodes {
+		if n.jp.JournalFailed() != nil {
+			h.cfg.Logf("quiesce: shard %d journal failed sticky; crash-recovering", n.idx)
+			if err := n.crash(networked); err != nil {
+				res.violate("recovery", "shard %d: crash-recovery of failed journal: %v", n.idx, err)
+				return
+			}
+			res.Crashes++
+		}
+	}
+	for _, n := range h.nodes {
+		before, err := platform.MarshalSnapshot(n.jp.State())
+		if err != nil {
+			res.violate("recovery", "shard %d: marshalling pre-close state: %v", n.idx, err)
+			continue
+		}
+		if networked {
+			n.stopServe()
+		}
+		if err := n.jp.Close(); err != nil {
+			res.violate("recovery", "shard %d: clean close of healthy journal: %v", n.idx, err)
+			continue
+		}
+		n.jp = nil
+		if err := n.open(); err != nil {
+			res.violate("recovery", "shard %d: reopen after clean close: %v", n.idx, err)
+			continue
+		}
+		after, err := platform.MarshalSnapshot(n.jp.State())
+		if err != nil {
+			res.violate("recovery", "shard %d: marshalling recovered state: %v", n.idx, err)
+			continue
+		}
+		if !bytes.Equal(before, after) {
+			res.violate("recovery", "shard %d: recovered state differs from pre-close state (%d vs %d bytes)",
+				n.idx, len(before), len(after))
+		}
+		if networked {
+			if err := n.serve(); err != nil {
+				res.violate("recovery", "shard %d: restarting server: %v", n.idx, err)
+			}
+		}
+	}
+	if networked {
+		for _, n := range h.nodes {
+			if err := n.awaitHealthy(5 * time.Second); err != nil {
+				res.violate("recovery", "%v", err)
+			}
+		}
+	}
+}
+
+// verify checks the accounting, billing, and convergence invariants
+// against the recovered cluster.
+func (h *harness) verify(res *Result) {
+	ctx := context.Background()
+	led := &h.ledger
+
+	// Merge each shard's exact totals directly off the recovered
+	// platforms — the ground truth the advertiser-visible path must
+	// agree with.
+	merged := make(map[string]platform.CampaignTotals, len(h.campaigns))
+	for _, camp := range h.campaigns {
+		var m platform.CampaignTotals
+		for _, n := range h.nodes {
+			t, err := n.jp.CampaignTotals(ctx, h.advertiser, camp)
+			if err != nil {
+				res.violate("accounting", "shard %d: reading totals for %s: %v", n.idx, camp, err)
+				continue
+			}
+			m.Impressions += t.Impressions
+			m.Reach += t.Reach
+			m.Spend += t.Spend
+		}
+		merged[camp] = m
+	}
+
+	// Durability and accounting bounds. Per campaign the platform must
+	// retain at least what it acknowledged; in total it must not have
+	// committed more than acked plus the slots of indeterminate browses.
+	// When nothing was indeterminate the bound collapses to equality.
+	var mergedSum int64
+	for _, camp := range h.campaigns {
+		acked := led.acked[camp]
+		got := int64(merged[camp].Impressions)
+		mergedSum += got
+		if got < acked {
+			res.violate("durability", "campaign %s: %d impressions acknowledged to users but only %d survived recovery",
+				camp, acked, got)
+		}
+		if led.indeterminate == 0 && got != acked {
+			res.violate("accounting", "campaign %s: no indeterminate failures, yet platform holds %d impressions vs %d acked",
+				camp, got, acked)
+		}
+	}
+	if mergedSum > led.ackedTotal+led.indeterminate {
+		res.violate("accounting", "platform holds %d impressions, but only %d were acked (+%d indeterminate slots)",
+			mergedSum, led.ackedTotal, led.indeterminate)
+	}
+
+	// No double billing: the ledger's exact totals must equal a recount
+	// of every user feed (one ledger entry per delivered impression, one
+	// reach unit per distinct user), and the advertiser-visible cluster
+	// report must equal billing.MakeReport over the merged totals —
+	// thresholding applied exactly once, at the edge.
+	for _, camp := range h.campaigns {
+		feedImps := 0
+		reach := make(map[profile.UserID]bool)
+		for _, n := range h.nodes {
+			for _, uid := range n.jp.Users() {
+				for _, imp := range n.jp.Feed(uid) {
+					if imp.CampaignID == camp {
+						feedImps++
+						reach[uid] = true
+					}
+				}
+			}
+		}
+		m := merged[camp]
+		if feedImps != m.Impressions {
+			res.violate("billing", "campaign %s: ledger bills %d impressions but user feeds hold %d",
+				camp, m.Impressions, feedImps)
+		}
+		if len(reach) != m.Reach {
+			res.violate("billing", "campaign %s: ledger reach %d but feeds span %d distinct users",
+				camp, m.Reach, len(reach))
+		}
+		rep, err := h.clu.Report(ctx, h.advertiser, camp)
+		if err != nil {
+			res.violate("billing", "campaign %s: cluster report: %v", camp, err)
+			continue
+		}
+		want := billing.MakeReport(camp, m.Impressions, m.Reach, m.Spend, billing.ReachReportThreshold)
+		if rep != want {
+			res.violate("billing", "campaign %s: cluster reports %+v, merged shard totals derive %+v",
+				camp, rep, want)
+		}
+	}
+
+	// Convergence: replicated advertiser state must be identical on
+	// every shard after recovery.
+	base := h.nodes[0].jp.State()
+	for _, n := range h.nodes[1:] {
+		st := n.jp.State()
+		if !equalStrings(st.Advertisers, base.Advertisers) {
+			res.violate("convergence", "shard %d advertiser set %v != shard 0's %v", n.idx, st.Advertisers, base.Advertisers)
+		}
+		if st.NextCamp != base.NextCamp {
+			res.violate("convergence", "shard %d campaign counter %d != shard 0's %d", n.idx, st.NextCamp, base.NextCamp)
+		}
+		if !equalOwners(st.Owner, base.Owner) {
+			res.violate("convergence", "shard %d campaign ownership diverged from shard 0", n.idx)
+		}
+	}
+}
+
+// probeReplication performs one live replicated mutation against the
+// recovered cluster. The cluster's replication layer compares every
+// shard's answer and fails on divergence, so a clean create here is an
+// end-to-end proof the shards are still in lockstep — it runs last
+// because it mutates state the byte-identity check already covered.
+func (h *harness) probeReplication(res *Result) {
+	if res.Failed() {
+		// Don't stack a confusing probe failure on top of real
+		// violations; the cluster may legitimately refuse.
+		return
+	}
+	if _, err := h.clu.CreateCampaign(h.advertiser, chaosCampaign("post-chaos-probe")); err != nil {
+		res.violate("convergence", "replicated mutation against recovered cluster: %v", err)
+	}
+}
+
+// coverage fails the run if a configured fault kind never reached its
+// injection point (a refactor silently bypassing a seam must not turn
+// the whole harness into a vacuous pass), or never fired despite enough
+// opportunities that silence is statistically implausible.
+func (h *harness) coverage(res *Result) {
+	for kind, p := range h.enabledKinds() {
+		opp := res.Opportunities[kind]
+		fired := res.Faults[kind]
+		if opp == 0 {
+			res.violate("coverage", "fault %s configured at p=%.3g but its injection point was never reached — dead seam", kind, p)
+			continue
+		}
+		// Expected fires ≥ 10 and none happened: P < e^-10.
+		if fired == 0 && p*float64(opp) >= 10 {
+			res.violate("coverage", "fault %s had %d opportunities at p=%.3g and never fired", kind, opp, p)
+		}
+	}
+	if res.Crashes == 0 {
+		res.violate("coverage", "no shard crash was exercised")
+	}
+	if h.cfg.Net != nil {
+		if res.Partitions == 0 {
+			res.violate("coverage", "networked run injected no partition")
+		} else if res.Faults[faults.NetPartition] == 0 {
+			res.violate("coverage", "partitioned shard never refused a request — partition seam is dead")
+		}
+	}
+}
+
+// enabledKinds maps each configured fault kind to its probability.
+func (h *harness) enabledKinds() map[faults.Kind]float64 {
+	m := make(map[faults.Kind]float64)
+	add := func(k faults.Kind, p float64) {
+		if p > 0 {
+			m[k] = p
+		}
+	}
+	add(faults.FSShortWrite, h.cfg.Disk.ShortWrite)
+	add(faults.FSWriteError, h.cfg.Disk.WriteError)
+	add(faults.FSSyncError, h.cfg.Disk.SyncError)
+	add(faults.FSRenameError, h.cfg.Disk.RenameError)
+	if nc := h.cfg.Net; nc != nil {
+		add(faults.NetDialError, nc.DialError)
+		add(faults.NetDelay, nc.Delay)
+		add(faults.NetDuplicate, nc.Duplicate)
+		add(faults.NetResetBody, nc.ResetBody)
+	}
+	return m
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalOwners(a, b []platform.CampaignOwner) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,61 @@
+package faults
+
+import (
+	"io"
+	"os"
+)
+
+// File is the handle surface the journal needs from an open file. *os.File
+// satisfies it directly.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+}
+
+// FS is the small filesystem surface the journal actually uses: open and
+// create segment and snapshot files, list and rename and remove them, and
+// fsync directories for rename/create durability. The journal takes one
+// via journal.Options.FS; the default is OS. FaultFS wraps any FS with
+// scheduled fault injection.
+type FS interface {
+	MkdirAll(dir string, perm os.FileMode) error
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadDir(dir string) ([]os.DirEntry, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// SyncDir fsyncs a directory, making previously-completed creates,
+	// renames, and removes in it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS: a pass-through to the real operating system.
+type OS struct{}
+
+func (OS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) ReadDir(dir string) ([]os.DirEntry, error) { return os.ReadDir(dir) }
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,259 @@
+package journal
+
+// Regression tests for the journal's failure handling, driven through the
+// fault-injecting filesystem: sticky fsync failure (a journal that cannot
+// prove durability must stop acknowledging) and torn-snapshot quarantine
+// (a snapshot that cannot be read must never shadow the older snapshot
+// plus the segments that extend it).
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/treads-project/treads/internal/faults"
+)
+
+// After a failed fsync the segment's durable prefix is unknown: the
+// journal must go sticky-failed, refusing appends and snapshots with
+// ErrFailed until it is closed and recovered from disk.
+func TestFsyncFailureIsSticky(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.NewInjector(21, nil)
+	ffs := faults.NewFaultFS(faults.OS{}, inj, faults.DiskConfig{SyncError: 1}, "t/")
+	j, err := Open(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append([]byte("healthy")); err != nil {
+		t.Fatalf("append before faults: %v", err)
+	}
+
+	inj.Arm(true)
+	if _, err := j.Append([]byte("doomed")); !errors.Is(err, ErrFailed) {
+		t.Fatalf("append under failing fsync = %v, want ErrFailed", err)
+	}
+	if err := j.Failed(); !errors.Is(err, ErrFailed) {
+		t.Fatalf("Failed() = %v, want ErrFailed", err)
+	}
+	last := j.LastLSN()
+
+	// Sticky: later appends are refused outright — even after the disk
+	// "recovers" (disarm) — and assign no LSNs.
+	inj.Arm(false)
+	if _, err := j.Append([]byte("after")); !errors.Is(err, ErrFailed) {
+		t.Fatalf("append after failure = %v, want sticky ErrFailed", err)
+	}
+	if got := j.LastLSN(); got != last {
+		t.Fatalf("failed journal still assigned LSNs: %d -> %d", last, got)
+	}
+	if err := j.WriteSnapshot(1, []byte("snap")); !errors.Is(err, ErrFailed) {
+		t.Fatalf("snapshot on failed journal = %v, want ErrFailed", err)
+	}
+	if err := j.Sync(); !errors.Is(err, ErrFailed) {
+		t.Fatalf("sync on failed journal = %v, want ErrFailed", err)
+	}
+	if err := j.Close(); !errors.Is(err, ErrFailed) {
+		t.Fatalf("close on failed journal = %v, want ErrFailed", err)
+	}
+
+	// The recovery path: crash (discarding unsynced bytes), reopen, and
+	// the journal serves again from its durable prefix.
+	if err := ffs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer j2.Close()
+	var got []string
+	if err := j2.Replay(0, func(lsn uint64, p []byte) error {
+		got = append(got, string(p))
+		return nil
+	}); err != nil {
+		t.Fatalf("replay after recovery: %v", err)
+	}
+	if len(got) < 1 || got[0] != "healthy" {
+		t.Fatalf("durable record lost in recovery: %v", got)
+	}
+	if _, err := j2.Append([]byte("recovered")); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+}
+
+// A short write mid-append leaves a torn frame; the journal goes sticky
+// and the next Open repairs the tail back to whole records.
+func TestShortWriteTearsTailAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.NewInjector(4, nil)
+	ffs := faults.NewFaultFS(faults.OS{}, inj, faults.DiskConfig{ShortWrite: 1}, "t/")
+	j, err := Open(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := j.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj.Arm(true)
+	if _, err := j.Append([]byte("torn")); !errors.Is(err, ErrFailed) {
+		t.Fatalf("append under short writes = %v, want ErrFailed", err)
+	}
+	inj.Arm(false)
+	j.Close()
+	if err := ffs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	defer j2.Close()
+	var got []string
+	if err := j2.Replay(0, func(lsn uint64, p []byte) error {
+		got = append(got, string(p))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("recovered %d records, want the 3 durable ones: %v", len(got), got)
+	}
+	if got, want := j2.LastLSN(), uint64(3); got != want {
+		t.Fatalf("LastLSN after repair = %d, want %d", got, want)
+	}
+}
+
+// A crash mid-snapshot-publish can leave a named snapshot whose contents
+// are torn. Open must quarantine it (and stale .tmp debris) so recovery
+// anchors on the older readable snapshot plus the segments that extend it
+// — the torn file must not shadow them.
+func TestTornSnapshotDoesNotShadowSegments(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 32}) // rotate nearly every record
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if _, err := j.Append([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.WriteSnapshot(4, []byte("state-through-4")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fabricate the crash debris: a torn snapshot at LSN 8 (valid header,
+	// truncated payload) and a stale temp file from an unfinished publish.
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if _, err := writeRecordTo(bw, []byte("state-through-8-that-never-finished")); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	torn := buf.Bytes()[:buf.Len()/2]
+	tornPath := snapshotPath(dir, 8)
+	if err := os.WriteFile(tornPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stale := snapshotPath(dir, 9) + ".tmp"
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen with torn snapshot: %v", err)
+	}
+	defer j2.Close()
+
+	if _, err := os.Stat(tornPath); !os.IsNotExist(err) {
+		t.Fatalf("torn snapshot not quarantined: stat = %v", err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale snapshot temp not removed: stat = %v", err)
+	}
+
+	data, lsn, err := j2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 4 || string(data) != "state-through-4" {
+		t.Fatalf("Snapshot() = (%q, %d), want the readable LSN-4 snapshot", data, lsn)
+	}
+	// The full suffix past the good snapshot must replay: nothing between
+	// LSN 4 and the torn LSN-8 snapshot may be lost.
+	var got []string
+	if err := j2.Replay(lsn, func(lsn uint64, p []byte) error {
+		got = append(got, string(p))
+		return nil
+	}); err != nil {
+		t.Fatalf("replay past good snapshot: %v", err)
+	}
+	want := []string{"record-05", "record-06", "record-07", "record-08", "record-09", "record-10"}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replayed %v, want %v", got, want)
+		}
+	}
+	// And the journal keeps appending where the log really ended.
+	lsn11, err := j2.Append([]byte("record-11"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn11 != 11 {
+		t.Fatalf("next LSN after recovery = %d, want 11", lsn11)
+	}
+}
+
+// An injected rename failure during snapshot publish must not poison the
+// journal: the snapshot fails, the temp file is cleaned up, and both
+// appends and a later snapshot retry succeed.
+func TestSnapshotRenameFailureIsNotSticky(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.NewInjector(8, nil)
+	ffs := faults.NewFaultFS(faults.OS{}, inj, faults.DiskConfig{RenameError: 1}, "t/")
+	j, err := Open(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := j.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj.Arm(true)
+	if err := j.WriteSnapshot(4, []byte("state")); err == nil || !faults.IsInjected(err) {
+		t.Fatalf("snapshot under rename faults = %v, want injected error", err)
+	}
+	inj.Arm(false)
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Fatalf("failed publish left temp file %s", e.Name())
+		}
+	}
+	if _, err := j.Append([]byte("still-works")); err != nil {
+		t.Fatalf("append after failed snapshot = %v, want success", err)
+	}
+	if err := j.WriteSnapshot(5, []byte("state-5")); err != nil {
+		t.Fatalf("snapshot retry = %v, want success", err)
+	}
+	if _, lsn, err := j.Snapshot(); err != nil || lsn != 5 {
+		t.Fatalf("Snapshot() after retry = lsn %d, %v; want 5", lsn, err)
+	}
+}

@@ -15,22 +15,41 @@
 // intact. A record in any position other than the tail that fails its
 // checksum is reported as corruption, never silently skipped.
 //
+// Write failures are sticky: after any failed write, flush, or fsync the
+// segment's on-disk state is indeterminate, so the journal marks itself
+// failed and every subsequent append or snapshot returns an error wrapping
+// ErrFailed. The only way forward is to close, recover from disk (Open
+// repairs the tail), and re-apply what recovery reports lost.
+//
 // Compaction: callers periodically write a snapshot of their full state
 // via WriteSnapshot(lsn, data); segments whose records are all covered by
 // the snapshot are deleted. Recovery is Snapshot() + Replay(snapLSN, fn).
+//
+// All file I/O goes through a faults.FS seam (Options.FS, default the real
+// OS), so the fault-injection harness can exercise every failure path
+// above deterministically.
 package journal
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
 	"time"
+
+	"github.com/treads-project/treads/internal/faults"
 )
 
 // DefaultSegmentBytes is the segment rotation threshold when
 // Options.SegmentBytes is zero.
 const DefaultSegmentBytes = 64 << 20
+
+// ErrFailed marks the journal's sticky terminal state: a write, flush, or
+// fsync failed, the durable prefix of the active segment is unknown, and
+// the journal refuses all further appends and snapshots. Test with
+// errors.Is; the wrapped cause is preserved.
+var ErrFailed = errors.New("journal: failed")
 
 // Options parameterizes a Journal.
 type Options struct {
@@ -46,6 +65,10 @@ type Options struct {
 	// buffered data is flushed to the OS), but nothing is durable across
 	// a machine crash. For tests and benchmarks.
 	NoSync bool
+	// FS is the filesystem the journal writes through. Nil selects the
+	// real operating system (faults.OS); the chaos harness passes a
+	// faults.FaultFS to inject scheduled failures.
+	FS faults.FS
 	// Metrics receives this journal's instrumentation (see NewMetrics).
 	// Nil leaves the journal instrumented against unregistered metrics,
 	// which cost the same but export nowhere.
@@ -56,6 +79,9 @@ func (o Options) withDefaults() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = DefaultSegmentBytes
 	}
+	if o.FS == nil {
+		o.FS = faults.OS{}
+	}
 	return o
 }
 
@@ -64,16 +90,17 @@ func (o Options) withDefaults() Options {
 type Journal struct {
 	dir  string
 	opts Options
+	fs   faults.FS
 	m    *Metrics
 
 	mu       sync.Mutex // guards the active segment and LSN counter
-	f        *os.File
+	f        faults.File
 	w        *bufio.Writer
 	size     int64
 	firstLSN uint64 // first LSN of the active segment
 	nextLSN  uint64
 	closed   bool
-	failed   error // sticky write/rotation error; the journal is dead after one
+	failed   error // sticky error wrapping ErrFailed; the journal is dead after one
 
 	syncMu   sync.Mutex // guards the durability watermark
 	syncCond *sync.Cond
@@ -83,22 +110,24 @@ type Journal struct {
 }
 
 // Open opens (creating if needed) the journal in dir. A torn tail on the
-// final segment is truncated; the returned journal continues appending at
-// the next LSN.
+// final segment is truncated, and snapshot debris from a crash mid-publish
+// (stale temp files, torn snapshots that would shadow older good ones) is
+// quarantined; the returned journal continues appending at the next LSN.
 func Open(dir string, opts Options) (*Journal, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opts.FS
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: creating %s: %w", dir, err)
 	}
-	segs, err := listSegments(dir)
+	snapLSN, err := cleanSnapshots(fs, dir, opts.NoSync)
 	if err != nil {
 		return nil, err
 	}
-	snapLSN, err := newestSnapshotLSN(dir)
+	segs, err := listSegments(fs, dir)
 	if err != nil {
 		return nil, err
 	}
-	j := &Journal{dir: dir, opts: opts, m: opts.Metrics}
+	j := &Journal{dir: dir, opts: opts, fs: fs, m: opts.Metrics}
 	if j.m == nil {
 		j.m = noopMetrics()
 	}
@@ -112,7 +141,7 @@ func Open(dir string, opts Options) (*Journal, error) {
 		j.nextLSN = snapLSN + 1
 	default:
 		last := segs[len(segs)-1]
-		count, _, err := repairTail(last.path)
+		count, _, err := repairTail(fs, last.path)
 		if err != nil {
 			return nil, err
 		}
@@ -126,7 +155,7 @@ func Open(dir string, opts Options) (*Journal, error) {
 			}
 			j.nextLSN = snapLSN + 1
 		} else {
-			f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0)
+			f, err := fs.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0)
 			if err != nil {
 				return nil, fmt.Errorf("journal: reopening segment: %w", err)
 			}
@@ -152,12 +181,12 @@ func Open(dir string, opts Options) (*Journal, error) {
 // during Open).
 func (j *Journal) openNewSegmentLocked(first uint64) error {
 	path := segmentPath(j.dir, first)
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := j.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("journal: creating segment: %w", err)
 	}
 	if !j.opts.NoSync {
-		if err := syncDir(j.dir); err != nil {
+		if err := j.fs.SyncDir(j.dir); err != nil {
 			f.Close()
 			return fmt.Errorf("journal: syncing dir after segment create: %w", err)
 		}
@@ -167,6 +196,32 @@ func (j *Journal) openNewSegmentLocked(first uint64) error {
 	j.size = 0
 	j.firstLSN = first
 	return nil
+}
+
+// markFailedLocked records err as the journal's sticky terminal error and
+// returns it. The caller holds j.mu. Durability waiters are woken with the
+// same error so nothing blocks forever on a sync that will never come.
+func (j *Journal) markFailedLocked(err error) error {
+	if j.failed != nil {
+		return j.failed
+	}
+	j.failed = fmt.Errorf("%w: %w", ErrFailed, err)
+	j.syncMu.Lock()
+	if j.syncErr == nil {
+		j.syncErr = j.failed
+	}
+	j.syncCond.Broadcast()
+	j.syncMu.Unlock()
+	return j.failed
+}
+
+// Failed returns the journal's sticky error (wrapping ErrFailed), or nil
+// while the journal is healthy. A failed journal accepts no more appends
+// or snapshots; the owner must close it and recover from disk.
+func (j *Journal) Failed() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.failed
 }
 
 // Append durably appends payload and returns its LSN. It blocks until the
@@ -205,7 +260,7 @@ func (j *Journal) AppendBuffered(payload []byte) (uint64, func() error, error) {
 	start := time.Now()
 	if j.size >= j.opts.SegmentBytes {
 		if err := j.rotateLocked(); err != nil {
-			j.failed = err
+			err = j.markFailedLocked(err)
 			j.mu.Unlock()
 			return 0, nil, err
 		}
@@ -213,8 +268,7 @@ func (j *Journal) AppendBuffered(payload []byte) (uint64, func() error, error) {
 	lsn := j.nextLSN
 	n, err := writeRecordTo(j.w, payload)
 	if err != nil {
-		j.failed = fmt.Errorf("journal: appending record %d: %w", lsn, err)
-		err = j.failed
+		err = j.markFailedLocked(fmt.Errorf("journal: appending record %d: %w", lsn, err))
 		j.mu.Unlock()
 		return 0, nil, err
 	}
@@ -291,7 +345,9 @@ func (j *Journal) waitDurable(lsn uint64) error {
 		j.syncMu.Lock()
 		j.syncing = false
 		if err != nil {
-			j.syncErr = err
+			if j.syncErr == nil {
+				j.syncErr = err
+			}
 		} else if covered > j.durable {
 			j.durable = covered
 		}
@@ -300,7 +356,9 @@ func (j *Journal) waitDurable(lsn uint64) error {
 }
 
 // syncNow flushes the buffer and fsyncs the active segment, returning the
-// highest LSN the sync covers.
+// highest LSN the sync covers. A flush or fsync failure marks the journal
+// failed: the segment's durable prefix is unknown and appending past it
+// would risk acknowledging records behind an unflushed hole.
 func (j *Journal) syncNow() (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -310,13 +368,11 @@ func (j *Journal) syncNow() (uint64, error) {
 	covered := j.nextLSN - 1
 	start := time.Now()
 	if err := j.w.Flush(); err != nil {
-		j.failed = fmt.Errorf("journal: flushing: %w", err)
-		return 0, j.failed
+		return 0, j.markFailedLocked(fmt.Errorf("journal: flushing: %w", err))
 	}
 	if !j.opts.NoSync {
 		if err := j.f.Sync(); err != nil {
-			j.failed = fmt.Errorf("journal: fsync: %w", err)
-			return 0, j.failed
+			return 0, j.markFailedLocked(fmt.Errorf("journal: fsync: %w", err))
 		}
 	}
 	j.m.fsyncSeconds.ObserveSince(start)

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/treads-project/treads/internal/faults"
 )
 
 func openT(t *testing.T, dir string, opts Options) *Journal {
@@ -103,7 +105,7 @@ func TestSegmentRotation(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(faults.OS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +146,7 @@ func TestTornTailRepairedOnOpen(t *testing.T) {
 	}
 	j.Close()
 
-	segs, err := listSegments(dir)
+	segs, err := listSegments(faults.OS{}, dir)
 	if err != nil || len(segs) != 1 {
 		t.Fatalf("want 1 segment, got %d (err %v)", len(segs), err)
 	}
@@ -188,7 +190,7 @@ func TestCrashPointSweep(t *testing.T) {
 		}
 	}
 	j.Close()
-	segs, err := listSegments(master)
+	segs, err := listSegments(faults.OS{}, master)
 	if err != nil || len(segs) != 1 {
 		t.Fatalf("want 1 segment (err %v)", err)
 	}
@@ -246,7 +248,7 @@ func TestSnapshotAndCompaction(t *testing.T) {
 	if err := j.WriteSnapshot(20, state); err != nil {
 		t.Fatalf("WriteSnapshot: %v", err)
 	}
-	segsBefore, _ := listSegments(dir)
+	segsBefore, _ := listSegments(faults.OS{}, dir)
 	for _, s := range segsBefore {
 		if s.first <= 10 {
 			t.Fatalf("segment %s should have been compacted away", s.path)
@@ -265,7 +267,7 @@ func TestSnapshotAndCompaction(t *testing.T) {
 	if err := j.WriteSnapshot(30, []byte("state-through-30")); err != nil {
 		t.Fatal(err)
 	}
-	snaps, _ := listSnapshots(dir)
+	snaps, _ := listSnapshots(faults.OS{}, dir)
 	if len(snaps) != 1 || snaps[0].lsn != 30 {
 		t.Fatalf("snapshots after second compaction = %+v", snaps)
 	}
@@ -310,7 +312,7 @@ func TestOpenAfterSnapshotWithoutSegments(t *testing.T) {
 	// Simulate a crash that finished compaction but lost the active
 	// segment (or an operator deleting *.log): the snapshot alone must
 	// still open, with appends resuming after its LSN.
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(faults.OS{}, dir)
 	for _, s := range segs {
 		os.Remove(s.path)
 	}

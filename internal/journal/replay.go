@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"github.com/treads-project/treads/internal/faults"
 )
 
 // Replay invokes fn, in LSN order, for every record with LSN > from.
@@ -27,15 +29,14 @@ func (j *Journal) Replay(from uint64, fn func(lsn uint64, payload []byte) error)
 	}
 	if j.w != nil {
 		if err := j.w.Flush(); err != nil {
-			j.failed = fmt.Errorf("journal: flushing before replay: %w", err)
-			err = j.failed
+			err = j.markFailedLocked(fmt.Errorf("journal: flushing before replay: %w", err))
 			j.mu.Unlock()
 			return err
 		}
 	}
 	j.mu.Unlock()
 
-	segs, err := listSegments(j.dir)
+	segs, err := listSegments(j.fs, j.dir)
 	if err != nil {
 		return err
 	}
@@ -49,7 +50,7 @@ func (j *Journal) Replay(from uint64, fn func(lsn uint64, payload []byte) error)
 		if scannedAny && seg.first != expectNext {
 			return fmt.Errorf("journal: segment chain gap: %s starts at %d, want %d", seg.path, seg.first, expectNext)
 		}
-		last, err := replaySegment(seg, from, final, func(lsn uint64, payload []byte) error {
+		last, err := replaySegment(j.fs, seg, from, final, func(lsn uint64, payload []byte) error {
 			j.m.recoveredRecords.Inc()
 			return fn(lsn, payload)
 		})
@@ -64,8 +65,8 @@ func (j *Journal) Replay(from uint64, fn func(lsn uint64, payload []byte) error)
 
 // replaySegment scans one segment, calling fn for records with LSN > from,
 // and returns the LSN of the segment's final record (first-1 when empty).
-func replaySegment(seg segment, from uint64, tolerateTorn bool, fn func(lsn uint64, payload []byte) error) (uint64, error) {
-	f, err := os.Open(seg.path)
+func replaySegment(fs faults.FS, seg segment, from uint64, tolerateTorn bool, fn func(lsn uint64, payload []byte) error) (uint64, error) {
+	f, err := fs.OpenFile(seg.path, os.O_RDONLY, 0)
 	if err != nil {
 		return 0, fmt.Errorf("journal: opening segment for replay: %w", err)
 	}

@@ -10,6 +10,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"github.com/treads-project/treads/internal/faults"
 )
 
 // Segment files are named wal-<first LSN, 16 hex digits>.log so a plain
@@ -48,8 +50,8 @@ func parseSegmentName(name string) (uint64, bool) {
 }
 
 // listSegments returns the directory's segments sorted by first LSN.
-func listSegments(dir string) ([]segment, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fs faults.FS, dir string) ([]segment, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("journal: listing %s: %w", dir, err)
 	}
@@ -70,8 +72,8 @@ func listSegments(dir string) ([]segment, error) {
 // frame (a crash mid-append leaves exactly this), and returns the number
 // of intact records. A truncated byte count is also returned so callers
 // can log what was dropped.
-func repairTail(path string) (records uint64, dropped int64, err error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+func repairTail(fs faults.FS, path string) (records uint64, dropped int64, err error) {
+	f, err := fs.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return 0, 0, fmt.Errorf("journal: opening segment: %w", err)
 	}
@@ -104,16 +106,4 @@ func repairTail(path string) (records uint64, dropped int64, err error) {
 		good += recordSize(payload)
 	}
 	return records, 0, nil
-}
-
-// syncDir fsyncs a directory so renames and file creations within it are
-// durable. Errors are returned verbatim; on filesystems where directories
-// cannot be fsynced the caller treats it as fatal rather than guessing.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
 }

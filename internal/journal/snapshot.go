@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"github.com/treads-project/treads/internal/faults"
 )
 
 // Snapshot files hold a caller-provided serialization of the full state
@@ -17,10 +19,18 @@ import (
 // framing, so a snapshot is self-checksumming. Once a snapshot lands,
 // every segment wholly covered by it — and every older snapshot — is
 // garbage and is deleted.
+//
+// Because publish is by rename, a finished snapshot is never torn; what a
+// crash mid-snapshot can leave is a stale .tmp file, or — on filesystems
+// that reorder the rename ahead of the data fsync, and under injected
+// faults — a named snapshot whose contents fail their checksum. Open
+// quarantines both via cleanSnapshots, so a torn newest snapshot can
+// never shadow the older good snapshot plus the segments that extend it.
 
 const (
 	snapshotPrefix = "snap-"
 	snapshotSuffix = ".db"
+	tmpSuffix      = ".tmp"
 )
 
 type snapshotFile struct {
@@ -48,8 +58,8 @@ func parseSnapshotName(name string) (uint64, bool) {
 }
 
 // listSnapshots returns the directory's snapshots sorted by LSN.
-func listSnapshots(dir string) ([]snapshotFile, error) {
-	entries, err := os.ReadDir(dir)
+func listSnapshots(fs faults.FS, dir string) ([]snapshotFile, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("journal: listing %s: %w", dir, err)
 	}
@@ -66,22 +76,62 @@ func listSnapshots(dir string) ([]snapshotFile, error) {
 	return snaps, nil
 }
 
-// newestSnapshotLSN returns the highest snapshot LSN present, 0 if none.
-func newestSnapshotLSN(dir string) (uint64, error) {
-	snaps, err := listSnapshots(dir)
+// cleanSnapshots removes the debris a crash mid-snapshot can leave and
+// returns the newest *readable* snapshot LSN (0 when none). Stale .tmp
+// files from an unfinished publish are deleted, and so is any snapshot
+// file that fails its checksum before a readable one is found — keeping a
+// torn snapshot would anchor recovery's LSN baseline past state it cannot
+// actually restore, silently losing the records between the good snapshot
+// and the torn one.
+func cleanSnapshots(fs faults.FS, dir string, noSync bool) (uint64, error) {
+	entries, err := fs.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("journal: listing %s: %w", dir, err)
+	}
+	removed := false
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, tmpSuffix) {
+			continue
+		}
+		if err := fs.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+			return 0, fmt.Errorf("journal: removing stale snapshot temp %s: %w", name, err)
+		}
+		removed = true
+	}
+	snaps, err := listSnapshots(fs, dir)
 	if err != nil {
 		return 0, err
 	}
-	if len(snaps) == 0 {
-		return 0, nil
+	newest := uint64(0)
+	for i := len(snaps) - 1; i >= 0; i-- {
+		if _, rerr := readSnapshotFile(fs, snaps[i].path); rerr == nil {
+			newest = snaps[i].lsn
+			break
+		}
+		if err := fs.Remove(snaps[i].path); err != nil && !os.IsNotExist(err) {
+			return 0, fmt.Errorf("journal: quarantining torn snapshot %s: %w", snaps[i].path, err)
+		}
+		removed = true
 	}
-	return snaps[len(snaps)-1].lsn, nil
+	if removed && !noSync {
+		if err := fs.SyncDir(dir); err != nil {
+			return 0, fmt.Errorf("journal: syncing dir after snapshot cleanup: %w", err)
+		}
+	}
+	return newest, nil
 }
 
 // WriteSnapshot durably stores data as the state through lsn and then
 // compacts the journal: older snapshots are removed and so is every
 // segment whose records the snapshot fully covers. lsn must not exceed
 // the last appended LSN (callers Sync() first, then snapshot at LastLSN).
+//
+// A snapshot failure is not sticky: the journal's segments are untouched,
+// so appends continue and the next snapshot attempt may succeed.
 func (j *Journal) WriteSnapshot(lsn uint64, data []byte) error {
 	j.mu.Lock()
 	if j.closed {
@@ -100,17 +150,17 @@ func (j *Journal) WriteSnapshot(lsn uint64, data []byte) error {
 	}
 	j.mu.Unlock()
 
-	tmp := snapshotPath(j.dir, lsn) + ".tmp"
-	if err := writeSnapshotFile(tmp, data, j.opts.NoSync); err != nil {
-		os.Remove(tmp)
+	tmp := snapshotPath(j.dir, lsn) + tmpSuffix
+	if err := writeSnapshotFile(j.fs, tmp, data, j.opts.NoSync); err != nil {
+		j.fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, snapshotPath(j.dir, lsn)); err != nil {
-		os.Remove(tmp)
+	if err := j.fs.Rename(tmp, snapshotPath(j.dir, lsn)); err != nil {
+		j.fs.Remove(tmp)
 		return fmt.Errorf("journal: publishing snapshot: %w", err)
 	}
 	if !j.opts.NoSync {
-		if err := syncDir(j.dir); err != nil {
+		if err := j.fs.SyncDir(j.dir); err != nil {
 			return fmt.Errorf("journal: syncing dir after snapshot: %w", err)
 		}
 	}
@@ -118,8 +168,8 @@ func (j *Journal) WriteSnapshot(lsn uint64, data []byte) error {
 	return j.compact(lsn)
 }
 
-func writeSnapshotFile(path string, data []byte, noSync bool) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+func writeSnapshotFile(fs faults.FS, path string, data []byte, noSync bool) error {
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("journal: creating snapshot: %w", err)
 	}
@@ -143,15 +193,16 @@ func writeSnapshotFile(path string, data []byte, noSync bool) error {
 
 // Snapshot returns the newest readable snapshot's contents and LSN, or
 // (nil, 0, nil) when the journal has no snapshot. A snapshot that fails
-// its checksum is skipped in favour of an older one — it can only be the
-// product of external tampering, since snapshots are published by rename.
+// its checksum is skipped in favour of an older one; Open already
+// quarantined any such file, so hitting one here means it appeared (or
+// was tampered with) while the journal was running.
 func (j *Journal) Snapshot() ([]byte, uint64, error) {
-	snaps, err := listSnapshots(j.dir)
+	snaps, err := listSnapshots(j.fs, j.dir)
 	if err != nil {
 		return nil, 0, err
 	}
 	for i := len(snaps) - 1; i >= 0; i-- {
-		data, rerr := readSnapshotFile(snaps[i].path)
+		data, rerr := readSnapshotFile(j.fs, snaps[i].path)
 		if rerr == nil {
 			return data, snaps[i].lsn, nil
 		}
@@ -163,8 +214,8 @@ func (j *Journal) Snapshot() ([]byte, uint64, error) {
 	return nil, 0, nil
 }
 
-func readSnapshotFile(path string) ([]byte, error) {
-	f, err := os.Open(path)
+func readSnapshotFile(fs faults.FS, path string) ([]byte, error) {
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -183,18 +234,18 @@ func readSnapshotFile(path string) ([]byte, error) {
 // compact removes snapshots older than lsn and every sealed segment whose
 // records are all <= lsn. The active segment is never removed.
 func (j *Journal) compact(lsn uint64) error {
-	snaps, err := listSnapshots(j.dir)
+	snaps, err := listSnapshots(j.fs, j.dir)
 	if err != nil {
 		return err
 	}
 	for _, s := range snaps {
 		if s.lsn < lsn {
-			if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+			if err := j.fs.Remove(s.path); err != nil && !os.IsNotExist(err) {
 				return fmt.Errorf("journal: removing stale snapshot: %w", err)
 			}
 		}
 	}
-	segs, err := listSegments(j.dir)
+	segs, err := listSegments(j.fs, j.dir)
 	if err != nil {
 		return err
 	}
@@ -210,12 +261,12 @@ func (j *Journal) compact(lsn uint64) error {
 		if i+1 >= len(segs) || segs[i+1].first > lsn+1 {
 			break
 		}
-		if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+		if err := j.fs.Remove(seg.path); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("journal: removing compacted segment: %w", err)
 		}
 	}
 	if !j.opts.NoSync {
-		if err := syncDir(j.dir); err != nil {
+		if err := j.fs.SyncDir(j.dir); err != nil {
 			return fmt.Errorf("journal: syncing dir after compaction: %w", err)
 		}
 	}

@@ -107,6 +107,14 @@ func (jp *Journaled) Underlying() *Platform { return jp.p }
 // LastLSN returns the LSN of the most recently journaled operation.
 func (jp *Journaled) LastLSN() uint64 { return jp.j.LastLSN() }
 
+// JournalFailed returns the journal's sticky error (wrapping
+// journal.ErrFailed) once a write, flush, or fsync has failed, nil while
+// the journal is healthy. A shard whose journal has failed refuses all
+// further mutations; the operator remedy is restart-and-recover (the
+// chaos harness does exactly that, and the runbook in docs/OPERATIONS.md
+// documents the production equivalent).
+func (jp *Journaled) JournalFailed() error { return jp.j.Failed() }
+
 // Close syncs and closes the journal. The wrapped platform remains usable
 // in memory, but further mutations through the Journaled fail.
 func (jp *Journaled) Close() error { return jp.j.Close() }

@@ -57,6 +57,24 @@ type DriverConfig struct {
 	// draws from stats.SubSeed(Seed, g+1). Interleaving across workers is
 	// scheduler-dependent; the multiset of issued operations is not.
 	Seed uint64
+	// Observe, when set, is called once per completed operation with its
+	// outcome. It runs on the worker goroutine and must be safe for
+	// concurrent use; the chaos harness uses it to keep its own ledger of
+	// acknowledged impressions to reconcile against the platform's.
+	Observe func(OpResult)
+}
+
+// OpResult describes one completed driver operation, as passed to
+// DriverConfig.Observe.
+type OpResult struct {
+	Op   Op
+	User profile.UserID
+	// Impressions is the feed a successful Browse returned (nil for other
+	// ops); Slots is what Browse asked for, an upper bound on what an
+	// errored Browse may still have committed.
+	Impressions []ad.Impression
+	Slots       int
+	Err         error
 }
 
 // DriverStats counts what a driver run did. Counters are totals across all
@@ -130,27 +148,39 @@ func Drive(t Target, cfg DriverConfig) DriverStats {
 			for i := 0; i < cfg.OpsPerGoroutine; i++ {
 				uid := cfg.Users[rng.Intn(len(cfg.Users))]
 				switch pickOp(cfg.Mix, rng) {
-				case opBrowse:
+				case OpBrowse:
 					imps, err := t.BrowseFeed(uid, cfg.BrowseSlots)
 					atomic.AddInt64(&st.Browses, 1)
 					atomic.AddInt64(&st.Impressions, int64(len(imps)))
 					driverOpsBrowse.Inc()
 					countErr(&st, err)
-				case opVisit:
+					if cfg.Observe != nil {
+						cfg.Observe(OpResult{Op: OpBrowse, User: uid, Impressions: imps, Slots: cfg.BrowseSlots, Err: err})
+					}
+				case OpVisit:
 					err := t.VisitPage(uid, cfg.Pixels[rng.Intn(len(cfg.Pixels))])
 					atomic.AddInt64(&st.Visits, 1)
 					driverOpsVisit.Inc()
 					countErr(&st, err)
-				case opLike:
+					if cfg.Observe != nil {
+						cfg.Observe(OpResult{Op: OpVisit, User: uid, Err: err})
+					}
+				case OpLike:
 					err := t.LikePage(uid, cfg.Pages[rng.Intn(len(cfg.Pages))])
 					atomic.AddInt64(&st.Likes, 1)
 					driverOpsLike.Inc()
 					countErr(&st, err)
-				case opPrefs:
+					if cfg.Observe != nil {
+						cfg.Observe(OpResult{Op: OpLike, User: uid, Err: err})
+					}
+				case OpPrefs:
 					_, err := t.AdPreferences(uid)
 					atomic.AddInt64(&st.Prefs, 1)
 					driverOpsPrefs.Inc()
 					countErr(&st, err)
+					if cfg.Observe != nil {
+						cfg.Observe(OpResult{Op: OpPrefs, User: uid, Err: err})
+					}
 				}
 			}
 		}(g)
@@ -169,32 +199,33 @@ func countErr(st *DriverStats, err error) {
 	}
 }
 
-type opKind int
+// Op identifies a driver operation kind.
+type Op int
 
 const (
-	opBrowse opKind = iota
-	opVisit
-	opLike
-	opPrefs
+	OpBrowse Op = iota
+	OpVisit
+	OpLike
+	OpPrefs
 )
 
 // pickOp samples an operation kind proportionally to the mix weights.
-func pickOp(mix OpMix, rng *stats.RNG) opKind {
+func pickOp(mix OpMix, rng *stats.RNG) Op {
 	total := mix.Browse + mix.Visit + mix.Like + mix.Prefs
 	if total <= 0 {
-		return opBrowse
+		return OpBrowse
 	}
 	n := rng.Intn(total)
 	if n < mix.Browse {
-		return opBrowse
+		return OpBrowse
 	}
 	n -= mix.Browse
 	if n < mix.Visit {
-		return opVisit
+		return OpVisit
 	}
 	n -= mix.Visit
 	if n < mix.Like {
-		return opLike
+		return OpLike
 	}
-	return opPrefs
+	return OpPrefs
 }
