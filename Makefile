@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz cover chaos experiments clean
+.PHONY: all build vet test race bench bench-files bench-check fuzz cover chaos experiments clean
 
 all: build vet test
 
@@ -16,12 +16,24 @@ test:
 race:
 	$(GO) test -race ./...
 
+# TREADS_INDEX_BENCH_USERS caps the index benchmarks' population (their
+# default is the 1M-user acceptance scale).
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	TREADS_INDEX_BENCH_USERS=100000 $(GO) test -bench=. -benchmem ./...
+
+# Regenerate the committed BENCH_<area>.json perf trajectory at full
+# acceptance scale (index area at 1M users; takes a few minutes).
+bench-files:
+	$(GO) run ./cmd/treads-bench
+
+# Validate the committed BENCH files without re-running the benchmarks.
+bench-check:
+	$(GO) run ./cmd/treads-bench -check
 
 # Short fuzzing pass over every fuzz target.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=15s ./internal/attr/
+	$(GO) test -fuzz=FuzzIndexEquivalence -fuzztime=15s ./internal/audience/
 	$(GO) test -fuzz=FuzzParseToken -fuzztime=15s ./internal/core/
 	$(GO) test -fuzz=FuzzDecodeStegoImage -fuzztime=15s ./internal/core/
 	$(GO) test -fuzz=FuzzDecodeCreativeBody -fuzztime=15s ./internal/core/

@@ -100,6 +100,7 @@ func main() {
 type options struct {
 	Addr         string
 	Users        int
+	Skew         float64
 	Seed         uint64
 	Shards       int
 	Review       bool
@@ -128,6 +129,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 	var o options
 	fs.StringVar(&o.Addr, "addr", ":8080", "listen address")
 	fs.IntVar(&o.Users, "users", 1000, "synthetic population size (ignored with -load)")
+	fs.Float64Var(&o.Skew, "skew", 0, "Zipf exponent for attribute-coverage skew (0 = legacy generator; ~1.1 for realistic million-user populations)")
 	fs.Uint64Var(&o.Seed, "seed", 1, "deterministic seed")
 	fs.IntVar(&o.Shards, "shards", 1, "number of platform shards (consistent-hash partitioned by user)")
 	fs.BoolVar(&o.Review, "review", false, "enable ToS ad review")
@@ -629,6 +631,7 @@ func bootShard(opts options, i int, logger *log.Logger) func() (*platform.Platfo
 		cfg := workload.DefaultConfig()
 		cfg.Users = opts.Users
 		cfg.Seed = opts.Seed
+		cfg.Skew = opts.Skew
 		cfg.Catalog = p.Catalog()
 		ring := cluster.NewRing(opts.Shards, 0)
 		for _, u := range workload.Generate(cfg) {

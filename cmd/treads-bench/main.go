@@ -1,0 +1,428 @@
+// Command treads-bench runs the canonical performance suites and persists
+// the results as BENCH_<area>.json files at the repository root — the
+// perf trajectory successive changes are judged against (ROADMAP item:
+// "hot-path speed campaign with a persisted perf trajectory").
+//
+//	treads-bench [-areas index,platform,journal,cluster] [-users N] [-out DIR]
+//	treads-bench -check [-out DIR]
+//
+// Each area file records ops/sec plus p50/p90/p99 latency for its hot
+// operations, alongside provenance (population size, go version). The
+// committed BENCH_index.json is generated at one million users; -users
+// exists so a laptop can regenerate smaller files while iterating.
+//
+// -check validates the committed files instead of benchmarking: required
+// metrics present, the index file at full scale with sub-millisecond
+// reach queries, zero-alloc counting, and the index-vs-scan equality flag
+// set. It also runs a small in-process smoke of the index harness so CI
+// catches bit-rot in the bench itself, not only in the files.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/audience"
+	"github.com/treads-project/treads/internal/cluster"
+	"github.com/treads-project/treads/internal/journal"
+	"github.com/treads-project/treads/internal/money"
+	"github.com/treads-project/treads/internal/pixel"
+	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/workload"
+
+	adpkg "github.com/treads-project/treads/internal/ad"
+)
+
+// metric is one benchmarked operation's summary.
+type metric struct {
+	Iterations  int     `json:"iterations"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	MeanNs      int64   `json:"mean_ns"`
+	P50Ns       int64   `json:"p50_ns"`
+	P90Ns       int64   `json:"p90_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// report is the schema of a BENCH_<area>.json file.
+type report struct {
+	Area      string            `json:"area"`
+	GoVersion string            `json:"go_version"`
+	Generated string            `json:"generated"`
+	Users     int               `json:"users,omitempty"`
+	Shards    int               `json:"shards,omitempty"`
+	Metrics   map[string]metric `json:"metrics"`
+	// Facts are area-specific scalar findings (memory bytes, speedups,
+	// equality proofs) that are not latency distributions.
+	Facts map[string]float64 `json:"facts,omitempty"`
+}
+
+func main() {
+	var (
+		areas = flag.String("areas", "index,platform,journal,cluster", "comma-separated areas to benchmark")
+		users = flag.Int("users", 1_000_000, "population size for the index area")
+		out   = flag.String("out", ".", "directory BENCH_<area>.json files are written to / checked in")
+		check = flag.Bool("check", false, "validate committed BENCH files instead of benchmarking")
+	)
+	flag.Parse()
+
+	if *check {
+		if err := runCheck(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "treads-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("BENCH files OK")
+		return
+	}
+
+	for _, area := range strings.Split(*areas, ",") {
+		area = strings.TrimSpace(area)
+		var (
+			rep report
+			err error
+		)
+		start := time.Now()
+		switch area {
+		case "index":
+			rep, err = benchIndex(*users)
+		case "platform":
+			rep, err = benchPlatform()
+		case "journal":
+			rep, err = benchJournal()
+		case "cluster":
+			rep, err = benchCluster()
+		default:
+			err = fmt.Errorf("unknown area %q", area)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "treads-bench: %s: %v\n", area, err)
+			os.Exit(1)
+		}
+		rep.Area = area
+		rep.GoVersion = runtime.Version()
+		rep.Generated = time.Now().UTC().Format(time.RFC3339)
+		path := filepath.Join(*out, "BENCH_"+area+".json")
+		if err := writeReport(path, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "treads-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: wrote %s (%.1fs)\n", area, path, time.Since(start).Seconds())
+	}
+}
+
+func writeReport(path string, rep report) error {
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// measure runs fn n times and summarizes the latency distribution.
+func measure(n int, fn func()) metric {
+	durs := make([]time.Duration, n)
+	t0 := time.Now()
+	for i := range durs {
+		s := time.Now()
+		fn()
+		durs[i] = time.Since(s)
+	}
+	total := time.Since(t0)
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	pct := func(p float64) int64 {
+		i := int(p * float64(n-1))
+		return durs[i].Nanoseconds()
+	}
+	return metric{
+		Iterations: n,
+		OpsPerSec:  float64(n) / total.Seconds(),
+		MeanNs:     total.Nanoseconds() / int64(n),
+		P50Ns:      pct(0.50),
+		P90Ns:      pct(0.90),
+		P99Ns:      pct(0.99),
+	}
+}
+
+// benchSpec is the representative campaign expression every area's reach
+// queries use: head + torso attributes combined with demographics.
+func benchSpec() audience.Spec {
+	catalog := attr.DefaultCatalog()
+	plat := catalog.BySource(attr.SourcePlatform)
+	part := catalog.BySource(attr.SourcePartner)
+	return audience.Spec{Expr: attr.And{Ops: []attr.Expr{
+		attr.Or{Ops: []attr.Expr{
+			attr.Has{ID: plat[0].ID},
+			attr.Has{ID: plat[3].ID},
+			attr.Has{ID: part[0].ID},
+		}},
+		attr.Not{Op: attr.Has{ID: plat[7].ID}},
+		attr.AgeBetween{Min: 25, Max: 54},
+	}}}
+}
+
+func benchIndex(users int) (report, error) {
+	store := profile.NewStore()
+	indexed := audience.NewEngine(store, pixel.NewRegistry())
+	if err := indexed.EnableIndex(); err != nil {
+		return report{}, err
+	}
+	buildStart := time.Now()
+	workload.Each(workload.Config{
+		Users:             users,
+		BrokerCoverage:    0.8,
+		MeanPlatformAttrs: 25,
+		MeanPartnerAttrs:  11,
+		Seed:              42,
+		Skew:              1.1,
+	}, func(p *profile.Profile) {
+		if err := store.Add(p); err != nil {
+			panic(err)
+		}
+	})
+	buildSecs := time.Since(buildStart).Seconds()
+	scan := audience.NewEngine(store, pixel.NewRegistry())
+	spec := benchSpec()
+
+	// Equality proof at full scale: engine-vs-engine and bitmap-vs-packed.
+	wantReach, err := scan.PotentialReach(spec)
+	if err != nil {
+		return report{}, err
+	}
+	gotReach, err := indexed.PotentialReach(spec)
+	if err != nil {
+		return report{}, err
+	}
+	idx := indexed.Index()
+	if _, _, err := idx.VerifyExpr(spec.Expr); err != nil {
+		return report{}, fmt.Errorf("VerifyExpr: %w", err)
+	}
+	verified := gotReach == wantReach
+
+	rep := report{
+		Users:   users,
+		Metrics: map[string]metric{},
+		Facts: map[string]float64{
+			"verified_equal":     b2f(verified),
+			"build_seconds":      buildSecs,
+			"index_memory_bytes": float64(idx.MemoryBytes()),
+			"bytes_per_user":     float64(idx.MemoryBytes()) / float64(users),
+		},
+	}
+	rep.Metrics["index_potential_reach"] = measure(200, func() {
+		if _, err := indexed.PotentialReach(spec); err != nil {
+			panic(err)
+		}
+	})
+	rep.Metrics["scan_potential_reach"] = measure(5, func() {
+		if _, err := scan.PotentialReach(spec); err != nil {
+			panic(err)
+		}
+	})
+	rep.Facts["index_speedup_vs_scan"] =
+		float64(rep.Metrics["scan_potential_reach"].MeanNs) / float64(rep.Metrics["index_potential_reach"].MeanNs)
+
+	probe := store.Get(profile.UserID("user-000000"))
+	rep.Metrics["index_spec_matches"] = measure(2000, func() {
+		if _, err := indexed.SpecMatches(spec, probe); err != nil {
+			panic(err)
+		}
+	})
+
+	// The core discipline: counting a compiled plan allocates nothing.
+	node, ok := idx.CompileExpr(spec.Expr)
+	if !ok {
+		return report{}, fmt.Errorf("bench expression did not compile")
+	}
+	m := measure(200, func() { idx.CountNode(node) })
+	m.AllocsPerOp = testing.AllocsPerRun(100, func() { idx.CountNode(node) })
+	rep.Metrics["count_node"] = m
+	return rep, nil
+}
+
+func benchPlatform() (report, error) {
+	p := platform.New(platform.Config{Seed: 9})
+	profs := workload.Generate(workload.Config{
+		Users: 10_000, BrokerCoverage: 0.8, MeanPlatformAttrs: 25, MeanPartnerAttrs: 11, Seed: 9,
+	})
+	for _, pr := range profs {
+		if err := p.AddUser(pr); err != nil {
+			return report{}, err
+		}
+	}
+	if err := p.RegisterAdvertiser("bench-adv"); err != nil {
+		return report{}, err
+	}
+	aud, err := p.CreateAffinityAudience("bench-adv", "bench-aud", []string{"Jazz", "Running", "Coffee"})
+	if err != nil {
+		return report{}, err
+	}
+	if _, err := p.CreateCampaign("bench-adv", platform.CampaignParams{
+		Spec:      audience.Spec{Include: []audience.AudienceID{aud}},
+		BidCapCPM: money.FromDollars(8),
+		Creative:  adpkg.Creative{Headline: "bench", Body: "bench creative"},
+	}); err != nil {
+		return report{}, err
+	}
+
+	rep := report{Users: len(profs), Metrics: map[string]metric{}}
+	i := 0
+	rep.Metrics["browse_feed"] = measure(5000, func() {
+		if _, err := p.BrowseFeed(profs[i%len(profs)].ID, 3); err != nil {
+			panic(err)
+		}
+		i++
+	})
+	ctx := context.Background()
+	spec := benchSpec()
+	rep.Metrics["potential_reach"] = measure(500, func() {
+		if _, err := p.PotentialReach(ctx, "bench-adv", spec); err != nil {
+			panic(err)
+		}
+	})
+	return rep, nil
+}
+
+func benchJournal() (report, error) {
+	rep := report{Metrics: map[string]metric{}}
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	run := func(name string, opts journal.Options, n int) error {
+		dir, err := os.MkdirTemp("", "treads-bench-journal")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		j, err := journal.Open(dir, opts)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		rep.Metrics[name] = measure(n, func() {
+			if _, err := j.Append(payload); err != nil {
+				panic(err)
+			}
+		})
+		return nil
+	}
+	if err := run("append_sync", journal.Options{}, 400); err != nil {
+		return report{}, err
+	}
+	if err := run("append_nosync", journal.Options{NoSync: true}, 20_000); err != nil {
+		return report{}, err
+	}
+	return rep, nil
+}
+
+func benchCluster() (report, error) {
+	const shards = 4
+	c, err := cluster.NewInMemory(shards, platform.Config{Seed: 5}, cluster.Options{})
+	if err != nil {
+		return report{}, err
+	}
+	defer c.Close()
+	profs := workload.Generate(workload.Config{
+		Users: 20_000, BrokerCoverage: 0.8, MeanPlatformAttrs: 25, MeanPartnerAttrs: 11, Seed: 5,
+	})
+	for _, pr := range profs {
+		if err := c.AddUser(pr); err != nil {
+			return report{}, err
+		}
+	}
+	if err := c.RegisterAdvertiser("bench-adv"); err != nil {
+		return report{}, err
+	}
+	ctx := context.Background()
+	spec := benchSpec()
+	rep := report{Users: len(profs), Shards: shards, Metrics: map[string]metric{}}
+	rep.Metrics["scatter_gather_reach"] = measure(300, func() {
+		if _, err := c.PotentialReach(ctx, "bench-adv", spec); err != nil {
+			panic(err)
+		}
+	})
+	i := 0
+	rep.Metrics["routed_browse_feed"] = measure(3000, func() {
+		if _, err := c.BrowseFeed(profs[i%len(profs)].ID, 3); err != nil {
+			panic(err)
+		}
+		i++
+	})
+	return rep, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// runCheck validates the committed BENCH files and smoke-runs the index
+// harness at a small scale.
+func runCheck(dir string) error {
+	required := map[string][]string{
+		"index":    {"index_potential_reach", "scan_potential_reach", "index_spec_matches", "count_node"},
+		"platform": {"browse_feed", "potential_reach"},
+		"journal":  {"append_sync", "append_nosync"},
+		"cluster":  {"scatter_gather_reach", "routed_browse_feed"},
+	}
+	for area, metrics := range required {
+		path := filepath.Join(dir, "BENCH_"+area+".json")
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("missing committed bench file: %w", err)
+		}
+		var rep report
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if rep.Area != area {
+			return fmt.Errorf("%s: area is %q", path, rep.Area)
+		}
+		for _, m := range metrics {
+			mt, ok := rep.Metrics[m]
+			if !ok {
+				return fmt.Errorf("%s: missing metric %q", path, m)
+			}
+			if mt.Iterations <= 0 || mt.P50Ns <= 0 {
+				return fmt.Errorf("%s: metric %q has implausible values", path, m)
+			}
+		}
+		if area == "index" {
+			if rep.Users < 1_000_000 {
+				return fmt.Errorf("%s: generated at %d users; the committed file must cover >= 1M", path, rep.Users)
+			}
+			if rep.Facts["verified_equal"] != 1 {
+				return fmt.Errorf("%s: index-vs-scan equality was not proven", path)
+			}
+			if p50 := rep.Metrics["index_potential_reach"].P50Ns; p50 >= int64(time.Millisecond) {
+				return fmt.Errorf("%s: index reach p50 %dns is not sub-millisecond", path, p50)
+			}
+			if a := rep.Metrics["count_node"].AllocsPerOp; a != 0 {
+				return fmt.Errorf("%s: count_node allocates %.1f per op, want 0", path, a)
+			}
+		}
+	}
+
+	// Smoke: the index harness still runs end to end (tiny population).
+	rep, err := benchIndex(2_000)
+	if err != nil {
+		return fmt.Errorf("index smoke: %w", err)
+	}
+	if rep.Facts["verified_equal"] != 1 {
+		return fmt.Errorf("index smoke: equality check failed")
+	}
+	return nil
+}

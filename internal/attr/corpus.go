@@ -1,0 +1,21 @@
+package attr
+
+// ExprCorpus is the shared seed corpus of targeting-expression inputs, in
+// the parser's surface syntax. FuzzParse seeds from it, and the audience
+// package's index-vs-scan differential fuzz reuses it so both fuzzers
+// explore the same grammar corners. Entries that fail to parse are kept
+// deliberately: parser-rejection paths are part of the corpus.
+func ExprCorpus() []string {
+	return []string{
+		"all()",
+		"attr(platform.music.jazz)",
+		"attr(a) AND age(30, 65) OR NOT gender(female)",
+		"(attr(a) OR attr(b)) AND country(US)",
+		"value(x.y.z, some value)",
+		"NOT (attr(a) AND attr(b))",
+		"age(0, 120)",
+		"attr(",
+		"))((",
+		"NOT NOT NOT all()",
+	}
+}

@@ -6,18 +6,7 @@ import "testing"
 // successfully parsed expression round-trips through its canonical
 // printing.
 func FuzzParse(f *testing.F) {
-	for _, seed := range []string{
-		"all()",
-		"attr(platform.music.jazz)",
-		"attr(a) AND age(30, 65) OR NOT gender(female)",
-		"(attr(a) OR attr(b)) AND country(US)",
-		"value(x.y.z, some value)",
-		"NOT (attr(a) AND attr(b))",
-		"age(0, 120)",
-		"attr(",
-		"))((",
-		"NOT NOT NOT all()",
-	} {
+	for _, seed := range ExprCorpus() {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, input string) {

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/index"
 	"github.com/treads-project/treads/internal/pii"
 	"github.com/treads-project/treads/internal/pixel"
 	"github.com/treads-project/treads/internal/profile"
@@ -81,6 +82,10 @@ type Audience struct {
 	signature   []attr.ID
 	overlap     float64
 	seedMembers map[profile.UserID]bool
+
+	// bits is the index-maintained membership bitmap (PII and lookalike
+	// audiences only; see indexed.go). Nil when the engine runs scan-only.
+	bits *index.Bitmap
 }
 
 // Phrases returns the keyword phrases an affinity audience was built from
@@ -110,6 +115,7 @@ type Engine struct {
 	mu        sync.RWMutex
 	nextID    int
 	audiences map[AudienceID]*Audience
+	idx       *index.Index // nil until EnableIndex; see indexed.go
 }
 
 // NewEngine returns an audience engine over the given store and registry.
@@ -138,12 +144,13 @@ func (e *Engine) newAudience(advertiser string, kind Kind, name string) *Audienc
 // nothing about which keys matched.
 func (e *Engine) CreatePIIAudience(advertiser, name string, keys []pii.MatchKey) *Audience {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	a := e.newAudience(advertiser, KindPII, name)
 	a.keys = make(map[pii.MatchKey]bool, len(keys))
 	for _, k := range keys {
 		a.keys[k] = true
 	}
+	e.mu.Unlock()
+	e.seedAudienceBits(a)
 	return a
 }
 
@@ -242,6 +249,17 @@ func (e *Engine) MemberOf(a *Audience, p *profile.Profile) bool {
 
 // SpecMatches reports whether a single profile satisfies the spec.
 func (e *Engine) SpecMatches(spec Spec, p *profile.Profile) (bool, error) {
+	if m, handled, err := e.specMatchesIndexed(spec, p); handled {
+		return m, err
+	}
+	return e.specMatchesScan(spec, p)
+}
+
+// specMatchesScan is the linear evaluation of a spec against one profile —
+// the path non-indexable specs take, and the oracle the index is verified
+// against. Scan loops (Resolve, CountMatches) call it directly so a single
+// fallback query doesn't re-attempt index compilation per user.
+func (e *Engine) specMatchesScan(spec Spec, p *profile.Profile) (bool, error) {
 	e.mu.RLock()
 	var include, includeAll, exclude []*Audience
 	for _, id := range spec.Include {
@@ -352,13 +370,16 @@ func (e *Engine) Resolve(spec Spec) ([]profile.UserID, error) {
 	if err := e.ValidateSpec(spec); err != nil {
 		return nil, err
 	}
+	if ids, handled := e.resolveIndexed(spec); handled {
+		return ids, nil
+	}
 	var out []profile.UserID
 	var firstErr error
 	e.store.Each(func(p *profile.Profile) {
 		if firstErr != nil {
 			return
 		}
-		ok, err := e.SpecMatches(spec, p)
+		ok, err := e.specMatchesScan(spec, p)
 		if err != nil {
 			firstErr = err
 			return
@@ -398,11 +419,10 @@ const MinReportableReach = 20
 // exact size, thresholded at MinReportableReach and rounded down to a
 // multiple of ReachRounding.
 func (e *Engine) PotentialReach(spec Spec) (int, error) {
-	ids, err := e.Resolve(spec)
+	n, err := e.CountMatches(spec)
 	if err != nil {
 		return 0, err
 	}
-	n := len(ids)
 	if n < MinReportableReach {
 		return 0, nil
 	}

@@ -1,0 +1,430 @@
+package audience
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/index"
+	"github.com/treads-project/treads/internal/profile"
+)
+
+// Index integration: when EnableIndex has been called, the engine answers
+// PotentialReach / Resolve / SpecMatches from the inverted bitmap index
+// (internal/index) instead of scanning every profile. The index is kept
+// incrementally consistent through a profile.Watcher, and every fast path
+// falls back to the linear scan whenever a spec contains something the
+// index cannot represent (geo radius targeting, an audience created before
+// its bitmap was seeded). The differential tests in index_diff_test.go pin
+// the two paths to byte-identical results.
+//
+// Per-kind strategy:
+//
+//   - PII and lookalike audiences carry a materialized membership bitmap
+//     (Audience.bits), seeded by a one-time scan at creation/enable and
+//     updated per profile event by the watcher.
+//   - Engagement audiences read the index's live per-page like bitmaps.
+//   - Affinity audiences are a query-time OR of attribute posting lists.
+//   - Website audiences build a query-time bitmap from the pixel
+//     registry's visitor list, keeping the registry authoritative.
+
+// EnableIndex builds the inverted index over the engine's store and
+// attaches the watcher that keeps it consistent with future profile adds,
+// attribute changes, and page likes/unlikes. Call during platform
+// construction, before concurrent traffic. Enabling twice is a no-op.
+func (e *Engine) EnableIndex() error {
+	e.mu.Lock()
+	if e.idx != nil {
+		e.mu.Unlock()
+		return nil
+	}
+	// RetainPacked keeps the compact profile encoding alongside the
+	// posting lists: it is what lets VerifyExpr prove bitmap counts
+	// against a linear scan without touching the live store.
+	idx := index.New(index.Options{RetainPacked: true, SizeHint: e.store.Len()})
+	e.idx = idx
+	e.mu.Unlock()
+
+	// SetWatcher replays ProfileAdded for every existing profile, which is
+	// what bulk-builds the index (slot order = store insertion order).
+	t0 := time.Now()
+	e.store.SetWatcher(&engineWatcher{e: e})
+	index.ObserveBuild(time.Since(t0))
+	idx.RefreshMemoryGauge()
+
+	// Audiences created before the index existed need their membership
+	// bitmaps seeded now that every profile has a slot.
+	e.mu.RLock()
+	var seed []*Audience
+	for _, a := range e.audiences {
+		if a.Kind == KindPII || a.Kind == KindLookalike {
+			seed = append(seed, a)
+		}
+	}
+	e.mu.RUnlock()
+	for _, a := range seed {
+		e.seedAudienceBits(a)
+	}
+	return nil
+}
+
+// Index returns the engine's inverted index, or nil when running scan-only.
+func (e *Engine) Index() *index.Index {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.idx
+}
+
+// seedAudienceBits materializes the membership bitmap for a PII or
+// lookalike audience by one scan over the store. No-op for other kinds or
+// when the index is disabled.
+func (e *Engine) seedAudienceBits(a *Audience) {
+	if a.Kind != KindPII && a.Kind != KindLookalike {
+		return
+	}
+	e.mu.RLock()
+	idx := e.idx
+	e.mu.RUnlock()
+	if idx == nil {
+		return
+	}
+	b := index.NewBitmap(idx.Len())
+	e.store.Each(func(p *profile.Profile) {
+		if !e.MemberOf(a, p) {
+			return
+		}
+		if s, ok := idx.Slot(p.ID); ok {
+			idx.SetBit(b, s)
+		}
+	})
+	e.mu.Lock()
+	a.bits = b
+	e.mu.Unlock()
+}
+
+// engineWatcher adapts profile mutation events into index maintenance.
+// Lock order is always Engine.mu → Index.mu, matching the query paths.
+type engineWatcher struct{ e *Engine }
+
+func (w *engineWatcher) ProfileAdded(p *profile.Profile) {
+	e := w.e
+	e.mu.RLock()
+	idx := e.idx
+	e.mu.RUnlock()
+	if idx == nil {
+		return
+	}
+	// The EnableIndex replay and a post-enable store.Add both land here;
+	// only the latter still needs the profile indexed.
+	if _, ok := idx.Slot(p.ID); !ok {
+		if err := idx.Add(p); err != nil {
+			return
+		}
+	}
+	slot, ok := idx.Slot(p.ID)
+	if !ok {
+		return
+	}
+	e.mu.RLock()
+	for _, a := range e.audiences {
+		if a.bits == nil {
+			continue
+		}
+		if e.MemberOf(a, p) {
+			idx.SetBit(a.bits, slot)
+		}
+	}
+	e.mu.RUnlock()
+}
+
+func (w *engineWatcher) AttrChanged(p *profile.Profile, id attr.ID) {
+	e := w.e
+	e.mu.RLock()
+	idx := e.idx
+	e.mu.RUnlock()
+	if idx == nil {
+		return
+	}
+	slot, ok := idx.Slot(p.ID)
+	if !ok {
+		return // pre-Add mutation; Add will index the final state
+	}
+	idx.NoteAttrChanged(p, id)
+	// Lookalike membership is a function of the user's attributes, so an
+	// attribute change can flip it either way. PII bitmaps are unaffected;
+	// affinity audiences read the (just-updated) posting lists directly.
+	e.mu.RLock()
+	for _, a := range e.audiences {
+		if a.Kind != KindLookalike || a.bits == nil {
+			continue
+		}
+		if a.lookalikeMatch(p) {
+			idx.SetBit(a.bits, slot)
+		} else {
+			idx.ClearBit(a.bits, slot)
+		}
+	}
+	e.mu.RUnlock()
+}
+
+func (w *engineWatcher) LikeChanged(p *profile.Profile, pageID string, liked bool) {
+	e := w.e
+	e.mu.RLock()
+	idx := e.idx
+	e.mu.RUnlock()
+	if idx == nil {
+		return
+	}
+	idx.NoteLike(p.ID, pageID, liked)
+}
+
+// audienceNodeLocked compiles one audience's membership into a plan node.
+// Caller holds e.mu (read). ok is false when the audience cannot be
+// answered from the index.
+func (e *Engine) audienceNodeLocked(a *Audience) (index.Node, bool) {
+	switch a.Kind {
+	case KindPII, KindLookalike:
+		if a.bits == nil {
+			return nil, false
+		}
+		return index.BitmapNode(a.bits), true
+	case KindEngagement:
+		return e.idx.LikesNode(a.pageID), true
+	case KindAffinity:
+		ids := make([]attr.ID, 0, len(a.affinity))
+		for id := range a.affinity {
+			ids = append(ids, id)
+		}
+		return e.idx.AnyAttrNode(ids), true
+	case KindWebsite:
+		return e.idx.UserSetNode(e.pixels.Visitors(a.pixel)), true
+	default:
+		return nil, false
+	}
+}
+
+// compileSpecLocked compiles a validated spec into one plan node. Caller
+// holds e.mu (read) and has checked e.idx != nil.
+func (e *Engine) compileSpecLocked(spec Spec) (index.Node, bool) {
+	ops := make([]index.Node, 0, 2+len(spec.IncludeAll)+len(spec.Exclude))
+	for _, id := range spec.IncludeAll {
+		n, ok := e.audienceNodeLocked(e.audiences[id])
+		if !ok {
+			return nil, false
+		}
+		ops = append(ops, n)
+	}
+	if len(spec.Include) > 0 {
+		inc := make([]index.Node, 0, len(spec.Include))
+		for _, id := range spec.Include {
+			n, ok := e.audienceNodeLocked(e.audiences[id])
+			if !ok {
+				return nil, false
+			}
+			inc = append(inc, n)
+		}
+		ops = append(ops, index.OrNodes(inc...))
+	}
+	for _, id := range spec.Exclude {
+		n, ok := e.audienceNodeLocked(e.audiences[id])
+		if !ok {
+			return nil, false
+		}
+		ops = append(ops, index.NotNode(n))
+	}
+	en, ok := e.idx.CompileExpr(spec.Expr)
+	if !ok {
+		return nil, false
+	}
+	ops = append(ops, en)
+	return index.AndNodes(ops...), true
+}
+
+// countIndexed answers CountMatches from the index. handled is false when
+// the engine runs scan-only or the spec is not indexable. Spec must already
+// be validated.
+func (e *Engine) countIndexed(spec Spec) (n int, handled bool) {
+	e.mu.RLock()
+	idx := e.idx
+	var node index.Node
+	ok := idx != nil
+	if ok {
+		node, ok = e.compileSpecLocked(spec)
+	}
+	e.mu.RUnlock()
+	if !ok {
+		if idx != nil {
+			index.MarkFallback()
+		}
+		return 0, false
+	}
+	return idx.CountNode(node), true
+}
+
+// resolveIndexed answers Resolve from the index, in slot (= store
+// insertion) order. Spec must already be validated.
+func (e *Engine) resolveIndexed(spec Spec) (ids []profile.UserID, handled bool) {
+	e.mu.RLock()
+	idx := e.idx
+	var node index.Node
+	ok := idx != nil
+	if ok {
+		node, ok = e.compileSpecLocked(spec)
+	}
+	e.mu.RUnlock()
+	if !ok {
+		if idx != nil {
+			index.MarkFallback()
+		}
+		return nil, false
+	}
+	return idx.AppendUserIDs(node, nil), true
+}
+
+// memberOfIndexedLocked is the single-user membership probe. Caller holds
+// e.mu (read). ok is false when the kind cannot be probed from the index.
+func (e *Engine) memberOfIndexedLocked(a *Audience, slot uint32, p *profile.Profile) (member, ok bool) {
+	switch a.Kind {
+	case KindPII, KindLookalike:
+		if a.bits == nil {
+			return false, false
+		}
+		return e.idx.TestBit(a.bits, slot), true
+	case KindEngagement:
+		return e.idx.TestLike(a.pageID, slot), true
+	case KindAffinity:
+		for id := range a.affinity {
+			if e.idx.TestAttr(id, slot) {
+				return true, true
+			}
+		}
+		return false, true
+	case KindWebsite:
+		return e.pixels.HasVisited(a.pixel, p.ID), true
+	default:
+		return false, false
+	}
+}
+
+// specMatchesIndexed is the delivery-time eligibility fast path: audience
+// membership via bitmap probes, the targeting expression via
+// MatchExprSlot. handled is false (and the caller falls back to the scan
+// path) when the engine is scan-only, the user has no slot, or the spec is
+// not indexable. Unknown audiences error exactly like the scan path.
+func (e *Engine) specMatchesIndexed(spec Spec, p *profile.Profile) (match, handled bool, err error) {
+	e.mu.RLock()
+	idx := e.idx
+	if idx == nil {
+		e.mu.RUnlock()
+		return false, false, nil
+	}
+	slot, ok := idx.Slot(p.ID)
+	if !ok {
+		e.mu.RUnlock()
+		index.MarkFallback()
+		return false, false, nil
+	}
+	defer e.mu.RUnlock()
+
+	// Resolve audiences in the same order as the scan path, so unknown-
+	// audience errors are identical.
+	var include, includeAll, exclude []*Audience
+	for _, id := range spec.Include {
+		a := e.audiences[id]
+		if a == nil {
+			return false, true, fmt.Errorf("audience: unknown audience %q in include list", id)
+		}
+		include = append(include, a)
+	}
+	for _, id := range spec.IncludeAll {
+		a := e.audiences[id]
+		if a == nil {
+			return false, true, fmt.Errorf("audience: unknown audience %q in include-all list", id)
+		}
+		includeAll = append(includeAll, a)
+	}
+	for _, id := range spec.Exclude {
+		a := e.audiences[id]
+		if a == nil {
+			return false, true, fmt.Errorf("audience: unknown audience %q in exclude list", id)
+		}
+		exclude = append(exclude, a)
+	}
+
+	fallback := func() (bool, bool, error) {
+		index.MarkFallback()
+		return false, false, nil
+	}
+	for _, a := range includeAll {
+		m, ok := e.memberOfIndexedLocked(a, slot, p)
+		if !ok {
+			return fallback()
+		}
+		if !m {
+			return false, true, nil
+		}
+	}
+	if len(include) > 0 {
+		in := false
+		for _, a := range include {
+			m, ok := e.memberOfIndexedLocked(a, slot, p)
+			if !ok {
+				return fallback()
+			}
+			if m {
+				in = true
+				break
+			}
+		}
+		if !in {
+			return false, true, nil
+		}
+	}
+	for _, a := range exclude {
+		m, ok := e.memberOfIndexedLocked(a, slot, p)
+		if !ok {
+			return fallback()
+		}
+		if m {
+			return false, true, nil
+		}
+	}
+	m, ok := idx.MatchExprSlot(spec.Expr, p, slot)
+	if !ok {
+		return fallback()
+	}
+	return m, true, nil
+}
+
+// CountMatches returns the exact number of users matching the spec — the
+// unrounded quantity PotentialReach thresholds. Indexed when possible,
+// linear scan otherwise.
+func (e *Engine) CountMatches(spec Spec) (int, error) {
+	if err := e.ValidateSpec(spec); err != nil {
+		return 0, err
+	}
+	if n, ok := e.countIndexed(spec); ok {
+		return n, nil
+	}
+	// countIndexed already marked the fallback; count by direct scan
+	// rather than via Resolve so the query is marked exactly once.
+	n := 0
+	var firstErr error
+	e.store.Each(func(p *profile.Profile) {
+		if firstErr != nil {
+			return
+		}
+		ok, err := e.specMatchesScan(spec, p)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		if ok {
+			n++
+		}
+	})
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return n, nil
+}

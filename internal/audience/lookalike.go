@@ -80,12 +80,13 @@ func (e *Engine) CreateLookalikeAudience(advertiser, name string, seed AudienceI
 	}
 
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	a := e.newAudience(advertiser, KindLookalike, name)
 	a.seed = seed
 	a.signature = signature
 	a.overlap = overlap
 	a.seedMembers = seedSet
+	e.mu.Unlock()
+	e.seedAudienceBits(a)
 	return a, nil
 }
 

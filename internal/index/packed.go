@@ -1,0 +1,222 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/profile"
+)
+
+// packedStore is the compact packed-profile encoding: every profile's
+// attribute set becomes a run of uint64 entries in one shared arena, and
+// strings (categorical values, demographics) are interned once. At typical
+// attribute counts a packed user costs ~150–300 bytes all-in versus several
+// KB for a live *profile.Profile, which is what lets a 1M–10M user shard
+// keep a scannable copy of its population in memory.
+//
+// An arena entry packs (attribute ordinal, value): the low 32 bits are the
+// attribute's dense ordinal, the high 32 bits are 1 + the interned value
+// index for categorical attributes, or 0 for binary ones. Entries within a
+// user's run are sorted by ordinal, so subject probes binary-search the run.
+//
+// The packed copy is written once at Add time and is deliberately not
+// updated by NoteAttrChanged: its purpose is linear-scan verification of
+// the posting lists (VerifyExpr) and memory-bounded benchmarks, both of
+// which operate on build-time populations.
+type packedStore struct {
+	users []packedUser
+	uids  []profile.UserID
+	arena []uint64
+
+	attrOrd map[attr.ID]uint32
+	ordAttr []attr.ID
+
+	strIdx map[string]uint32
+	strs   []string
+}
+
+// packedUser is one profile's fixed-size header: the arena run plus
+// interned demographics.
+type packedUser struct {
+	off               uint32 // first arena entry
+	n                 uint16 // entries in the run
+	age               uint16
+	sex, nation, city uint32 // interned string indices
+}
+
+func newPackedStore(hint int) *packedStore {
+	return &packedStore{
+		users:   make([]packedUser, 0, hint),
+		uids:    make([]profile.UserID, 0, hint),
+		attrOrd: make(map[attr.ID]uint32),
+		strIdx:  make(map[string]uint32),
+	}
+}
+
+func (ps *packedStore) intern(s string) uint32 {
+	if i, ok := ps.strIdx[s]; ok {
+		return i
+	}
+	i := uint32(len(ps.strs))
+	ps.strs = append(ps.strs, s)
+	ps.strIdx[s] = i
+	return i
+}
+
+func (ps *packedStore) ordinal(id attr.ID) uint32 {
+	if o, ok := ps.attrOrd[id]; ok {
+		return o
+	}
+	o := uint32(len(ps.ordAttr))
+	ps.ordAttr = append(ps.ordAttr, id)
+	ps.attrOrd[id] = o
+	return o
+}
+
+// add appends the profile's packed form. Caller holds the index write lock.
+func (ps *packedStore) add(p *profile.Profile) {
+	off := uint32(len(ps.arena))
+	ids := p.Attrs()
+	for _, id := range ids {
+		entry := uint64(ps.ordinal(id))
+		if v, ok := p.AttrValue(id); ok {
+			entry |= uint64(ps.intern(v)+1) << 32
+		}
+		ps.arena = append(ps.arena, entry)
+	}
+	run := ps.arena[off:]
+	sort.Slice(run, func(i, j int) bool { return uint32(run[i]) < uint32(run[j]) })
+	ps.users = append(ps.users, packedUser{
+		off:    off,
+		n:      uint16(len(ids)),
+		age:    uint16(p.Age()),
+		sex:    ps.intern(p.Gender()),
+		nation: ps.intern(p.Country()),
+		city:   ps.intern(p.Region()),
+	})
+	ps.uids = append(ps.uids, p.ID)
+}
+
+func (ps *packedStore) memBytes() int {
+	total := cap(ps.arena)*8 + cap(ps.users)*24 + cap(ps.uids)*16
+	for _, s := range ps.strs {
+		total += len(s) + 16
+	}
+	total += len(ps.attrOrd) * 48 // map entries + ordAttr headers, coarse
+	return total
+}
+
+// find binary-searches a user's run for the attribute ordinal, returning
+// the entry and whether it is present.
+func (ps *packedStore) find(u *packedUser, ord uint32) (uint64, bool) {
+	run := ps.arena[u.off : u.off+uint32(u.n)]
+	lo, hi := 0, len(run)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if uint32(run[mid]) < ord {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(run) && uint32(run[lo]) == ord {
+		return run[lo], true
+	}
+	return 0, false
+}
+
+// PackedSubject is an attr.Subject view over one packed user; the
+// verification scan reuses a single value, repointing it per user.
+type PackedSubject struct {
+	ps *packedStore
+	u  *packedUser
+}
+
+// HasAttr implements attr.Subject.
+func (s *PackedSubject) HasAttr(id attr.ID) bool {
+	ord, ok := s.ps.attrOrd[id]
+	if !ok {
+		return false
+	}
+	_, ok = s.ps.find(s.u, ord)
+	return ok
+}
+
+// AttrValue implements attr.Subject.
+func (s *PackedSubject) AttrValue(id attr.ID) (string, bool) {
+	ord, ok := s.ps.attrOrd[id]
+	if !ok {
+		return "", false
+	}
+	entry, ok := s.ps.find(s.u, ord)
+	if !ok {
+		return "", false
+	}
+	vi := uint32(entry >> 32)
+	if vi == 0 {
+		return "", false // binary attribute
+	}
+	return s.ps.strs[vi-1], true
+}
+
+// Age implements attr.Subject.
+func (s *PackedSubject) Age() int { return int(s.u.age) }
+
+// Gender implements attr.Subject.
+func (s *PackedSubject) Gender() string { return s.ps.strs[s.u.sex] }
+
+// Country implements attr.Subject.
+func (s *PackedSubject) Country() string { return s.ps.strs[s.u.nation] }
+
+// Region implements attr.Subject.
+func (s *PackedSubject) Region() string { return s.ps.strs[s.u.city] }
+
+var _ attr.Subject = (*PackedSubject)(nil)
+
+// PackedLen returns the number of packed profiles (0 without RetainPacked).
+func (x *Index) PackedLen() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	if x.packed == nil {
+		return 0
+	}
+	return len(x.packed.users)
+}
+
+// PackedSubjectAt returns a subject view of the packed user in the given
+// slot, for linear-scan evaluation against the packed copy.
+func (x *Index) PackedSubjectAt(slot uint32) (*PackedSubject, bool) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	if x.packed == nil || int(slot) >= len(x.packed.users) {
+		return nil, false
+	}
+	return &PackedSubject{ps: x.packed, u: &x.packed.users[slot]}, true
+}
+
+// VerifyExpr evaluates the expression both ways — compiled bitmap plan and
+// linear scan over the packed profiles — and returns both counts. It is the
+// index's self-check: the two counts must agree if the posting lists are
+// consistent with the packed copy. Requires RetainPacked and an indexable
+// expression.
+func (x *Index) VerifyExpr(e attr.Expr) (bitmapCount, scanCount int, err error) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	if x.packed == nil {
+		return 0, 0, fmt.Errorf("index: VerifyExpr requires Options.RetainPacked")
+	}
+	n, ok := x.compileLocked(e)
+	if !ok {
+		return 0, 0, fmt.Errorf("index: expression not indexable")
+	}
+	bitmapCount = x.countLocked(n)
+	subj := &PackedSubject{ps: x.packed}
+	for i := range x.packed.users {
+		subj.u = &x.packed.users[i]
+		if e == nil || e.Match(subj) {
+			scanCount++
+		}
+	}
+	return bitmapCount, scanCount, nil
+}

@@ -1,0 +1,123 @@
+package platform
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/audience"
+	"github.com/treads-project/treads/internal/journal"
+)
+
+// statelessSnapshot marshals a platform's exact state with the NoIndex
+// flag normalized away, so an indexed and a scan-only platform can be
+// compared byte-for-byte on everything else.
+func statelessSnapshot(t *testing.T, p *Platform) []byte {
+	t.Helper()
+	s := p.Snapshot(p.pipeline.RNGState())
+	s.NoIndex = false
+	return marshalState(t, s)
+}
+
+// TestIndexedPlatformMatchesScanPlatform drives the full journal script
+// through two platforms that differ only in Config.DisableIndex and
+// requires byte-identical end states: same feeds, same auctions, same
+// billing, same RNG position. The index must be a pure acceleration.
+func TestIndexedPlatformMatchesScanPlatform(t *testing.T) {
+	boot := func(disable bool) *Platform {
+		p := New(Config{Seed: 7, DisableIndex: disable})
+		return p
+	}
+	indexed, scan := boot(false), boot(true)
+	if indexed.audiences.Index() == nil {
+		t.Fatal("default platform has no index")
+	}
+	if scan.audiences.Index() != nil {
+		t.Fatal("DisableIndex platform unexpectedly has an index")
+	}
+	// Seed both platforms with journalBoot's users (fresh profile values
+	// each: profiles carry per-store watcher state).
+	for _, m := range []mutator{indexed, scan} {
+		sb, err := journalBoot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, uid := range sb.Users() {
+			if err := m.AddUser(sb.User(uid)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, step := range journalScript(t) {
+		step(indexed)
+		step(scan)
+	}
+	if !bytes.Equal(statelessSnapshot(t, indexed), statelessSnapshot(t, scan)) {
+		t.Fatal("indexed and scan platforms diverged after identical scripts")
+	}
+
+	// Reach surfaces agree too (not part of the snapshot).
+	ctx := context.Background()
+	for _, spec := range []audience.Spec{
+		{},
+		{Include: []audience.AudienceID{"aud-000001"}},
+		{Include: []audience.AudienceID{"aud-000004"}, Exclude: []audience.AudienceID{"aud-000002"}},
+	} {
+		ri, err1 := indexed.PotentialReach(ctx, "wal-adv", spec)
+		rs, err2 := scan.PotentialReach(ctx, "wal-adv", spec)
+		if ri != rs || (err1 == nil) != (err2 == nil) {
+			t.Fatalf("PotentialReach diverges on %+v: %d,%v vs %d,%v", spec, ri, err1, rs, err2)
+		}
+	}
+}
+
+// TestJournalRecoveryRebuildsIndex crashes a journaled indexed platform
+// (no clean close, no compaction) and verifies recovery replays the log
+// into a platform whose index is rebuilt and provably consistent.
+func TestJournalRecoveryRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	jp := mustOpenJournaled(t, dir, journal.Options{}, journalBoot)
+	for _, step := range journalScript(t) {
+		step(jp)
+	}
+	want := marshalState(t, jp.State())
+	// Crash: drop the handle without Close or Compact.
+	jp = nil
+
+	recovered := mustOpenJournaled(t, dir, journal.Options{}, noBoot(t))
+	defer recovered.Close()
+	got := marshalState(t, recovered.State())
+	if !bytes.Equal(got, want) {
+		t.Fatal("recovered state differs from pre-crash state")
+	}
+	idx := recovered.Underlying().audiences.Index()
+	if idx == nil {
+		t.Fatal("recovery did not rebuild the index")
+	}
+	if idx.Len() != len(recovered.Underlying().Users()) {
+		t.Fatalf("rebuilt index covers %d users, store has %d", idx.Len(), len(recovered.Underlying().Users()))
+	}
+	// The rebuilt index's bitmap counts must equal a packed linear scan.
+	salsa := recovered.Underlying().Catalog().Search("Salsa dance")[0].ID
+	if _, _, err := idx.VerifyExpr(attr.Has{ID: salsa}); err != nil {
+		t.Fatalf("VerifyExpr after recovery: %v", err)
+	}
+}
+
+// TestNoIndexFlagRoundTrips pins the snapshot format: a DisableIndex
+// platform restores without an index, a default platform restores with
+// one.
+func TestNoIndexFlagRoundTrips(t *testing.T) {
+	for _, disable := range []bool{false, true} {
+		p := New(Config{Seed: 1, DisableIndex: disable})
+		restored, err := Restore(p.Snapshot(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hasIdx := restored.audiences.Index() != nil
+		if hasIdx == disable {
+			t.Fatalf("DisableIndex=%v restored with index=%v", disable, hasIdx)
+		}
+	}
+}

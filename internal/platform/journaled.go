@@ -334,6 +334,17 @@ func (jp *Journaled) LikePage(uid profile.UserID, pageID string) error {
 	return opErr
 }
 
+// UnlikePage journals and removes a page like.
+func (jp *Journaled) UnlikePage(uid profile.UserID, pageID string) error {
+	var opErr error
+	if err := jp.logged(opRecord{Op: opUnlikePage, User: uid, Page: pageID}, func() {
+		opErr = jp.p.UnlikePage(uid, pageID)
+	}); err != nil {
+		return err
+	}
+	return opErr
+}
+
 // --- read-only pass-throughs ---
 
 // Catalog returns the attribute catalog.
@@ -406,6 +417,7 @@ const (
 	opBrowse             = "browse"
 	opVisitPage          = "visit_page"
 	opLikePage           = "like_page"
+	opUnlikePage         = "unlike_page"
 )
 
 // opRecord is one journaled platform mutation. A single struct with
@@ -527,6 +539,8 @@ func applyRecord(p *Platform, lsn uint64, rec opRecord) error {
 		_ = p.VisitPage(rec.User, pixel.PixelID(rec.Pixel))
 	case opLikePage:
 		_ = p.LikePage(rec.User, rec.Page)
+	case opUnlikePage:
+		_ = p.UnlikePage(rec.User, rec.Page)
 	default:
 		return fmt.Errorf("platform: journal record %d: unknown op %q", lsn, rec.Op)
 	}

@@ -50,20 +50,26 @@ type Config struct {
 	// configuration most experiments use so that Treads content is
 	// orthogonal to delivery; E6 turns it on.
 	ReviewAds bool
+	// DisableIndex keeps the audience engine on the linear-scan paths
+	// instead of the inverted targeting index (internal/index). The index
+	// is on by default; this exists for differential tests and for
+	// debugging index suspicion in production-like runs.
+	DisableIndex bool
 }
 
 // Platform is one simulated advertising platform.
 type Platform struct {
-	catalog   *attr.Catalog
-	store     *profile.Store
-	pixels    *pixel.Registry
-	audiences *audience.Engine
-	ledger    *billing.Ledger
-	enforcer  *policy.Enforcer
-	pipeline  *delivery.Pipeline
-	explainer *explain.Explainer
-	market    auction.Market
-	reviewAds bool
+	catalog       *attr.Catalog
+	store         *profile.Store
+	pixels        *pixel.Registry
+	audiences     *audience.Engine
+	ledger        *billing.Ledger
+	enforcer      *policy.Enforcer
+	pipeline      *delivery.Pipeline
+	explainer     *explain.Explainer
+	market        auction.Market
+	reviewAds     bool
+	indexDisabled bool
 
 	mu          sync.Mutex
 	advertisers map[string]bool
@@ -86,17 +92,23 @@ func New(cfg Config) *Platform {
 	audiences := audience.NewEngine(store, pixels)
 	ledger := billing.NewLedger()
 	p := &Platform{
-		catalog:     catalog,
-		store:       store,
-		pixels:      pixels,
-		audiences:   audiences,
-		ledger:      ledger,
-		enforcer:    policy.NewEnforcer(cfg.BanAfter),
-		pipeline:    delivery.NewPipeline(store, audiences, ledger, market, stats.NewRNG(cfg.Seed)),
-		market:      market,
-		reviewAds:   cfg.ReviewAds,
-		advertisers: make(map[string]bool),
-		owner:       make(map[string]string),
+		catalog:       catalog,
+		store:         store,
+		pixels:        pixels,
+		audiences:     audiences,
+		ledger:        ledger,
+		enforcer:      policy.NewEnforcer(cfg.BanAfter),
+		pipeline:      delivery.NewPipeline(store, audiences, ledger, market, stats.NewRNG(cfg.Seed)),
+		market:        market,
+		reviewAds:     cfg.ReviewAds,
+		indexDisabled: cfg.DisableIndex,
+		advertisers:   make(map[string]bool),
+		owner:         make(map[string]string),
+	}
+	if !cfg.DisableIndex {
+		// The store is empty here, so enabling is cheap; the index then
+		// grows incrementally with every AddUser/LikePage.
+		_ = audiences.EnableIndex()
 	}
 	p.explainer = explain.New(catalog, p.prevalence)
 	return p
@@ -112,11 +124,15 @@ func (p *Platform) Ledger() *billing.Ledger { return p.ledger }
 // Enforcer exposes the policy enforcer for shutdown experiments.
 func (p *Platform) Enforcer() *policy.Enforcer { return p.enforcer }
 
-// prevalence returns the fraction of all users holding the attribute.
+// prevalence returns the fraction of all users holding the attribute —
+// an O(1) posting-list popcount when the index is enabled.
 func (p *Platform) prevalence(id attr.ID) float64 {
 	total := p.store.Len()
 	if total == 0 {
 		return 0
+	}
+	if idx := p.audiences.Index(); idx != nil {
+		return float64(idx.AttrCount(id)) / float64(total)
 	}
 	n := 0
 	p.store.Each(func(pr *profile.Profile) {
@@ -339,11 +355,7 @@ func (p *Platform) RawReach(ctx context.Context, advertiser string, spec audienc
 	if err := p.checkAdvertiser(advertiser); err != nil {
 		return 0, err
 	}
-	ids, err := p.audiences.Resolve(spec)
-	if err != nil {
-		return 0, err
-	}
-	return len(ids), nil
+	return p.audiences.CountMatches(spec)
 }
 
 // CampaignTotals are one campaign's exact delivery totals on one platform,
@@ -419,6 +431,17 @@ func (p *Platform) LikePage(uid profile.UserID, pageID string) error {
 		return fmt.Errorf("platform: unknown user %q", uid)
 	}
 	pr.Like(pageID)
+	return nil
+}
+
+// UnlikePage removes a page like; unliking a never-liked page is a no-op.
+// Engagement audiences drop the user on their next evaluation.
+func (p *Platform) UnlikePage(uid profile.UserID, pageID string) error {
+	pr := p.store.Get(uid)
+	if pr == nil {
+		return fmt.Errorf("platform: unknown user %q", uid)
+	}
+	pr.Unlike(pageID)
 	return nil
 }
 

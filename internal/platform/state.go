@@ -30,6 +30,7 @@ type State struct {
 	Version     int             `json:"version"`
 	Market      auction.Market  `json:"market"`
 	ReviewAds   bool            `json:"review_ads,omitempty"`
+	NoIndex     bool            `json:"no_index,omitempty"`
 	Seed        uint64          `json:"seed"`
 	Advertisers []string        `json:"advertisers,omitempty"`
 	Owner       []CampaignOwner `json:"owner,omitempty"`
@@ -56,6 +57,7 @@ func (p *Platform) Snapshot(reseed uint64) State {
 		Version:   snapshotVersion,
 		Market:    p.market,
 		ReviewAds: p.reviewAds,
+		NoIndex:   p.indexDisabled,
 		Seed:      reseed,
 		NextCamp:  p.nextCamp,
 	}
@@ -101,24 +103,33 @@ func Restore(s State) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
+	if !s.NoIndex {
+		// Recovery-time rebuild: the index is never serialized; it is
+		// reconstructed from the restored profiles (and kept current while
+		// any journal suffix replays through the indexed platform).
+		if err := audiences.EnableIndex(); err != nil {
+			return nil, fmt.Errorf("platform: rebuilding targeting index: %w", err)
+		}
+	}
 	ledger := billing.RestoreState(s.Ledger)
 	pipeline, err := delivery.RestoreState(s.Pipeline, store, audiences, ledger, s.Market, stats.NewRNG(s.Seed))
 	if err != nil {
 		return nil, err
 	}
 	p := &Platform{
-		catalog:     attr.DefaultCatalog(),
-		store:       store,
-		pixels:      pixels,
-		audiences:   audiences,
-		ledger:      ledger,
-		enforcer:    policy.RestoreState(s.Enforcer),
-		pipeline:    pipeline,
-		market:      s.Market,
-		reviewAds:   s.ReviewAds,
-		advertisers: make(map[string]bool, len(s.Advertisers)),
-		owner:       make(map[string]string, len(s.Owner)),
-		nextCamp:    s.NextCamp,
+		catalog:       attr.DefaultCatalog(),
+		store:         store,
+		pixels:        pixels,
+		audiences:     audiences,
+		ledger:        ledger,
+		enforcer:      policy.RestoreState(s.Enforcer),
+		pipeline:      pipeline,
+		market:        s.Market,
+		reviewAds:     s.ReviewAds,
+		indexDisabled: s.NoIndex,
+		advertisers:   make(map[string]bool, len(s.Advertisers)),
+		owner:         make(map[string]string, len(s.Owner)),
+		nextCamp:      s.NextCamp,
 	}
 	for _, adv := range s.Advertisers {
 		p.advertisers[adv] = true

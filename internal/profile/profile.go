@@ -21,6 +21,26 @@ import (
 // UserID identifies a platform user.
 type UserID string
 
+// Watcher observes profile lifecycle and mutation events — the hook the
+// inverted targeting index uses for incremental maintenance. A watcher is
+// attached to a Store (and its existing profiles) with SetWatcher before
+// concurrent traffic starts; thereafter every profile added to the store
+// carries it.
+//
+// Callbacks are invoked after the mutation is applied and outside the
+// profile's internal locks, so a watcher may freely read the profile or
+// take its own locks.
+type Watcher interface {
+	// ProfileAdded fires after the profile is inserted into the store.
+	ProfileAdded(p *Profile)
+	// AttrChanged fires after SetAttr/SetAttrValue/ClearAttr on a profile
+	// that already has a watcher (i.e. post-Add mutations).
+	AttrChanged(p *Profile, id attr.ID)
+	// LikeChanged fires when a page like is added (liked=true) or removed
+	// (liked=false); no-change calls are suppressed.
+	LikeChanged(p *Profile, pageID string, liked bool)
+}
+
 // Profile is one user's platform-held profile. It implements attr.Subject.
 // Demographic fields and attributes are written only before the profile is
 // added to a Store; page likes are the one surface mutated by live user
@@ -41,6 +61,7 @@ type Profile struct {
 	likes    map[string]bool // page IDs the user has liked
 	binary   map[attr.ID]bool
 	values   map[attr.ID]string
+	watcher  Watcher // set by Store.Add / Store.SetWatcher; nil before
 }
 
 // New returns an empty profile for the given user.
@@ -54,16 +75,29 @@ func New(id UserID) *Profile {
 }
 
 // SetAttr marks a binary attribute as set for the user.
-func (p *Profile) SetAttr(id attr.ID) { p.binary[id] = true }
+func (p *Profile) SetAttr(id attr.ID) {
+	p.binary[id] = true
+	if p.watcher != nil {
+		p.watcher.AttrChanged(p, id)
+	}
+}
 
 // ClearAttr removes a binary or categorical attribute.
 func (p *Profile) ClearAttr(id attr.ID) {
 	delete(p.binary, id)
 	delete(p.values, id)
+	if p.watcher != nil {
+		p.watcher.AttrChanged(p, id)
+	}
 }
 
 // SetAttrValue assigns a categorical attribute value.
-func (p *Profile) SetAttrValue(id attr.ID, value string) { p.values[id] = value }
+func (p *Profile) SetAttrValue(id attr.ID, value string) {
+	p.values[id] = value
+	if p.watcher != nil {
+		p.watcher.AttrChanged(p, id)
+	}
+}
 
 // HasAttr implements attr.Subject: true if the binary attribute is set or
 // the categorical attribute has any value.
@@ -122,8 +156,26 @@ func (p *Profile) AttrCount() int { return len(p.binary) + len(p.values) }
 // Like records that the user likes the given page.
 func (p *Profile) Like(pageID string) {
 	p.likesMu.Lock()
-	defer p.likesMu.Unlock()
+	changed := !p.likes[pageID]
 	p.likes[pageID] = true
+	p.likesMu.Unlock()
+	// Notify outside likesMu: the watcher takes its own lock, and an
+	// in-flight index Add holds that lock while reading LikedPages.
+	if changed && p.watcher != nil {
+		p.watcher.LikeChanged(p, pageID, true)
+	}
+}
+
+// Unlike removes a page like. Unliking a page the user never liked is a
+// no-op.
+func (p *Profile) Unlike(pageID string) {
+	p.likesMu.Lock()
+	changed := p.likes[pageID]
+	delete(p.likes, pageID)
+	p.likesMu.Unlock()
+	if changed && p.watcher != nil {
+		p.watcher.LikeChanged(p, pageID, false)
+	}
 }
 
 // LikesPage reports whether the user likes the page.
@@ -155,6 +207,7 @@ type Store struct {
 	profiles map[UserID]*Profile
 	order    []UserID // insertion order, for deterministic iteration
 	byPII    map[pii.MatchKey][]UserID
+	watcher  Watcher
 }
 
 // NewStore returns an empty profile store.
@@ -165,20 +218,48 @@ func NewStore() *Store {
 	}
 }
 
+// SetWatcher attaches a watcher to the store and to every profile already
+// in it. Call before concurrent traffic starts (the watcher pointer itself
+// is read without synchronization on mutation paths); the index is wired
+// this way during platform construction and restore.
+func (s *Store) SetWatcher(w Watcher) {
+	s.mu.Lock()
+	s.watcher = w
+	ids := append([]UserID(nil), s.order...)
+	profiles := make([]*Profile, 0, len(ids))
+	for _, id := range ids {
+		p := s.profiles[id]
+		p.watcher = w
+		profiles = append(profiles, p)
+	}
+	s.mu.Unlock()
+	if w != nil {
+		for _, p := range profiles {
+			w.ProfileAdded(p)
+		}
+	}
+}
+
 // Add inserts a profile. Adding a duplicate user ID is an error.
 func (s *Store) Add(p *Profile) error {
 	if p == nil || p.ID == "" {
 		return fmt.Errorf("profile: nil profile or empty user ID")
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, dup := s.profiles[p.ID]; dup {
+		s.mu.Unlock()
 		return fmt.Errorf("profile: duplicate user %q", p.ID)
 	}
+	p.watcher = s.watcher // before publication, so no reader races it
 	s.profiles[p.ID] = p
 	s.order = append(s.order, p.ID)
 	for _, k := range p.PII.MatchKeys() {
 		s.byPII[k] = append(s.byPII[k], p.ID)
+	}
+	w := s.watcher
+	s.mu.Unlock()
+	if w != nil {
+		w.ProfileAdded(p)
 	}
 	return nil
 }

@@ -14,6 +14,8 @@ package workload
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"github.com/treads-project/treads/internal/attr"
 	"github.com/treads-project/treads/internal/pii"
@@ -42,6 +44,14 @@ type Config struct {
 	Seed uint64
 	// Catalog defaults to attr.DefaultCatalog().
 	Catalog *attr.Catalog
+	// Skew is the Zipf exponent of the attribute-coverage distribution:
+	// attribute i of the pool is drawn with weight 1/(i+1)^Skew, so higher
+	// values concentrate the population on the head of the catalog the way
+	// real targeting-attribute prevalence concentrates. Zero keeps the
+	// legacy quadratic skew (and byte-identical populations for existing
+	// seeds); ~1.1 approximates real catalogs at the million-user scale
+	// the index benchmarks run.
+	Skew float64
 }
 
 // DefaultConfig returns the configuration the experiments use unless they
@@ -84,6 +94,30 @@ var usCities = []struct {
 // Generate produces a deterministic population. The i-th user of a given
 // config is identical across runs.
 func Generate(cfg Config) []*profile.Profile {
+	out := make([]*profile.Profile, 0, cfg.Users)
+	Each(cfg, func(p *profile.Profile) { out = append(out, p) })
+	return out
+}
+
+// zipfWeights precomputes the cumulative Zipf(s) weights over n pool
+// indices, for O(log n) sampling by binary search.
+func zipfWeights(n int, s float64) []float64 {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	return cum
+}
+
+// Each streams a deterministic population to fn one profile at a time,
+// without materializing the slice — the generator the 1M+ index
+// benchmarks use (a million materialized *Profile values would cost
+// gigabytes; streaming feeds them straight into the index/packed store).
+// Each(cfg, ...) visits exactly the profiles Generate(cfg) returns, in
+// order.
+func Each(cfg Config, fn func(*profile.Profile)) {
 	catalog := cfg.Catalog
 	if catalog == nil {
 		catalog = attr.DefaultCatalog()
@@ -91,8 +125,12 @@ func Generate(cfg Config) []*profile.Profile {
 	rng := stats.NewRNG(cfg.Seed)
 	platformAttrs := catalog.BySource(attr.SourcePlatform)
 	partnerAttrs := catalog.BySource(attr.SourcePartner)
+	var platformCum, partnerCum []float64
+	if cfg.Skew > 0 {
+		platformCum = zipfWeights(len(platformAttrs), cfg.Skew)
+		partnerCum = zipfWeights(len(partnerAttrs), cfg.Skew)
+	}
 
-	out := make([]*profile.Profile, 0, cfg.Users)
 	for i := 0; i < cfg.Users; i++ {
 		p := profile.New(profile.UserID(fmt.Sprintf("user-%06d", i)))
 		p.Nation = "US"
@@ -112,20 +150,21 @@ func Generate(cfg Config) []*profile.Profile {
 				Phones: []string{fmt.Sprintf("1617555%04d", i%10000)},
 			}
 		}
-		assignAttrs(p, platformAttrs, cfg.MeanPlatformAttrs, rng)
+		assignAttrs(p, platformAttrs, cfg.MeanPlatformAttrs, rng, platformCum)
 		if rng.Bool(cfg.BrokerCoverage) {
-			assignAttrs(p, partnerAttrs, cfg.MeanPartnerAttrs, rng)
+			assignAttrs(p, partnerAttrs, cfg.MeanPartnerAttrs, rng, partnerCum)
 		}
-		out = append(out, p)
+		fn(p)
 	}
-	return out
 }
 
 // assignAttrs sets approximately mean attributes on p, sampled with a
 // popularity skew (low-index catalog attributes are more common, giving
-// the long-tailed prevalence distribution real catalogs show). Categorical
-// attributes get a uniform random value.
-func assignAttrs(p *profile.Profile, pool []*attr.Attribute, mean int, rng *stats.RNG) {
+// the long-tailed prevalence distribution real catalogs show). With a nil
+// cum the legacy quadratic skew applies; otherwise indices are drawn from
+// the precomputed cumulative Zipf weights. Categorical attributes get a
+// uniform random value.
+func assignAttrs(p *profile.Profile, pool []*attr.Attribute, mean int, rng *stats.RNG, cum []float64) {
 	if mean <= 0 || len(pool) == 0 {
 		return
 	}
@@ -139,10 +178,17 @@ func assignAttrs(p *profile.Profile, pool []*attr.Attribute, mean int, rng *stat
 	}
 	chosen := make(map[int]bool, n)
 	for picked := 0; picked < n; {
-		// Popularity skew: square the uniform to bias towards the front
-		// of the catalog.
-		f := rng.Float64()
-		idx := int(f * f * float64(len(pool)))
+		var idx int
+		if cum != nil {
+			// Zipf draw: invert the cumulative weight table.
+			r := rng.Float64() * cum[len(cum)-1]
+			idx = sort.SearchFloat64s(cum, r)
+		} else {
+			// Legacy popularity skew: square the uniform to bias towards
+			// the front of the catalog.
+			f := rng.Float64()
+			idx = int(f * f * float64(len(pool)))
+		}
 		if idx >= len(pool) {
 			idx = len(pool) - 1
 		}
