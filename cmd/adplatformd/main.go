@@ -79,6 +79,7 @@ import (
 
 	"github.com/treads-project/treads/internal/attr"
 	"github.com/treads-project/treads/internal/cluster"
+	"github.com/treads-project/treads/internal/gateway"
 	"github.com/treads-project/treads/internal/httpapi"
 	"github.com/treads-project/treads/internal/journal"
 	"github.com/treads-project/treads/internal/obs"
@@ -113,6 +114,12 @@ type options struct {
 	CompactEvery time.Duration
 	DebugAddr    string
 
+	// Edge-gateway mode.
+	Gateway         bool
+	Keys            string
+	GatewayInflight int
+	UsageJournal    string
+
 	// Networked-cluster modes.
 	ShardServe bool
 	ShardIndex int
@@ -141,6 +148,10 @@ func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 	fs.DurationVar(&o.BatchWindow, "batch-window", 2*time.Millisecond, "journal group-commit window (0 = fsync per op)")
 	fs.DurationVar(&o.CompactEvery, "compact-every", 5*time.Minute, "background journal compaction interval (0 = never)")
 	fs.StringVar(&o.DebugAddr, "debug-addr", "", "private listen address for pprof and /metrics (empty = disabled)")
+	fs.BoolVar(&o.Gateway, "gateway", false, "run the multi-tenant edge gateway in front of the public API (requires -keys)")
+	fs.StringVar(&o.Keys, "keys", "", "tenant key file (JSON) for the edge gateway")
+	fs.IntVar(&o.GatewayInflight, "gateway-inflight", 256, "total admitted-request budget for gateway load shedding")
+	fs.StringVar(&o.UsageJournal, "usage-journal", "", "usage-ledger journal directory (default <journal>/usage when -journal is set)")
 	fs.BoolVar(&o.ShardServe, "shard-serve", false, "serve the internal shard RPC surface instead of the public HTTP API")
 	fs.IntVar(&o.ShardIndex, "shard-index", 0, "this node's shard index (with -shard-serve)")
 	fs.IntVar(&o.ShardCount, "shard-count", 1, "total shard nodes in the cluster (with -shard-serve)")
@@ -184,6 +195,21 @@ func (o options) validate() error {
 	}
 	if o.ShardServe && o.Peers != "" {
 		return fmt.Errorf("-shard-serve and -peers are mutually exclusive: a node either holds a shard or routes to them")
+	}
+	if o.Gateway && o.Keys == "" {
+		return fmt.Errorf("-gateway requires -keys: the edge cannot admit tenants without a key file")
+	}
+	if o.Keys != "" && !o.Gateway {
+		return fmt.Errorf("-keys only applies with -gateway")
+	}
+	if o.UsageJournal != "" && !o.Gateway {
+		return fmt.Errorf("-usage-journal only applies with -gateway")
+	}
+	if o.Gateway && o.GatewayInflight < 1 {
+		return fmt.Errorf("-gateway-inflight must be positive, got %d", o.GatewayInflight)
+	}
+	if o.Gateway && o.ShardServe {
+		return fmt.Errorf("-gateway fronts the public API; shard nodes serve only the internal RPC surface")
 	}
 	if o.ShardServe {
 		if o.ShardCount < 1 {
@@ -245,8 +271,8 @@ func run() error {
 		len(backend.Users()), backend.Catalog().Len(), opts.Shards, opts.Review, opts.Auth, opts.JournalDir != "")
 
 	var handler *httpapi.Server
+	var auth *httpapi.Authenticator
 	if opts.Auth {
-		var auth *httpapi.Authenticator
 		handler, auth = httpapi.NewServerWithAuth(backend, logger)
 		// The admin token guards operator endpoints (journal
 		// compaction). Logged once at startup; rotate by restarting.
@@ -262,8 +288,27 @@ func run() error {
 		handler.SetCompactor(compactor)
 	}
 
-	if err := serveAndDrain(opts, logger, handler, compactor); err != nil {
+	// With -gateway, the edge wraps the public API: tenant keys, rate
+	// limits, usage metering, and priority load shedding all happen before
+	// a request reaches the handler above.
+	edge, err := buildGateway(opts, auth, handler, logger)
+	if err != nil {
 		return err
+	}
+	serveHandler := http.Handler(handler)
+	if edge != nil {
+		serveHandler = edge
+	}
+
+	if err := serveAndDrain(opts, logger, serveHandler, compactor); err != nil {
+		return err
+	}
+	if edge != nil {
+		// Flush and snapshot the usage ledger so billing survives restart
+		// exactly.
+		if err := edge.Close(); err != nil {
+			logger.Printf("closing gateway: %v", err)
+		}
 	}
 	if opts.Save != "" {
 		// validate() restricts -save to single-shard servers, so exactly
@@ -285,6 +330,51 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// buildGateway constructs the edge gateway when -gateway is set, nil
+// otherwise. With -auth, the gateway's own admin endpoints
+// (/admin/v1/usage, /admin/v1/traffic) demand the admin bearer token —
+// the same credential that guards journal compaction. The usage ledger
+// defaults to a sibling of the platform journal so one -journal flag
+// makes the whole daemon durable.
+func buildGateway(opts options, auth *httpapi.Authenticator, inner http.Handler, logger *log.Logger) (*gateway.Gateway, error) {
+	if !opts.Gateway {
+		return nil, nil
+	}
+	ks, err := gateway.LoadKeyFile(opts.Keys, time.Now())
+	if err != nil {
+		return nil, err
+	}
+	usageDir := opts.UsageJournal
+	if usageDir == "" && opts.JournalDir != "" {
+		usageDir = filepath.Join(opts.JournalDir, "usage")
+	}
+	var authorize func(*http.Request) bool
+	if auth != nil {
+		authorize = func(r *http.Request) bool {
+			return auth.Verify("admin", httpapi.BearerToken(r))
+		}
+	}
+	g, err := gateway.New(inner, gateway.Config{
+		Keys:      ks,
+		Inflight:  opts.GatewayInflight,
+		UsageDir:  usageDir,
+		Authorize: authorize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	logger.Printf("edge gateway: %d tenants, inflight budget %d, usage ledger %s",
+		len(ks.Tenants()), opts.GatewayInflight, usageDirDesc(usageDir))
+	return g, nil
+}
+
+func usageDirDesc(dir string) string {
+	if dir == "" {
+		return "(in-memory)"
+	}
+	return dir
 }
 
 // serveAndDrain runs the handler on opts.Addr (plus the optional private

@@ -58,6 +58,16 @@ func TestValidateFlags(t *testing.T) {
 		{name: "router zero rpc timeout", args: []string{"-peers", "a:1", "-rpc-timeout", "0s"}, wantErr: "-rpc-timeout must be positive"},
 		{name: "router negative hedge", args: []string{"-peers", "a:1", "-hedge-after", "-1ms"}, wantErr: "-hedge-after must not be negative"},
 		{name: "router negative peer wait", args: []string{"-peers", "a:1", "-peer-wait", "-1s"}, wantErr: "-peer-wait must not be negative"},
+
+		{name: "gateway", args: []string{"-gateway", "-keys", "k.json"}},
+		{name: "gateway with usage journal", args: []string{"-gateway", "-keys", "k.json", "-usage-journal", "u"}},
+		{name: "gateway on a router", args: []string{"-peers", "a:1", "-gateway", "-keys", "k.json"}},
+
+		{name: "gateway without keys", args: []string{"-gateway"}, wantErr: "-gateway requires -keys"},
+		{name: "keys without gateway", args: []string{"-keys", "k.json"}, wantErr: "-keys only applies with -gateway"},
+		{name: "usage journal without gateway", args: []string{"-usage-journal", "u"}, wantErr: "-usage-journal only applies with -gateway"},
+		{name: "gateway zero inflight", args: []string{"-gateway", "-keys", "k.json", "-gateway-inflight", "0"}, wantErr: "-gateway-inflight must be positive"},
+		{name: "gateway on a shard node", args: []string{"-shard-serve", "-shard-count", "2", "-gateway", "-keys", "k.json"}, wantErr: "shard nodes serve only the internal RPC surface"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

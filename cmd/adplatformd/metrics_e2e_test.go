@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -15,14 +16,22 @@ import (
 	"github.com/treads-project/treads/internal/workload"
 )
 
+// testTenantKey is the API key bootObservedStack's gateway accepts.
+const testTenantKey = "observed-tenant-key-01"
+
 // bootObservedStack assembles the full observed daemon stack — a 4-shard
-// journaled backend behind the HTTP API, everything registered into
-// obs.Default exactly as a real adplatformd run would — and returns the
-// test server plus the backend.
+// journaled backend behind the HTTP API, fronted by the edge gateway,
+// everything registered into obs.Default exactly as a real adplatformd
+// run with -gateway would — and returns the test server plus the backend.
 func bootObservedStack(t *testing.T) (*httptest.Server, serverBackend) {
 	t.Helper()
 	logger := log.New(io.Discard, "", 0)
-	opts := parseForTest(t, "-users", "200", "-shards", "4", "-journal", t.TempDir(), "-batch-window", "0s")
+	keys := filepath.Join(t.TempDir(), "keys.json")
+	if err := os.WriteFile(keys, []byte(`{"tenants": [{"name": "observed", "key": "`+testTenantKey+`"}]}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	opts := parseForTest(t, "-users", "200", "-shards", "4", "-journal", t.TempDir(), "-batch-window", "0s",
+		"-gateway", "-keys", keys)
 	backend, _, compactor, err := openBackend(opts, logger)
 	if err != nil {
 		t.Fatal(err)
@@ -36,7 +45,12 @@ func bootObservedStack(t *testing.T) (*httptest.Server, serverBackend) {
 	if compactor != nil {
 		handler.SetCompactor(compactor)
 	}
-	srv := httptest.NewServer(handler)
+	edge, err := buildGateway(opts, nil, handler, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { edge.Close() })
+	srv := httptest.NewServer(edge)
 	t.Cleanup(srv.Close)
 	return srv, backend
 }
@@ -49,9 +63,16 @@ func bootObservedStack(t *testing.T) (*httptest.Server, serverBackend) {
 func TestMetricsEndToEnd(t *testing.T) {
 	srv, backend := bootObservedStack(t)
 
-	// Server-side load through the HTTP API...
-	if resp, err := http.Post(srv.URL+"/api/v1/advertisers", "application/json",
-		strings.NewReader(`{"name":"tp"}`)); err != nil {
+	// Server-side load through the HTTP API. Advertiser traffic crosses
+	// the edge gateway, so it presents the tenant API key.
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/api/v1/advertisers",
+		strings.NewReader(`{"name":"tp"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-API-Key", testTenantKey)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
 		t.Fatal(err)
 	} else {
 		io.Copy(io.Discard, resp.Body)
@@ -105,6 +126,22 @@ func TestMetricsEndToEnd(t *testing.T) {
 	// Quantile-derivable request latency: cumulative buckets ending at +Inf.
 	if !strings.Contains(text, `http_request_seconds_bucket{route="POST /api/v1/users/{id}/browse",le="+Inf"}`) {
 		t.Error("/metrics missing http_request_seconds buckets for the browse route")
+	}
+	// The edge gateway's families are live: admitted counters per class
+	// (the register crossed as mutation, the browses as user), the token
+	// gauges per tenant, and the usage ledger journaling under its own
+	// shard label.
+	for _, want := range []string{
+		`gateway_admitted_total{class="user"}`,
+		`gateway_admitted_total{class="mutation"}`,
+		`gateway_request_seconds_bucket{class="user",le="+Inf"}`,
+		`gateway_tokens{tenant="observed",class="mutation"}`,
+		`gateway_inflight `,
+		`journal_appends_total{shard="usage"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing gateway series %q", want)
+		}
 	}
 	for _, want := range []string{
 		"journal_fsync_seconds_count{", "journal_appends_total{",

@@ -3,7 +3,7 @@
 // perf trajectory successive changes are judged against (ROADMAP item:
 // "hot-path speed campaign with a persisted perf trajectory").
 //
-//	treads-bench [-areas index,platform,journal,cluster] [-users N] [-out DIR]
+//	treads-bench [-areas index,platform,journal,cluster,gateway,rpc] [-users N] [-out DIR]
 //	treads-bench -check [-out DIR]
 //
 // Each area file records ops/sec plus p50/p90/p99 latency for its hot
@@ -23,6 +23,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -34,11 +36,14 @@ import (
 	"github.com/treads-project/treads/internal/attr"
 	"github.com/treads-project/treads/internal/audience"
 	"github.com/treads-project/treads/internal/cluster"
+	"github.com/treads-project/treads/internal/gateway"
 	"github.com/treads-project/treads/internal/journal"
 	"github.com/treads-project/treads/internal/money"
+	"github.com/treads-project/treads/internal/obs"
 	"github.com/treads-project/treads/internal/pixel"
 	"github.com/treads-project/treads/internal/platform"
 	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/rpc"
 	"github.com/treads-project/treads/internal/workload"
 
 	adpkg "github.com/treads-project/treads/internal/ad"
@@ -70,7 +75,7 @@ type report struct {
 
 func main() {
 	var (
-		areas = flag.String("areas", "index,platform,journal,cluster", "comma-separated areas to benchmark")
+		areas = flag.String("areas", "index,platform,journal,cluster,gateway,rpc", "comma-separated areas to benchmark")
 		users = flag.Int("users", 1_000_000, "population size for the index area")
 		out   = flag.String("out", ".", "directory BENCH_<area>.json files are written to / checked in")
 		check = flag.Bool("check", false, "validate committed BENCH files instead of benchmarking")
@@ -102,6 +107,10 @@ func main() {
 			rep, err = benchJournal()
 		case "cluster":
 			rep, err = benchCluster()
+		case "gateway":
+			rep, err = benchGateway()
+		case "rpc":
+			rep, err = benchRPC()
 		default:
 			err = fmt.Errorf("unknown area %q", area)
 		}
@@ -362,6 +371,139 @@ func benchCluster() (report, error) {
 	return rep, nil
 }
 
+// benchGateway measures the edge hot path: API-key resolution and the
+// full admission decision (bucket → quota → shed), both pinned
+// allocation-free — this is the tax every single request pays before it
+// reaches a handler, so it must be invisible next to handler work.
+func benchGateway() (report, error) {
+	const (
+		admitKey   = "bench-tenant-key-00001"
+		drainedKey = "bench-drained-key-0001"
+	)
+	// The admit tenant's buckets are effectively bottomless so the
+	// benchmark exercises the admitted path, never a refusal; the drained
+	// tenant refills slowly enough that after one token it is limited for
+	// the rest of the run.
+	keyFile := `{
+	  "tenants": [
+	    {"name": "bench", "key": "` + admitKey + `",
+	     "limits": {"user": {"rps": 1e8, "burst": 2e8},
+	                "mutation": {"rps": 1e8, "burst": 2e8},
+	                "report": {"rps": 1e8, "burst": 2e8}}},
+	    {"name": "drained", "key": "` + drainedKey + `",
+	     "limits": {"mutation": {"rps": 0.001, "burst": 1}}}
+	  ]
+	}`
+	ks, err := gateway.ParseKeyFile([]byte(keyFile), time.Now())
+	if err != nil {
+		return report{}, err
+	}
+	gw, err := gateway.New(http.NotFoundHandler(), gateway.Config{
+		Keys:     ks,
+		Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		return report{}, err
+	}
+	defer gw.Close()
+
+	rep := report{Metrics: map[string]metric{}}
+
+	m := measure(200_000, func() {
+		if ks.Resolve(admitKey) == nil {
+			panic("bench key did not resolve")
+		}
+	})
+	m.AllocsPerOp = testing.AllocsPerRun(10_000, func() { ks.Resolve(admitKey) })
+	rep.Metrics["resolve_key"] = m
+
+	tenant := ks.Resolve(admitKey)
+	m = measure(200_000, func() {
+		if d := gw.Decide(tenant, gateway.ClassMutation); d.Verdict != gateway.VerdictAdmitted {
+			panic("bench decision refused")
+		}
+		gw.Release()
+	})
+	m.AllocsPerOp = testing.AllocsPerRun(10_000, func() {
+		t := ks.Resolve(admitKey)
+		if d := gw.Decide(t, gateway.ClassMutation); d.Verdict == gateway.VerdictAdmitted {
+			gw.Release()
+		}
+	})
+	rep.Metrics["decide_admit"] = m
+
+	drained := ks.Resolve(drainedKey)
+	gw.Decide(drained, gateway.ClassMutation) // spend the single token
+	m = measure(200_000, func() {
+		if d := gw.Decide(drained, gateway.ClassMutation); d.Verdict != gateway.VerdictLimited {
+			panic("drained tenant was not limited")
+		}
+	})
+	m.AllocsPerOp = testing.AllocsPerRun(10_000, func() { gw.Decide(drained, gateway.ClassMutation) })
+	rep.Metrics["decide_limited"] = m
+	return rep, nil
+}
+
+// benchRPC measures the shard RPC transport over real loopback HTTP: a
+// health probe (the floor — protocol and connection-pool overhead), a
+// routed feed read, and a transparency read, the ops a router issues per
+// user request.
+func benchRPC() (report, error) {
+	reg := obs.NewRegistry()
+	p := platform.New(platform.Config{Seed: 11})
+	profs := workload.Generate(workload.Config{
+		Users: 5_000, BrokerCoverage: 0.8, MeanPlatformAttrs: 25, MeanPartnerAttrs: 11, Seed: 11,
+	})
+	for _, pr := range profs {
+		if err := p.AddUser(pr); err != nil {
+			return report{}, err
+		}
+	}
+	if err := p.RegisterAdvertiser("bench-adv"); err != nil {
+		return report{}, err
+	}
+	aud, err := p.CreateAffinityAudience("bench-adv", "bench-aud", []string{"Jazz", "Running", "Coffee"})
+	if err != nil {
+		return report{}, err
+	}
+	if _, err := p.CreateCampaign("bench-adv", platform.CampaignParams{
+		Spec:      audience.Spec{Include: []audience.AudienceID{aud}},
+		BidCapCPM: money.FromDollars(8),
+		Creative:  adpkg.Creative{Headline: "bench", Body: "bench creative"},
+	}); err != nil {
+		return report{}, err
+	}
+
+	const secret = "treads-bench-rpc-secret"
+	ts := httptest.NewServer(rpc.NewServer(p, secret, reg))
+	defer ts.Close()
+	c := rpc.NewClient(ts.URL, rpc.Options{Secret: secret, Registry: reg})
+	defer c.Close()
+
+	ctx := context.Background()
+	rep := report{Users: len(profs), Metrics: map[string]metric{}}
+	rep.Metrics["call_health"] = measure(5_000, func() {
+		if _, err := c.Health(ctx); err != nil {
+			panic(err)
+		}
+	})
+	i := 0
+	rep.Metrics["call_browse"] = measure(3_000, func() {
+		if _, err := c.BrowseFeed(ctx, profs[i%len(profs)].ID, 3); err != nil {
+			panic(err)
+		}
+		i++
+	})
+	i = 0
+	rep.Metrics["call_prefs"] = measure(3_000, func() {
+		if _, err := c.AdPreferences(ctx, profs[i%len(profs)].ID); err != nil {
+			panic(err)
+		}
+		i++
+	})
+	return rep, nil
+}
+
 func b2f(b bool) float64 {
 	if b {
 		return 1
@@ -377,6 +519,8 @@ func runCheck(dir string) error {
 		"platform": {"browse_feed", "potential_reach"},
 		"journal":  {"append_sync", "append_nosync"},
 		"cluster":  {"scatter_gather_reach", "routed_browse_feed"},
+		"gateway":  {"resolve_key", "decide_admit", "decide_limited"},
+		"rpc":      {"call_health", "call_browse", "call_prefs"},
 	}
 	for area, metrics := range required {
 		path := filepath.Join(dir, "BENCH_"+area+".json")
@@ -398,6 +542,15 @@ func runCheck(dir string) error {
 			}
 			if mt.Iterations <= 0 || mt.P50Ns <= 0 {
 				return fmt.Errorf("%s: metric %q has implausible values", path, m)
+			}
+		}
+		if area == "gateway" {
+			// The edge decision is on the path of every request: the
+			// committed file must prove it admits without allocating.
+			for _, m := range []string{"resolve_key", "decide_admit", "decide_limited"} {
+				if a := rep.Metrics[m].AllocsPerOp; a != 0 {
+					return fmt.Errorf("%s: %s allocates %.1f per op, want 0", path, m, a)
+				}
 			}
 		}
 		if area == "index" {

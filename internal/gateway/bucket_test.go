@@ -1,0 +1,122 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBucketStartsFullAndDrains(t *testing.T) {
+	now := time.Now().UnixNano()
+	b := newTokenBucket(10, 5, now)
+	for i := 0; i < 5; i++ {
+		ok, _, _ := b.take(now)
+		if !ok {
+			t.Fatalf("take %d: refused with burst 5", i)
+		}
+	}
+	ok, remaining, wait := b.take(now)
+	if ok {
+		t.Fatalf("take 6 at the same instant succeeded past burst")
+	}
+	if remaining != 0 {
+		t.Fatalf("remaining = %v after draining, want 0", remaining)
+	}
+	// Empty at 10 rps: a full token is 100ms away.
+	if wait <= 0 || wait > 110*time.Millisecond {
+		t.Fatalf("wait = %v, want ~100ms", wait)
+	}
+}
+
+func TestBucketRefillsAtRate(t *testing.T) {
+	now := time.Now().UnixNano()
+	b := newTokenBucket(10, 5, now)
+	for i := 0; i < 5; i++ {
+		b.take(now)
+	}
+	// 250ms at 10 rps accrues 2.5 tokens: two takes succeed, the third
+	// does not.
+	now += 250 * int64(time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if ok, _, _ := b.take(now); !ok {
+			t.Fatalf("take %d after 250ms refused", i)
+		}
+	}
+	if ok, _, _ := b.take(now); ok {
+		t.Fatalf("third take succeeded on 2.5 accrued tokens")
+	}
+}
+
+func TestBucketCapsAtBurst(t *testing.T) {
+	now := time.Now().UnixNano()
+	b := newTokenBucket(1000, 3, now)
+	// A long idle period must not bank more than burst.
+	now += int64(time.Hour)
+	if got := b.tokens(now); got != 3 {
+		t.Fatalf("tokens after an idle hour = %v, want burst 3", got)
+	}
+	for i := 0; i < 3; i++ {
+		if ok, _, _ := b.take(now); !ok {
+			t.Fatalf("take %d refused at full burst", i)
+		}
+	}
+	if ok, _, _ := b.take(now); ok {
+		t.Fatalf("take past burst succeeded after idle banking")
+	}
+}
+
+func TestBucketSurvivesLongIdleWithoutOverflow(t *testing.T) {
+	now := time.Now().UnixNano()
+	b := newTokenBucket(5000, 10000, now)
+	// elapsed*rate in raw int64 would overflow after hours of idleness at
+	// this rate; the refill math must saturate at burst instead of going
+	// negative.
+	now += 30 * 24 * int64(time.Hour)
+	if got := b.tokens(now); got != 10000 {
+		t.Fatalf("tokens after 30 idle days = %v, want burst 10000", got)
+	}
+	if ok, _, _ := b.take(now); !ok {
+		t.Fatalf("take refused after long idle")
+	}
+}
+
+func TestBucketFractionalRate(t *testing.T) {
+	now := time.Now().UnixNano()
+	b := newTokenBucket(0.5, 1, now)
+	if ok, _, _ := b.take(now); !ok {
+		t.Fatalf("initial take refused")
+	}
+	// Half a token per second: after 1s the bucket holds 0.5.
+	now += int64(time.Second)
+	if ok, _, wait := b.take(now); ok {
+		t.Fatalf("take succeeded on half a token")
+	} else if wait <= 0 || wait > 1100*time.Millisecond {
+		t.Fatalf("wait = %v, want ~1s", wait)
+	}
+	now += int64(time.Second)
+	if ok, _, _ := b.take(now); !ok {
+		t.Fatalf("take refused after full refill interval")
+	}
+}
+
+func TestBucketClockNeverRewinds(t *testing.T) {
+	now := time.Now().UnixNano()
+	b := newTokenBucket(10, 2, now)
+	b.take(now)
+	// A clock step backwards must not mint or destroy tokens.
+	before := b.tokens(now)
+	if got := b.tokens(now - int64(time.Minute)); got != before {
+		t.Fatalf("tokens with rewound clock = %v, want %v", got, before)
+	}
+	if ok, _, _ := b.take(now - int64(time.Minute)); !ok {
+		t.Fatalf("take with rewound clock refused with balance %v", before)
+	}
+}
+
+func TestUnlimitedBucket(t *testing.T) {
+	b := newUnlimitedBucket()
+	for i := 0; i < 1000; i++ {
+		if ok, _, _ := b.take(int64(i)); !ok {
+			t.Fatalf("unlimited bucket refused take %d", i)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package gateway
+
+import "errors"
+
+// The gateway's typed error taxonomy. Every refusal the edge can issue is
+// one of these sentinels, each with a fixed HTTP mapping — the same
+// discipline the shard RPC transport applies to transport failures, so
+// callers and tests branch on errors.Is, never on message text.
+var (
+	// ErrUnauthenticated is a 401: no API key, or one no tenant owns.
+	ErrUnauthenticated = errors.New("gateway: missing or unknown API key")
+	// ErrRateLimited is a 429 with Retry-After: the tenant's token bucket
+	// for the request's class is empty.
+	ErrRateLimited = errors.New("gateway: rate limit exceeded")
+	// ErrQuotaExhausted is a 429: the tenant's byte quota is spent.
+	// Quotas do not refill on a clock, so Retry-After is advisory.
+	ErrQuotaExhausted = errors.New("gateway: byte quota exhausted")
+	// ErrShed is a 503 with Retry-After: admission control refused the
+	// request to protect higher-priority traffic.
+	ErrShed = errors.New("gateway: overloaded, request shed")
+)
+
+// Verdict is the outcome of one admission decision.
+type Verdict uint8
+
+// Decision outcomes. VerdictAdmitted means the caller owns an inflight
+// slot and must Release it when the request completes.
+const (
+	VerdictAdmitted Verdict = iota
+	VerdictLimited
+	VerdictQuota
+	VerdictShed
+)
+
+// String returns the verdict's event/metric name.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAdmitted:
+		return "admitted"
+	case VerdictLimited:
+		return "limited"
+	case VerdictQuota:
+		return "quota"
+	case VerdictShed:
+		return "shed"
+	}
+	return "unknown"
+}
+
+// Err returns the verdict's taxonomy sentinel (nil for admitted).
+func (v Verdict) Err() error {
+	switch v {
+	case VerdictLimited:
+		return ErrRateLimited
+	case VerdictQuota:
+		return ErrQuotaExhausted
+	case VerdictShed:
+		return ErrShed
+	}
+	return nil
+}
+
+// Status returns the verdict's HTTP status (200 stands in for admitted,
+// whose real status comes from the inner handler).
+func (v Verdict) Status() int {
+	switch v {
+	case VerdictLimited, VerdictQuota:
+		return 429
+	case VerdictShed:
+		return 503
+	}
+	return 200
+}

@@ -1,0 +1,146 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+
+	"github.com/treads-project/treads/internal/obs"
+)
+
+// newTestMeter builds a meter over the standard test key set with its own
+// registry, returning the key set too so callers can bump counters through
+// resolved tenants.
+func newTestMeter(t *testing.T, dir string) (*KeySet, *Meter) {
+	t.Helper()
+	ks := mustKeySet(t, testKeyFile())
+	reg := obs.NewRegistry()
+	m, err := newMeter(ks, dir, 50*time.Millisecond, reg, reg.Counter("test_flushes_total", "test"))
+	if err != nil {
+		t.Fatalf("newMeter: %v", err)
+	}
+	return ks, m
+}
+
+func TestMeterCountsAndReports(t *testing.T) {
+	ks, m := newTestMeter(t, "")
+	defer m.Close()
+	alpha := ks.Resolve(testKeyA)
+	alpha.usage.requests[GroupReport].Add(3)
+	alpha.usage.bytesOut.Add(1000)
+	alpha.usage.limited.Add(2)
+
+	rep := m.Report(ks)
+	got := rep["alpha"]
+	if got.Requests["report"] != 3 || got.BytesOut != 1000 || got.Limited != 2 {
+		t.Fatalf("alpha report = %+v", got)
+	}
+	// Quota context: 4096 configured, 1000 spent.
+	if got.QuotaBytes != 4096 || got.QuotaRemaining == nil || *got.QuotaRemaining != 3096 {
+		t.Fatalf("alpha quota context = %+v", got)
+	}
+	// beta has no quota: no quota fields.
+	if b := rep["beta"]; b.QuotaBytes != 0 || b.QuotaRemaining != nil {
+		t.Fatalf("beta quota context = %+v", b)
+	}
+	// The user pseudo-tenant always appears.
+	if _, ok := rep[UserTenantName]; !ok {
+		t.Fatalf("report missing %q pseudo-tenant", UserTenantName)
+	}
+}
+
+func TestMeterQuotaRemainingClampsAtZero(t *testing.T) {
+	ks, m := newTestMeter(t, "")
+	defer m.Close()
+	alpha := ks.Resolve(testKeyA)
+	alpha.usage.bytesOut.Add(9999) // past the 4096 quota
+	got := m.Report(ks)["alpha"]
+	if got.QuotaRemaining == nil || *got.QuotaRemaining != 0 {
+		t.Fatalf("quota remaining = %+v, want 0", got.QuotaRemaining)
+	}
+}
+
+func TestMeterRecoversUsageAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	ks, m := newTestMeter(t, dir)
+	alpha := ks.Resolve(testKeyA)
+	alpha.usage.requests[GroupMutation].Add(7)
+	alpha.usage.bytesIn.Add(111)
+	alpha.usage.bytesOut.Add(222)
+	ks.UserTenant().usage.requests[GroupFeed].Add(40)
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// A fresh meter over the same directory resumes the exact counters —
+	// clean shutdown loses nothing.
+	ks2, m2 := newTestMeter(t, dir)
+	defer m2.Close()
+	rep := m2.Report(ks2)
+	a := rep["alpha"]
+	if a.Requests["mutation"] != 7 || a.BytesIn != 111 || a.BytesOut != 222 {
+		t.Fatalf("recovered alpha = %+v", a)
+	}
+	if u := rep[UserTenantName]; u.Requests["feed"] != 40 {
+		t.Fatalf("recovered users = %+v", u)
+	}
+	// And the quota decision sees the recovered spend.
+	if got := ks2.Resolve(testKeyA).usage.bytesOut.Load(); got != 222 {
+		t.Fatalf("recovered bytesOut on tenant = %d, want 222", got)
+	}
+}
+
+func TestMeterRecoversLatestOfManyFlushes(t *testing.T) {
+	dir := t.TempDir()
+	ks, m := newTestMeter(t, dir)
+	alpha := ks.Resolve(testKeyA)
+	for i := 1; i <= 5; i++ {
+		alpha.usage.requests[GroupReport].Add(1)
+		if err := m.Flush(); err != nil {
+			t.Fatalf("Flush %d: %v", i, err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	ks2, m2 := newTestMeter(t, dir)
+	defer m2.Close()
+	if got := m2.Report(ks2)["alpha"].Requests["report"]; got != 5 {
+		t.Fatalf("recovered report count = %d, want 5 (latest record)", got)
+	}
+}
+
+func TestMeterFlushSkipsWhenIdle(t *testing.T) {
+	dir := t.TempDir()
+	ks, m := newTestMeter(t, dir)
+	defer m.Close()
+	alpha := ks.Resolve(testKeyA)
+	alpha.usage.bytesOut.Add(1)
+	if err := m.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	lsn := m.ledger.LastLSN()
+	// Nothing changed: repeated flushes append nothing.
+	for i := 0; i < 3; i++ {
+		if err := m.Flush(); err != nil {
+			t.Fatalf("idle Flush: %v", err)
+		}
+	}
+	if got := m.ledger.LastLSN(); got != lsn {
+		t.Fatalf("idle flushes advanced the ledger %d -> %d", lsn, got)
+	}
+}
+
+func TestMeterBackgroundFlushPersists(t *testing.T) {
+	dir := t.TempDir()
+	ks, m := newTestMeter(t, dir) // 50ms flush interval
+	alpha := ks.Resolve(testKeyA)
+	alpha.usage.bytesOut.Add(500)
+	deadline := time.Now().Add(5 * time.Second)
+	for m.ledger.LastLSN() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background flusher never appended")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	m.Close()
+}

@@ -1,0 +1,72 @@
+package gateway
+
+import "github.com/treads-project/treads/internal/obs"
+
+// Gateway metrics. Per-class children are resolved once, at construction,
+// into arrays indexed by Class, so the per-decision cost is atomic bumps
+// only — the decision path must stay allocation-free (pinned by
+// TestDecideZeroAlloc and the treads-bench gateway area). Label
+// cardinality is bounded by construction: three classes, and one
+// gateway_tokens child per (tenant, class) where the tenant set is fixed
+// by the key file.
+type metrics struct {
+	admitted [numClasses]*obs.Counter // gateway_admitted_total{class}
+	limited  [numClasses]*obs.Counter // gateway_limited_total{class}
+	shed     [numClasses]*obs.Counter // gateway_shed_total{class}
+	latency  [numClasses]*obs.Histogram
+
+	authFailures *obs.Counter
+	quotaDenied  *obs.Counter
+	inflight     *obs.Gauge
+	hubDropped   *obs.Counter
+	usageFlushes *obs.Counter
+
+	tokens *obs.GaugeVec // children resolved per tenant below
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	m := &metrics{
+		authFailures: reg.Counter("gateway_auth_failures_total",
+			"Requests rejected for a missing or unknown API key; any sustained nonzero rate means key rot or a stranger knocking."),
+		quotaDenied: reg.Counter("gateway_quota_denied_total",
+			"Requests refused because the tenant's byte quota is exhausted."),
+		inflight: reg.Gauge("gateway_inflight",
+			"Requests currently admitted through the gateway and not yet completed."),
+		hubDropped: reg.Counter("gateway_hub_dropped_total",
+			"Traffic events dropped because a subscriber's buffer was full."),
+		usageFlushes: reg.Counter("gateway_usage_flushes_total",
+			"Usage-ledger flushes appended to the journal."),
+		tokens: reg.GaugeVec("gateway_tokens",
+			"Token-bucket balance remaining after the most recent decision, by tenant and class.",
+			"tenant", "class"),
+	}
+	admitted := reg.CounterVec("gateway_admitted_total",
+		"Requests admitted through the gateway, by traffic class.", "class")
+	limited := reg.CounterVec("gateway_limited_total",
+		"Requests refused with 429 because the tenant's token bucket was empty, by traffic class.", "class")
+	shed := reg.CounterVec("gateway_shed_total",
+		"Requests refused with 503 by priority load shedding, by traffic class.", "class")
+	latency := reg.HistogramVec("gateway_request_seconds",
+		"Admitted-request latency through the gateway, by traffic class — the per-class SLO signal.", "class")
+	for c := Class(0); c < numClasses; c++ {
+		m.admitted[c] = admitted.With(c.String())
+		m.limited[c] = limited.With(c.String())
+		m.shed[c] = shed.With(c.String())
+		m.latency[c] = latency.With(c.String())
+	}
+	return m
+}
+
+// resolveTokenGauges binds each tenant's gateway_tokens children. Called
+// once at construction; the decision path only ever calls Gauge.Set.
+func (m *metrics) resolveTokenGauges(ks *KeySet) {
+	bind := func(t *Tenant) {
+		for c := Class(0); c < numClasses; c++ {
+			t.tokens[c] = m.tokens.With(t.name, c.String())
+		}
+	}
+	for _, t := range ks.Tenants() {
+		bind(t)
+	}
+	bind(ks.UserTenant())
+}

@@ -1,0 +1,58 @@
+package gateway
+
+import "sync/atomic"
+
+// shedder is the admission controller: one inflight budget shared by all
+// classes, with per-class ceilings that implement strict priority.
+// Reporting traffic may occupy at most half the budget, advertiser
+// mutations 80%, and user ad-serving all of it — so as load climbs the
+// low-priority classes hit their ceilings (and start returning 503)
+// while headroom remains for the protected class. A single atomic
+// counter holds the whole state; acquire is one CAS in the common case
+// and allocation-free always.
+type shedder struct {
+	inflight atomic.Int64
+	limit    [numClasses]int64
+}
+
+// newShedder sizes the controller for a total inflight budget. The
+// per-class ceilings are fractions of the budget, each at least 1 so a
+// tiny budget still serves every class when idle.
+func newShedder(budget int) *shedder {
+	if budget < 1 {
+		budget = 1
+	}
+	s := &shedder{}
+	s.limit[ClassUser] = int64(budget)
+	s.limit[ClassMutation] = max64(1, int64(budget)*4/5)
+	s.limit[ClassReport] = max64(1, int64(budget)/2)
+	return s
+}
+
+// acquire admits one request of class c, or reports that it must be
+// shed. A successful acquire must be paired with exactly one release.
+func (s *shedder) acquire(c Class) bool {
+	limit := s.limit[c]
+	for {
+		cur := s.inflight.Load()
+		if cur >= limit {
+			return false
+		}
+		if s.inflight.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// release returns one admitted request's slot.
+func (s *shedder) release() { s.inflight.Add(-1) }
+
+// current returns the inflight count, for the gauge and tests.
+func (s *shedder) current() int64 { return s.inflight.Load() }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

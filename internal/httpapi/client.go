@@ -20,6 +20,10 @@ type Client struct {
 	// when non-empty. Servers running with authentication issue it at
 	// registration (RegisterAdvertiserForToken).
 	Token string
+	// APIKey is the edge-gateway tenant key, sent as X-API-Key with every
+	// request when non-empty. Independent of Token: the gateway identifies
+	// the API client (tenant), the bearer token the advertiser account.
+	APIKey string
 }
 
 // NewClient returns a client for the given base URL.
@@ -64,6 +68,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out interfac
 	}
 	if c.Token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	if c.APIKey != "" {
+		req.Header.Set("X-API-Key", c.APIKey)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
