@@ -8,8 +8,9 @@
 //	            [-journal dir] [-batch-window 2ms] [-compact-every 5m]
 //	            [-debug-addr :6060]
 //	adplatformd -shard-serve -shard-index I -shard-count N
-//	            [-rpc-secret S] [-journal dir] ...
-//	adplatformd -peers host:port,host:port,... [-rpc-secret S]
+//	            [-rpc-secret S] [-journal dir]
+//	            [-advertise host:port] [-replicate host:port,...] ...
+//	adplatformd -peers host:port[/replica:port...],... [-rpc-secret S]
 //	            [-rpc-timeout 2s] [-hedge-after 0] [-peer-wait 30s] ...
 //
 // Without -load, the platform starts pre-populated with a deterministic
@@ -37,6 +38,20 @@
 // authenticate shard RPCs with -rpc-secret (or the ADPLATFORM_RPC_SECRET
 // environment variable), compared in constant time. The router gates
 // startup on every shard node reporting healthy within -peer-wait.
+//
+// Cluster membership is dynamic. -peers is the boot-time seed membership
+// only: after startup the router grows, shrinks, and fails over the fleet
+// through the admin cluster endpoints (GET /admin/v1/cluster, POST/DELETE
+// /admin/v1/cluster/shards, POST /admin/v1/cluster/promote, POST
+// /admin/v1/cluster/resume) — a live reshard streams the affected users
+// to the new node under a short write fence, then pushes the bumped ring
+// version to every node. A slot group in -peers may name replicas after
+// the owner (owner/replica/...); reads fail over to a replica when the
+// owner is down, and promotion makes a replica the owner. On the shard
+// side, -advertise names the address this node appears as in ring pushes
+// and arms its membership gate (stale routers get a typed refusal and
+// refresh), and -replicate makes a journaled owner ship every
+// acknowledged operation to its follower nodes before the ack.
 //
 // With -journal, every mutating operation is written to a write-ahead
 // journal before it is acknowledged, so a crash or kill -9 loses nothing:
@@ -124,6 +139,8 @@ type options struct {
 	ShardServe bool
 	ShardIndex int
 	ShardCount int
+	Advertise  string
+	Replicate  string
 	Peers      string
 	RPCSecret  string
 	RPCTimeout time.Duration
@@ -155,7 +172,9 @@ func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 	fs.BoolVar(&o.ShardServe, "shard-serve", false, "serve the internal shard RPC surface instead of the public HTTP API")
 	fs.IntVar(&o.ShardIndex, "shard-index", 0, "this node's shard index (with -shard-serve)")
 	fs.IntVar(&o.ShardCount, "shard-count", 1, "total shard nodes in the cluster (with -shard-serve)")
-	fs.StringVar(&o.Peers, "peers", "", "comma-separated shard-node addresses (host:port); run as a router over remote shards")
+	fs.StringVar(&o.Advertise, "advertise", "", "address this shard node is advertised as in ring pushes; arms its membership gate (with -shard-serve)")
+	fs.StringVar(&o.Replicate, "replicate", "", "comma-separated follower node addresses this owner ships its journal to (with -shard-serve -journal)")
+	fs.StringVar(&o.Peers, "peers", "", "comma-separated shard-node groups, owner[/replica...] per slot; boot-time seed membership for a router — change membership at runtime via the admin cluster endpoints")
 	fs.StringVar(&o.RPCSecret, "rpc-secret", "", "shared shard-RPC secret (falls back to ADPLATFORM_RPC_SECRET)")
 	fs.DurationVar(&o.RPCTimeout, "rpc-timeout", 2*time.Second, "per-attempt deadline for shard RPCs (router mode)")
 	fs.DurationVar(&o.HedgeAfter, "hedge-after", 0, "hedge idempotent shard reads after this delay (0 = disabled)")
@@ -228,6 +247,15 @@ func (o options) validate() error {
 			return fmt.Errorf("-auth guards the public API; shard nodes authenticate with -rpc-secret")
 		}
 	}
+	if o.Advertise != "" && !o.ShardServe {
+		return fmt.Errorf("-advertise only applies with -shard-serve: it names the address this node appears as in ring pushes")
+	}
+	if o.Replicate != "" && !o.ShardServe {
+		return fmt.Errorf("-replicate only applies with -shard-serve: journal shipping runs on the shard owner node")
+	}
+	if o.Replicate != "" && o.JournalDir == "" {
+		return fmt.Errorf("-replicate requires -journal: followers replay the owner's journal records")
+	}
 	if o.Peers != "" {
 		if o.Shards != 1 {
 			return fmt.Errorf("-shards and -peers are mutually exclusive: the shard count of a router is the number of peers")
@@ -263,7 +291,7 @@ func run() error {
 		return runShardServer(opts, logger)
 	}
 
-	backend, jp, compactor, err := openBackend(opts, logger)
+	backend, jp, compactor, clusterAdmin, err := openBackend(opts, logger)
 	if err != nil {
 		return err
 	}
@@ -286,6 +314,9 @@ func run() error {
 	}
 	if compactor != nil {
 		handler.SetCompactor(compactor)
+	}
+	if clusterAdmin != nil {
+		handler.SetClusterAdmin(clusterAdmin)
 	}
 
 	// With -gateway, the edge wraps the public API: tenant keys, rate
@@ -490,8 +521,27 @@ func runShardServer(opts options, logger *log.Logger) error {
 	logger.Printf("shard node ready: shard %d of %d, %d users (journal=%v auth=%v)",
 		opts.ShardIndex, opts.ShardCount, len(backend.Users()), opts.JournalDir != "", opts.RPCSecret != "")
 
+	rpcSrv := rpc.NewServer(backend, opts.RPCSecret, obs.Default)
+	if opts.Advertise != "" {
+		// The gate starts permissive and enforces whatever ring the router
+		// pushes; self must match the address the router advertises.
+		rpcSrv.SetGate(newLazyGate(peerURL(opts.Advertise)))
+		logger.Printf("membership gate armed; advertised as %s", peerURL(opts.Advertise))
+	}
+	if opts.Replicate != "" {
+		// validate() ties -replicate to -journal, so backend is the
+		// journaled shard and supports the shipping seam.
+		owner, ok := backend.(cluster.Shard)
+		if !ok {
+			return fmt.Errorf("-replicate: backend does not expose the shard surface")
+		}
+		if err := armReplication(owner, opts, logger); err != nil {
+			return fmt.Errorf("arming replication: %w", err)
+		}
+	}
+
 	mux := http.NewServeMux()
-	mux.Handle(rpc.PathPrefix, rpc.NewServer(backend, opts.RPCSecret, obs.Default))
+	mux.Handle(rpc.PathPrefix, rpcSrv)
 	mux.Handle("GET /metrics", obs.Default.Handler())
 
 	if err := serveAndDrain(opts, logger, mux, compactor); err != nil {
@@ -506,30 +556,53 @@ func runShardServer(opts options, logger *log.Logger) error {
 }
 
 // openRouterBackend is the -peers mode: one RPC client per shard node,
-// wrapped as RemoteShards under the same cluster coordinator the
-// in-process shards use. Startup gates on every peer reporting healthy so
-// the router never serves over a half-up fleet.
-func openRouterBackend(opts options, logger *log.Logger) (serverBackend, error) {
-	addrs := splitPeers(opts.Peers)
-	if len(addrs) == 0 {
-		return nil, fmt.Errorf("-peers is empty after parsing %q", opts.Peers)
+// wrapped as RemoteShards (grouped into ReplicaSets for slots with
+// replicas) under the same cluster coordinator the in-process shards use.
+// Startup gates on every peer reporting healthy so the router never serves
+// over a half-up fleet; the boot ring is then pushed to every node's
+// membership gate, and the nodes themselves become the membership source
+// for stale-ring recovery. The returned admin is the dynamic-membership
+// surface behind the admin cluster endpoints.
+func openRouterBackend(opts options, logger *log.Logger) (serverBackend, *membershipAdmin, error) {
+	groups := parsePeerGroups(opts.Peers)
+	if len(groups) == 0 {
+		return nil, nil, fmt.Errorf("-peers is empty after parsing %q", opts.Peers)
 	}
-	shards := make([]cluster.Shard, len(addrs))
-	remotes := make([]*cluster.RemoteShard, len(addrs))
-	for i, a := range addrs {
-		c := rpc.NewClient(peerURL(a), rpc.Options{
-			Secret:      opts.RPCSecret,
-			CallTimeout: opts.RPCTimeout,
-			HedgeDelay:  opts.HedgeAfter,
-			Registry:    obs.Default,
-		})
-		remotes[i] = cluster.NewRemoteShard(c)
-		shards[i] = remotes[i]
+	dialer := newPeerDialer(opts)
+	shards := make([]cluster.Shard, len(groups))
+	var remotes []*cluster.RemoteShard
+	seeds := make([]*rpc.Client, len(groups))
+	for i, g := range groups {
+		s, members := dialer.shard(g[0], g[1:])
+		shards[i] = s
+		remotes = append(remotes, members...)
+		seeds[i] = members[0].Client()
 	}
 	if err := waitForPeers(remotes, opts.PeerWait, logger); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return cluster.New(shards, cluster.Options{Registry: obs.Default})
+	c, err := cluster.New(shards, cluster.Options{Registry: obs.Default})
+	if err != nil {
+		return nil, nil, err
+	}
+	c.SetMembershipSource(&cluster.RemoteMembershipSource{
+		Seeds:   seeds,
+		Dial:    dialer.dialInfo,
+		Timeout: opts.RPCTimeout,
+	})
+	// Seed every node's gate with the boot ring, best-effort: a node that
+	// misses the push (or runs without -advertise) refuses nothing extra —
+	// it just cannot reject misrouted users until a later push lands.
+	info := c.RingInfo()
+	ctx, cancel := context.WithTimeout(context.Background(), opts.RPCTimeout)
+	defer cancel()
+	for _, r := range remotes {
+		if err := r.PushRing(ctx, info); err != nil {
+			logger.Printf("seeding ring v%d on %s: %v", info.Version, r.Addr(), err)
+		}
+	}
+	admin := &membershipAdmin{clu: c, dial: dialer, wait: opts.PeerWait, logger: logger}
+	return c, admin, nil
 }
 
 // waitForPeers polls every shard node's health endpoint until all report
@@ -600,28 +673,29 @@ type serverBackend interface {
 }
 
 // openBackend assembles the configured backend: a single platform (plain
-// or journaled) or an N-shard cluster (in-memory or one journal per
-// shard). jp is non-nil only for the single-shard journaled case, where
-// -save needs the journaled state; compactor is non-nil whenever a journal
-// is in play.
-func openBackend(opts options, logger *log.Logger) (serverBackend, *platform.Journaled, httpapi.Compactor, error) {
+// or journaled), an N-shard cluster (in-memory or one journal per shard),
+// or a router over remote shard nodes. jp is non-nil only for the
+// single-shard journaled case, where -save needs the journaled state;
+// compactor is non-nil whenever a journal is in play; admin is non-nil
+// only for the router, which is the one mode with dynamic membership.
+func openBackend(opts options, logger *log.Logger) (serverBackend, *platform.Journaled, httpapi.Compactor, *membershipAdmin, error) {
 	if opts.Peers != "" {
-		c, err := openRouterBackend(opts, logger)
-		return c, nil, nil, err
+		c, admin, err := openRouterBackend(opts, logger)
+		return c, nil, nil, admin, err
 	}
 	if opts.Shards == 1 {
 		if opts.JournalDir != "" {
 			jp, err := openJournaledShard(opts, 0, opts.JournalDir, logger)
 			if err != nil {
-				return nil, nil, nil, fmt.Errorf("opening journal: %w", err)
+				return nil, nil, nil, nil, fmt.Errorf("opening journal: %w", err)
 			}
-			return jp, jp, jp, nil
+			return jp, jp, jp, nil, nil
 		}
 		p, err := bootShard(opts, 0, logger)()
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
-		return p, nil, nil, nil
+		return p, nil, nil, nil, nil
 	}
 
 	shards := make([]cluster.Shard, opts.Shards)
@@ -631,25 +705,25 @@ func openBackend(opts options, logger *log.Logger) (serverBackend, *platform.Jou
 			dir := filepath.Join(opts.JournalDir, fmt.Sprintf("shard-%03d", i))
 			jp, err := openJournaledShard(opts, i, dir, logger)
 			if err != nil {
-				return nil, nil, nil, fmt.Errorf("opening journal for shard %d: %w", i, err)
+				return nil, nil, nil, nil, fmt.Errorf("opening journal for shard %d: %w", i, err)
 			}
 			shards[i] = jp
 		} else {
 			p, err := bootShard(opts, i, logger)()
 			if err != nil {
-				return nil, nil, nil, fmt.Errorf("booting shard %d: %w", i, err)
+				return nil, nil, nil, nil, fmt.Errorf("booting shard %d: %w", i, err)
 			}
 			shards[i] = p
 		}
 	}
 	c, err := cluster.New(shards, cluster.Options{Registry: obs.Default})
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	if opts.JournalDir != "" {
 		compactor = c
 	}
-	return c, nil, compactor, nil
+	return c, nil, compactor, nil, nil
 }
 
 // openJournaledShard opens (booting or recovering) one journaled shard,

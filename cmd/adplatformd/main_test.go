@@ -53,6 +53,12 @@ func TestValidateFlags(t *testing.T) {
 		{name: "shard node with in-process shards", args: []string{"-shard-serve", "-shard-count", "2", "-shards", "4"}, wantErr: "exactly one shard"},
 		{name: "shard node with snapshot", args: []string{"-shard-serve", "-shard-count", "2", "-save", "s.json"}, wantErr: "do not apply to shard nodes"},
 		{name: "shard node with public auth", args: []string{"-shard-serve", "-shard-count", "2", "-auth"}, wantErr: "-rpc-secret"},
+		{name: "router with replica groups", args: []string{"-peers", "a:1/a2:1,b:1", "-rpc-secret", "s"}},
+		{name: "gated shard node", args: []string{"-shard-serve", "-shard-count", "2", "-advertise", "a:1"}},
+		{name: "replicating shard node", args: []string{"-shard-serve", "-shard-count", "2", "-journal", "j", "-replicate", "f:1"}},
+		{name: "advertise without shard-serve", args: []string{"-advertise", "a:1"}, wantErr: "-advertise only applies with -shard-serve"},
+		{name: "replicate without shard-serve", args: []string{"-replicate", "f:1"}, wantErr: "-replicate only applies with -shard-serve"},
+		{name: "replicate without journal", args: []string{"-shard-serve", "-shard-count", "2", "-replicate", "f:1"}, wantErr: "-replicate requires -journal"},
 		{name: "router with in-process shards", args: []string{"-peers", "a:1", "-shards", "2"}, wantErr: "mutually exclusive"},
 		{name: "router with journal", args: []string{"-peers", "a:1", "-journal", "j"}, wantErr: "state lives on the shard nodes"},
 		{name: "router zero rpc timeout", args: []string{"-peers", "a:1", "-rpc-timeout", "0s"}, wantErr: "-rpc-timeout must be positive"},
@@ -109,14 +115,14 @@ func TestOpenBackendSharded(t *testing.T) {
 	single := parseForTest(t, "-users", "120")
 	sharded := parseForTest(t, "-users", "120", "-shards", "3")
 
-	sb, jp, compactor, err := openBackend(single, logger)
+	sb, jp, compactor, _, err := openBackend(single, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if jp != nil || compactor != nil {
 		t.Fatal("plain single-shard backend reported a journal")
 	}
-	cb, _, _, err := openBackend(sharded, logger)
+	cb, _, _, _, err := openBackend(sharded, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +150,7 @@ func TestOpenBackendJournaledShards(t *testing.T) {
 	dir := t.TempDir()
 	opts := parseForTest(t, "-users", "60", "-shards", "2", "-journal", dir, "-batch-window", "0s")
 
-	b1, _, comp1, err := openBackend(opts, logger)
+	b1, _, comp1, _, err := openBackend(opts, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +167,7 @@ func TestOpenBackendJournaledShards(t *testing.T) {
 		}
 	}
 
-	b2, _, _, err := openBackend(opts, logger)
+	b2, _, _, _, err := openBackend(opts, logger)
 	if err != nil {
 		t.Fatalf("reopening journaled shards: %v", err)
 	}

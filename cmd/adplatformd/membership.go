@@ -1,0 +1,307 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/treads-project/treads/internal/cluster"
+	"github.com/treads-project/treads/internal/httpapi"
+	"github.com/treads-project/treads/internal/obs"
+	"github.com/treads-project/treads/internal/rpc"
+)
+
+// parsePeerGroups parses the -peers list into slot groups. Groups are
+// comma-separated; within a group, '/' separates the slot owner from its
+// replica addresses:
+//
+//	-peers a:9001/a2:9001,b:9001
+//
+// is a two-slot cluster whose first slot has one journal-shipping replica.
+// Scheme-qualified addresses (http://host:port) pass through: the "//" of
+// a scheme is not a group separator.
+func parsePeerGroups(s string) [][]string {
+	// Hide scheme separators from the '/' split, then restore them.
+	const mark = "\x00"
+	var out [][]string
+	for _, grp := range strings.Split(s, ",") {
+		grp = strings.ReplaceAll(grp, "://", mark)
+		var members []string
+		for _, m := range strings.Split(grp, "/") {
+			m = strings.ReplaceAll(m, mark, "://")
+			if m = strings.TrimSpace(m); m != "" {
+				members = append(members, m)
+			}
+		}
+		if len(members) > 0 {
+			out = append(out, members)
+		}
+	}
+	return out
+}
+
+// peerDialer hands out RPC clients and shard handles for peer addresses,
+// caching one client per base URL so membership refreshes and repeated
+// admin operations never leak connection pools.
+type peerDialer struct {
+	secret  string
+	timeout time.Duration
+	hedge   time.Duration
+
+	mu      sync.Mutex
+	clients map[string]*rpc.Client
+}
+
+func newPeerDialer(opts options) *peerDialer {
+	return &peerDialer{
+		secret:  opts.RPCSecret,
+		timeout: opts.RPCTimeout,
+		hedge:   opts.HedgeAfter,
+		clients: make(map[string]*rpc.Client),
+	}
+}
+
+// client returns the cached client for addr, dialing on first use.
+func (d *peerDialer) client(addr string) *rpc.Client {
+	url := peerURL(addr)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.clients[url]; ok {
+		return c
+	}
+	c := rpc.NewClient(url, rpc.Options{
+		Secret:      d.secret,
+		CallTimeout: d.timeout,
+		HedgeDelay:  d.hedge,
+		Registry:    obs.Default,
+	})
+	d.clients[url] = c
+	return c
+}
+
+// shard builds the routable handle for one slot: a RemoteShard for a bare
+// owner, or a ReplicaSet over RemoteShards when the slot has replicas. The
+// router-side ReplicaSet routes writes to the owner and fails reads over;
+// it never arms shipping — the journal chain runs on the owner node itself
+// (its -replicate flag). The returned remotes are every member, for health
+// gating.
+func (d *peerDialer) shard(owner string, replicas []string) (cluster.Shard, []*cluster.RemoteShard) {
+	members := make([]*cluster.RemoteShard, 0, 1+len(replicas))
+	members = append(members, cluster.NewRemoteShard(d.client(owner)))
+	for _, r := range replicas {
+		members = append(members, cluster.NewRemoteShard(d.client(r)))
+	}
+	if len(members) == 1 {
+		return members[0], members
+	}
+	followers := make([]cluster.Shard, len(members)-1)
+	for i, m := range members[1:] {
+		followers[i] = m
+	}
+	return cluster.NewReplicaSet(members[0], followers...), members
+}
+
+// dialInfo is the cluster.RemoteMembershipSource Dial hook: it rebuilds a
+// slot handle from an advertised ring entry, reusing cached clients.
+func (d *peerDialer) dialInfo(si rpc.ShardInfo) cluster.Shard {
+	s, _ := d.shard(si.Addr, si.Replicas)
+	return s
+}
+
+// membershipAdmin implements httpapi.ClusterAdmin over the router's
+// cluster coordinator: the HTTP admin surface for growing, shrinking, and
+// failing over the fleet at runtime.
+type membershipAdmin struct {
+	// mu serializes admin mutations so concurrent operator calls cannot
+	// interleave a dial-and-join with a removal.
+	mu     sync.Mutex
+	clu    *cluster.Cluster
+	dial   *peerDialer
+	wait   time.Duration
+	logger *log.Logger
+}
+
+var _ httpapi.ClusterAdmin = (*membershipAdmin)(nil)
+
+func wireReport(rep cluster.ReshardReport) httpapi.ReshardReportWire {
+	return httpapi.ReshardReportWire{
+		UsersMoved: rep.UsersMoved,
+		CutoverMS:  float64(rep.Cutover) / float64(time.Millisecond),
+		Version:    rep.Version,
+	}
+}
+
+// Status implements httpapi.ClusterAdmin.
+func (a *membershipAdmin) Status() httpapi.ClusterStatusResponse {
+	slots := a.clu.SlotShards()
+	out := httpapi.ClusterStatusResponse{
+		Version: a.clu.Version(),
+		Slots:   make([]httpapi.ClusterSlotStatus, len(slots)),
+	}
+	out.MigrationActive, out.PendingRemovals = a.clu.MigrationStatus()
+	for i, s := range slots {
+		st := httpapi.ClusterSlotStatus{Slot: i, Healthy: true}
+		if h, ok := s.(interface{ Healthy() bool }); ok {
+			st.Healthy = h.Healthy()
+		}
+		if ad, ok := s.(interface{ Addr() string }); ok {
+			st.Addr = ad.Addr()
+		}
+		if ra, ok := s.(interface{ ReplicaAddrs() []string }); ok {
+			st.Replicas = ra.ReplicaAddrs()
+		}
+		out.Slots[i] = st
+	}
+	if rep := a.clu.LastReshard(); rep.Version != 0 {
+		w := wireReport(rep)
+		out.LastReshard = &w
+	}
+	return out
+}
+
+// AddShard implements httpapi.ClusterAdmin: dial the new node (and its
+// replicas), gate on their health, and run the live reshard.
+func (a *membershipAdmin) AddShard(addr string, replicas []string) (httpapi.ReshardReportWire, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s, remotes := a.dial.shard(addr, replicas)
+	if err := waitForPeers(remotes, a.wait, a.logger); err != nil {
+		return httpapi.ReshardReportWire{}, fmt.Errorf("joining node not healthy: %w", err)
+	}
+	rep, err := a.clu.AddShard(s)
+	if err != nil {
+		return httpapi.ReshardReportWire{}, err
+	}
+	a.logger.Printf("admin: added shard %s (replicas %v): moved %d users, cutover %v, ring v%d",
+		addr, replicas, rep.UsersMoved, rep.Cutover.Round(time.Microsecond), rep.Version)
+	return wireReport(rep), nil
+}
+
+// RemoveShard implements httpapi.ClusterAdmin.
+func (a *membershipAdmin) RemoveShard() (httpapi.ReshardReportWire, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rep, err := a.clu.RemoveShard()
+	if err != nil {
+		return httpapi.ReshardReportWire{}, err
+	}
+	a.logger.Printf("admin: removed shard: moved %d users, cutover %v, ring v%d",
+		rep.UsersMoved, rep.Cutover.Round(time.Microsecond), rep.Version)
+	return wireReport(rep), nil
+}
+
+// Promote implements httpapi.ClusterAdmin: fail the slot over to its
+// best-synced replica. Shipping from the new owner is not re-armed here —
+// restart the promoted node with -replicate (see the failover runbook).
+func (a *membershipAdmin) Promote(slot int) (httpapi.PromoteResponse, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	slots := a.clu.SlotShards()
+	if slot < 0 || slot >= len(slots) {
+		return httpapi.PromoteResponse{}, fmt.Errorf("slot %d out of range [0, %d)", slot, len(slots))
+	}
+	rs, ok := slots[slot].(*cluster.ReplicaSet)
+	if !ok {
+		return httpapi.PromoteResponse{}, fmt.Errorf("slot %d has no replicas to promote", slot)
+	}
+	member, err := rs.Promote()
+	if err != nil {
+		return httpapi.PromoteResponse{}, err
+	}
+	a.logger.Printf("admin: promoted slot %d member %d (%s) to owner", slot, member, rs.Addr())
+	return httpapi.PromoteResponse{Slot: slot, Member: member, Addr: rs.Addr()}, nil
+}
+
+// ResumeReshard implements httpapi.ClusterAdmin.
+func (a *membershipAdmin) ResumeReshard() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.clu.ResumeReshard()
+}
+
+// armReplication wires the owner side of a replica chain for -replicate:
+// dial each follower node, gate on its health, then Chain and Heal so
+// every acknowledged write from here on is applied on every follower
+// before the ack. After a promotion the chain must be re-armed on the new
+// owner — restart it with -replicate (see the failover runbook).
+func armReplication(owner cluster.Shard, opts options, logger *log.Logger) error {
+	addrs := splitPeers(opts.Replicate)
+	if len(addrs) == 0 {
+		return fmt.Errorf("-replicate is empty after parsing %q", opts.Replicate)
+	}
+	dialer := newPeerDialer(opts)
+	followers := make([]cluster.Shard, len(addrs))
+	remotes := make([]*cluster.RemoteShard, len(addrs))
+	for i, a := range addrs {
+		remotes[i] = cluster.NewRemoteShard(dialer.client(a))
+		followers[i] = remotes[i]
+	}
+	if err := waitForPeers(remotes, opts.PeerWait, logger); err != nil {
+		return err
+	}
+	rs := cluster.NewReplicaSet(owner, followers...)
+	if err := rs.Chain(); err != nil {
+		return err
+	}
+	if err := rs.Heal(); err != nil {
+		return err
+	}
+	logger.Printf("journal shipping armed to %d follower(s): %v", len(addrs), addrs)
+	return nil
+}
+
+// lazyGate is the shard-node membership gate before the first ring push
+// arrives: a node boots knowing only its own advertised address (-
+// advertise), serves everything until a router pushes membership, and from
+// then on enforces the pushed ring exactly like cluster.Gate. It
+// implements rpc.MembershipGate.
+type lazyGate struct {
+	self string
+
+	mu sync.Mutex
+	g  *cluster.Gate
+}
+
+var _ rpc.MembershipGate = (*lazyGate)(nil)
+
+func newLazyGate(self string) *lazyGate { return &lazyGate{self: self} }
+
+// OwnsUser defers to the installed gate; before any push the node cannot
+// know the ring, so it serves every user (the pre-elastic behavior).
+func (g *lazyGate) OwnsUser(user string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.g == nil {
+		return nil
+	}
+	return g.g.OwnsUser(user)
+}
+
+// Ring returns the held membership, zero before any push (version 0 tells
+// a fetching router "this node has seen no ring yet").
+func (g *lazyGate) Ring() rpc.RingInfo {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.g == nil {
+		return rpc.RingInfo{}
+	}
+	return g.g.Ring()
+}
+
+// SetRing installs pushed membership, creating the gate on first push and
+// enforcing monotonic versions afterwards.
+func (g *lazyGate) SetRing(info rpc.RingInfo) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.g == nil {
+		gate, err := cluster.NewGate(g.self, info)
+		if err != nil {
+			return err
+		}
+		g.g = gate
+		return nil
+	}
+	return g.g.SetRing(info)
+}

@@ -1,0 +1,317 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/treads-project/treads/internal/cluster"
+	"github.com/treads-project/treads/internal/httpapi"
+	"github.com/treads-project/treads/internal/journal"
+	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/rpc"
+	"github.com/treads-project/treads/internal/stats"
+)
+
+const membershipSecret = "membership-secret"
+
+func TestParsePeerGroups(t *testing.T) {
+	cases := []struct {
+		in   string
+		want [][]string
+	}{
+		{"a:1,b:1", [][]string{{"a:1"}, {"b:1"}}},
+		{"a:1/a2:1/a3:1,b:1", [][]string{{"a:1", "a2:1", "a3:1"}, {"b:1"}}},
+		{" a:1 / a2:1 , , b:1 ,", [][]string{{"a:1", "a2:1"}, {"b:1"}}},
+		{"http://a:1/http://a2:1,http://b:1", [][]string{{"http://a:1", "http://a2:1"}, {"http://b:1"}}},
+		{"", nil},
+	}
+	for _, tc := range cases {
+		if got := parsePeerGroups(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parsePeerGroups(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// membershipNode is one shard node as the daemon would run it: a journaled
+// platform behind the RPC server with its membership gate armed, exactly
+// the -shard-serve -advertise wiring.
+type membershipNode struct {
+	jp   *platform.Journaled
+	addr string
+	cli  *rpc.Client
+}
+
+func newMembershipNode(t *testing.T, dir string, seed uint64) *membershipNode {
+	t.Helper()
+	jp, err := platform.OpenJournaled(dir, journal.Options{NoSync: true}, func() (*platform.Platform, error) {
+		return platform.New(platform.Config{Seed: seed}), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { jp.Close() })
+	srv := rpc.NewServer(jp, membershipSecret, nil)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	srv.SetGate(newLazyGate(hs.URL))
+	cli := rpc.NewClient(hs.URL, rpc.Options{Secret: membershipSecret})
+	t.Cleanup(cli.Close)
+	return &membershipNode{jp: jp, addr: hs.URL, cli: cli}
+}
+
+func adminJSON(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestMembershipEndpointsEndToEnd is the full dynamic-membership flow over
+// real loopback RPC: a router boots over two gated shard nodes, grows the
+// cluster with a replicated third slot through POST /admin/v1/cluster/
+// shards, promotes the new slot's replica, and shrinks back — checking
+// ring versions, user placement, and gate convergence at every step.
+func TestMembershipEndpointsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback membership e2e in -short mode")
+	}
+	root := t.TempDir()
+	logger := log.New(io.Discard, "", 0)
+	nodeA := newMembershipNode(t, filepath.Join(root, "a"), stats.SubSeed(41, 0))
+	nodeB := newMembershipNode(t, filepath.Join(root, "b"), stats.SubSeed(41, 1))
+
+	opts := parseForTest(t, "-peers", nodeA.addr+","+nodeB.addr,
+		"-rpc-secret", membershipSecret, "-peer-wait", "10s")
+	backend, admin, err := openRouterBackend(opts, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clu := backend.(*cluster.Cluster)
+	t.Cleanup(func() { clu.Close() })
+
+	srv := httpapi.NewServer(backend, nil)
+	srv.SetClusterAdmin(admin)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	users := make([]profile.UserID, 24)
+	for i := range users {
+		users[i] = profile.UserID(fmt.Sprintf("user-%03d", i))
+		if err := clu.AddUser(profile.New(users[i])); err != nil {
+			t.Fatalf("AddUser(%s): %v", users[i], err)
+		}
+	}
+
+	// Boot ring: version 1, two healthy slots, gates seeded.
+	var st httpapi.ClusterStatusResponse
+	if code := adminJSON(t, http.MethodGet, ts.URL+"/admin/v1/cluster", nil, &st); code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	if st.Version != 1 || len(st.Slots) != 2 {
+		t.Fatalf("boot status: %+v", st)
+	}
+	for _, sl := range st.Slots {
+		if !sl.Healthy || sl.Addr == "" {
+			t.Fatalf("boot slot unhealthy or unaddressed: %+v", sl)
+		}
+	}
+	if ri, err := nodeA.cli.FetchRing(context.Background()); err != nil || ri.Version != 1 {
+		t.Fatalf("node A gate after boot push: ring %+v, err %v", ri, err)
+	}
+
+	// Grow: node C with follower D joins through the admin endpoint. The
+	// owner node's -replicate wiring (armReplication) ships its journal to
+	// D, so every user migrated to C lands on D before the ack.
+	nodeC := newMembershipNode(t, filepath.Join(root, "c"), stats.SubSeed(41, 2))
+	nodeD := newMembershipNode(t, filepath.Join(root, "d"), stats.SubSeed(41, 3))
+	repOpts := options{Replicate: nodeD.addr, RPCSecret: membershipSecret,
+		RPCTimeout: 2 * time.Second, PeerWait: 10 * time.Second}
+	if err := armReplication(nodeC.jp, repOpts, logger); err != nil {
+		t.Fatalf("arming C->D replication: %v", err)
+	}
+
+	var rep httpapi.ReshardReportWire
+	if code := adminJSON(t, http.MethodPost, ts.URL+"/admin/v1/cluster/shards",
+		httpapi.AddShardRequest{Addr: nodeC.addr, Replicas: []string{nodeD.addr}}, &rep); code != http.StatusOK {
+		t.Fatalf("add shard: %d", code)
+	}
+	if rep.Version != 2 || rep.UsersMoved == 0 {
+		t.Fatalf("add shard report: %+v", rep)
+	}
+	if code := adminJSON(t, http.MethodGet, ts.URL+"/admin/v1/cluster", nil, &st); code != http.StatusOK {
+		t.Fatalf("status after add: %d", code)
+	}
+	if st.Version != 2 || len(st.Slots) != 3 || st.LastReshard == nil {
+		t.Fatalf("status after add: %+v", st)
+	}
+	if len(st.Slots[2].Replicas) != 1 || st.Slots[2].Replicas[0] != nodeD.addr {
+		t.Fatalf("slot 2 replicas: %+v", st.Slots[2])
+	}
+	// The bumped ring reached every node's gate, joiner included.
+	for i, n := range []*membershipNode{nodeA, nodeB, nodeC, nodeD} {
+		ri, err := n.cli.FetchRing(context.Background())
+		if err != nil || ri.Version != 2 || len(ri.Shards) != 3 {
+			t.Fatalf("node %d gate: ring %+v, err %v", i, ri, err)
+		}
+	}
+	// Every migrated user reached the follower before the ack.
+	if !nodeD.jp.Synced() || nodeD.jp.ShipLSN() != nodeC.jp.LastLSN() {
+		t.Fatalf("follower D at %d (synced=%v), owner C at %d",
+			nodeD.jp.ShipLSN(), nodeD.jp.Synced(), nodeC.jp.LastLSN())
+	}
+
+	// Promotion: a replica-less slot refuses; the replicated slot fails
+	// over to D.
+	if code := adminJSON(t, http.MethodPost, ts.URL+"/admin/v1/cluster/promote",
+		httpapi.PromoteRequest{Slot: 0}, nil); code != http.StatusConflict {
+		t.Fatalf("promote replica-less slot: %d, want 409", code)
+	}
+	var pr httpapi.PromoteResponse
+	if code := adminJSON(t, http.MethodPost, ts.URL+"/admin/v1/cluster/promote",
+		httpapi.PromoteRequest{Slot: 2}, &pr); code != http.StatusOK {
+		t.Fatalf("promote slot 2: %d", code)
+	}
+	if pr.Slot != 2 || pr.Addr != nodeD.addr {
+		t.Fatalf("promotion landed on %+v, want slot 2 owner %s", pr, nodeD.addr)
+	}
+	// The promoted slot still serves its users: reads and writes route to
+	// the new owner under the same ring version.
+	var slot2 profile.UserID
+	for _, u := range users {
+		if clu.Owner(u) == 2 {
+			slot2 = u
+			break
+		}
+	}
+	if slot2 == "" {
+		t.Fatal("no user landed on the new slot")
+	}
+	if clu.User(slot2) == nil {
+		t.Fatalf("user %s unreadable after promotion", slot2)
+	}
+	if err := clu.LikePage(slot2, "page-x"); err != nil {
+		t.Fatalf("write to promoted slot: %v", err)
+	}
+
+	// Shrink: the promoted slot drains back onto the original two nodes.
+	if code := adminJSON(t, http.MethodDelete, ts.URL+"/admin/v1/cluster/shards", nil, &rep); code != http.StatusOK {
+		t.Fatalf("remove shard: %d", code)
+	}
+	if rep.Version != 3 || rep.UsersMoved == 0 {
+		t.Fatalf("remove shard report: %+v", rep)
+	}
+	if code := adminJSON(t, http.MethodPost, ts.URL+"/admin/v1/cluster/resume", nil, nil); code != http.StatusOK {
+		t.Fatalf("resume: %d", code)
+	}
+	if code := adminJSON(t, http.MethodGet, ts.URL+"/admin/v1/cluster", nil, &st); code != http.StatusOK {
+		t.Fatalf("final status: %d", code)
+	}
+	if st.Version != 3 || len(st.Slots) != 2 || st.PendingRemovals != 0 {
+		t.Fatalf("final status: %+v", st)
+	}
+	// No user was lost across grow, promote, and shrink.
+	if got := len(clu.Users()); got != len(users) {
+		t.Fatalf("cluster holds %d users after the cycle, want %d", got, len(users))
+	}
+	if clu.User(slot2) == nil {
+		t.Fatalf("user %s lost in the shrink", slot2)
+	}
+}
+
+// TestFlagDocsConsistent pins the flag/runbook contract from the issue:
+// every dynamic-membership flag must be described in docs/OPERATIONS.md
+// with the exact usage text the binary prints, and both the package doc
+// and the runbook must state that -peers is boot-time seed membership
+// only.
+// readRepoFile reads a repo-root-relative file from the package test dir.
+func readRepoFile(t *testing.T, rel string) ([]byte, error) {
+	t.Helper()
+	return os.ReadFile(filepath.Join("..", "..", rel))
+}
+
+// flagSetForDocs registers the daemon's flags without parsing anything, so
+// doc tests can read registered usage strings.
+func flagSetForDocs(t *testing.T) *flag.FlagSet {
+	t.Helper()
+	fs := flag.NewFlagSet("adplatformd", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	if _, err := parseFlags(fs, nil); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestFlagDocsConsistent(t *testing.T) {
+	raw, err := readRepoFile(t, "docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("reading runbook: %v", err)
+	}
+	doc := string(raw)
+
+	fs := flagSetForDocs(t)
+	for _, name := range []string{
+		"peers", "advertise", "replicate",
+		"rpc-secret", "rpc-timeout", "hedge-after", "peer-wait",
+		"shard-serve", "shard-index", "shard-count",
+	} {
+		f := fs.Lookup(name)
+		if f == nil {
+			t.Fatalf("flag -%s is not registered", name)
+		}
+		if !strings.Contains(doc, "`-"+name+"`") {
+			t.Errorf("docs/OPERATIONS.md does not document `-%s`", name)
+			continue
+		}
+		if !strings.Contains(doc, f.Usage) {
+			t.Errorf("docs/OPERATIONS.md describes -%s differently from the usage text %q", name, f.Usage)
+		}
+	}
+
+	// The boot-time-only contract appears verbatim in both the binary's
+	// package documentation and the runbook.
+	const sentinel = "boot-time seed membership"
+	src, err := readRepoFile(t, "cmd/adplatformd/main.go")
+	if err != nil {
+		t.Fatalf("reading package doc: %v", err)
+	}
+	if !strings.Contains(string(src), sentinel) {
+		t.Errorf("adplatformd package doc no longer states the %q contract", sentinel)
+	}
+	if !strings.Contains(doc, sentinel) {
+		t.Errorf("docs/OPERATIONS.md no longer states the %q contract", sentinel)
+	}
+}

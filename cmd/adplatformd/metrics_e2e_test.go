@@ -32,7 +32,7 @@ func bootObservedStack(t *testing.T) (*httptest.Server, serverBackend) {
 	}
 	opts := parseForTest(t, "-users", "200", "-shards", "4", "-journal", t.TempDir(), "-batch-window", "0s",
 		"-gateway", "-keys", keys)
-	backend, _, compactor, err := openBackend(opts, logger)
+	backend, _, compactor, _, err := openBackend(opts, logger)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -147,16 +147,28 @@ func measure(n int, fn func()) metric {
 		fn()
 		durs[i] = time.Since(s)
 	}
-	total := time.Since(t0)
+	return summarize(durs, time.Since(t0))
+}
+
+// summarize folds a sample of durations into the metric schema. total is
+// the wall time that produced the samples (for ops/sec); pass the sum of
+// the samples when the quantity measured is narrower than the call that
+// produced it (e.g. a reshard's write-fence window).
+func summarize(durs []time.Duration, total time.Duration) metric {
+	n := len(durs)
 	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
 	pct := func(p float64) int64 {
 		i := int(p * float64(n-1))
 		return durs[i].Nanoseconds()
 	}
+	var sum time.Duration
+	for _, d := range durs {
+		sum += d
+	}
 	return metric{
 		Iterations: n,
 		OpsPerSec:  float64(n) / total.Seconds(),
-		MeanNs:     total.Nanoseconds() / int64(n),
+		MeanNs:     sum.Nanoseconds() / int64(n),
 		P50Ns:      pct(0.50),
 		P90Ns:      pct(0.90),
 		P99Ns:      pct(0.99),
@@ -368,7 +380,102 @@ func benchCluster() (report, error) {
 		}
 		i++
 	})
+
+	cutover, moved, err := benchReshard()
+	if err != nil {
+		return report{}, fmt.Errorf("reshard: %w", err)
+	}
+	rep.Metrics["reshard_cutover"] = cutover
+	rep.Facts = map[string]float64{"reshard_users_moved_per_change": moved}
 	return rep, nil
+}
+
+// benchReshard measures live resharding on a journaled cluster: repeated
+// AddShard/RemoveShard cycles, each sample the reshard's write-fence
+// window (ReshardReport.Cutover) — the period user writes block, which is
+// the availability number the elastic-cluster design budgets. Journals
+// run NoSync: the protocol under test is snapshot+tail+fence, not fsync.
+func benchReshard() (metric, float64, error) {
+	const (
+		baseShards = 3
+		cycles     = 15
+		users      = 3_000
+	)
+	bootEmpty := func() (*platform.Platform, error) {
+		return platform.New(platform.Config{Seed: 5}), nil
+	}
+	var (
+		opened []*platform.Journaled
+		dirs   []string
+	)
+	openShard := func() (*platform.Journaled, error) {
+		dir, err := os.MkdirTemp("", "treads-bench-reshard")
+		if err != nil {
+			return nil, err
+		}
+		jp, err := platform.OpenJournaled(dir, journal.Options{NoSync: true}, bootEmpty)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		opened = append(opened, jp)
+		dirs = append(dirs, dir)
+		return jp, nil
+	}
+	defer func() {
+		for _, jp := range opened {
+			jp.Close()
+		}
+		for _, dir := range dirs {
+			os.RemoveAll(dir)
+		}
+	}()
+
+	shards := make([]cluster.Shard, baseShards)
+	for s := range shards {
+		jp, err := openShard()
+		if err != nil {
+			return metric{}, 0, err
+		}
+		shards[s] = jp
+	}
+	c, err := cluster.New(shards, cluster.Options{})
+	if err != nil {
+		return metric{}, 0, err
+	}
+	profs := workload.Generate(workload.Config{
+		Users: users, BrokerCoverage: 0.8, MeanPlatformAttrs: 25, MeanPartnerAttrs: 11, Seed: 5,
+	})
+	for _, pr := range profs {
+		if err := c.AddUser(pr); err != nil {
+			return metric{}, 0, err
+		}
+	}
+
+	durs := make([]time.Duration, 0, 2*cycles)
+	var totalMoved int
+	t0 := time.Now()
+	for cy := 0; cy < cycles; cy++ {
+		jp, err := openShard()
+		if err != nil {
+			return metric{}, 0, err
+		}
+		grow, err := c.AddShard(jp)
+		if err != nil {
+			return metric{}, 0, fmt.Errorf("cycle %d AddShard: %w", cy, err)
+		}
+		shrink, err := c.RemoveShard()
+		if err != nil {
+			return metric{}, 0, fmt.Errorf("cycle %d RemoveShard: %w", cy, err)
+		}
+		durs = append(durs, grow.Cutover, shrink.Cutover)
+		totalMoved += grow.UsersMoved + shrink.UsersMoved
+	}
+	total := time.Since(t0)
+	if got := len(c.Users()); got != users {
+		return metric{}, 0, fmt.Errorf("population drifted across reshards: %d users, want %d", got, users)
+	}
+	return summarize(durs, total), float64(totalMoved) / float64(len(durs)), nil
 }
 
 // benchGateway measures the edge hot path: API-key resolution and the
@@ -518,7 +625,7 @@ func runCheck(dir string) error {
 		"index":    {"index_potential_reach", "scan_potential_reach", "index_spec_matches", "count_node"},
 		"platform": {"browse_feed", "potential_reach"},
 		"journal":  {"append_sync", "append_nosync"},
-		"cluster":  {"scatter_gather_reach", "routed_browse_feed"},
+		"cluster":  {"scatter_gather_reach", "routed_browse_feed", "reshard_cutover"},
 		"gateway":  {"resolve_key", "decide_admit", "decide_limited"},
 		"rpc":      {"call_health", "call_browse", "call_prefs"},
 	}

@@ -35,6 +35,8 @@ func main() {
 		rounds    = flag.Int("rounds", 3, "fault rounds per seed")
 		ops       = flag.Int("ops", 160, "operations per round")
 		workers   = flag.Int("workers", 1, "driver goroutines (1 = fully deterministic replay)")
+		replicas  = flag.Int("replicas", 0, "journal-shipping followers per shard; >0 kills an owner mid-round and promotes a follower")
+		reshard   = flag.Bool("reshard", false, "grow the cluster by one shard in the middle round, concurrently with traffic")
 		netMode   = flag.Bool("net", false, "run shards behind real loopback RPC with link faults")
 		crashProb = flag.Float64("crash-prob", 0.4, "per-shard crash probability after each round")
 		dir       = flag.String("dir", "", "scratch directory (default: temp dir, removed on success)")
@@ -55,6 +57,8 @@ func main() {
 		cfg.Rounds = *rounds
 		cfg.OpsPerRound = *ops
 		cfg.Workers = *workers
+		cfg.Replicas = *replicas
+		cfg.Reshard = *reshard
 		cfg.CrashProb = *crashProb
 		cfg.Dir = *dir
 		cfg.Keep = *keep
@@ -71,7 +75,7 @@ func main() {
 		res, err := chaos.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seed %d: harness error: %v\n", s, err)
-			fail(s, *netMode)
+			fail(s, reproFlags(*netMode, *replicas, *reshard))
 		}
 		for k, v := range res.Faults {
 			aggFired[k] += v
@@ -79,8 +83,12 @@ func main() {
 		for k, v := range res.Opportunities {
 			aggOpp[k] += v
 		}
-		fmt.Printf("seed %-6d ok  ops=%-5d acked=%-5d indeterminate=%-4d crashes=%d partitions=%d faults=%s\n",
-			s, res.Ops, res.AckedImpressions, res.IndeterminateSlots, res.Crashes, res.Partitions, firedSummary(res.Faults))
+		elastic := ""
+		if *replicas > 0 || *reshard {
+			elastic = fmt.Sprintf(" kills=%d promotions=%d reshards=%d ring=v%d", res.OwnerKills, res.Promotions, res.Reshards, res.RingVersion)
+		}
+		fmt.Printf("seed %-6d ok  ops=%-5d acked=%-5d indeterminate=%-4d crashes=%d partitions=%d%s faults=%s\n",
+			s, res.Ops, res.AckedImpressions, res.IndeterminateSlots, res.Crashes, res.Partitions, elastic, firedSummary(res.Faults))
 		if res.Failed() {
 			for _, v := range res.Violations {
 				fmt.Fprintf(os.Stderr, "  VIOLATION %s\n", v)
@@ -88,7 +96,7 @@ func main() {
 			if res.Dir != "" {
 				fmt.Fprintf(os.Stderr, "  disk state kept at %s\n", res.Dir)
 			}
-			fail(s, *netMode)
+			fail(s, reproFlags(*netMode, *replicas, *reshard))
 		}
 	}
 
@@ -109,13 +117,24 @@ func main() {
 	}
 }
 
-// fail prints the reproduction line for a failing seed and exits.
-func fail(seed uint64, netMode bool) {
-	netFlag := ""
+// reproFlags renders the mode flags a replay of this sweep needs.
+func reproFlags(netMode bool, replicas int, reshard bool) string {
+	out := ""
 	if netMode {
-		netFlag = " -net"
+		out += " -net"
 	}
-	fmt.Fprintf(os.Stderr, "\nFAILING SEED %d — replay with: go run ./cmd/treads-chaos -seed %d%s -v -keep\n", seed, seed, netFlag)
+	if replicas > 0 {
+		out += fmt.Sprintf(" -replicas %d", replicas)
+	}
+	if reshard {
+		out += " -reshard"
+	}
+	return out
+}
+
+// fail prints the reproduction line for a failing seed and exits.
+func fail(seed uint64, modeFlags string) {
+	fmt.Fprintf(os.Stderr, "\nFAILING SEED %d — replay with: go run ./cmd/treads-chaos -seed %d%s -v -keep\n", seed, seed, modeFlags)
 	os.Exit(1)
 }
 

@@ -44,7 +44,17 @@ type Ledger struct {
 type campaignAccount struct {
 	impressions int
 	spend       money.Micros
-	reached     map[profile.UserID]bool
+	// users holds the exact per-user accounting. Its key set is the
+	// campaign's reached set; the per-user impression and spend totals
+	// exist so a shard migration can split a ledger exactly — moving a
+	// user moves their precise contribution, keeping merged cluster
+	// totals invariant across resharding.
+	users map[profile.UserID]*userTotals
+}
+
+type userTotals struct {
+	impressions int
+	spend       money.Micros
 }
 
 // NewLedger returns an empty ledger with the default billable-reach
@@ -68,7 +78,7 @@ func (l *Ledger) SetBillableThreshold(n int) {
 func (l *Ledger) account(campaignID string) *campaignAccount {
 	acct := l.campaigns[campaignID]
 	if acct == nil {
-		acct = &campaignAccount{reached: make(map[profile.UserID]bool)}
+		acct = &campaignAccount{users: make(map[profile.UserID]*userTotals)}
 		l.campaigns[campaignID] = acct
 	}
 	return acct
@@ -82,7 +92,13 @@ func (l *Ledger) RecordImpression(campaignID string, user profile.UserID, price 
 	acct := l.account(campaignID)
 	acct.impressions++
 	acct.spend += price
-	acct.reached[user] = true
+	ut := acct.users[user]
+	if ut == nil {
+		ut = &userTotals{}
+		acct.users[user] = ut
+	}
+	ut.impressions++
+	ut.spend += price
 }
 
 // Report is the advertiser-visible performance view of one campaign.
@@ -112,7 +128,7 @@ func (l *Ledger) Report(campaignID string) Report {
 	if acct == nil {
 		return Report{CampaignID: campaignID}
 	}
-	return MakeReport(campaignID, acct.impressions, len(acct.reached), acct.spend, l.billableThreshold)
+	return MakeReport(campaignID, acct.impressions, len(acct.users), acct.spend, l.billableThreshold)
 }
 
 // MakeReport derives the advertiser-visible report from exact delivery
@@ -169,7 +185,7 @@ func (l *Ledger) TrueReach(campaignID string) int {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	if acct := l.campaigns[campaignID]; acct != nil {
-		return len(acct.reached)
+		return len(acct.users)
 	}
 	return 0
 }

@@ -13,12 +13,23 @@ type State struct {
 	Accounts          []AccountState `json:"accounts,omitempty"`
 }
 
-// AccountState is one campaign's accrued accounting.
+// AccountState is one campaign's accrued accounting. Impressions and Spend
+// are always exactly the sums over Users — every impression is recorded
+// against a user — and the Users key set is the campaign's reached set.
 type AccountState struct {
-	CampaignID  string           `json:"campaign_id"`
-	Impressions int              `json:"impressions"`
-	Spend       money.Micros     `json:"spend_micros"`
-	Reached     []profile.UserID `json:"reached,omitempty"`
+	CampaignID  string             `json:"campaign_id"`
+	Impressions int                `json:"impressions"`
+	Spend       money.Micros       `json:"spend_micros"`
+	Users       []UserAccountState `json:"users,omitempty"`
+}
+
+// UserAccountState is one user's exact contribution to a campaign's
+// totals. Carrying the split per user is what lets a live reshard move a
+// user between shards with accounting preserved to the micro.
+type UserAccountState struct {
+	User        profile.UserID `json:"user"`
+	Impressions int            `json:"impressions"`
+	Spend       money.Micros   `json:"spend_micros"`
 }
 
 // Snapshot exports the ledger.
@@ -34,10 +45,10 @@ func (l *Ledger) Snapshot() State {
 	for _, id := range ids {
 		acct := l.campaigns[id]
 		as := AccountState{CampaignID: id, Impressions: acct.impressions, Spend: acct.spend}
-		for uid := range acct.reached {
-			as.Reached = append(as.Reached, uid)
+		for uid, ut := range acct.users {
+			as.Users = append(as.Users, UserAccountState{User: uid, Impressions: ut.impressions, Spend: ut.spend})
 		}
-		sort.Slice(as.Reached, func(i, j int) bool { return as.Reached[i] < as.Reached[j] })
+		sort.Slice(as.Users, func(i, j int) bool { return as.Users[i].User < as.Users[j].User })
 		s.Accounts = append(s.Accounts, as)
 	}
 	return s
@@ -51,9 +62,98 @@ func RestoreState(s State) *Ledger {
 		acct := l.account(as.CampaignID)
 		acct.impressions = as.Impressions
 		acct.spend = as.Spend
-		for _, uid := range as.Reached {
-			acct.reached[uid] = true
+		for _, us := range as.Users {
+			acct.users[us.User] = &userTotals{impressions: us.Impressions, spend: us.Spend}
 		}
 	}
 	return l
+}
+
+// ExtractUsersState returns the portion of a ledger state attributable to
+// the given users: per campaign, exactly their user rows with aggregate
+// totals recomputed over them. Campaigns none of the users touched are
+// omitted. The input state is not modified.
+func ExtractUsersState(s State, keep func(profile.UserID) bool) State {
+	out := State{BillableThreshold: s.BillableThreshold}
+	for _, as := range s.Accounts {
+		ex := AccountState{CampaignID: as.CampaignID}
+		for _, us := range as.Users {
+			if keep(us.User) {
+				ex.Users = append(ex.Users, us)
+				ex.Impressions += us.Impressions
+				ex.Spend += us.Spend
+			}
+		}
+		if len(ex.Users) > 0 {
+			out.Accounts = append(out.Accounts, ex)
+		}
+	}
+	return out
+}
+
+// RemoveUsersState returns s with the given users' rows subtracted: their
+// per-campaign contributions are deducted from the aggregate totals and
+// their rows dropped. Campaigns left with no users keep a zero row only if
+// they had one before (an account with zero users and zero totals carries
+// no information, so it is dropped). The input state is not modified.
+func RemoveUsersState(s State, drop func(profile.UserID) bool) State {
+	out := State{BillableThreshold: s.BillableThreshold}
+	for _, as := range s.Accounts {
+		kept := AccountState{CampaignID: as.CampaignID}
+		for _, us := range as.Users {
+			if drop(us.User) {
+				continue
+			}
+			kept.Users = append(kept.Users, us)
+			kept.Impressions += us.Impressions
+			kept.Spend += us.Spend
+		}
+		if len(kept.Users) > 0 {
+			out.Accounts = append(out.Accounts, kept)
+		}
+	}
+	return out
+}
+
+// MergeUsersState folds an extracted ledger portion into s with replace
+// semantics per (campaign, user): a row already present for a user being
+// merged is replaced, not added to, so re-merging the same extract is
+// idempotent. Campaign aggregate totals are recomputed from the merged
+// rows; account and user orderings stay sorted so merged snapshots are
+// deterministic. Neither input is modified.
+func MergeUsersState(s, extract State) State {
+	moved := make(map[profile.UserID]bool)
+	for _, as := range extract.Accounts {
+		for _, us := range as.Users {
+			moved[us.User] = true
+		}
+	}
+	// Drop any rows for the incoming users (replace semantics), then
+	// append the extracted rows and re-sort.
+	base := RemoveUsersState(s, func(uid profile.UserID) bool { return moved[uid] })
+	byID := make(map[string]*AccountState, len(base.Accounts))
+	out := State{BillableThreshold: s.BillableThreshold}
+	for _, as := range base.Accounts {
+		out.Accounts = append(out.Accounts, as)
+	}
+	for i := range out.Accounts {
+		byID[out.Accounts[i].CampaignID] = &out.Accounts[i]
+	}
+	for _, as := range extract.Accounts {
+		dst := byID[as.CampaignID]
+		if dst == nil {
+			out.Accounts = append(out.Accounts, AccountState{CampaignID: as.CampaignID})
+			dst = &out.Accounts[len(out.Accounts)-1]
+			byID[as.CampaignID] = dst
+		}
+		dst.Users = append(dst.Users, as.Users...)
+		dst.Impressions += as.Impressions
+		dst.Spend += as.Spend
+	}
+	sort.Slice(out.Accounts, func(i, j int) bool { return out.Accounts[i].CampaignID < out.Accounts[j].CampaignID })
+	for i := range out.Accounts {
+		us := out.Accounts[i].Users
+		sort.Slice(us, func(a, b int) bool { return us[a].User < us[b].User })
+	}
+	return out
 }

@@ -22,6 +22,15 @@
 //     live replicated mutation still succeeds;
 //   - recovery identity: each shard's state marshals byte-identically
 //     before a clean close and after reopening from disk;
+//   - replication (with Replicas > 0): after healing, every follower is
+//     following, synced, and byte-identical to its slot's owner — and the
+//     harness kills one slot's owner mid-round each round, promotes a
+//     follower, and demands that no acknowledged write was lost across
+//     the failover;
+//   - membership (always, and under fire with Reshard): every user lives
+//     on exactly the slot the current ring assigns it, on no other, and
+//     the final ring version and user placement are a pure function of
+//     the membership changes — identical whether or not faults fired;
 //   - coverage: every configured fault kind actually reached its
 //     injection point — a silently dead seam fails the run rather than
 //     passing vacuously.
@@ -30,7 +39,9 @@
 // package for the per-site derivation), so a failing seed printed by the
 // chaos binary replays the identical fault schedule. With Workers == 1
 // the run is fully deterministic end to end: same seed, same ops, same
-// faults, same Result.
+// faults, same Result — except that a mid-round reshard races the driver
+// by design, so Reshard runs reproduce their invariants and final
+// placement rather than exact operation outcomes.
 package chaos
 
 import (
@@ -39,6 +50,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/treads-project/treads/internal/ad"
@@ -82,6 +94,20 @@ type Config struct {
 	// Independently, one shard is always crashed after the first round so
 	// every run exercises recovery.
 	CrashProb float64
+	// Replicas attaches this many journal-shipping followers to every ring
+	// slot. Each round the harness kills one slot's owner halfway through
+	// the traffic (reads fail over, writes refuse with the typed
+	// unavailability error), promotes the best follower shortly after, and
+	// heals the demoted member back into the chain at round end. Replica
+	// chains run in-process only — a networked owner ships from its own
+	// process, which is the shard server's job, not the harness's.
+	Replicas int
+	// Reshard grows the cluster by one slot in the middle round, with the
+	// migration running concurrently with the round's driven traffic and
+	// fault schedule. If the mid-round attempt loses its race with the
+	// fault schedule it is retried on the recovered cluster (the joiner
+	// re-bootstrap wipes partial imports), so membership always converges.
+	Reshard bool
 	// PartitionProb is the per-round probability of partitioning one
 	// shard (networked mode only); one partition is always injected so no
 	// networked run passes without exercising it.
@@ -198,6 +224,17 @@ type Result struct {
 	DefiniteFailures   int64
 	Crashes            int
 	Partitions         int
+	// OwnerKills and Promotions count the mid-round owner kills and the
+	// follower promotions that answered them (Replicas > 0 only).
+	OwnerKills int
+	Promotions int
+	// Reshards counts completed live membership changes; RingVersion and
+	// PlacementHash capture the final membership and user placement — both
+	// are pure functions of the membership changes, so a faulted run must
+	// produce the same values as a fault-free run of the same seed.
+	Reshards      int
+	RingVersion   uint64
+	PlacementHash uint64
 	// Faults and Opportunities are the injector's per-kind fire and
 	// reach counts (plus harness-driven kinds: crash tears, partitions).
 	Faults        map[faults.Kind]uint64
@@ -213,6 +250,15 @@ func (r *Result) violate(invariant, format string, args ...any) {
 	r.Violations = append(r.Violations, Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
 }
 
+// slotGroup is the harness's view of one ring slot: its member nodes
+// (current owner first — the order mirrors the ReplicaSet's members
+// across promotions) and the replica set routing to them, nil when the
+// run has no replicas.
+type slotGroup struct {
+	nodes []*node
+	rs    *cluster.ReplicaSet
+}
+
 // harness is the mutable state of one run.
 type harness struct {
 	cfg Config
@@ -222,7 +268,13 @@ type harness struct {
 	// harness choices don't shift fault schedules.
 	hrng  *stats.RNG
 	nodes []*node
+	slots []*slotGroup
 	clu   *cluster.Cluster
+
+	// ownerKills and promotions are written from driver goroutines (the
+	// kill schedule rides the workload's Observe hook), hence atomic.
+	ownerKills atomic.Int64
+	promotions atomic.Int64
 
 	advertiser string
 	campaigns  []string
@@ -238,6 +290,16 @@ type harness struct {
 // errors.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Net != nil && (cfg.Replicas > 0 || cfg.Reshard) {
+		return nil, errors.New("chaos: replica chains and live resharding run in-process only (a networked owner ships from its own process; the loopback wire path is covered by the cluster package's RPC tests)")
+	}
+	if cfg.Replicas > 0 && cfg.Workers > 1 {
+		// Promotion is only sound once the demoted owner has no writes in
+		// flight (a real deployment fences the old owner first). With one
+		// driver goroutine the kill and promote points sit between
+		// operations, so the drain is structural.
+		return nil, errors.New("chaos: the owner-kill schedule requires workers=1 (promotion must not race in-flight writes on the demoted owner)")
+	}
 	res := &Result{Seed: cfg.Seed}
 
 	dir := cfg.Dir
@@ -281,6 +343,8 @@ func Run(cfg Config) (*Result, error) {
 	res.AckedImpressions = h.ledger.ackedTotal
 	res.IndeterminateSlots = h.ledger.indeterminate
 	res.DefiniteFailures = h.ledger.definite
+	res.OwnerKills = int(h.ownerKills.Load())
+	res.Promotions = int(h.promotions.Load())
 	res.Faults = h.inj.Counts()
 	res.Opportunities = h.inj.Opportunities()
 	h.coverage(res)
@@ -292,23 +356,54 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// boot creates the per-shard nodes on fault-injecting filesystems and
-// assembles the cluster, in-process or networked.
+// boot creates the per-slot node groups on fault-injecting filesystems
+// and assembles the cluster, in-process or networked.
 func (h *harness) boot(dir string) error {
 	cfg := h.cfg
 	shards := make([]cluster.Shard, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
-		ndir := filepath.Join(dir, fmt.Sprintf("shard%d", i))
-		if err := os.MkdirAll(ndir, 0o755); err != nil {
+		g, s, err := h.newSlot(dir, i)
+		if err != nil {
 			return err
 		}
-		ffs := faults.NewFaultFS(faults.OS{}, h.inj, cfg.Disk, fmt.Sprintf("shard%d/", i))
+		h.slots = append(h.slots, g)
+		h.nodes = append(h.nodes, g.nodes...)
+		shards[i] = s
+	}
+	clu, err := cluster.New(shards, cluster.Options{Workers: cfg.Workers})
+	if err != nil {
+		return err
+	}
+	h.clu = clu
+	return nil
+}
+
+// newSlot creates the nodes of one ring slot — an owner plus
+// cfg.Replicas journal-shipping followers — and returns the harness
+// bookkeeping group and the Shard handle the cluster routes to. All
+// members boot from the same platform seed (a fresh follower must start
+// byte-identical to a fresh owner for a replay from LSN 0 to converge);
+// each member's journal directory gets its own fault-stream scope, so
+// adding followers never shifts an owner disk's fault schedule.
+func (h *harness) newSlot(dir string, slot int) (*slotGroup, cluster.Shard, error) {
+	cfg := h.cfg
+	g := &slotGroup{}
+	pseed := stats.SubSeed(cfg.Seed, uint64(100+slot))
+	for j := 0; j <= cfg.Replicas; j++ {
+		name := fmt.Sprintf("shard%d", slot)
+		if j > 0 {
+			name = fmt.Sprintf("shard%d-r%d", slot, j)
+		}
+		ndir := filepath.Join(dir, name)
+		if err := os.MkdirAll(ndir, 0o755); err != nil {
+			return nil, nil, err
+		}
+		ffs := faults.NewFaultFS(faults.OS{}, h.inj, cfg.Disk, name+"/")
 		// Elide the real fsyncs (the durable-watermark simulation is what
 		// matters) so a chaos sweep is CPU-bound, not disk-bound.
 		ffs.SkipSync = true
-		pseed := stats.SubSeed(cfg.Seed, uint64(100+i))
 		n := &node{
-			idx: i,
+			idx: slot*(cfg.Replicas+1) + j,
 			dir: ndir,
 			ffs: ffs,
 			jopts: journal.Options{
@@ -321,18 +416,20 @@ func (h *harness) boot(dir string) error {
 			},
 		}
 		if err := n.open(); err != nil {
-			return err
+			return nil, nil, err
 		}
-		h.nodes = append(h.nodes, n)
+		if j > 0 {
+			n.jp.BeginFollow(0)
+		}
+		g.nodes = append(g.nodes, n)
+	}
 
-		if cfg.Net == nil {
-			shards[i] = &inprocShard{n: n}
-			continue
-		}
+	if cfg.Net != nil {
+		n := g.nodes[0]
 		if err := n.serve(); err != nil {
-			return err
+			return nil, nil, err
 		}
-		n.tr = faults.NewTransport(h.inj, *cfg.Net, fmt.Sprintf("node%d", i), nil)
+		n.tr = faults.NewTransport(h.inj, *cfg.Net, fmt.Sprintf("node%d", slot), nil)
 		n.cl = rpc.NewClient("http://"+n.addr, rpc.Options{
 			Secret:           chaosSecret,
 			Transport:        n.tr,
@@ -344,14 +441,21 @@ func (h *harness) boot(dir string) error {
 			FailureThreshold: 5,
 			CircuitCooldown:  100 * time.Millisecond,
 		})
-		shards[i] = cluster.NewRemoteShard(n.cl)
+		return g, cluster.NewRemoteShard(n.cl), nil
 	}
-	clu, err := cluster.New(shards, cluster.Options{Workers: cfg.Workers})
-	if err != nil {
-		return err
+	if cfg.Replicas == 0 {
+		return g, &inprocShard{n: g.nodes[0]}, nil
 	}
-	h.clu = clu
-	return nil
+	members := make([]cluster.Shard, len(g.nodes))
+	for i, n := range g.nodes {
+		members[i] = &inprocShard{n: n}
+	}
+	rs := cluster.NewReplicaSet(members[0], members[1:]...)
+	if err := rs.Chain(); err != nil {
+		return nil, nil, err
+	}
+	g.rs = rs
+	return g, rs, nil
 }
 
 // setup seeds the population and advertiser surface with faults disarmed:
@@ -392,11 +496,31 @@ func (h *harness) setup() error {
 }
 
 // rounds alternates driving the workload under armed faults with
-// crash/partition/heal decisions between rounds.
+// crash/partition/heal decisions between rounds. With replicas enabled
+// each round also kills one slot's owner mid-traffic and promotes a
+// follower; with Reshard the middle round grows the membership by one
+// slot concurrently with the traffic.
 func (h *harness) rounds(res *Result) error {
 	cfg := h.cfg
 	forced := h.hrng.Intn(cfg.Shards) // one guaranteed crash target
+	reshardRound := -1
+	if cfg.Reshard {
+		reshardRound = cfg.Rounds / 2
+	}
 	for r := 0; r < cfg.Rounds; r++ {
+		// The joiner slot boots quiet (journal creation is not the surface
+		// under test); the migration itself runs under the full fault load,
+		// concurrent with the round's traffic.
+		var joiner *slotGroup
+		var joinerShard cluster.Shard
+		if r == reshardRound {
+			var err error
+			joiner, joinerShard, err = h.newSlot(res.Dir, len(h.slots))
+			if err != nil {
+				return fmt.Errorf("creating joiner slot: %w", err)
+			}
+		}
+
 		h.inj.Arm(true)
 
 		// Snapshot at round start, when every journal is fresh from
@@ -415,6 +539,16 @@ func (h *harness) rounds(res *Result) error {
 			cfg.Logf("round %d: partitioned shard %d", r, p)
 		}
 
+		observe := h.armKill(r)
+
+		reshardDone := make(chan error, 1)
+		if joiner != nil {
+			go func() {
+				_, err := h.clu.AddShard(joinerShard)
+				reshardDone <- err
+			}()
+		}
+
 		ds := workload.Drive(h.clu, workload.DriverConfig{
 			Goroutines:      cfg.Workers,
 			OpsPerGoroutine: max(1, cfg.OpsPerRound/cfg.Workers),
@@ -422,9 +556,24 @@ func (h *harness) rounds(res *Result) error {
 			Pixels:          []pixel.PixelID{h.px},
 			BrowseSlots:     cfg.BrowseSlots,
 			Seed:            stats.SubSeed(cfg.Seed, uint64(1000+r)),
-			Observe:         h.ledger.observe,
+			Observe:         observe,
 		})
 		cfg.Logf("round %d: %d ops, %d errors", r, ds.Ops(), ds.Errors)
+
+		joined := false
+		if joiner != nil {
+			err := <-reshardDone
+			h.nodes = append(h.nodes, joiner.nodes...)
+			if err == nil {
+				h.slots = append(h.slots, joiner)
+				res.Reshards++
+				joined = true
+				cfg.Logf("round %d: slot %d joined mid-traffic (ring v%d, %d users moved)",
+					r, len(h.slots)-1, h.clu.Version(), h.clu.LastReshard().UsersMoved)
+			} else {
+				cfg.Logf("round %d: mid-round AddShard lost its race with the fault schedule (%v); will retry recovered", r, err)
+			}
+		}
 
 		// Snapshot again under full post-traffic state. A failed
 		// snapshot is not sticky; a failed pre-snapshot fsync is.
@@ -437,17 +586,22 @@ func (h *harness) rounds(res *Result) error {
 
 		for i, n := range h.nodes {
 			sticky := n.jp.JournalFailed() != nil
-			if !sticky && !(r == 0 && i == forced) && h.hrng.Float64() >= cfg.CrashProb {
+			downed := n.down.Load()
+			if !sticky && !downed && !(r == 0 && i == forced) && h.hrng.Float64() >= cfg.CrashProb {
 				continue
 			}
-			if sticky {
+			switch {
+			case sticky:
 				cfg.Logf("round %d: shard %d journal failed sticky; crash-recovering", r, i)
-			} else {
+			case downed:
+				cfg.Logf("round %d: crash-recovering killed owner (node %d)", r, i)
+			default:
 				cfg.Logf("round %d: crashing shard %d", r, i)
 			}
 			if err := n.crash(cfg.Net != nil); err != nil {
 				return err
 			}
+			n.down.Store(false)
 			res.Crashes++
 		}
 		if cfg.Net != nil {
@@ -457,8 +611,91 @@ func (h *harness) rounds(res *Result) error {
 				}
 			}
 		}
+
+		// A mid-round membership change that lost its race with the fault
+		// schedule is retried on the recovered, quiet cluster — the joiner
+		// re-bootstrap wipes the failed attempt's partial imports, so the
+		// retry starts clean. This runs before the heal so a joiner whose
+		// owner just crash-recovered gets its chain re-armed below.
+		if joiner != nil && !joined {
+			if _, err := h.clu.AddShard(joinerShard); err != nil {
+				res.violate("membership", "retrying AddShard on the recovered cluster: %v", err)
+			} else {
+				h.slots = append(h.slots, joiner)
+				res.Reshards++
+				cfg.Logf("round %d: slot %d joined on retry (ring v%d)", r, len(h.slots)-1, h.clu.Version())
+			}
+		}
+
+		// Recovery replaced platform handles (dropping shipper closures)
+		// and left reopened followers out of follow mode: re-arm every
+		// chain and resync every follower before the next round's traffic.
+		h.healReplicas(res)
 	}
 	return nil
+}
+
+// armKill returns the round's workload Observe callback. Without
+// replicas it is just the ledger; with replicas it layers the owner-kill
+// schedule on top: halfway through the round one slot's owner stops
+// answering (reads fail over to its followers, writes refuse with the
+// typed unavailability error — all accounted as definite failures), and
+// an eighth of a round later the harness promotes the best follower, the
+// explicit operator decision the failover protocol requires. The
+// demoted owner is crash-recovered and healed back in at round end.
+func (h *harness) armKill(r int) func(workload.OpResult) {
+	if h.cfg.Replicas == 0 {
+		return h.ledger.observe
+	}
+	slot := h.hrng.Intn(len(h.slots))
+	g := h.slots[slot]
+	killAt := int64(max(2, h.cfg.OpsPerRound/2))
+	promoteAt := killAt + int64(max(1, h.cfg.OpsPerRound/8))
+	var ops atomic.Int64
+	var promoting atomic.Bool
+	return func(op workload.OpResult) {
+		h.ledger.observe(op)
+		n := ops.Add(1)
+		if n == killAt {
+			g.nodes[0].down.Store(true)
+			h.ownerKills.Add(1)
+			h.cfg.Logf("round %d: killed slot %d's owner mid-round", r, slot)
+		}
+		if n >= promoteAt && promoting.CompareAndSwap(false, true) {
+			idx, err := g.rs.Promote()
+			if err != nil {
+				// Nothing promotable on this schedule (the followers are
+				// down too); the slot stays write-refusing — every refusal
+				// a definite, accounted failure — and later ops retry.
+				promoting.Store(false)
+				return
+			}
+			g.nodes[0], g.nodes[idx] = g.nodes[idx], g.nodes[0]
+			h.promotions.Add(1)
+			h.cfg.Logf("round %d: promoted slot %d's follower %d to owner", r, slot, idx)
+		}
+	}
+}
+
+// healReplicas re-wires journal shipping and resyncs every follower
+// after a recovery sweep: crash recovery replaces platform handles
+// (dropping the shipper closure, which lives on the handle) and reopened
+// followers come back out of follow mode, so each chain is re-armed and
+// every member resynced — a journal-tail replay when the owner still
+// holds the tail, a full state reinstall otherwise.
+func (h *harness) healReplicas(res *Result) {
+	for si, g := range h.slots {
+		if g.rs == nil {
+			continue
+		}
+		if err := g.rs.Chain(); err != nil {
+			res.violate("replication", "slot %d: re-arming shipping after recovery: %v", si, err)
+			continue
+		}
+		if err := g.rs.Heal(); err != nil {
+			res.violate("replication", "slot %d: healing followers after recovery: %v", si, err)
+		}
+	}
 }
 
 // compactHealthy snapshots every shard whose journal is still serving —

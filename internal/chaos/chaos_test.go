@@ -90,6 +90,121 @@ func TestChaosSameSeedReproducesSchedule(t *testing.T) {
 	}
 }
 
+// Replica chains under a fault-free schedule: every round kills one
+// slot's owner mid-traffic and promotes a follower, and because nothing
+// else can fail, the accounting must stay exact — writes during each
+// failover window are refused definitely (never indeterminately), every
+// acknowledged impression survives the promotion, and the healed
+// followers end byte-identical to their owners.
+func TestChaosReplicaFailoverControlIsExact(t *testing.T) {
+	cfg := DefaultConfig(13)
+	cfg.Disk = faults.DiskConfig{}
+	cfg.Replicas = 1
+	cfg.Logf = t.Logf
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("replica control run: %v", err)
+	}
+	if res.Failed() {
+		for _, v := range res.Violations {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatalf("replica control run violated invariants (dir kept at %s)", res.Dir)
+	}
+	if res.OwnerKills != cfg.Rounds {
+		t.Fatalf("killed %d owners over %d rounds, want one per round", res.OwnerKills, cfg.Rounds)
+	}
+	if res.Promotions != res.OwnerKills {
+		t.Fatalf("%d kills but %d promotions; with healthy followers every kill must be answered", res.OwnerKills, res.Promotions)
+	}
+	if res.IndeterminateSlots != 0 {
+		t.Fatalf("fault-free failover run left %d slots indeterminate; owner-down writes must refuse definitely", res.IndeterminateSlots)
+	}
+	if res.DefiniteFailures == 0 {
+		t.Fatal("no write was ever refused during a failover window; the kill schedule is not biting")
+	}
+	if res.AckedImpressions == 0 {
+		t.Fatal("replica run delivered nothing")
+	}
+}
+
+// Same seed, replicas attached: the kill/promote schedule is part of the
+// deterministic replay contract — two runs must agree on every count.
+func TestChaosReplicaSameSeedReproduces(t *testing.T) {
+	run := func() *Result {
+		cfg := DefaultConfig(19)
+		cfg.Replicas = 2
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if res.Failed() {
+			t.Fatalf("violations: %v (dir kept at %s)", res.Violations, res.Dir)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Ops != b.Ops || a.AckedImpressions != b.AckedImpressions ||
+		a.Crashes != b.Crashes || a.IndeterminateSlots != b.IndeterminateSlots ||
+		a.OwnerKills != b.OwnerKills || a.Promotions != b.Promotions ||
+		a.PlacementHash != b.PlacementHash {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if !reflect.DeepEqual(a.Faults, b.Faults) {
+		t.Fatalf("fault schedules diverged: %v vs %v", a.Faults, b.Faults)
+	}
+	if !reflect.DeepEqual(a.Opportunities, b.Opportunities) {
+		t.Fatalf("opportunity counts diverged: %v vs %v", a.Opportunities, b.Opportunities)
+	}
+}
+
+// Reshard under fire: the middle round grows the cluster concurrently
+// with driven traffic, disk faults, owner kills, and crash sweeps. The
+// faulted run must uphold every invariant, and its final membership —
+// ring version and user placement — must be identical to a fault-free
+// run of the same seed: faults may delay the membership change (the
+// harness retries a lost race on the recovered cluster) but never alter
+// its outcome.
+func TestChaosReshardUnderFireMatchesControl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reshard equivalence pair in -short mode")
+	}
+	run := func(withFaults bool) *Result {
+		cfg := DefaultConfig(17)
+		cfg.Replicas = 1
+		cfg.Reshard = true
+		if !withFaults {
+			cfg.Disk = faults.DiskConfig{}
+		}
+		cfg.Logf = t.Logf
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("reshard run (faults=%v): %v", withFaults, err)
+		}
+		if res.Failed() {
+			for _, v := range res.Violations {
+				t.Errorf("faults=%v violation: %s", withFaults, v)
+			}
+			t.Fatalf("reshard run (faults=%v) violated invariants (dir kept at %s)", withFaults, res.Dir)
+		}
+		if res.Reshards != 1 {
+			t.Fatalf("faults=%v: completed %d reshards, want exactly 1", withFaults, res.Reshards)
+		}
+		return res
+	}
+	faulted, ctrl := run(true), run(false)
+	if ctrl.IndeterminateSlots != 0 {
+		t.Fatalf("fault-free reshard run left %d slots indeterminate", ctrl.IndeterminateSlots)
+	}
+	if faulted.RingVersion != ctrl.RingVersion || faulted.PlacementHash != ctrl.PlacementHash {
+		t.Fatalf("membership diverged under faults: ring v%d hash %x vs control ring v%d hash %x",
+			faulted.RingVersion, faulted.PlacementHash, ctrl.RingVersion, ctrl.PlacementHash)
+	}
+	if ctrl.RingVersion != 2 {
+		t.Fatalf("one reshard from a fresh ring must land on version 2, got %d", ctrl.RingVersion)
+	}
+}
+
 // Networked mode: the same invariants over real loopback RPC with link
 // faults (refused dials, delays, duplicates, mid-body resets) and a
 // partitioned shard, plus crash/restart of the server processes.

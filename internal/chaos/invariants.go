@@ -8,6 +8,8 @@ package chaos
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"hash/fnv"
 	"time"
 
 	"github.com/treads-project/treads/internal/billing"
@@ -80,24 +82,43 @@ func (h *harness) quiesce(res *Result) {
 			}
 		}
 	}
+
+	// The close/reopen cycle replaced every platform handle (dropping
+	// shipper closures) and left followers out of follow mode: re-arm and
+	// resync every chain so verification sees the steady state an
+	// operator's recovery runbook would restore.
+	h.healReplicas(res)
+
+	// Drain any source-side removals a faulted cutover left pending —
+	// until they land, a moved user exists on two shards and aggregate
+	// reads are gated behind ErrReshardIncomplete.
+	if _, pend := h.clu.MigrationStatus(); pend > 0 {
+		h.cfg.Logf("quiesce: %d pending source removals; resuming reshard", pend)
+		if err := h.clu.ResumeReshard(); err != nil {
+			res.violate("membership", "pending source removals did not drain on the recovered cluster: %v", err)
+		}
+	}
 }
 
-// verify checks the accounting, billing, and convergence invariants
-// against the recovered cluster.
+// verify checks the accounting, billing, convergence, replication, and
+// membership invariants against the recovered cluster. State-merging
+// loops walk one node per slot — the current owner; the replication
+// invariant separately proves every follower byte-identical to it, so
+// counting followers would double-bill by construction.
 func (h *harness) verify(res *Result) {
 	ctx := context.Background()
 	led := &h.ledger
 
-	// Merge each shard's exact totals directly off the recovered
+	// Merge each slot's exact totals directly off the recovered
 	// platforms — the ground truth the advertiser-visible path must
 	// agree with.
 	merged := make(map[string]platform.CampaignTotals, len(h.campaigns))
 	for _, camp := range h.campaigns {
 		var m platform.CampaignTotals
-		for _, n := range h.nodes {
-			t, err := n.jp.CampaignTotals(ctx, h.advertiser, camp)
+		for si, g := range h.slots {
+			t, err := g.nodes[0].jp.CampaignTotals(ctx, h.advertiser, camp)
 			if err != nil {
-				res.violate("accounting", "shard %d: reading totals for %s: %v", n.idx, camp, err)
+				res.violate("accounting", "slot %d: reading totals for %s: %v", si, camp, err)
 				continue
 			}
 			m.Impressions += t.Impressions
@@ -138,7 +159,8 @@ func (h *harness) verify(res *Result) {
 	for _, camp := range h.campaigns {
 		feedImps := 0
 		reach := make(map[profile.UserID]bool)
-		for _, n := range h.nodes {
+		for _, g := range h.slots {
+			n := g.nodes[0]
 			for _, uid := range n.jp.Users() {
 				for _, imp := range n.jp.Feed(uid) {
 					if imp.CampaignID == camp {
@@ -170,20 +192,91 @@ func (h *harness) verify(res *Result) {
 	}
 
 	// Convergence: replicated advertiser state must be identical on
-	// every shard after recovery.
-	base := h.nodes[0].jp.State()
-	for _, n := range h.nodes[1:] {
-		st := n.jp.State()
+	// every slot after recovery.
+	base := h.slots[0].nodes[0].jp.State()
+	for si, g := range h.slots[1:] {
+		st := g.nodes[0].jp.State()
 		if !equalStrings(st.Advertisers, base.Advertisers) {
-			res.violate("convergence", "shard %d advertiser set %v != shard 0's %v", n.idx, st.Advertisers, base.Advertisers)
+			res.violate("convergence", "slot %d advertiser set %v != slot 0's %v", si+1, st.Advertisers, base.Advertisers)
 		}
 		if st.NextCamp != base.NextCamp {
-			res.violate("convergence", "shard %d campaign counter %d != shard 0's %d", n.idx, st.NextCamp, base.NextCamp)
+			res.violate("convergence", "slot %d campaign counter %d != slot 0's %d", si+1, st.NextCamp, base.NextCamp)
 		}
 		if !equalOwners(st.Owner, base.Owner) {
-			res.violate("convergence", "shard %d campaign ownership diverged from shard 0", n.idx)
+			res.violate("convergence", "slot %d campaign ownership diverged from slot 0", si+1)
 		}
 	}
+
+	h.verifyReplication(res)
+	h.verifyMembership(res)
+}
+
+// verifyReplication proves every follower is a live, byte-identical
+// replica of its slot's owner after healing: in follow mode, synced, its
+// ship cursor exactly on the owner's last journaled LSN, and its full
+// state marshalling byte-identically to the owner's. Together with the
+// durability invariant this pins the failover guarantee — any follower
+// could be promoted right now without losing an acknowledged write.
+func (h *harness) verifyReplication(res *Result) {
+	for si, g := range h.slots {
+		if g.rs == nil {
+			continue
+		}
+		own := g.nodes[0].jp
+		ownBytes, err := platform.MarshalSnapshot(own.State())
+		if err != nil {
+			res.violate("replication", "slot %d: marshalling owner state: %v", si, err)
+			continue
+		}
+		for j, fn := range g.nodes[1:] {
+			jp := fn.jp
+			if !jp.Following() || !jp.Synced() {
+				res.violate("replication", "slot %d follower %d: following=%v synced=%v after heal",
+					si, j+1, jp.Following(), jp.Synced())
+				continue
+			}
+			if jp.ShipLSN() != own.LastLSN() {
+				res.violate("replication", "slot %d follower %d: ship cursor %d, owner journal at %d",
+					si, j+1, jp.ShipLSN(), own.LastLSN())
+			}
+			fb, err := platform.MarshalSnapshot(jp.State())
+			if err != nil {
+				res.violate("replication", "slot %d follower %d: marshalling state: %v", si, j+1, err)
+				continue
+			}
+			if !bytes.Equal(ownBytes, fb) {
+				res.violate("replication", "slot %d follower %d: state differs from owner (%d vs %d bytes)",
+					si, j+1, len(fb), len(ownBytes))
+			}
+		}
+	}
+}
+
+// verifyMembership proves user placement matches the final ring exactly:
+// every seeded user lives on the slot the current ring assigns it and on
+// no other (a pending source removal or a botched cutover would leave a
+// user on two slots and double-count every aggregate). It also derives
+// the run's placement fingerprint — ring version plus a hash of every
+// user's owning slot — which is a pure function of the membership
+// changes, so a faulted run must fingerprint identically to a fault-free
+// run of the same seed.
+func (h *harness) verifyMembership(res *Result) {
+	hash := fnv.New64a()
+	for _, uid := range h.users {
+		owner := h.clu.Owner(uid)
+		for si, g := range h.slots {
+			has := g.nodes[0].jp.User(uid) != nil
+			if has && si != owner {
+				res.violate("membership", "user %s lives on slot %d but the ring assigns it to slot %d", uid, si, owner)
+			}
+			if !has && si == owner {
+				res.violate("membership", "user %s is missing from its owning slot %d", uid, owner)
+			}
+		}
+		fmt.Fprintf(hash, "%s=%d\n", uid, owner)
+	}
+	res.RingVersion = h.clu.Version()
+	res.PlacementHash = hash.Sum64()
 }
 
 // probeReplication performs one live replicated mutation against the
@@ -221,6 +314,12 @@ func (h *harness) coverage(res *Result) {
 	}
 	if res.Crashes == 0 {
 		res.violate("coverage", "no shard crash was exercised")
+	}
+	if h.cfg.Replicas > 0 && res.OwnerKills == 0 {
+		res.violate("coverage", "replica mode never killed an owner mid-round — failover seam is dead")
+	}
+	if h.cfg.Reshard && res.Reshards == 0 {
+		res.violate("coverage", "reshard mode never grew the membership")
 	}
 	if h.cfg.Net != nil {
 		if res.Partitions == 0 {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"github.com/treads-project/treads/internal/ad"
@@ -40,6 +41,12 @@ type node struct {
 	// only ever happens between driver rounds (after every worker has
 	// joined), so readers never race the swap.
 	jp *platform.Journaled
+
+	// down simulates a process that stopped answering without losing its
+	// disk — the mid-round owner-kill the replica-failover scenario needs.
+	// The health gate reports the node unavailable while it is set; the
+	// round-end sweep crash-recovers the node and clears it.
+	down atomic.Bool
 
 	// Networked mode only.
 	addr string
@@ -142,7 +149,7 @@ var _ interface {
 	Healthy() bool
 } = (*inprocShard)(nil)
 
-func (s *inprocShard) Healthy() bool { return s.n.jp.JournalFailed() == nil }
+func (s *inprocShard) Healthy() bool { return !s.n.down.Load() && s.n.jp.JournalFailed() == nil }
 
 func (s *inprocShard) AddUser(p *profile.Profile) error          { return s.n.jp.AddUser(p) }
 func (s *inprocShard) User(uid profile.UserID) *profile.Profile  { return s.n.jp.User(uid) }
@@ -215,3 +222,50 @@ func (s *inprocShard) Catalog() *attr.Catalog { return s.n.jp.Catalog() }
 func (s *inprocShard) SearchAttributes(q string) []*attr.Attribute {
 	return s.n.jp.SearchAttributes(q)
 }
+
+// --- elastic-membership and replica-chain capability surface ---
+//
+// Forwarding these through the adapter (rather than handing the cluster
+// the *platform.Journaled directly) is what lets migration and shipping
+// follow the node across crash/restart cycles: the cluster holds one
+// stable handle while n.jp is replaced underneath it. The one seam that
+// does not survive a swap is the shipper closure, which lives on the jp
+// itself — the harness re-arms it (ReplicaSet.Chain) after every
+// recovery.
+
+func (s *inprocShard) ExportUsers(users []profile.UserID) (platform.MigrationChunk, error) {
+	return s.n.jp.ExportUsers(users)
+}
+
+func (s *inprocShard) ImportUsers(chunk platform.MigrationChunk) error {
+	return s.n.jp.ImportUsers(chunk)
+}
+
+func (s *inprocShard) RemoveUsers(users []profile.UserID) error { return s.n.jp.RemoveUsers(users) }
+
+func (s *inprocShard) InstallState(st platform.State) error { return s.n.jp.InstallState(st) }
+
+func (s *inprocShard) SyncState() (platform.State, error) { return s.n.jp.SyncState() }
+
+func (s *inprocShard) StateAndLSN() (platform.State, uint64) { return s.n.jp.StateAndLSN() }
+
+func (s *inprocShard) TailSince(from uint64, fn func(lsn uint64, payload []byte) error) error {
+	return s.n.jp.TailSince(from, fn)
+}
+
+func (s *inprocShard) SetShipper(fn func(lsn uint64, payload []byte) error) {
+	s.n.jp.SetShipper(fn)
+}
+
+func (s *inprocShard) ApplyShipped(lsn uint64, payload []byte) error {
+	return s.n.jp.ApplyShipped(lsn, payload)
+}
+
+func (s *inprocShard) BeginFollow(lsn uint64) { s.n.jp.BeginFollow(lsn) }
+func (s *inprocShard) EndFollow()             { s.n.jp.EndFollow() }
+func (s *inprocShard) Following() bool        { return s.n.jp.Following() }
+func (s *inprocShard) Synced() bool           { return s.n.jp.Synced() }
+func (s *inprocShard) ShipLSN() uint64        { return s.n.jp.ShipLSN() }
+
+func (s *inprocShard) Compact() (uint64, error) { return s.n.jp.Compact() }
+func (s *inprocShard) LastLSN() uint64          { return s.n.jp.LastLSN() }

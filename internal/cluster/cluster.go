@@ -2,10 +2,12 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/treads-project/treads/internal/ad"
 	"github.com/treads-project/treads/internal/attr"
@@ -17,6 +19,7 @@ import (
 	"github.com/treads-project/treads/internal/pixel"
 	"github.com/treads-project/treads/internal/platform"
 	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/rpc"
 	"github.com/treads-project/treads/internal/stats"
 )
 
@@ -67,14 +70,16 @@ var (
 type Options struct {
 	// VirtualNodes per shard on the consistent-hash ring; <= 0 selects
 	// DefaultVirtualNodes. Boot loaders that pre-partition a population
-	// must build their Ring with the same value.
+	// must build their Ring with the same value, and every membership
+	// change rebuilds the ring with it.
 	VirtualNodes int
 	// Workers bounds concurrent per-shard calls during scatter-gather
 	// reads; <= 0 selects min(GOMAXPROCS, shards).
 	Workers int
 	// Registry receives the coordinator's metrics (per-shard routing
-	// counts, replication counters, scatter-gather latency). Nil leaves
-	// the cluster instrumented against unregistered metrics.
+	// counts, replication counters, scatter-gather latency, reshard and
+	// replica-chain families). Nil leaves the cluster instrumented against
+	// unregistered metrics.
 	Registry *obs.Registry
 }
 
@@ -82,17 +87,61 @@ type Options struct {
 // surface. User-scoped calls take only the owning shard's locks, so a
 // cluster uses as many cores as it has shards; the coordinator itself
 // serializes nothing on those paths.
+//
+// Membership is elastic: AddShard and RemoveShard migrate user ranges live
+// (see elastic.go for the snapshot + tail + fence protocol), so the shard
+// slice and ring are versioned and guarded rather than fixed at
+// construction.
 type Cluster struct {
+	workers int
+	vnodes  int
+	m       *clusterMetrics
+
+	// mu guards the membership triple {shards, ring, version}. The shard
+	// slice and ring are immutable once installed — a membership change
+	// swaps in fresh values — so a reader holding a snapshot is safe for
+	// the life of its call.
+	mu      sync.RWMutex
 	shards  []Shard
 	ring    *Ring
-	workers int
-	m       *clusterMetrics
+	version uint64
 
 	// repMu serializes replicated advertiser mutations so every shard
 	// applies them in the same order — that order equality is what keeps
 	// the deterministic per-shard ID counters (camp-/aud-/px-) in sync
-	// across the cluster. User-scoped traffic never touches it.
+	// across the cluster. The reshard driver holds it end to end so a
+	// joining shard's advertiser skeleton cannot go stale mid-migration.
+	// User-scoped traffic never touches it.
 	repMu sync.Mutex
+
+	// wmu is the reshard write fence. User-scoped mutations hold it
+	// read-side; the reshard driver takes it write-side for the short
+	// cutover window (delta copy + membership flip + source removal) so no
+	// write can land on a source shard after its state was re-exported.
+	// Aggregate gathers also hold it read-side, which keeps them from ever
+	// observing a user on two shards at once.
+	wmu sync.RWMutex
+
+	// migActive flags that a reshard is collecting its dirty set; while
+	// set, every fenced write records its user so the cutover can re-copy
+	// exactly the state that changed after the bulk pass.
+	migActive atomic.Bool
+	dirtyMu   sync.Mutex
+	dirty     map[profile.UserID]struct{}
+
+	// pending holds post-cutover source removals that failed; aggregates
+	// refuse until ResumeReshard drains them, because a user present on
+	// both its old and new shard would double-count.
+	pendMu  sync.Mutex
+	pending []pendingRemoval
+
+	// srcMu guards the membership source used to recover from stale-ring
+	// refusals.
+	srcMu sync.Mutex
+	src   MembershipSource
+
+	lastMu      sync.Mutex
+	lastReshard ReshardReport
 }
 
 var _ httpapi.Backend = (*Cluster)(nil)
@@ -115,12 +164,20 @@ func New(shards []Shard, opts Options) (*Cluster, error) {
 	if opts.Registry != nil {
 		m = newClusterMetrics(opts.Registry, len(shards))
 	}
-	return &Cluster{
-		shards:  shards,
-		ring:    NewRing(len(shards), opts.VirtualNodes),
+	c := &Cluster{
 		workers: workers,
+		vnodes:  opts.VirtualNodes,
 		m:       m,
-	}, nil
+		shards:  append([]Shard(nil), shards...),
+		ring:    NewRing(len(shards), opts.VirtualNodes),
+		version: 1,
+	}
+	for _, s := range c.shards {
+		if rs, ok := s.(*ReplicaSet); ok {
+			rs.bindMetrics(&m.replica)
+		}
+	}
+	return c, nil
 }
 
 // NewInMemory builds an n-shard cluster of fresh in-memory platforms.
@@ -140,116 +197,195 @@ func NewInMemory(n int, cfg platform.Config, opts Options) (*Cluster, error) {
 	return New(shards, opts)
 }
 
-// Shards returns the number of shards.
-func (c *Cluster) Shards() int { return len(c.shards) }
+// membership returns the current {shards, ring} snapshot. Both values are
+// immutable once installed, so the snapshot stays valid after the lock is
+// released.
+func (c *Cluster) membership() ([]Shard, *Ring) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.shards, c.ring
+}
 
-// Ring returns the cluster's consistent-hash ring.
-func (c *Cluster) Ring() *Ring { return c.ring }
+// Shards returns the current number of shards.
+func (c *Cluster) Shards() int {
+	shards, _ := c.membership()
+	return len(shards)
+}
 
-// Owner returns the shard index owning a user.
-func (c *Cluster) Owner(uid profile.UserID) int { return c.ring.Owner(string(uid)) }
+// Ring returns the cluster's current consistent-hash ring.
+func (c *Cluster) Ring() *Ring {
+	_, ring := c.membership()
+	return ring
+}
 
-// owner resolves the shard owning a user, or an ErrShardUnavailable error
-// when that shard's transport is down. User state lives on exactly one
-// shard, so there is no healthy peer to fail over to — the typed error is
-// the honest answer for reads and writes alike.
-func (c *Cluster) owner(uid profile.UserID) (Shard, error) {
+// SlotShards returns the shard handles in slot order (a fresh slice; the
+// handles themselves are shared). Per-slot admin operations — replica
+// promotion, health listings — address slots through it.
+func (c *Cluster) SlotShards() []Shard {
+	shards, _ := c.membership()
+	return append([]Shard(nil), shards...)
+}
+
+// Version returns the membership version; it starts at 1 and increments on
+// every completed AddShard, RemoveShard, or membership refresh.
+func (c *Cluster) Version() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}
+
+// Owner returns the shard index owning a user under the current ring.
+func (c *Cluster) Owner(uid profile.UserID) int {
+	_, ring := c.membership()
+	return ring.Owner(string(uid))
+}
+
+// ownerShard resolves the shard owning a user, or an ErrShardUnavailable
+// error when that shard's transport is down. User state lives on exactly
+// one shard, so there is no other owner to route to — a ReplicaSet shard
+// handles read failover to its followers internally.
+func (c *Cluster) ownerShard(uid profile.UserID) (Shard, error) {
+	c.mu.RLock()
 	i := c.ring.Owner(string(uid))
-	if !c.healthy(i) {
+	s := c.shards[i]
+	c.mu.RUnlock()
+	if !shardHealthy(s) {
 		return nil, fmt.Errorf("cluster: user %q: shard %d: %w", uid, i, ErrShardUnavailable)
 	}
-	c.m.shardOps[i].Inc()
-	return c.shards[i], nil
+	c.m.shardOp(i).Inc()
+	return s, nil
+}
+
+// routeRead runs a user-scoped read on the owning shard, refreshing
+// membership and retrying exactly once when the shard answers that the
+// router's ring is stale (rpc.ErrStaleRing).
+func routeRead[T any](c *Cluster, uid profile.UserID, fn func(Shard) (T, error)) (T, error) {
+	return routeWithRefresh(c, uid, fn)
+}
+
+// routeMutation is routeRead plus the reshard write fence: the call holds
+// the fence read-side so a cutover cannot start mid-write, and records the
+// user as dirty while a reshard's bulk copy is running so the cutover
+// re-copies exactly what changed.
+func routeMutation[T any](c *Cluster, uid profile.UserID, fn func(Shard) (T, error)) (T, error) {
+	c.wmu.RLock()
+	defer c.wmu.RUnlock()
+	c.noteWrite(uid)
+	return routeWithRefresh(c, uid, fn)
+}
+
+func routeWithRefresh[T any](c *Cluster, uid profile.UserID, fn func(Shard) (T, error)) (T, error) {
+	var zero T
+	s, err := c.ownerShard(uid)
+	if err != nil {
+		return zero, err
+	}
+	v, err := fn(s)
+	if err == nil || !errors.Is(err, rpc.ErrStaleRing) {
+		return v, err
+	}
+	// The shard consulted its membership gate and refused: our ring is
+	// behind the cluster's. The op was not applied, so refresh and re-route
+	// once; a second refusal is surfaced (membership is churning faster
+	// than we can follow, and retry loops would hide that).
+	if rerr := c.RefreshMembership(); rerr != nil {
+		return zero, fmt.Errorf("cluster: refreshing membership after stale-ring refusal: %w (refusal: %v)", rerr, err)
+	}
+	s, err = c.ownerShard(uid)
+	if err != nil {
+		return zero, err
+	}
+	return fn(s)
+}
+
+// noteWrite records a user as dirty while a reshard is collecting deltas.
+func (c *Cluster) noteWrite(uid profile.UserID) {
+	if !c.migActive.Load() {
+		return
+	}
+	c.dirtyMu.Lock()
+	if c.dirty == nil {
+		c.dirty = make(map[profile.UserID]struct{})
+	}
+	c.dirty[uid] = struct{}{}
+	c.dirtyMu.Unlock()
 }
 
 // --- user-scoped operations: route to the owning shard ---
 
 // AddUser inserts the profile into its owning shard.
 func (c *Cluster) AddUser(pr *profile.Profile) error {
-	s, err := c.owner(pr.ID)
-	if err != nil {
-		return err
-	}
-	return s.AddUser(pr)
+	_, err := routeMutation(c, pr.ID, func(s Shard) (struct{}, error) {
+		return struct{}{}, s.AddUser(pr)
+	})
+	return err
 }
 
 // User returns the user's profile from the owning shard (nil when the
 // shard is unavailable — the same answer an unknown user gets).
 func (c *Cluster) User(uid profile.UserID) *profile.Profile {
-	s, err := c.owner(uid)
-	if err != nil {
-		return nil
-	}
-	return s.User(uid)
+	p, _ := routeRead(c, uid, func(s Shard) (*profile.Profile, error) {
+		return s.User(uid), nil
+	})
+	return p
 }
 
 // BrowseFeed runs a feed session on the user's shard.
 func (c *Cluster) BrowseFeed(uid profile.UserID, slots int) ([]ad.Impression, error) {
-	s, err := c.owner(uid)
-	if err != nil {
-		return nil, err
-	}
-	return s.BrowseFeed(uid, slots)
+	return routeMutation(c, uid, func(s Shard) ([]ad.Impression, error) {
+		return s.BrowseFeed(uid, slots)
+	})
 }
 
 // Feed returns the user's full feed from the owning shard (nil when the
 // shard is unavailable).
 func (c *Cluster) Feed(uid profile.UserID) []ad.Impression {
-	s, err := c.owner(uid)
-	if err != nil {
-		return nil
-	}
-	return s.Feed(uid)
+	imps, _ := routeRead(c, uid, func(s Shard) ([]ad.Impression, error) {
+		return s.Feed(uid), nil
+	})
+	return imps
 }
 
 // VisitPage records a pixel fire on the user's shard. Pixels are
 // replicated, so the shard resolves the pixel locally.
 func (c *Cluster) VisitPage(uid profile.UserID, px pixel.PixelID) error {
-	s, err := c.owner(uid)
-	if err != nil {
-		return err
-	}
-	return s.VisitPage(uid, px)
+	_, err := routeMutation(c, uid, func(s Shard) (struct{}, error) {
+		return struct{}{}, s.VisitPage(uid, px)
+	})
+	return err
 }
 
 // LikePage records a page like on the user's shard.
 func (c *Cluster) LikePage(uid profile.UserID, pageID string) error {
-	s, err := c.owner(uid)
-	if err != nil {
-		return err
-	}
-	return s.LikePage(uid, pageID)
+	_, err := routeMutation(c, uid, func(s Shard) (struct{}, error) {
+		return struct{}{}, s.LikePage(uid, pageID)
+	})
+	return err
 }
 
 // AdPreferences returns the transparency-page attributes from the user's
 // shard.
 func (c *Cluster) AdPreferences(uid profile.UserID) ([]attr.ID, error) {
-	s, err := c.owner(uid)
-	if err != nil {
-		return nil, err
-	}
-	return s.AdPreferences(uid)
+	return routeRead(c, uid, func(s Shard) ([]attr.ID, error) {
+		return s.AdPreferences(uid)
+	})
 }
 
 // AdvertisersTargetingMe answers from the user's shard; campaigns and
 // audiences are replicated, and the user's custom-data memberships live
 // where the user lives.
 func (c *Cluster) AdvertisersTargetingMe(uid profile.UserID) ([]string, error) {
-	s, err := c.owner(uid)
-	if err != nil {
-		return nil, err
-	}
-	return s.AdvertisersTargetingMe(uid)
+	return routeRead(c, uid, func(s Shard) ([]string, error) {
+		return s.AdvertisersTargetingMe(uid)
+	})
 }
 
 // ExplainImpression generates the "why am I seeing this?" text on the
 // user's shard.
 func (c *Cluster) ExplainImpression(uid profile.UserID, imp ad.Impression) (explain.Explanation, error) {
-	s, err := c.owner(uid)
-	if err != nil {
-		return explain.Explanation{}, err
-	}
-	return s.ExplainImpression(uid, imp)
+	return routeRead(c, uid, func(s Shard) (explain.Explanation, error) {
+		return s.ExplainImpression(uid, imp)
+	})
 }
 
 // --- advertiser-scoped mutations: replicate to every shard ---
@@ -264,19 +400,21 @@ func (c *Cluster) ExplainImpression(uid profile.UserID, imp ad.Impression) (expl
 func replicate[T comparable](c *Cluster, opName string, op func(Shard) (T, error)) (T, error) {
 	c.repMu.Lock()
 	defer c.repMu.Unlock()
+	shards, _ := c.membership()
 	// A shard whose transport is down cannot apply the mutation; applying
 	// it to the others anyway would fork the replicated advertiser state
 	// (the per-shard ID counters would drift). Refuse up front with the
 	// typed error so callers can retry the whole mutation once the shard
-	// is back.
-	if err := c.checkAllHealthy(); err != nil {
+	// is back. For replica sets "down" means the owner is down: followers
+	// receive the mutation through journal shipping, not directly.
+	if err := checkAllWriteHealthy(shards); err != nil {
 		var zero T
 		return zero, fmt.Errorf("cluster: %s: %w", opName, err)
 	}
 	c.m.replicatedOps.Inc()
 	var first T
 	var firstErr error
-	for i, s := range c.shards {
+	for i, s := range shards {
 		v, err := op(s)
 		if i == 0 {
 			first, firstErr = v, err
@@ -373,12 +511,13 @@ func (c *Cluster) IssuePixel(advertiser string) (pixel.PixelID, error) {
 // With every shard down it falls back to shard 0 — the caller's call will
 // then surface that shard's transport error rather than a nil-deref here.
 func (c *Cluster) replicatedReader() Shard {
-	for i := range c.shards {
-		if c.healthy(i) {
-			return c.shards[i]
+	shards, _ := c.membership()
+	for _, s := range shards {
+		if shardHealthy(s) {
+			return s
 		}
 	}
-	return c.shards[0]
+	return shards[0]
 }
 
 // Catalog returns the attribute catalog (identical on every shard).
@@ -393,11 +532,16 @@ func (c *Cluster) SearchAttributes(query string) []*attr.Attribute {
 // the shard's insertion order (matching the bare platform); with more
 // shards there is no global insertion order, so IDs come back sorted.
 func (c *Cluster) Users() []profile.UserID {
-	if len(c.shards) == 1 {
-		return c.shards[0].Users()
+	shards, release, err := c.gatherView()
+	if err != nil {
+		return nil
 	}
-	perShard := make([][]profile.UserID, len(c.shards))
-	_ = c.gather(context.Background(), func(_ context.Context, i int, s Shard) error {
+	defer release()
+	if len(shards) == 1 {
+		return shards[0].Users()
+	}
+	perShard := make([][]profile.UserID, len(shards))
+	_ = c.gather(context.Background(), shards, func(_ context.Context, i int, s Shard) error {
 		perShard[i] = s.Users()
 		return nil
 	})
@@ -427,9 +571,10 @@ type compactor interface {
 // progress indicator, not a global order. Clusters with no journaled
 // shards return 0.
 func (c *Cluster) Compact() (uint64, error) {
+	shards, _ := c.membership()
 	var minLSN uint64
 	seen := false
-	for i, s := range c.shards {
+	for i, s := range shards {
 		jc, ok := s.(compactor)
 		if !ok {
 			continue
@@ -449,9 +594,10 @@ func (c *Cluster) Compact() (uint64, error) {
 // LastLSN returns the minimum last-journaled LSN across journaled shards
 // (0 if none are journaled) — the same conservative reading Compact uses.
 func (c *Cluster) LastLSN() uint64 {
+	shards, _ := c.membership()
 	var minLSN uint64
 	seen := false
-	for _, s := range c.shards {
+	for _, s := range shards {
 		jc, ok := s.(compactor)
 		if !ok {
 			continue
@@ -468,8 +614,9 @@ func (c *Cluster) LastLSN() uint64 {
 // close their journals). The first error wins; remaining shards still get
 // closed.
 func (c *Cluster) Close() error {
+	shards, _ := c.membership()
 	var firstErr error
-	for i, s := range c.shards {
+	for i, s := range shards {
 		cl, ok := s.(interface{ Close() error })
 		if !ok {
 			continue

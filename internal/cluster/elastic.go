@@ -1,0 +1,690 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/rpc"
+	"github.com/treads-project/treads/internal/stats"
+)
+
+// Live resharding moves a user range between shards without stopping the
+// cluster. The protocol (documented in docs/DESIGN.md, "Elastic cluster"):
+//
+//  1. Bootstrap — a joining shard is installed with the advertiser
+//     skeleton (StripUsersState of a live shard's snapshot) so replicated
+//     config and ID counters match before any user moves. Re-running the
+//     bootstrap wipes a previous failed attempt's partial imports.
+//  2. Bulk copy — with writes still flowing, each moving user range is
+//     exported in bounded chunks and imported on the destination
+//     (journaled ops on both sides). Writes that land during the copy are
+//     recorded in a dirty set.
+//  3. Fence + delta + flip — user writes and aggregate reads are fenced
+//     for a short cutover window; dirty users that move are re-copied,
+//     membership flips to a new ring version, and the sources drop the
+//     moved users. No write can land on a source after its final export,
+//     so no acknowledged mutation is lost, and aggregates never observe a
+//     user on two shards.
+//
+// A failed source removal after the flip does not roll back (the
+// destination already owns the range); it parks in a pending set that
+// gates aggregates until ResumeReshard retries it.
+
+// migrationChunkSize bounds users per state-transfer chunk, keeping each
+// exported chunk well under the RPC body limit.
+const migrationChunkSize = 512
+
+// ErrMigrationUnsupported is returned when a shard cannot take part in
+// live resharding: only journaled platforms (and replica sets over them)
+// have the atomic snapshot + journaled import/remove ops the protocol
+// needs.
+var ErrMigrationUnsupported = errors.New("cluster: shard does not support live migration (journaled shards only)")
+
+// ErrReshardIncomplete gates aggregate reads while a source shard still
+// holds users that were cut over to another shard — counting them would
+// double-report reach and spend. ResumeReshard clears it.
+var ErrReshardIncomplete = errors.New("cluster: reshard incomplete: a source shard still holds moved users (run ResumeReshard)")
+
+// migrator is the per-shard capability surface live resharding needs;
+// *platform.Journaled and *ReplicaSet satisfy it, and *RemoteShard
+// forwards it over RPC.
+type migrator interface {
+	ExportUsers([]profile.UserID) (platform.MigrationChunk, error)
+	ImportUsers(platform.MigrationChunk) error
+	RemoveUsers([]profile.UserID) error
+	InstallState(platform.State) error
+	SyncState() (platform.State, error)
+}
+
+var (
+	_ migrator = (*platform.Journaled)(nil)
+	_ migrator = (*ReplicaSet)(nil)
+	_ migrator = (*RemoteShard)(nil)
+)
+
+// ReshardReport summarizes a completed membership change.
+type ReshardReport struct {
+	// UsersMoved is how many distinct users changed shards.
+	UsersMoved int
+	// Cutover is the length of the write-fence window — the only period
+	// during which user writes and aggregate reads blocked.
+	Cutover time.Duration
+	// Version is the membership version the change installed.
+	Version uint64
+}
+
+// pendingRemoval is a post-cutover source cleanup that failed and must be
+// retried before aggregates are exact again.
+type pendingRemoval struct {
+	shard Shard
+	users []profile.UserID
+}
+
+func (c *Cluster) removalsSettled() error {
+	c.pendMu.Lock()
+	defer c.pendMu.Unlock()
+	if len(c.pending) > 0 {
+		return ErrReshardIncomplete
+	}
+	return nil
+}
+
+// MigrationStatus reports whether a reshard is in flight and how many
+// source removals are still pending from a completed cutover.
+func (c *Cluster) MigrationStatus() (active bool, pendingRemovals int) {
+	c.pendMu.Lock()
+	n := len(c.pending)
+	c.pendMu.Unlock()
+	return c.migActive.Load(), n
+}
+
+// LastReshard returns the most recent completed reshard's report (zero
+// value if none has run).
+func (c *Cluster) LastReshard() ReshardReport {
+	c.lastMu.Lock()
+	defer c.lastMu.Unlock()
+	return c.lastReshard
+}
+
+// beginDeltaTracking arms the dirty set and drains in-flight unfenced
+// writes: any write that began before the flag was visible finishes (the
+// write barrier waits for all fence readers), and every later write
+// records its user.
+func (c *Cluster) beginDeltaTracking() {
+	c.migActive.Store(true)
+	c.wmu.Lock()
+	//lint:ignore SA2001 empty critical section is the barrier: all writes
+	// that predate migActive have drained when the write lock is acquired.
+	c.wmu.Unlock()
+}
+
+func (c *Cluster) endDeltaTracking() {
+	c.migActive.Store(false)
+	c.dirtyMu.Lock()
+	c.dirty = nil
+	c.dirtyMu.Unlock()
+}
+
+func (c *Cluster) takeDirty() map[profile.UserID]struct{} {
+	c.dirtyMu.Lock()
+	defer c.dirtyMu.Unlock()
+	d := c.dirty
+	c.dirty = nil
+	return d
+}
+
+// AddShard grows the cluster by one shard, live: the joining shard is
+// bootstrapped with the advertiser skeleton, the user ranges the new ring
+// assigns to it are streamed over in chunks while writes keep flowing, and
+// a short write fence covers the final delta copy, the membership flip,
+// and the source-side removals. On success the new membership version is
+// pushed best-effort to every shard that accepts ring pushes.
+//
+// The replication lock is held end to end, so no advertiser mutation can
+// land between the skeleton bootstrap and the flip and leave the joiner's
+// replicated config behind.
+func (c *Cluster) AddShard(newShard Shard) (ReshardReport, error) {
+	c.repMu.Lock()
+	defer c.repMu.Unlock()
+	if err := c.removalsSettled(); err != nil {
+		return ReshardReport{}, err
+	}
+
+	shards, oldRing := c.membership()
+	n := len(shards)
+	srcs := make([]migrator, n)
+	for i, s := range shards {
+		m, ok := s.(migrator)
+		if !ok {
+			return ReshardReport{}, fmt.Errorf("cluster: shard %d: %w", i, ErrMigrationUnsupported)
+		}
+		srcs[i] = m
+	}
+	dest, ok := newShard.(migrator)
+	if !ok {
+		return ReshardReport{}, fmt.Errorf("cluster: joining shard: %w", ErrMigrationUnsupported)
+	}
+	if rs, ok := newShard.(*ReplicaSet); ok {
+		rs.bindMetrics(&c.m.replica)
+	}
+	newRing := NewRing(n+1, c.vnodes)
+
+	fail := func(stage string, err error) (ReshardReport, error) {
+		c.m.reshardFailures.Inc()
+		return ReshardReport{}, fmt.Errorf("cluster: add shard: %s: %w", stage, err)
+	}
+
+	// Bootstrap the joiner: advertiser skeleton, no users, a seed drawn
+	// from a fresh stream so its auction randomness never collides with a
+	// live shard's. InstallState replaces everything, wiping any partial
+	// imports a previous failed attempt left behind.
+	st, err := srcs[0].SyncState()
+	if err != nil {
+		return fail("snapshotting shard 0", err)
+	}
+	seed := stats.SubSeed(stats.SubSeed(st.Seed, uint64(n)), c.Version())
+	if err := dest.InstallState(platform.StripUsersState(st, seed)); err != nil {
+		return fail("bootstrapping joining shard", err)
+	}
+
+	c.beginDeltaTracking()
+	defer c.endDeltaTracking()
+
+	// Phase 1: bulk copy, writes still flowing. Consistent hashing moves
+	// keys only toward the new slot, so each source's moving set is what
+	// the new ring assigns to slot n.
+	removal := make([]map[profile.UserID]struct{}, n)
+	moved := 0
+	for i, s := range shards {
+		var list []profile.UserID
+		for _, u := range s.Users() {
+			if newRing.Owner(string(u)) == n {
+				list = append(list, u)
+			}
+		}
+		if len(list) == 0 {
+			continue
+		}
+		if err := copyUsers(srcs[i], dest, list); err != nil {
+			return fail(fmt.Sprintf("copying %d users from shard %d", len(list), i), err)
+		}
+		removal[i] = make(map[profile.UserID]struct{}, len(list))
+		for _, u := range list {
+			removal[i][u] = struct{}{}
+		}
+		moved += len(list)
+	}
+
+	// Phase 2: fence writes and aggregates, re-copy what changed during
+	// the bulk pass, flip membership, drop the moved users from sources.
+	c.wmu.Lock()
+	fenceStart := time.Now()
+	deltaBySrc := make(map[int][]profile.UserID)
+	for u := range c.takeDirty() {
+		if newRing.Owner(string(u)) != n {
+			continue
+		}
+		deltaBySrc[oldRing.Owner(string(u))] = append(deltaBySrc[oldRing.Owner(string(u))], u)
+	}
+	for i, users := range deltaBySrc {
+		sortUsers(users)
+		if err := copyUsers(srcs[i], dest, users); err != nil {
+			c.wmu.Unlock()
+			return fail(fmt.Sprintf("delta-copying %d users from shard %d", len(users), i), err)
+		}
+		if removal[i] == nil {
+			removal[i] = make(map[profile.UserID]struct{}, len(users))
+		}
+		for _, u := range users {
+			if _, dup := removal[i][u]; !dup {
+				removal[i][u] = struct{}{}
+				moved++
+			}
+		}
+	}
+
+	c.mu.Lock()
+	c.shards = append(append([]Shard(nil), shards...), newShard)
+	c.ring = newRing
+	c.version++
+	ver := c.version
+	c.mu.Unlock()
+	c.m.ensureShards(n + 1)
+
+	// Source removals stay inside the fence: between the flip and the
+	// removal a moved user exists on two shards, and the fence is what
+	// keeps aggregates from seeing that. A failed removal rolls forward —
+	// the destination owns the range either way — parking in the pending
+	// set that gates aggregates until ResumeReshard drains it.
+	for i, set := range removal {
+		if len(set) == 0 {
+			continue
+		}
+		users := setToSorted(set)
+		if err := srcs[i].RemoveUsers(users); err != nil {
+			c.pendMu.Lock()
+			c.pending = append(c.pending, pendingRemoval{shard: shards[i], users: users})
+			c.pendMu.Unlock()
+			c.m.reshardFailures.Inc()
+		}
+	}
+	cutover := time.Since(fenceStart)
+	c.wmu.Unlock()
+
+	c.m.reshardTotal.Inc()
+	c.m.reshardUsersMoved.Add(uint64(moved))
+	c.m.reshardCutover.Observe(cutover)
+	rep := ReshardReport{UsersMoved: moved, Cutover: cutover, Version: ver}
+	c.lastMu.Lock()
+	c.lastReshard = rep
+	c.lastMu.Unlock()
+	c.pushRing(context.Background())
+	return rep, nil
+}
+
+// RemoveShard shrinks the cluster by one shard (the last slot — the ring's
+// vnode labels are index-based, so membership is a stack), streaming the
+// victim's users to their new owners under the same bulk + fence protocol
+// AddShard uses. The victim is left cleaned best-effort; it is out of the
+// membership either way, so a failed cleanup cannot skew aggregates.
+func (c *Cluster) RemoveShard() (ReshardReport, error) {
+	c.repMu.Lock()
+	defer c.repMu.Unlock()
+	if err := c.removalsSettled(); err != nil {
+		return ReshardReport{}, err
+	}
+
+	shards, oldRing := c.membership()
+	n := len(shards)
+	if n == 1 {
+		return ReshardReport{}, fmt.Errorf("cluster: cannot remove the last shard")
+	}
+	victimSlot := n - 1
+	victim, ok := shards[victimSlot].(migrator)
+	if !ok {
+		return ReshardReport{}, fmt.Errorf("cluster: shard %d: %w", victimSlot, ErrMigrationUnsupported)
+	}
+	dests := make([]migrator, victimSlot)
+	for i := 0; i < victimSlot; i++ {
+		m, ok := shards[i].(migrator)
+		if !ok {
+			return ReshardReport{}, fmt.Errorf("cluster: shard %d: %w", i, ErrMigrationUnsupported)
+		}
+		dests[i] = m
+	}
+	newRing := NewRing(victimSlot, c.vnodes)
+
+	fail := func(stage string, err error) (ReshardReport, error) {
+		c.m.reshardFailures.Inc()
+		return ReshardReport{}, fmt.Errorf("cluster: remove shard: %s: %w", stage, err)
+	}
+
+	c.beginDeltaTracking()
+	defer c.endDeltaTracking()
+
+	// Phase 1: copy the victim's users to their new owners. Only keys on
+	// the victim move — the remaining slots' vnode positions are unchanged.
+	seen := make(map[profile.UserID]struct{})
+	byDest := make(map[int][]profile.UserID)
+	for _, u := range shards[victimSlot].Users() {
+		byDest[newRing.Owner(string(u))] = append(byDest[newRing.Owner(string(u))], u)
+		seen[u] = struct{}{}
+	}
+	for _, d := range sortedKeys(byDest) {
+		if err := copyUsers(victim, dests[d], byDest[d]); err != nil {
+			return fail(fmt.Sprintf("copying %d users to shard %d", len(byDest[d]), d), err)
+		}
+	}
+
+	// Phase 2: fence, delta, flip.
+	c.wmu.Lock()
+	fenceStart := time.Now()
+	deltaByDest := make(map[int][]profile.UserID)
+	for u := range c.takeDirty() {
+		if oldRing.Owner(string(u)) != victimSlot {
+			continue
+		}
+		deltaByDest[newRing.Owner(string(u))] = append(deltaByDest[newRing.Owner(string(u))], u)
+		seen[u] = struct{}{}
+	}
+	for _, d := range sortedKeys(deltaByDest) {
+		users := deltaByDest[d]
+		sortUsers(users)
+		if err := copyUsers(victim, dests[d], users); err != nil {
+			c.wmu.Unlock()
+			return fail(fmt.Sprintf("delta-copying %d users to shard %d", len(users), d), err)
+		}
+	}
+
+	c.mu.Lock()
+	c.shards = append([]Shard(nil), shards[:victimSlot]...)
+	c.ring = newRing
+	c.version++
+	ver := c.version
+	c.mu.Unlock()
+
+	// Best-effort victim cleanup; it is out of the membership, so failure
+	// here cannot double-count, and a later AddShard re-bootstrap wipes it.
+	_ = victim.RemoveUsers(setToSorted(seen))
+	cutover := time.Since(fenceStart)
+	c.wmu.Unlock()
+
+	moved := len(seen)
+	c.m.reshardTotal.Inc()
+	c.m.reshardUsersMoved.Add(uint64(moved))
+	c.m.reshardCutover.Observe(cutover)
+	rep := ReshardReport{UsersMoved: moved, Cutover: cutover, Version: ver}
+	c.lastMu.Lock()
+	c.lastReshard = rep
+	c.lastMu.Unlock()
+	c.pushRing(context.Background())
+	return rep, nil
+}
+
+// ResumeReshard retries the source-side removals a cutover left pending.
+// Removals are idempotent (removing an already-removed user is a no-op),
+// so a crash between retry and bookkeeping is safe to re-run.
+func (c *Cluster) ResumeReshard() error {
+	c.pendMu.Lock()
+	defer c.pendMu.Unlock()
+	var remaining []pendingRemoval
+	var firstErr error
+	for _, p := range c.pending {
+		m, ok := p.shard.(migrator)
+		if !ok {
+			// Cannot happen for shards that reached the pending set, but
+			// never drop users silently.
+			remaining = append(remaining, p)
+			continue
+		}
+		if err := m.RemoveUsers(p.users); err != nil {
+			remaining = append(remaining, p)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+	}
+	c.pending = remaining
+	if firstErr != nil {
+		return fmt.Errorf("cluster: resuming reshard: %w", firstErr)
+	}
+	return nil
+}
+
+// copyUsers streams users src→dest in bounded chunks. Export is a
+// consistent read, import a journaled replace — re-copying a user is
+// idempotent, which is what makes the delta pass safe.
+func copyUsers(src, dest migrator, users []profile.UserID) error {
+	for start := 0; start < len(users); start += migrationChunkSize {
+		end := start + migrationChunkSize
+		if end > len(users) {
+			end = len(users)
+		}
+		chunk, err := src.ExportUsers(users[start:end])
+		if err != nil {
+			return fmt.Errorf("exporting: %w", err)
+		}
+		if err := dest.ImportUsers(chunk); err != nil {
+			return fmt.Errorf("importing: %w", err)
+		}
+	}
+	return nil
+}
+
+func sortUsers(users []profile.UserID) {
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+}
+
+func setToSorted(set map[profile.UserID]struct{}) []profile.UserID {
+	out := make([]profile.UserID, 0, len(set))
+	for u := range set {
+		out = append(out, u)
+	}
+	sortUsers(out)
+	return out
+}
+
+func sortedKeys(m map[int][]profile.UserID) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// --- membership refresh (router side) ---
+
+// Membership is a resolved view of cluster membership: the shard handles
+// in slot order plus the ring geometry they were built under.
+type Membership struct {
+	Version      uint64
+	VirtualNodes int
+	Shards       []Shard
+}
+
+// MembershipSource resolves current membership when a shard refuses a call
+// with a stale-ring error. RemoteMembershipSource queries shard nodes; a
+// test source can hand back memberships directly.
+type MembershipSource interface {
+	Fetch() (Membership, error)
+}
+
+// SetMembershipSource installs the refresher used to recover from
+// rpc.ErrStaleRing refusals.
+func (c *Cluster) SetMembershipSource(src MembershipSource) {
+	c.srcMu.Lock()
+	c.src = src
+	c.srcMu.Unlock()
+}
+
+// RefreshMembership fetches membership from the configured source and
+// installs it if it is newer than what the router holds.
+func (c *Cluster) RefreshMembership() error {
+	c.srcMu.Lock()
+	src := c.src
+	c.srcMu.Unlock()
+	if src == nil {
+		return errors.New("cluster: no membership source configured")
+	}
+	m, err := src.Fetch()
+	if err != nil {
+		return fmt.Errorf("cluster: fetching membership: %w", err)
+	}
+	return c.installMembership(m)
+}
+
+func (c *Cluster) installMembership(m Membership) error {
+	if len(m.Shards) == 0 {
+		return errors.New("cluster: refusing empty membership")
+	}
+	c.mu.Lock()
+	if m.Version <= c.version {
+		// Already current (or the source is behind us); nothing to do.
+		c.mu.Unlock()
+		return nil
+	}
+	c.shards = append([]Shard(nil), m.Shards...)
+	c.ring = NewRing(len(m.Shards), m.VirtualNodes)
+	c.version = m.Version
+	c.vnodes = m.VirtualNodes
+	n := len(m.Shards)
+	c.mu.Unlock()
+	c.m.ensureShards(n)
+	for _, s := range m.Shards {
+		if rs, ok := s.(*ReplicaSet); ok {
+			rs.bindMetrics(&c.m.replica)
+		}
+	}
+	return nil
+}
+
+// RemoteMembershipSource resolves membership by asking shard nodes for the
+// ring they serve, in seed order, and dialing the advertised addresses.
+// Dial should reuse cached clients per address — a refresh must not leak a
+// connection pool per call.
+type RemoteMembershipSource struct {
+	// Seeds are queried in order; the first reachable answer wins.
+	Seeds []*rpc.Client
+	// Dial turns one advertised slot (owner address plus replicas) into a
+	// routable Shard — typically a RemoteShard, or a ReplicaSet over
+	// RemoteShards when the slot has replicas.
+	Dial func(info rpc.ShardInfo) Shard
+	// Timeout bounds each seed query; <= 0 selects 5s.
+	Timeout time.Duration
+}
+
+// Fetch implements MembershipSource.
+func (s *RemoteMembershipSource) Fetch() (Membership, error) {
+	timeout := s.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	var firstErr error
+	for _, seed := range s.Seeds {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		ri, err := seed.FetchRing(ctx)
+		cancel()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		shards := make([]Shard, len(ri.Shards))
+		for i, si := range ri.Shards {
+			shards[i] = s.Dial(si)
+		}
+		return Membership{Version: ri.Version, VirtualNodes: ri.VirtualNodes, Shards: shards}, nil
+	}
+	if firstErr == nil {
+		firstErr = errors.New("no membership seeds configured")
+	}
+	return Membership{}, fmt.Errorf("cluster: no seed answered a ring query: %w", firstErr)
+}
+
+// --- wire-form membership (gates, pushes, admin) ---
+
+// RingInfo renders current membership in wire form: the input to shard
+// gates, ring pushes, and the admin cluster endpoint.
+func (c *Cluster) RingInfo() rpc.RingInfo {
+	c.mu.RLock()
+	shards, ver := c.shards, c.version
+	vn := c.vnodes
+	c.mu.RUnlock()
+	if vn <= 0 {
+		vn = DefaultVirtualNodes
+	}
+	info := rpc.RingInfo{Version: ver, VirtualNodes: vn}
+	for _, s := range shards {
+		si := rpc.ShardInfo{Addr: shardAddr(s)}
+		if ra, ok := s.(interface{ ReplicaAddrs() []string }); ok {
+			si.Replicas = ra.ReplicaAddrs()
+		}
+		info.Shards = append(info.Shards, si)
+	}
+	return info
+}
+
+// shardAddr returns the shard's dialable address ("" for in-process
+// shards, which never serve a gate).
+func shardAddr(s Shard) string {
+	if a, ok := s.(interface{ Addr() string }); ok {
+		return a.Addr()
+	}
+	return ""
+}
+
+// pushRing best-effort pushes current membership to every shard that
+// accepts ring pushes (remote nodes). Failures are ignored: a node that
+// missed the push answers the next misrouted call with a stale-ring
+// refusal, and the router's refresh path converges it.
+func (c *Cluster) pushRing(ctx context.Context) {
+	info := c.RingInfo()
+	shards, _ := c.membership()
+	for _, s := range shards {
+		if p, ok := s.(interface {
+			PushRing(context.Context, rpc.RingInfo) error
+		}); ok {
+			_ = p.PushRing(ctx, info)
+		}
+	}
+}
+
+// --- shard-side membership gate ---
+
+// Gate is the shard-node side of ring versioning: it answers "do I serve
+// this user under the membership I hold?" for every user-scoped RPC, and
+// accepts monotonic ring pushes. It implements rpc.MembershipGate; wire it
+// with rpc.Server.SetGate.
+type Gate struct {
+	self string
+
+	mu   sync.Mutex
+	info rpc.RingInfo
+	ring *Ring
+}
+
+var _ rpc.MembershipGate = (*Gate)(nil)
+
+// NewGate builds a gate for the node advertised as self (the exact address
+// the router publishes in ring pushes), holding initial membership.
+func NewGate(self string, initial rpc.RingInfo) (*Gate, error) {
+	g := &Gate{self: self}
+	if err := g.SetRing(initial); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// OwnsUser reports whether this node serves the user under the held ring:
+// the owning slot's address, or one of its replica addresses (replicas
+// serve failover reads; write refusal is the platform follower's job).
+func (g *Gate) OwnsUser(user string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	slot := g.ring.Owner(user)
+	si := g.info.Shards[slot]
+	if si.Addr == g.self {
+		return nil
+	}
+	for _, r := range si.Replicas {
+		if r == g.self {
+			return nil
+		}
+	}
+	return fmt.Errorf("user %q belongs to shard %d (%s) under ring version %d, not to %s", user, slot, si.Addr, g.info.Version, g.self)
+}
+
+// Ring returns the membership this node serves.
+func (g *Gate) Ring() rpc.RingInfo {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.info
+}
+
+// SetRing installs pushed membership. Versions never move backwards; an
+// equal version is accepted idempotently.
+func (g *Gate) SetRing(info rpc.RingInfo) error {
+	if len(info.Shards) == 0 {
+		return errors.New("cluster: gate: refusing empty membership")
+	}
+	if info.Version == 0 {
+		return errors.New("cluster: gate: refusing membership version 0 (versions start at 1)")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if info.Version < g.info.Version {
+		return fmt.Errorf("cluster: gate: stale membership push: holding version %d, got %d", g.info.Version, info.Version)
+	}
+	g.info = info
+	g.ring = NewRing(len(info.Shards), info.VirtualNodes)
+	return nil
+}

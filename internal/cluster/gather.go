@@ -22,31 +22,74 @@ import (
 var ErrShardUnavailable = errors.New("cluster: shard unavailable")
 
 // HealthReporter is implemented by shards that know their own liveness —
-// RemoteShard reports its peer's circuit-breaker state. Shards that do not
-// implement it (in-process platforms) are always considered healthy.
+// RemoteShard reports its peer's circuit-breaker state, and a ReplicaSet
+// reports whether any member can serve. Shards that do not implement it
+// (in-process platforms) are always considered healthy.
 type HealthReporter interface {
 	Healthy() bool
 }
 
-// healthy reports whether shard i is currently serviceable.
-func (c *Cluster) healthy(i int) bool {
-	if hr, ok := c.shards[i].(HealthReporter); ok {
+// WriteHealthReporter refines HealthReporter for shards where reads and
+// writes have different availability: a ReplicaSet with a dead owner still
+// serves reads from followers but cannot accept writes until a promotion.
+type WriteHealthReporter interface {
+	WriteHealthy() bool
+}
+
+// shardHealthy reports whether the shard can serve anything at all.
+func shardHealthy(s Shard) bool {
+	if hr, ok := s.(HealthReporter); ok {
 		return hr.Healthy()
 	}
 	return true
 }
 
+// shardWriteHealthy reports whether the shard can accept mutations.
+func shardWriteHealthy(s Shard) bool {
+	if wr, ok := s.(WriteHealthReporter); ok {
+		return wr.WriteHealthy()
+	}
+	return shardHealthy(s)
+}
+
 // checkAllHealthy returns ErrShardUnavailable (wrapped with the shard
-// index) if any shard's transport is down. Exact scatter-gather and
-// ordered replication both need every shard; failing fast here beats
-// burning the full call deadline against a peer known to be dead.
-func (c *Cluster) checkAllHealthy() error {
-	for i := range c.shards {
-		if !c.healthy(i) {
+// index) if any shard's transport is down. Exact scatter-gather needs
+// every shard; failing fast here beats burning the full call deadline
+// against a peer known to be dead.
+func checkAllHealthy(shards []Shard) error {
+	for i, s := range shards {
+		if !shardHealthy(s) {
 			return fmt.Errorf("shard %d: %w", i, ErrShardUnavailable)
 		}
 	}
 	return nil
+}
+
+// checkAllWriteHealthy is checkAllHealthy for the replication path, which
+// needs every shard to accept a mutation.
+func checkAllWriteHealthy(shards []Shard) error {
+	for i, s := range shards {
+		if !shardWriteHealthy(s) {
+			return fmt.Errorf("shard %d: %w", i, ErrShardUnavailable)
+		}
+	}
+	return nil
+}
+
+// gatherView pins a consistent membership snapshot for an aggregate read.
+// It holds the reshard fence read-side (released by the returned func), so
+// the snapshot cannot straddle a cutover — the window in which a migrating
+// user briefly exists on two shards — and it refuses while a finished
+// cutover still has source removals outstanding, for the same reason:
+// exact totals require each user counted exactly once.
+func (c *Cluster) gatherView() ([]Shard, func(), error) {
+	c.wmu.RLock()
+	if err := c.removalsSettled(); err != nil {
+		c.wmu.RUnlock()
+		return nil, nil, err
+	}
+	shards, _ := c.membership()
+	return shards, c.wmu.RUnlock, nil
 }
 
 // gather runs fn once per shard with at most c.workers concurrent calls
@@ -58,19 +101,19 @@ func (c *Cluster) checkAllHealthy() error {
 // open fails the gather up front with ErrShardUnavailable rather than
 // returning silently wrong totals. Wall time for the whole fan-out —
 // dominated by the slowest shard — lands in cluster_gather_seconds.
-func (c *Cluster) gather(ctx context.Context, fn func(ctx context.Context, i int, s Shard) error) error {
+func (c *Cluster) gather(ctx context.Context, shards []Shard, fn func(ctx context.Context, i int, s Shard) error) error {
 	start := time.Now()
 	defer c.m.gatherSeconds.ObserveSince(start)
-	if err := c.checkAllHealthy(); err != nil {
+	if err := checkAllHealthy(shards); err != nil {
 		return err
 	}
-	if len(c.shards) == 1 {
-		return fn(ctx, 0, c.shards[0])
+	if len(shards) == 1 {
+		return fn(ctx, 0, shards[0])
 	}
 	sem := make(chan struct{}, c.workers)
-	errs := make([]error, len(c.shards))
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
-	for i, s := range c.shards {
+	for i, s := range shards {
 		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int, s Shard) {
@@ -90,8 +133,13 @@ func (c *Cluster) gather(ctx context.Context, fn func(ctx context.Context, i int
 // would report 0 for any audience spread thinner than MinReportableReach
 // per shard and would leak the partition layout through rounding seams.
 func (c *Cluster) PotentialReach(ctx context.Context, advertiser string, spec audience.Spec) (int, error) {
-	counts := make([]int, len(c.shards))
-	err := c.gather(ctx, func(ctx context.Context, i int, s Shard) error {
+	shards, release, err := c.gatherView()
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	counts := make([]int, len(shards))
+	err = c.gather(ctx, shards, func(ctx context.Context, i int, s Shard) error {
 		n, err := s.RawReach(ctx, advertiser, spec)
 		counts[i] = n
 		return err
@@ -115,8 +163,13 @@ func (c *Cluster) PotentialReach(ctx context.Context, advertiser string, spec au
 // per-shard reaches are disjoint (users live on one shard) and impressions
 // and spend are additive.
 func (c *Cluster) Report(ctx context.Context, advertiser, campaignID string) (billing.Report, error) {
-	totals := make([]platform.CampaignTotals, len(c.shards))
-	err := c.gather(ctx, func(ctx context.Context, i int, s Shard) error {
+	shards, release, err := c.gatherView()
+	if err != nil {
+		return billing.Report{}, err
+	}
+	defer release()
+	totals := make([]platform.CampaignTotals, len(shards))
+	err = c.gather(ctx, shards, func(ctx context.Context, i int, s Shard) error {
 		t, err := s.CampaignTotals(ctx, advertiser, campaignID)
 		totals[i] = t
 		return err

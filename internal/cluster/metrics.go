@@ -2,50 +2,135 @@ package cluster
 
 import (
 	"strconv"
+	"sync"
 
 	"github.com/treads-project/treads/internal/obs"
 )
 
 // clusterMetrics is the coordinator's instrumentation. Per-shard counters
 // are resolved into a slice indexed by shard — the routing hot path does a
-// slice load and an atomic add, nothing else. Shard count is fixed at
-// construction, so the label cardinality is too.
+// slice load and an atomic add, nothing else. Membership is elastic, so
+// the slice grows on demand (under a mutex that only the growth path
+// takes; steady-state routing reads a stable prefix).
 type clusterMetrics struct {
-	shardOps      []*obs.Counter // cluster_shard_user_ops_total{shard}, indexed by shard
+	shardVec *obs.CounterVec // nil on the unregistered (noop) path
+
+	shardMu  sync.Mutex
+	shardOps []*obs.Counter // cluster_shard_user_ops_total{shard}, indexed by shard
+
 	replicatedOps *obs.Counter
 	divergence    *obs.Counter
 	gatherSeconds *obs.Histogram
+
+	// Reshard instrumentation: one reshardTotal per completed membership
+	// change, usersMoved accumulated across them, cutoverSeconds observing
+	// only the write-fence window (the availability cost of a reshard).
+	reshardTotal      *obs.Counter
+	reshardUsersMoved *obs.Counter
+	reshardFailures   *obs.Counter
+	reshardCutover    *obs.Histogram
+
+	// Replica-chain instrumentation, shared by every ReplicaSet the
+	// cluster routes through.
+	replica replicaCounters
+}
+
+// replicaCounters instruments replica chains: journal shipping volume and
+// failures on the write path, failover reads and promotions and resyncs on
+// the recovery path.
+type replicaCounters struct {
+	shipRecords   *obs.Counter
+	shipFailures  *obs.Counter
+	failoverReads *obs.Counter
+	promotions    *obs.Counter
+	resyncs       *obs.Counter
+}
+
+func noopReplicaCounters() replicaCounters {
+	return replicaCounters{
+		shipRecords:   obs.NewCounter(),
+		shipFailures:  obs.NewCounter(),
+		failoverReads: obs.NewCounter(),
+		promotions:    obs.NewCounter(),
+		resyncs:       obs.NewCounter(),
+	}
 }
 
 func newClusterMetrics(reg *obs.Registry, shards int) *clusterMetrics {
-	shardOps := reg.CounterVec("cluster_shard_user_ops_total",
-		"User-scoped operations routed to each shard; skew here means skew on the consistent-hash ring.",
-		"shard")
 	m := &clusterMetrics{
-		shardOps: make([]*obs.Counter, shards),
+		shardVec: reg.CounterVec("cluster_shard_user_ops_total",
+			"User-scoped operations routed to each shard; skew here means skew on the consistent-hash ring.",
+			"shard"),
 		replicatedOps: reg.Counter("cluster_replicated_ops_total",
 			"Advertiser-scoped mutations replicated to every shard."),
 		divergence: reg.Counter("cluster_replication_divergence_total",
 			"Replicated mutations on which a shard disagreed with shard 0. Any nonzero value means drifted shard state."),
 		gatherSeconds: reg.Histogram("cluster_gather_seconds",
 			"Scatter-gather fan-out time for cluster-wide reads (reach, reports, user listing)."),
+		reshardTotal: reg.Counter("cluster_reshard_total",
+			"Completed membership changes (shard additions and removals)."),
+		reshardUsersMoved: reg.Counter("cluster_reshard_users_moved_total",
+			"Users migrated between shards across all reshards."),
+		reshardFailures: reg.Counter("cluster_reshard_failures_total",
+			"Resharding attempts that failed before cutover, plus post-cutover removals that needed ResumeReshard."),
+		reshardCutover: reg.Histogram("cluster_reshard_cutover_seconds",
+			"Duration of the reshard write fence — the window during which user writes and aggregate reads block."),
+		replica: replicaCounters{
+			shipRecords: reg.Counter("cluster_replica_ship_records_total",
+				"Journal records shipped owner-to-follower across all replica chains."),
+			shipFailures: reg.Counter("cluster_replica_ship_failures_total",
+				"Journal records a follower failed to apply; the originating write is reported indeterminate."),
+			failoverReads: reg.Counter("cluster_replica_failover_reads_total",
+				"User-scoped reads served by a follower because the shard owner was unavailable."),
+			promotions: reg.Counter("cluster_replica_promotions_total",
+				"Followers promoted to shard owner after an owner failure."),
+			resyncs: reg.Counter("cluster_replica_resyncs_total",
+				"Followers re-synchronized from their owner (journal tail replay or full state reinstall)."),
+		},
 	}
-	for i := range m.shardOps {
-		m.shardOps[i] = shardOps.With(strconv.Itoa(i))
-	}
+	m.ensureShards(shards)
 	return m
 }
 
 // noopClusterMetrics returns standalone, unregistered metrics.
 func noopClusterMetrics(shards int) *clusterMetrics {
 	m := &clusterMetrics{
-		shardOps:      make([]*obs.Counter, shards),
-		replicatedOps: obs.NewCounter(),
-		divergence:    obs.NewCounter(),
-		gatherSeconds: obs.NewHistogram(),
+		replicatedOps:     obs.NewCounter(),
+		divergence:        obs.NewCounter(),
+		gatherSeconds:     obs.NewHistogram(),
+		reshardTotal:      obs.NewCounter(),
+		reshardUsersMoved: obs.NewCounter(),
+		reshardFailures:   obs.NewCounter(),
+		reshardCutover:    obs.NewHistogram(),
+		replica:           noopReplicaCounters(),
 	}
-	for i := range m.shardOps {
-		m.shardOps[i] = obs.NewCounter()
-	}
+	m.ensureShards(shards)
 	return m
+}
+
+// ensureShards grows the per-shard counter slice to cover n shards.
+func (m *clusterMetrics) ensureShards(n int) {
+	m.shardMu.Lock()
+	defer m.shardMu.Unlock()
+	for i := len(m.shardOps); i < n; i++ {
+		if m.shardVec != nil {
+			m.shardOps = append(m.shardOps, m.shardVec.With(strconv.Itoa(i)))
+		} else {
+			m.shardOps = append(m.shardOps, obs.NewCounter())
+		}
+	}
+}
+
+// shardOp returns shard i's routed-ops counter, growing the slice if a
+// membership change outran it.
+func (m *clusterMetrics) shardOp(i int) *obs.Counter {
+	m.shardMu.Lock()
+	if i >= len(m.shardOps) {
+		m.shardMu.Unlock()
+		m.ensureShards(i + 1)
+		m.shardMu.Lock()
+	}
+	c := m.shardOps[i]
+	m.shardMu.Unlock()
+	return c
 }

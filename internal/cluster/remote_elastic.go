@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"context"
+
+	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/rpc"
+)
+
+// Elastic-membership surface of RemoteShard: the migration, shipping, and
+// ring-push calls a coordinator drives against a networked shard. Like the
+// rest of the Shard surface, context-free signatures run under
+// context.Background() with the client's per-call timeout as the bound.
+
+// Addr returns the peer's dialable base URL — the identity shards carry in
+// ring pushes and admin listings.
+func (r *RemoteShard) Addr() string { return r.c.BaseURL() }
+
+// ExportUsers extracts the given users' state from the peer.
+func (r *RemoteShard) ExportUsers(users []profile.UserID) (platform.MigrationChunk, error) {
+	return r.c.ExportUsers(context.Background(), users)
+}
+
+// ImportUsers folds an exported chunk into the peer.
+func (r *RemoteShard) ImportUsers(chunk platform.MigrationChunk) error {
+	return r.c.ImportUsers(context.Background(), chunk)
+}
+
+// RemoveUsers drops the given users from the peer.
+func (r *RemoteShard) RemoveUsers(users []profile.UserID) error {
+	return r.c.RemoveUsers(context.Background(), users)
+}
+
+// InstallState replaces the peer's entire state.
+func (r *RemoteShard) InstallState(st platform.State) error {
+	return r.c.InstallState(context.Background(), st)
+}
+
+// SyncState snapshots the peer's full state (migrator surface; the LSN is
+// available through SyncStateLSN).
+func (r *RemoteShard) SyncState() (platform.State, error) {
+	st, _, err := r.c.SyncState(context.Background())
+	return st, err
+}
+
+// SyncStateLSN snapshots the peer's full state together with the journal
+// LSN it reflects — the resync source surface.
+func (r *RemoteShard) SyncStateLSN() (platform.State, uint64, error) {
+	return r.c.SyncState(context.Background())
+}
+
+// ApplyShipped forwards one shipped journal record to the peer (follower
+// side of a replica chain).
+func (r *RemoteShard) ApplyShipped(lsn uint64, payload []byte) error {
+	return r.c.ShipOp(context.Background(), lsn, payload)
+}
+
+// BeginFollow puts the peer into follower mode from the given owner LSN.
+func (r *RemoteShard) BeginFollow(lsn uint64) error {
+	return r.c.BeginFollow(context.Background(), lsn)
+}
+
+// EndFollow promotes the peer out of follower mode.
+func (r *RemoteShard) EndFollow() error {
+	return r.c.EndFollow(context.Background())
+}
+
+// PushRing installs a new membership view on the peer's gate.
+func (r *RemoteShard) PushRing(ctx context.Context, ri rpc.RingInfo) error {
+	return r.c.PushRing(ctx, ri)
+}
+
+// FetchRing reads the peer's current membership view.
+func (r *RemoteShard) FetchRing(ctx context.Context) (rpc.RingInfo, error) {
+	return r.c.FetchRing(ctx)
+}
+
+// HealthInfo returns the peer's full health report — follower status and
+// journal LSN included — for promotion decisions and resync planning.
+func (r *RemoteShard) HealthInfo() (rpc.HealthResp, error) {
+	return r.c.Health(context.Background())
+}

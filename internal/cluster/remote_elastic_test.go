@@ -1,0 +1,217 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"github.com/treads-project/treads/internal/cluster"
+	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/rpc"
+	"github.com/treads-project/treads/internal/stats"
+)
+
+const elasticSecret = "elastic-secret"
+
+// elasticNode is one shard node: the journaled platform, its RPC server,
+// and a dialed client — the full loopback wire path.
+type elasticNode struct {
+	jp     *platform.Journaled
+	srv    *rpc.Server
+	addr   string
+	client *rpc.Client
+}
+
+func newElasticNode(t *testing.T, dir string, seed uint64) *elasticNode {
+	t.Helper()
+	jp := openElasticShard(t, dir, seed)
+	srv := rpc.NewServer(jp, elasticSecret, nil)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	client := rpc.NewClient(hs.URL, rpc.Options{Secret: elasticSecret})
+	t.Cleanup(client.Close)
+	return &elasticNode{jp: jp, srv: srv, addr: hs.URL, client: client}
+}
+
+// TestRemoteReshardAndStaleRouterRefresh is the wire-path membership test:
+// two routers share three gated shard nodes; router A grows the cluster
+// live while router B still holds the old ring. B's next write for a moved
+// user is refused by the node's membership gate with the typed stale-ring
+// error, B refreshes from the nodes themselves, re-routes, and succeeds.
+func TestRemoteReshardAndStaleRouterRefresh(t *testing.T) {
+	root := t.TempDir()
+	nodes := make([]*elasticNode, 3)
+	for i := range nodes {
+		nodes[i] = newElasticNode(t, filepath.Join(root, fmt.Sprintf("node-%d", i)), stats.SubSeed(91, uint64(i)))
+	}
+
+	// Router A drives nodes 0 and 1.
+	shardsA := make([]cluster.Shard, 2)
+	for i := 0; i < 2; i++ {
+		shardsA[i] = cluster.NewRemoteShard(rpc.NewClient(nodes[i].addr, rpc.Options{Secret: elasticSecret}))
+	}
+	routerA, err := cluster.New(shardsA, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every node gets a membership gate holding the version-1 ring —
+	// including the future joiner, which serves nothing under it.
+	ri := routerA.RingInfo()
+	for _, n := range nodes {
+		gate, err := cluster.NewGate(n.addr, ri)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.srv.SetGate(gate)
+	}
+
+	users, _ := populateElastic(t, routerA, 32)
+
+	// Router B: an independent coordinator over the same two nodes, still
+	// on ring version 1, with the nodes as its membership seeds.
+	dialed := map[string]cluster.Shard{}
+	shardsB := make([]cluster.Shard, 2)
+	for i := 0; i < 2; i++ {
+		rs := cluster.NewRemoteShard(rpc.NewClient(nodes[i].addr, rpc.Options{Secret: elasticSecret}))
+		shardsB[i] = rs
+		dialed[nodes[i].addr] = rs
+	}
+	routerB, err := cluster.New(shardsB, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routerB.SetMembershipSource(&cluster.RemoteMembershipSource{
+		Seeds: []*rpc.Client{nodes[0].client, nodes[1].client},
+		Dial: func(si rpc.ShardInfo) cluster.Shard {
+			if s, ok := dialed[si.Addr]; ok {
+				return s
+			}
+			s := cluster.NewRemoteShard(rpc.NewClient(si.Addr, rpc.Options{Secret: elasticSecret}))
+			dialed[si.Addr] = s
+			return s
+		},
+	})
+
+	// Router A reshard: node 2 joins live.
+	joiner := cluster.NewRemoteShard(rpc.NewClient(nodes[2].addr, rpc.Options{Secret: elasticSecret}))
+	rep, err := routerA.AddShard(joiner)
+	if err != nil {
+		t.Fatalf("AddShard over the wire: %v", err)
+	}
+	if rep.UsersMoved == 0 {
+		t.Fatal("wire reshard moved no users")
+	}
+	// The ring push reached the nodes: they serve version 2 now.
+	for i, n := range nodes {
+		got, err := n.client.FetchRing(context.Background())
+		if err != nil {
+			t.Fatalf("FetchRing(node %d): %v", i, err)
+		}
+		if got.Version != 2 || len(got.Shards) != 3 {
+			t.Fatalf("node %d serves ring v%d with %d shards, want v2 with 3", i, got.Version, len(got.Shards))
+		}
+	}
+
+	// A user that moved to the new node, as router A sees it.
+	var moved profile.UserID
+	for _, u := range users {
+		if routerA.Owner(u) == 2 {
+			moved = u
+			break
+		}
+	}
+	if moved == "" {
+		t.Fatal("no user moved to the joiner")
+	}
+
+	// Router B still holds ring v1 and routes the moved user to its old
+	// owner; the gate refuses, B refreshes, re-routes, and the write lands.
+	if routerB.Version() != 1 {
+		t.Fatalf("router B at version %d before refresh", routerB.Version())
+	}
+	if _, err := routerB.BrowseFeed(moved, 2); err != nil {
+		t.Fatalf("stale router BrowseFeed(%s): %v", moved, err)
+	}
+	if routerB.Version() != 2 || routerB.Shards() != 3 {
+		t.Fatalf("router B at version %d with %d shards after refresh, want v2 with 3", routerB.Version(), routerB.Shards())
+	}
+	if _, ok := dialed[nodes[2].addr]; !ok {
+		t.Fatal("refresh did not dial the new node")
+	}
+	// Both routers agree on the moved user's feed.
+	if la, lb := len(routerA.Feed(moved)), len(routerB.Feed(moved)); la != lb {
+		t.Fatalf("routers disagree on feed length: A=%d B=%d", la, lb)
+	}
+}
+
+// TestRemoteFollowerChainOverLoopback runs a replica chain across the wire:
+// an in-process owner ships its journal to a follower behind a real RPC
+// server, Heal bootstraps the follower, failover reads and promotion work
+// against the remote member.
+func TestRemoteFollowerChainOverLoopback(t *testing.T) {
+	root := t.TempDir()
+	owner := &frailShard{Journaled: openElasticShard(t, filepath.Join(root, "owner"), 97)}
+	fnode := newElasticNode(t, filepath.Join(root, "follower"), 97)
+	remote := cluster.NewRemoteShard(rpc.NewClient(fnode.addr, rpc.Options{Secret: elasticSecret}))
+
+	rs := cluster.NewReplicaSet(owner, remote)
+	if err := rs.Chain(); err != nil {
+		t.Fatal(err)
+	}
+	// The remote follower is not following yet; Heal reinstalls the
+	// owner's state over the wire and starts the follow from its LSN.
+	if err := rs.Heal(); err != nil {
+		t.Fatalf("Heal (remote bootstrap): %v", err)
+	}
+
+	c, err := cluster.New([]cluster.Shard{rs}, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users, _ := populateElastic(t, c, 12)
+
+	// Every acknowledged write crossed the wire.
+	if !fnode.jp.Synced() || fnode.jp.ShipLSN() != owner.LastLSN() {
+		t.Fatalf("remote follower at %d (synced=%v), owner at %d", fnode.jp.ShipLSN(), fnode.jp.Synced(), owner.LastLSN())
+	}
+	if stateJSON(t, owner.Journaled) != stateJSON(t, fnode.jp) {
+		t.Fatal("remote follower state diverged from owner")
+	}
+	h, err := fnode.client.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Following || !h.Synced || h.ShipLSN != owner.LastLSN() {
+		t.Fatalf("health reports following=%v synced=%v shipLSN=%d, owner at %d", h.Following, h.Synced, h.ShipLSN, owner.LastLSN())
+	}
+
+	// Owner dies: reads fail over to the remote follower, writes refuse.
+	owner.down.Store(true)
+	if c.User(users[0]) == nil {
+		t.Fatal("failover read over the wire lost the user")
+	}
+	if _, err := c.BrowseFeed(users[0], 2); !errors.Is(err, cluster.ErrShardUnavailable) {
+		t.Fatalf("write with owner down: %v, want ErrShardUnavailable", err)
+	}
+
+	// Promote the remote member and write through it.
+	if _, err := rs.Promote(); err != nil {
+		t.Fatalf("Promote(remote): %v", err)
+	}
+	if fnode.jp.Following() {
+		t.Fatal("remote member still in follower mode after promotion")
+	}
+	acked := len(c.Feed(users[0]))
+	imps, err := c.BrowseFeed(users[0], 3)
+	if err != nil {
+		t.Fatalf("BrowseFeed through promoted remote owner: %v", err)
+	}
+	if got := len(c.Feed(users[0])); got != acked+len(imps) {
+		t.Fatalf("feed has %d impressions after promotion write, want %d", got, acked+len(imps))
+	}
+}

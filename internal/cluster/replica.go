@@ -1,0 +1,770 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/treads-project/treads/internal/ad"
+	"github.com/treads-project/treads/internal/attr"
+	"github.com/treads-project/treads/internal/audience"
+	"github.com/treads-project/treads/internal/explain"
+	"github.com/treads-project/treads/internal/journal"
+	"github.com/treads-project/treads/internal/pii"
+	"github.com/treads-project/treads/internal/pixel"
+	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/rpc"
+)
+
+// ReplicaSet makes one ring slot a chain of members instead of a single
+// shard: members[0] is the owner (all writes), the rest are journal-
+// shipping followers. It satisfies Shard, so the Cluster routes to it
+// exactly like any other shard; internally reads fail over to a healthy
+// follower when the owner is down, and Promote turns a follower into the
+// owner after a crash.
+//
+// Invariants the chain maintains (pinned by the cluster and chaos tests):
+//
+//   - A write is acknowledged only after every follower applied it; a
+//     shipping failure surfaces as an indeterminate error to the caller,
+//     so the set of acknowledged writes is always a subset of every
+//     follower's applied prefix.
+//   - Therefore promotion of any follower preserves every acknowledged
+//     write, whichever member had applied the most.
+//   - Followers refuse direct mutations (platform.ErrFollowing) and refuse
+//     out-of-order shipments (platform.ErrNotSynced), so a desynced
+//     follower can never silently diverge — it stays read-only stale until
+//     Heal replays the owner's journal tail or reinstalls its state.
+//   - A member demoted by Promote (or swapped in by ReplaceMember) is
+//     detached: excluded from shipping AND from promotion until Heal
+//     resyncs it. Detaching both together is what keeps the promotion
+//     invariant — a member that may have missed acknowledged writes can
+//     never become the owner.
+type ReplicaSet struct {
+	mu      sync.RWMutex
+	members []Shard
+	// detached[i] marks a member that is out of the shipping chain and not
+	// promotable until Heal resyncs it; index 0 (the owner) is never
+	// detached.
+	detached []bool
+	met      *replicaCounters
+}
+
+var (
+	_ Shard               = (*ReplicaSet)(nil)
+	_ HealthReporter      = (*ReplicaSet)(nil)
+	_ WriteHealthReporter = (*ReplicaSet)(nil)
+)
+
+// NewReplicaSet assembles a chain with the given owner and followers. Call
+// Chain to wire journal shipping for in-process members (networked owners
+// ship server-side).
+func NewReplicaSet(owner Shard, followers ...Shard) *ReplicaSet {
+	met := noopReplicaCounters()
+	members := append([]Shard{owner}, followers...)
+	return &ReplicaSet{
+		members:  members,
+		detached: make([]bool, len(members)),
+		met:      &met,
+	}
+}
+
+// bindMetrics points the set at the cluster's registered replica counters.
+func (rs *ReplicaSet) bindMetrics(met *replicaCounters) {
+	rs.mu.Lock()
+	rs.met = met
+	rs.mu.Unlock()
+}
+
+// Owner returns the current owner (members[0]).
+func (rs *ReplicaSet) Owner() Shard {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	return rs.members[0]
+}
+
+// Members returns a copy of the member list, owner first.
+func (rs *ReplicaSet) Members() []Shard {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	return append([]Shard(nil), rs.members...)
+}
+
+// ReplaceMember swaps the member at index i (for a crashed process that
+// reopened its journal under a fresh handle). A replaced follower comes in
+// detached — its recovered state is not certified against the owner's log
+// — and rejoins the chain when Heal resyncs it. Replacing the owner
+// re-wires shipping from the new handle.
+func (rs *ReplicaSet) ReplaceMember(i int, s Shard) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if i < 0 || i >= len(rs.members) {
+		return fmt.Errorf("cluster: replica set has no member %d", i)
+	}
+	rs.members[i] = s
+	rs.detached[i] = i != 0
+	if i == 0 {
+		if setter, ok := s.(shipperSetter); ok {
+			setter.SetShipper(rs.ship)
+		}
+	}
+	return nil
+}
+
+// Healthy reports whether the set can serve anything at all (some member
+// is up) — the routing layer's read gate.
+func (rs *ReplicaSet) Healthy() bool {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	for _, m := range rs.members {
+		if shardHealthy(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteHealthy reports whether the owner can accept mutations.
+func (rs *ReplicaSet) WriteHealthy() bool {
+	return shardHealthy(rs.Owner())
+}
+
+// writer returns the owner, or a typed refusal when it is down — writes
+// never fail over implicitly; promotion is an explicit operator (or
+// harness) decision because it draws the indeterminate-write line.
+func (rs *ReplicaSet) writer() (Shard, error) {
+	o := rs.Owner()
+	if !shardHealthy(o) {
+		return nil, fmt.Errorf("cluster: replica owner down, promote a follower: %w", ErrShardUnavailable)
+	}
+	return o, nil
+}
+
+// reader returns the owner when healthy, else the best follower: synced if
+// possible, any healthy one otherwise (reads may be stale during a
+// failover window; they are never wrong about acknowledged state, which
+// every follower holds).
+func (rs *ReplicaSet) reader() Shard {
+	rs.mu.RLock()
+	members := rs.members
+	detached := append([]bool(nil), rs.detached...)
+	met := rs.met
+	rs.mu.RUnlock()
+	if shardHealthy(members[0]) {
+		return members[0]
+	}
+	var fallback Shard
+	for i := 1; i < len(members); i++ {
+		f := members[i]
+		if detached[i] || !shardHealthy(f) {
+			continue
+		}
+		if fallback == nil {
+			fallback = f
+		}
+		if _, synced, _, err := memberFollowStatus(f); err == nil && synced {
+			met.failoverReads.Inc()
+			return f
+		}
+	}
+	if fallback != nil {
+		met.failoverReads.Inc()
+		return fallback
+	}
+	return members[0]
+}
+
+// --- shipping, promotion, resync ---
+
+// shipApplier is the follower side of journal shipping; *platform.Journaled
+// implements it directly and *RemoteShard forwards it over RPC.
+type shipApplier interface {
+	ApplyShipped(lsn uint64, payload []byte) error
+}
+
+type shipperSetter interface {
+	SetShipper(func(lsn uint64, payload []byte) error)
+}
+
+// Chain wires journal shipping from the owner to the followers: every
+// journaled write on the owner is pushed to each follower before it is
+// acknowledged. Only in-process owners can be chained here (a networked
+// owner ships from its own process).
+func (rs *ReplicaSet) Chain() error {
+	o := rs.Owner()
+	setter, ok := o.(shipperSetter)
+	if !ok {
+		return fmt.Errorf("cluster: replica chain owner: %w", ErrMigrationUnsupported)
+	}
+	setter.SetShipper(rs.ship)
+	return nil
+}
+
+// ship pushes one owner journal record to every attached follower. Any
+// failure is returned (making the originating write indeterminate for its
+// caller); the failed follower stays behind until Heal resyncs it.
+// Detached members are skipped without error — they are already excluded
+// from promotion, so skipping them cannot lose an acknowledged write.
+func (rs *ReplicaSet) ship(lsn uint64, payload []byte) error {
+	rs.mu.RLock()
+	members := rs.members
+	detached := append([]bool(nil), rs.detached...)
+	met := rs.met
+	rs.mu.RUnlock()
+	var firstErr error
+	for i := 1; i < len(members); i++ {
+		if detached[i] {
+			continue
+		}
+		a, ok := members[i].(shipApplier)
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("follower %d: %w", i, ErrMigrationUnsupported)
+			}
+			continue
+		}
+		if err := a.ApplyShipped(lsn, payload); err != nil {
+			met.shipFailures.Inc()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("follower %d: %w", i, err)
+			}
+			continue
+		}
+		met.shipRecords.Inc()
+	}
+	return firstErr
+}
+
+// Promote elects the attached healthy follower with the longest applied
+// prefix as the new owner, ends its follow mode, and rewires shipping from
+// it. The demoted member stays in the set, detached, until Heal brings it
+// back as a follower. Returns the promoted member's previous index.
+func (rs *ReplicaSet) Promote() (int, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	best := -1
+	var bestLSN uint64
+	for i := 1; i < len(rs.members); i++ {
+		f := rs.members[i]
+		if rs.detached[i] || !shardHealthy(f) {
+			continue
+		}
+		_, _, lsn, err := memberFollowStatus(f)
+		if err != nil {
+			continue
+		}
+		if best == -1 || lsn > bestLSN {
+			best, bestLSN = i, lsn
+		}
+	}
+	if best == -1 {
+		return -1, fmt.Errorf("cluster: promote: no attached healthy follower: %w", ErrShardUnavailable)
+	}
+	if err := endFollow(rs.members[best]); err != nil {
+		return -1, fmt.Errorf("cluster: promoting follower %d: %w", best, err)
+	}
+	rs.members[0], rs.members[best] = rs.members[best], rs.members[0]
+	rs.detached[0], rs.detached[best] = false, true
+	if setter, ok := rs.members[0].(shipperSetter); ok {
+		setter.SetShipper(rs.ship)
+	}
+	rs.met.promotions.Inc()
+	return best, nil
+}
+
+// Heal resynchronizes every follower from the current owner: a journal
+// tail replay from the follower's last shipped LSN when the owner still
+// holds that tail, a full state reinstall otherwise (compacted tail, or a
+// follower too far gone). Call it with the owner quiesced — resync racing
+// live shipping would interleave two record streams.
+func (rs *ReplicaSet) Heal() error {
+	rs.mu.RLock()
+	members := rs.members
+	rs.mu.RUnlock()
+	var firstErr error
+	for i := 1; i < len(members); i++ {
+		if !shardHealthy(members[i]) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: follower %d: %w", i, ErrShardUnavailable)
+			}
+			continue
+		}
+		if err := rs.resync(members[0], members[i]); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: resyncing follower %d: %w", i, err)
+			}
+			continue
+		}
+		rs.reattach(i, members[i])
+	}
+	return firstErr
+}
+
+// reattach clears a member's detached flag after a successful resync. The
+// member list may have been reshuffled (by Promote or ReplaceMember) since
+// the caller snapshotted it, so the flag is cleared only if the member
+// still sits at that index.
+func (rs *ReplicaSet) reattach(i int, s Shard) {
+	rs.mu.Lock()
+	if i < len(rs.members) && rs.members[i] == s {
+		rs.detached[i] = false
+	}
+	rs.mu.Unlock()
+}
+
+// tailer is the owner-side fast resync surface (in-process journaled
+// owners).
+type tailer interface {
+	TailSince(from uint64, fn func(lsn uint64, payload []byte) error) error
+}
+
+func (rs *ReplicaSet) resync(owner, f Shard) error {
+	rs.mu.RLock()
+	met := rs.met
+	rs.mu.RUnlock()
+
+	// Fast path: replay the owner's journal tail from the follower's last
+	// applied owner-LSN. Only a member that is actually in follow mode may
+	// take it — a demoted former owner reports ShipLSN 0 while its state
+	// sits at some later LSN, and replaying the tail onto it would apply
+	// every record twice. The replay counts as a resync only if it lands
+	// the follower exactly on the owner's LSN: a follower that applied an
+	// unacknowledged record the current owner never saw (possible when the
+	// old owner died mid-ship) has diverged by that record and needs the
+	// full reinstall.
+	applier, canApply := f.(shipApplier)
+	if t, ok := owner.(tailer); ok && canApply {
+		if following, _, shipLSN, serr := memberFollowStatus(f); serr == nil && following {
+			// Re-arm the follower at its current position: a desynced
+			// follower refuses shipments until its cursor is reset.
+			if err := beginFollow(f, shipLSN); err != nil {
+				return err
+			}
+			if err := t.TailSince(shipLSN, applier.ApplyShipped); err == nil {
+				ownerLSN, lerr := memberLastLSN(owner)
+				_, synced, ship2, serr2 := memberFollowStatus(f)
+				if lerr == nil && serr2 == nil && synced && ship2 == ownerLSN {
+					met.resyncs.Inc()
+					return nil
+				}
+			} else {
+				var ce *journal.ErrCompacted
+				if !errors.As(err, &ce) {
+					// Non-compaction replay failures also fall through to
+					// the full reinstall — it always converges.
+					_ = err
+				}
+			}
+		}
+	}
+
+	// Slow path: reinstall the owner's full state and follow from its LSN.
+	st, lsn, err := ownerStateAndLSN(owner)
+	if err != nil {
+		return err
+	}
+	if err := installState(f, st); err != nil {
+		return err
+	}
+	if err := beginFollow(f, lsn); err != nil {
+		return err
+	}
+	met.resyncs.Inc()
+	return nil
+}
+
+// --- member capability bridges (in-process vs remote signatures) ---
+
+func beginFollow(s Shard, lsn uint64) error {
+	switch v := s.(type) {
+	case interface{ BeginFollow(uint64) }:
+		v.BeginFollow(lsn)
+		return nil
+	case interface{ BeginFollow(uint64) error }:
+		return v.BeginFollow(lsn)
+	}
+	return fmt.Errorf("cluster: member cannot follow: %w", ErrMigrationUnsupported)
+}
+
+func endFollow(s Shard) error {
+	switch v := s.(type) {
+	case interface{ EndFollow() }:
+		v.EndFollow()
+		return nil
+	case interface{ EndFollow() error }:
+		return v.EndFollow()
+	}
+	return fmt.Errorf("cluster: member cannot be promoted: %w", ErrMigrationUnsupported)
+}
+
+// memberFollowStatus returns a member's follower view: whether it is in
+// follow mode at all, whether it is synced with its owner, and the last
+// owner-LSN it applied.
+func memberFollowStatus(s Shard) (following, synced bool, shipLSN uint64, err error) {
+	switch v := s.(type) {
+	case interface {
+		Following() bool
+		Synced() bool
+		ShipLSN() uint64
+	}:
+		return v.Following(), v.Synced(), v.ShipLSN(), nil
+	case interface{ HealthInfo() (rpc.HealthResp, error) }:
+		h, err := v.HealthInfo()
+		if err != nil {
+			return false, false, 0, err
+		}
+		return h.Following, h.Synced, h.ShipLSN, nil
+	}
+	return false, false, 0, fmt.Errorf("cluster: member has no follower status: %w", ErrMigrationUnsupported)
+}
+
+func ownerStateAndLSN(s Shard) (platform.State, uint64, error) {
+	switch v := s.(type) {
+	case interface {
+		StateAndLSN() (platform.State, uint64)
+	}:
+		st, lsn := v.StateAndLSN()
+		return st, lsn, nil
+	case interface {
+		SyncStateLSN() (platform.State, uint64, error)
+	}:
+		return v.SyncStateLSN()
+	}
+	return platform.State{}, 0, fmt.Errorf("cluster: member has no state snapshot: %w", ErrMigrationUnsupported)
+}
+
+func installState(s Shard, st platform.State) error {
+	m, ok := s.(migrator)
+	if !ok {
+		return fmt.Errorf("cluster: member cannot install state: %w", ErrMigrationUnsupported)
+	}
+	return m.InstallState(st)
+}
+
+func memberLastLSN(s Shard) (uint64, error) {
+	switch v := s.(type) {
+	case interface{ LastLSN() uint64 }:
+		return v.LastLSN(), nil
+	case interface{ HealthInfo() (rpc.HealthResp, error) }:
+		h, err := v.HealthInfo()
+		return h.LastLSN, err
+	}
+	return 0, fmt.Errorf("cluster: member has no LSN: %w", ErrMigrationUnsupported)
+}
+
+// --- migration surface (delegates to the owner; installs everywhere) ---
+
+func (rs *ReplicaSet) ownerMigrator() (migrator, error) {
+	o, err := rs.writer()
+	if err != nil {
+		return nil, err
+	}
+	m, ok := o.(migrator)
+	if !ok {
+		return nil, fmt.Errorf("cluster: replica owner: %w", ErrMigrationUnsupported)
+	}
+	return m, nil
+}
+
+// ExportUsers extracts movable state from the owner.
+func (rs *ReplicaSet) ExportUsers(users []profile.UserID) (platform.MigrationChunk, error) {
+	m, err := rs.ownerMigrator()
+	if err != nil {
+		return platform.MigrationChunk{}, err
+	}
+	return m.ExportUsers(users)
+}
+
+// ImportUsers folds a chunk into the owner; chained followers receive it
+// through journal shipping like any other write.
+func (rs *ReplicaSet) ImportUsers(chunk platform.MigrationChunk) error {
+	m, err := rs.ownerMigrator()
+	if err != nil {
+		return err
+	}
+	return m.ImportUsers(chunk)
+}
+
+// RemoveUsers drops users from the owner (shipped to followers).
+func (rs *ReplicaSet) RemoveUsers(users []profile.UserID) error {
+	m, err := rs.ownerMigrator()
+	if err != nil {
+		return err
+	}
+	return m.RemoveUsers(users)
+}
+
+// SyncState snapshots the owner.
+func (rs *ReplicaSet) SyncState() (platform.State, error) {
+	m, err := rs.ownerMigrator()
+	if err != nil {
+		return platform.State{}, err
+	}
+	return m.SyncState()
+}
+
+// InstallState replaces state on every member — an install is the one
+// migration op that cannot ride journal shipping (it rewrites the journal
+// base itself) — then points the followers at the owner's resulting LSN.
+func (rs *ReplicaSet) InstallState(st platform.State) error {
+	rs.mu.RLock()
+	members := rs.members
+	rs.mu.RUnlock()
+	for i, m := range members {
+		if err := installState(m, st); err != nil {
+			return fmt.Errorf("cluster: installing state on member %d: %w", i, err)
+		}
+	}
+	lsn, err := memberLastLSN(members[0])
+	if err != nil {
+		return fmt.Errorf("cluster: reading owner LSN after install: %w", err)
+	}
+	for i := 1; i < len(members); i++ {
+		if err := beginFollow(members[i], lsn); err != nil {
+			return fmt.Errorf("cluster: re-following member %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// SyncStateLSN exposes the owner's state and LSN (resync source surface).
+func (rs *ReplicaSet) SyncStateLSN() (platform.State, uint64, error) {
+	o, err := rs.writer()
+	if err != nil {
+		return platform.State{}, 0, err
+	}
+	return ownerStateAndLSN(o)
+}
+
+// --- addressing (ring pushes, admin) ---
+
+// Addr returns the owner's dialable address ("" for in-process owners).
+func (rs *ReplicaSet) Addr() string { return shardAddr(rs.Owner()) }
+
+// ReplicaAddrs returns the followers' dialable addresses.
+func (rs *ReplicaSet) ReplicaAddrs() []string {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	var out []string
+	for _, f := range rs.members[1:] {
+		if a := shardAddr(f); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// PushRing forwards a membership push to every member that accepts one.
+func (rs *ReplicaSet) PushRing(ctx context.Context, ri rpc.RingInfo) error {
+	rs.mu.RLock()
+	members := rs.members
+	rs.mu.RUnlock()
+	var firstErr error
+	for _, m := range members {
+		if p, ok := m.(interface {
+			PushRing(context.Context, rpc.RingInfo) error
+		}); ok {
+			if err := p.PushRing(ctx, ri); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// --- durability plumbing ---
+
+// Compact compacts every journaled member (followers too — their journals
+// grow with shipped records) and returns the owner's snapshot LSN.
+func (rs *ReplicaSet) Compact() (uint64, error) {
+	rs.mu.RLock()
+	members := rs.members
+	rs.mu.RUnlock()
+	var ownerLSN uint64
+	for i, m := range members {
+		jc, ok := m.(compactor)
+		if !ok {
+			continue
+		}
+		lsn, err := jc.Compact()
+		if err != nil {
+			return 0, fmt.Errorf("member %d: %w", i, err)
+		}
+		if i == 0 {
+			ownerLSN = lsn
+		}
+	}
+	return ownerLSN, nil
+}
+
+// LastLSN returns the owner's last journaled LSN (0 if not journaled).
+func (rs *ReplicaSet) LastLSN() uint64 {
+	if jc, ok := rs.Owner().(compactor); ok {
+		return jc.LastLSN()
+	}
+	return 0
+}
+
+// Close closes every closable member; the first error wins.
+func (rs *ReplicaSet) Close() error {
+	rs.mu.RLock()
+	members := rs.members
+	rs.mu.RUnlock()
+	var firstErr error
+	for i, m := range members {
+		cl, ok := m.(interface{ Close() error })
+		if !ok {
+			continue
+		}
+		if err := cl.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: closing replica member %d: %w", i, err)
+		}
+	}
+	return firstErr
+}
+
+// --- Shard surface ---
+
+func (rs *ReplicaSet) AddUser(p *profile.Profile) error {
+	o, err := rs.writer()
+	if err != nil {
+		return err
+	}
+	return o.AddUser(p)
+}
+
+func (rs *ReplicaSet) User(uid profile.UserID) *profile.Profile {
+	return rs.reader().User(uid)
+}
+
+func (rs *ReplicaSet) Users() []profile.UserID {
+	return rs.reader().Users()
+}
+
+func (rs *ReplicaSet) BrowseFeed(uid profile.UserID, slots int) ([]ad.Impression, error) {
+	o, err := rs.writer()
+	if err != nil {
+		return nil, err
+	}
+	return o.BrowseFeed(uid, slots)
+}
+
+func (rs *ReplicaSet) Feed(uid profile.UserID) []ad.Impression {
+	return rs.reader().Feed(uid)
+}
+
+func (rs *ReplicaSet) VisitPage(uid profile.UserID, px pixel.PixelID) error {
+	o, err := rs.writer()
+	if err != nil {
+		return err
+	}
+	return o.VisitPage(uid, px)
+}
+
+func (rs *ReplicaSet) LikePage(uid profile.UserID, pageID string) error {
+	o, err := rs.writer()
+	if err != nil {
+		return err
+	}
+	return o.LikePage(uid, pageID)
+}
+
+func (rs *ReplicaSet) AdPreferences(uid profile.UserID) ([]attr.ID, error) {
+	return rs.reader().AdPreferences(uid)
+}
+
+func (rs *ReplicaSet) AdvertisersTargetingMe(uid profile.UserID) ([]string, error) {
+	return rs.reader().AdvertisersTargetingMe(uid)
+}
+
+func (rs *ReplicaSet) ExplainImpression(uid profile.UserID, imp ad.Impression) (explain.Explanation, error) {
+	return rs.reader().ExplainImpression(uid, imp)
+}
+
+func (rs *ReplicaSet) RegisterAdvertiser(name string) error {
+	o, err := rs.writer()
+	if err != nil {
+		return err
+	}
+	return o.RegisterAdvertiser(name)
+}
+
+func (rs *ReplicaSet) CreateCampaign(advertiser string, params platform.CampaignParams) (string, error) {
+	o, err := rs.writer()
+	if err != nil {
+		return "", err
+	}
+	return o.CreateCampaign(advertiser, params)
+}
+
+func (rs *ReplicaSet) PauseCampaign(advertiser, campaignID string) error {
+	o, err := rs.writer()
+	if err != nil {
+		return err
+	}
+	return o.PauseCampaign(advertiser, campaignID)
+}
+
+func (rs *ReplicaSet) CreatePIIAudience(advertiser, name string, keys []pii.MatchKey) (audience.AudienceID, error) {
+	o, err := rs.writer()
+	if err != nil {
+		return "", err
+	}
+	return o.CreatePIIAudience(advertiser, name, keys)
+}
+
+func (rs *ReplicaSet) CreateWebsiteAudience(advertiser, name string, px pixel.PixelID) (audience.AudienceID, error) {
+	o, err := rs.writer()
+	if err != nil {
+		return "", err
+	}
+	return o.CreateWebsiteAudience(advertiser, name, px)
+}
+
+func (rs *ReplicaSet) CreateEngagementAudience(advertiser, name, pageID string) (audience.AudienceID, error) {
+	o, err := rs.writer()
+	if err != nil {
+		return "", err
+	}
+	return o.CreateEngagementAudience(advertiser, name, pageID)
+}
+
+func (rs *ReplicaSet) CreateAffinityAudience(advertiser, name string, phrases []string) (audience.AudienceID, error) {
+	o, err := rs.writer()
+	if err != nil {
+		return "", err
+	}
+	return o.CreateAffinityAudience(advertiser, name, phrases)
+}
+
+func (rs *ReplicaSet) CreateLookalikeAudience(advertiser, name string, seed audience.AudienceID, overlap float64) (audience.AudienceID, error) {
+	o, err := rs.writer()
+	if err != nil {
+		return "", err
+	}
+	return o.CreateLookalikeAudience(advertiser, name, seed, overlap)
+}
+
+func (rs *ReplicaSet) IssuePixel(advertiser string) (pixel.PixelID, error) {
+	o, err := rs.writer()
+	if err != nil {
+		return "", err
+	}
+	return o.IssuePixel(advertiser)
+}
+
+func (rs *ReplicaSet) RawReach(ctx context.Context, advertiser string, spec audience.Spec) (int, error) {
+	return rs.reader().RawReach(ctx, advertiser, spec)
+}
+
+func (rs *ReplicaSet) CampaignTotals(ctx context.Context, advertiser, campaignID string) (platform.CampaignTotals, error) {
+	return rs.reader().CampaignTotals(ctx, advertiser, campaignID)
+}
+
+func (rs *ReplicaSet) Catalog() *attr.Catalog { return rs.reader().Catalog() }
+
+func (rs *ReplicaSet) SearchAttributes(query string) []*attr.Attribute {
+	return rs.reader().SearchAttributes(query)
+}

@@ -72,9 +72,10 @@ type Server struct {
 	p         Backend
 	mux       *http.ServeMux
 	log       *log.Logger
-	auth      *Authenticator // nil = open access (test/demo mode)
-	compactor Compactor      // nil = compaction endpoint disabled
-	metrics   *serverMetrics
+	auth         *Authenticator // nil = open access (test/demo mode)
+	compactor    Compactor      // nil = compaction endpoint disabled
+	clusterAdmin ClusterAdmin   // nil = membership endpoints disabled
+	metrics      *serverMetrics
 }
 
 // NewServer wraps a platform backend. logger may be nil to disable request
@@ -156,6 +157,14 @@ func (s *Server) routes() {
 	// Operator API. Always routed; returns 404 until a compactor is
 	// configured (i.e. the daemon is running with -journal).
 	s.handle("POST /admin/v1/compact", s.requireAdminAuth(s.handleCompact))
+
+	// Dynamic membership. Always routed; returns 404 until a ClusterAdmin
+	// is configured (i.e. the daemon is routing over remote shard nodes).
+	s.handle("GET /admin/v1/cluster", s.requireAdminAuth(s.handleClusterStatus))
+	s.handle("POST /admin/v1/cluster/shards", s.requireAdminAuth(s.handleClusterAddShard))
+	s.handle("DELETE /admin/v1/cluster/shards", s.requireAdminAuth(s.handleClusterRemoveShard))
+	s.handle("POST /admin/v1/cluster/promote", s.requireAdminAuth(s.handleClusterPromote))
+	s.handle("POST /admin/v1/cluster/resume", s.requireAdminAuth(s.handleClusterResume))
 
 	// Observability. Served from the raw mux: scraping /metrics must not
 	// perturb the request counters it reports.

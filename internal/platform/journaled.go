@@ -40,6 +40,15 @@ type Journaled struct {
 	mu sync.Mutex // serializes mutations so journal order == apply order
 	p  *Platform
 	j  *journal.Journal
+
+	// Replication (see journaled_replica.go). shipper, when set, receives
+	// every journaled record under mu, in journal order. A following
+	// platform refuses direct mutations — its only write path is
+	// ApplyShipped — and tracks the owner's LSN sequence in shipSeq.
+	shipper func(lsn uint64, payload []byte) error
+	follow  bool
+	inSync  bool
+	shipSeq uint64
 }
 
 // OpenJournaled opens (or creates) a journaled platform backed by the
@@ -90,7 +99,14 @@ func OpenJournaled(dir string, opts journal.Options, boot func() (*Platform, err
 		if err := json.Unmarshal(payload, &rec); err != nil {
 			return fmt.Errorf("platform: journal record %d: %w", lsn, err)
 		}
-		return applyRecord(p, lsn, rec)
+		// Migration records replace the platform wholesale; ordinary ops
+		// mutate it in place and hand the same pointer back.
+		p2, err := applyRecord(p, lsn, rec)
+		if err != nil {
+			return err
+		}
+		p = p2
+		return nil
 	})
 	if err != nil {
 		j.Close()
@@ -164,15 +180,26 @@ func (jp *Journaled) logged(rec opRecord, apply func()) error {
 		return fmt.Errorf("platform: encoding journal record: %w", err)
 	}
 	jp.mu.Lock()
-	_, wait, err := jp.j.AppendBuffered(payload)
+	if jp.follow {
+		jp.mu.Unlock()
+		return ErrFollowing
+	}
+	lsn, wait, err := jp.j.AppendBuffered(payload)
 	if err != nil {
 		jp.mu.Unlock()
 		return fmt.Errorf("platform: journaling %s: %w", rec.Op, err)
 	}
 	apply()
+	shipErr := jp.shipLocked(lsn, payload)
 	jp.mu.Unlock()
 	if err := wait(); err != nil {
 		return fmt.Errorf("platform: journal sync for %s: %w", rec.Op, err)
+	}
+	if shipErr != nil {
+		// The op is journaled and applied locally; only replication is in
+		// doubt. Surfacing the error makes the caller treat the op as
+		// indeterminate — replay-consistent either way.
+		return fmt.Errorf("platform: replicating %s: %w", rec.Op, shipErr)
 	}
 	return nil
 }
@@ -418,6 +445,8 @@ const (
 	opVisitPage          = "visit_page"
 	opLikePage           = "like_page"
 	opUnlikePage         = "unlike_page"
+	opImportUsers        = "import_users"
+	opRemoveUsers        = "remove_users"
 )
 
 // opRecord is one journaled platform mutation. A single struct with
@@ -438,6 +467,8 @@ type opRecord struct {
 	Keys       []pii.MatchKey       `json:"keys,omitempty"`
 	Profile    *profile.State       `json:"profile,omitempty"`
 	Params     *campaignParamsState `json:"params,omitempty"`
+	Users      []profile.UserID     `json:"users,omitempty"`
+	Chunk      *MigrationChunk      `json:"chunk,omitempty"`
 }
 
 // campaignParamsState is CampaignParams in serializable form; the
@@ -492,31 +523,56 @@ func (s *campaignParamsState) toParams() (CampaignParams, error) {
 	return p, nil
 }
 
-// applyRecord replays one journaled mutation against the platform.
-// Platform-level refusals (duplicate names, unknown users, rejected
-// creatives) replay deterministically and are deliberately ignored — the
-// original caller already saw them. Only an undecodable record is an
-// error: state past it cannot be trusted.
-func applyRecord(p *Platform, lsn uint64, rec opRecord) error {
+// applyRecord replays one journaled mutation and returns the platform the
+// record leaves behind: ordinary ops mutate p in place and return it;
+// migration ops (import_users, remove_users) rebuild the platform from a
+// transformed snapshot and return the replacement. Platform-level refusals
+// (duplicate names, unknown users, rejected creatives) replay
+// deterministically and are deliberately ignored — the original caller
+// already saw them. Only an undecodable record or an invalid migration
+// chunk is an error: state past it cannot be trusted. Error paths never
+// mutate p, which is what lets the live path validate a migration record
+// before journaling it.
+func applyRecord(p *Platform, lsn uint64, rec opRecord) (*Platform, error) {
 	switch rec.Op {
+	case opImportUsers:
+		if rec.Chunk == nil {
+			return nil, fmt.Errorf("platform: journal record %d: import_users without chunk", lsn)
+		}
+		merged, err := MergeChunkState(p.Snapshot(p.pipeline.RNGState()), *rec.Chunk)
+		if err != nil {
+			return nil, fmt.Errorf("platform: journal record %d: %w", lsn, err)
+		}
+		p2, err := Restore(merged)
+		if err != nil {
+			return nil, fmt.Errorf("platform: journal record %d: %w", lsn, err)
+		}
+		return p2, nil
+	case opRemoveUsers:
+		drop := UserSet(rec.Users)
+		p2, err := Restore(RemoveUsersState(p.Snapshot(p.pipeline.RNGState()), drop))
+		if err != nil {
+			return nil, fmt.Errorf("platform: journal record %d: %w", lsn, err)
+		}
+		return p2, nil
 	case opAddUser:
 		if rec.Profile == nil {
-			return fmt.Errorf("platform: journal record %d: add_user without profile", lsn)
+			return nil, fmt.Errorf("platform: journal record %d: add_user without profile", lsn)
 		}
 		pr, err := profile.FromState(*rec.Profile)
 		if err != nil {
-			return fmt.Errorf("platform: journal record %d: %w", lsn, err)
+			return nil, fmt.Errorf("platform: journal record %d: %w", lsn, err)
 		}
 		_ = p.AddUser(pr)
 	case opRegisterAdvertiser:
 		_ = p.RegisterAdvertiser(rec.Name)
 	case opCreateCampaign:
 		if rec.Params == nil {
-			return fmt.Errorf("platform: journal record %d: create_campaign without params", lsn)
+			return nil, fmt.Errorf("platform: journal record %d: create_campaign without params", lsn)
 		}
 		params, err := rec.Params.toParams()
 		if err != nil {
-			return fmt.Errorf("platform: journal record %d: %w", lsn, err)
+			return nil, fmt.Errorf("platform: journal record %d: %w", lsn, err)
 		}
 		_, _ = p.CreateCampaign(rec.Advertiser, params)
 	case opPauseCampaign:
@@ -542,7 +598,7 @@ func applyRecord(p *Platform, lsn uint64, rec opRecord) error {
 	case opUnlikePage:
 		_ = p.UnlikePage(rec.User, rec.Page)
 	default:
-		return fmt.Errorf("platform: journal record %d: unknown op %q", lsn, rec.Op)
+		return nil, fmt.Errorf("platform: journal record %d: unknown op %q", lsn, rec.Op)
 	}
-	return nil
+	return p, nil
 }

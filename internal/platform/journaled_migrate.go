@@ -1,0 +1,131 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/treads-project/treads/internal/profile"
+)
+
+// Migration surface: the four operations a cluster reshard drives against
+// a journaled shard. Export is a read; Import and Remove are journaled
+// mutations with validate-before-journal semantics; InstallState rides the
+// snapshot channel so a bootstrap never has to fit in one journal record.
+
+// ExportUsers extracts the movable state for the given users from the
+// live platform. It is a pure read — the source keeps serving (and
+// mutating) the users until the cutover removes them; the reshard driver
+// re-exports anything dirtied after this snapshot during its write fence.
+func (jp *Journaled) ExportUsers(users []profile.UserID) (MigrationChunk, error) {
+	jp.mu.Lock()
+	defer jp.mu.Unlock()
+	return ExtractUsersChunk(jp.stateLocked(), UserSet(users)), nil
+}
+
+// ImportUsers journals and applies a migration chunk with replace
+// semantics per user. The chunk is validated against the current state
+// before anything is journaled: a bad chunk (unknown campaign, pixel, or
+// audience) returns an error with nothing written, so the journal never
+// holds a record that recovery would refuse to replay.
+func (jp *Journaled) ImportUsers(chunk MigrationChunk) error {
+	return jp.loggedSwap(opRecord{Op: opImportUsers, Chunk: &chunk})
+}
+
+// RemoveUsers journals and applies the removal of the given users' state —
+// the source-side half of a completed migration. Removing users that do
+// not exist is a no-op, which makes retries idempotent.
+func (jp *Journaled) RemoveUsers(users []profile.UserID) error {
+	return jp.loggedSwap(opRecord{Op: opRemoveUsers, Users: users})
+}
+
+// loggedSwap is logged() for whole-platform-swap records: the replacement
+// platform is built (and the record thereby validated) BEFORE the journal
+// append, then the record is journaled, the platform swapped, and the
+// record shipped to any followers — all under the op lock so journal order
+// still equals apply order.
+func (jp *Journaled) loggedSwap(rec opRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("platform: encoding journal record: %w", err)
+	}
+	jp.mu.Lock()
+	if jp.follow {
+		jp.mu.Unlock()
+		return ErrFollowing
+	}
+	p2, err := applyRecord(jp.p, jp.j.LastLSN()+1, rec)
+	if err != nil {
+		jp.mu.Unlock()
+		return err
+	}
+	lsn, wait, err := jp.j.AppendBuffered(payload)
+	if err != nil {
+		jp.mu.Unlock()
+		return fmt.Errorf("platform: journaling %s: %w", rec.Op, err)
+	}
+	jp.p = p2
+	shipErr := jp.shipLocked(lsn, payload)
+	jp.mu.Unlock()
+	if err := wait(); err != nil {
+		return fmt.Errorf("platform: journal sync for %s: %w", rec.Op, err)
+	}
+	if shipErr != nil {
+		return fmt.Errorf("platform: replicating %s: %w", rec.Op, shipErr)
+	}
+	return nil
+}
+
+// SyncState returns the full current state — the bootstrap read a new
+// shard or resyncing follower starts from.
+func (jp *Journaled) SyncState() (State, error) {
+	return jp.State(), nil
+}
+
+// StateAndLSN atomically captures the state together with the journal LSN
+// it corresponds to; a follower installed from this pair follows from
+// exactly that LSN with no gap and no overlap.
+func (jp *Journaled) StateAndLSN() (State, uint64) {
+	jp.mu.Lock()
+	defer jp.mu.Unlock()
+	return jp.stateLocked(), jp.j.LastLSN()
+}
+
+// InstallState replaces the platform's entire state. The new state is
+// validated (Restore), then written through the journal's snapshot channel
+// rather than as a record — a full state does not have to fit the record
+// size limit, and recovery simply restores the installed snapshot. The
+// in-memory platform is swapped only after the snapshot is durably on
+// disk, so a crash at any point recovers either the old state or the new
+// one, never a half-install. On error nothing is swapped; the caller
+// retries or routes the node to crash-recovery if the journal went sticky.
+//
+// InstallState is legal on a follower — it IS the resync path — but does
+// not by itself change follow mode; the caller pairs it with
+// BeginFollow(ownerLSN) from the owner's StateAndLSN.
+func (jp *Journaled) InstallState(s State) error {
+	jp.mu.Lock()
+	defer jp.mu.Unlock()
+	p2, err := Restore(s)
+	if err != nil {
+		return fmt.Errorf("platform: installing state: %w", err)
+	}
+	raw, err := MarshalSnapshot(s)
+	if err != nil {
+		return fmt.Errorf("platform: installing state: %w", err)
+	}
+	if err := jp.j.Sync(); err != nil {
+		return fmt.Errorf("platform: installing state: %w", err)
+	}
+	if err := jp.j.WriteSnapshot(jp.j.LastLSN(), raw); err != nil {
+		return fmt.Errorf("platform: installing state: %w", err)
+	}
+	jp.p = p2
+	return nil
+}
+
+// TailSince streams the journal suffix after `from` to fn — the follower
+// catch-up fast path. See journal.TailSince for the compaction failure
+// mode that forces a full InstallState resync instead.
+func (jp *Journaled) TailSince(from uint64, fn func(lsn uint64, payload []byte) error) error {
+	return jp.j.TailSince(from, fn)
+}

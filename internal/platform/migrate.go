@@ -1,0 +1,321 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/treads-project/treads/internal/audience"
+	"github.com/treads-project/treads/internal/billing"
+	"github.com/treads-project/treads/internal/delivery"
+	"github.com/treads-project/treads/internal/pixel"
+	"github.com/treads-project/treads/internal/profile"
+)
+
+// MigrationChunk is the movable portion of platform state for a set of
+// users: their profiles plus every per-user row scattered through the
+// subsystems — impression feeds, frequency counts, slot counters, pixel
+// visit logs, lookalike seed memberships, and exact billing splits.
+// Advertiser-side configuration (accounts, campaigns, audiences, pixels,
+// policy) is NOT part of a chunk; it is replicated to every shard already,
+// so moving a user only moves the rows keyed by that user.
+//
+// A chunk travels as a journaled import_users record and over RPC, so its
+// encoded size is bounded by the journal's record limit; callers split
+// large user sets into multiple chunks.
+type MigrationChunk struct {
+	Profiles    []profile.State        `json:"profiles,omitempty"`
+	Feeds       []delivery.FeedState   `json:"feeds,omitempty"`
+	Freq        []delivery.FreqState   `json:"freq,omitempty"`
+	Slots       []delivery.SlotState   `json:"slots,omitempty"`
+	Visits      []PixelVisits          `json:"visits,omitempty"`
+	SeedMembers []AudienceMembers      `json:"seed_members,omitempty"`
+	Billing     []billing.AccountState `json:"billing,omitempty"`
+}
+
+// PixelVisits is the moving users' slice of one pixel's visitor log, in
+// the source shard's first-visit order.
+type PixelVisits struct {
+	Pixel pixel.PixelID    `json:"pixel"`
+	Users []profile.UserID `json:"users"`
+}
+
+// AudienceMembers is the moving users' slice of one lookalike audience's
+// seed-member set. Seed members are excluded from lookalike matching, so
+// dropping these rows would silently change targeting on the new owner.
+type AudienceMembers struct {
+	Audience audience.AudienceID `json:"audience"`
+	Users    []profile.UserID    `json:"users"`
+}
+
+// UserSet builds a membership predicate from a user list.
+func UserSet(users []profile.UserID) func(profile.UserID) bool {
+	set := make(map[profile.UserID]bool, len(users))
+	for _, u := range users {
+		set[u] = true
+	}
+	return func(u profile.UserID) bool { return set[u] }
+}
+
+// Users returns every user the chunk carries rows for (sorted).
+func (c *MigrationChunk) Users() []profile.UserID {
+	set := make(map[profile.UserID]bool)
+	for _, ps := range c.Profiles {
+		set[ps.ID] = true
+	}
+	for _, fs := range c.Feeds {
+		set[fs.User] = true
+	}
+	for _, fs := range c.Freq {
+		for _, uc := range fs.Counts {
+			set[uc.User] = true
+		}
+	}
+	for _, ss := range c.Slots {
+		set[ss.User] = true
+	}
+	for _, pv := range c.Visits {
+		for _, u := range pv.Users {
+			set[u] = true
+		}
+	}
+	for _, am := range c.SeedMembers {
+		for _, u := range am.Users {
+			set[u] = true
+		}
+	}
+	for _, as := range c.Billing {
+		for _, us := range as.Users {
+			set[us.User] = true
+		}
+	}
+	out := make([]profile.UserID, 0, len(set))
+	for u := range set {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ExtractUsersChunk collects the movable rows for the selected users from
+// a state snapshot. The input is not modified; the chunk shares no mutable
+// backing arrays with it.
+func ExtractUsersChunk(s State, keep func(profile.UserID) bool) MigrationChunk {
+	var c MigrationChunk
+	for _, ps := range s.Profiles {
+		if keep(ps.ID) {
+			c.Profiles = append(c.Profiles, ps)
+		}
+	}
+	for _, fs := range s.Pipeline.Feeds {
+		if keep(fs.User) {
+			c.Feeds = append(c.Feeds, fs)
+		}
+	}
+	for _, fs := range s.Pipeline.Freq {
+		row := delivery.FreqState{CampaignID: fs.CampaignID}
+		for _, uc := range fs.Counts {
+			if keep(uc.User) {
+				row.Counts = append(row.Counts, uc)
+			}
+		}
+		if len(row.Counts) > 0 {
+			c.Freq = append(c.Freq, row)
+		}
+	}
+	for _, ss := range s.Pipeline.Slots {
+		if keep(ss.User) {
+			c.Slots = append(c.Slots, ss)
+		}
+	}
+	for _, px := range s.Pixels.Pixels {
+		var moving []profile.UserID
+		for _, u := range px.Visitors {
+			if keep(u) {
+				moving = append(moving, u)
+			}
+		}
+		if len(moving) > 0 {
+			c.Visits = append(c.Visits, PixelVisits{Pixel: px.ID, Users: moving})
+		}
+	}
+	for _, as := range s.Audiences.Audiences {
+		var moving []profile.UserID
+		for _, u := range as.SeedMembers {
+			if keep(u) {
+				moving = append(moving, u)
+			}
+		}
+		if len(moving) > 0 {
+			c.SeedMembers = append(c.SeedMembers, AudienceMembers{Audience: as.ID, Users: moving})
+		}
+	}
+	c.Billing = billing.ExtractUsersState(s.Ledger, keep).Accounts
+	return c
+}
+
+// RemoveUsersState returns s with every per-user row for the dropped users
+// filtered out. Advertiser-side configuration is untouched; the RNG seed is
+// preserved so the shard's auction stream continues unperturbed. The input
+// is not modified.
+func RemoveUsersState(s State, drop func(profile.UserID) bool) State {
+	out := s
+	out.Profiles = nil
+	for _, ps := range s.Profiles {
+		if !drop(ps.ID) {
+			out.Profiles = append(out.Profiles, ps)
+		}
+	}
+	out.Pipeline.Feeds = nil
+	for _, fs := range s.Pipeline.Feeds {
+		if !drop(fs.User) {
+			out.Pipeline.Feeds = append(out.Pipeline.Feeds, fs)
+		}
+	}
+	out.Pipeline.Freq = nil
+	for _, fs := range s.Pipeline.Freq {
+		row := delivery.FreqState{CampaignID: fs.CampaignID}
+		for _, uc := range fs.Counts {
+			if !drop(uc.User) {
+				row.Counts = append(row.Counts, uc)
+			}
+		}
+		if len(row.Counts) > 0 {
+			out.Pipeline.Freq = append(out.Pipeline.Freq, row)
+		}
+	}
+	out.Pipeline.Slots = nil
+	for _, ss := range s.Pipeline.Slots {
+		if !drop(ss.User) {
+			out.Pipeline.Slots = append(out.Pipeline.Slots, ss)
+		}
+	}
+	out.Pixels.Pixels = nil
+	for _, px := range s.Pixels.Pixels {
+		kept := px
+		kept.Visitors = nil
+		for _, u := range px.Visitors {
+			if !drop(u) {
+				kept.Visitors = append(kept.Visitors, u)
+			}
+		}
+		out.Pixels.Pixels = append(out.Pixels.Pixels, kept)
+	}
+	out.Audiences.Audiences = nil
+	for _, as := range s.Audiences.Audiences {
+		kept := as
+		if len(as.SeedMembers) > 0 {
+			kept.SeedMembers = nil
+			for _, u := range as.SeedMembers {
+				if !drop(u) {
+					kept.SeedMembers = append(kept.SeedMembers, u)
+				}
+			}
+		}
+		out.Audiences.Audiences = append(out.Audiences.Audiences, kept)
+	}
+	out.Ledger = billing.RemoveUsersState(s.Ledger, drop)
+	return out
+}
+
+// StripUsersState returns s with every user removed and the RNG reseeded:
+// the advertiser-side skeleton (accounts, campaigns, audiences, pixels,
+// policy state, campaign numbering) a freshly added shard boots from
+// before user chunks stream in. The new shard needs its own seed — two
+// shards drawing from the same auction RNG stream would be a replay
+// hazard, not a divergence, but distinct streams keep per-shard runs
+// independently deterministic.
+func StripUsersState(s State, newSeed uint64) State {
+	out := RemoveUsersState(s, func(profile.UserID) bool { return true })
+	out.Seed = newSeed
+	return out
+}
+
+// MergeChunkState folds a migration chunk into a state snapshot with
+// replace semantics per user: any rows the destination already holds for a
+// chunk user are dropped first, so re-importing the same chunk after a
+// failed cutover is idempotent. Per-user row orderings follow the snapshot
+// conventions (sorted by user; pixel visitors keep arrival order with the
+// chunk's users appended after existing visitors). Referential integrity
+// is checked: a chunk row naming a campaign, pixel, or audience the
+// destination does not know is an error, because advertiser configuration
+// is supposed to be replicated everywhere before users move.
+func MergeChunkState(s State, c MigrationChunk) (State, error) {
+	moved := UserSet(c.Users())
+	out := RemoveUsersState(s, moved)
+
+	out.Profiles = append(out.Profiles[:len(out.Profiles):len(out.Profiles)], c.Profiles...)
+
+	out.Pipeline.Feeds = append(out.Pipeline.Feeds[:len(out.Pipeline.Feeds):len(out.Pipeline.Feeds)], c.Feeds...)
+	sort.Slice(out.Pipeline.Feeds, func(i, j int) bool { return out.Pipeline.Feeds[i].User < out.Pipeline.Feeds[j].User })
+
+	campaigns := make(map[string]bool, len(out.Pipeline.Campaigns))
+	for _, cs := range out.Pipeline.Campaigns {
+		campaigns[cs.ID] = true
+	}
+	freqIdx := make(map[string]int, len(out.Pipeline.Freq))
+	out.Pipeline.Freq = append([]delivery.FreqState(nil), out.Pipeline.Freq...)
+	for i, fs := range out.Pipeline.Freq {
+		freqIdx[fs.CampaignID] = i
+	}
+	for _, fs := range c.Freq {
+		if !campaigns[fs.CampaignID] {
+			return State{}, fmt.Errorf("platform: chunk has frequency counts for unknown campaign %q", fs.CampaignID)
+		}
+		i, ok := freqIdx[fs.CampaignID]
+		if !ok {
+			out.Pipeline.Freq = append(out.Pipeline.Freq, delivery.FreqState{CampaignID: fs.CampaignID})
+			i = len(out.Pipeline.Freq) - 1
+			freqIdx[fs.CampaignID] = i
+		}
+		merged := append([]delivery.UserCount(nil), out.Pipeline.Freq[i].Counts...)
+		merged = append(merged, fs.Counts...)
+		sort.Slice(merged, func(a, b int) bool { return merged[a].User < merged[b].User })
+		out.Pipeline.Freq[i].Counts = merged
+	}
+	// Freq row order follows campaign creation order in snapshots; keep it
+	// deterministic after merge by campaign ID position in the campaign list.
+	pos := make(map[string]int, len(out.Pipeline.Campaigns))
+	for i, cs := range out.Pipeline.Campaigns {
+		pos[cs.ID] = i
+	}
+	sort.SliceStable(out.Pipeline.Freq, func(i, j int) bool {
+		return pos[out.Pipeline.Freq[i].CampaignID] < pos[out.Pipeline.Freq[j].CampaignID]
+	})
+
+	out.Pipeline.Slots = append(out.Pipeline.Slots[:len(out.Pipeline.Slots):len(out.Pipeline.Slots)], c.Slots...)
+	sort.Slice(out.Pipeline.Slots, func(i, j int) bool { return out.Pipeline.Slots[i].User < out.Pipeline.Slots[j].User })
+
+	pixelIdx := make(map[pixel.PixelID]int, len(out.Pixels.Pixels))
+	for i, px := range out.Pixels.Pixels {
+		pixelIdx[px.ID] = i
+	}
+	for _, pv := range c.Visits {
+		i, ok := pixelIdx[pv.Pixel]
+		if !ok {
+			return State{}, fmt.Errorf("platform: chunk has visits for unknown pixel %q", pv.Pixel)
+		}
+		vis := out.Pixels.Pixels[i].Visitors
+		out.Pixels.Pixels[i].Visitors = append(vis[:len(vis):len(vis)], pv.Users...)
+	}
+
+	audIdx := make(map[audience.AudienceID]int, len(out.Audiences.Audiences))
+	for i, as := range out.Audiences.Audiences {
+		audIdx[as.ID] = i
+	}
+	for _, am := range c.SeedMembers {
+		i, ok := audIdx[am.Audience]
+		if !ok {
+			return State{}, fmt.Errorf("platform: chunk has seed members for unknown audience %q", am.Audience)
+		}
+		mem := out.Audiences.Audiences[i].SeedMembers
+		mem = append(mem[:len(mem):len(mem)], am.Users...)
+		sort.Slice(mem, func(a, b int) bool { return mem[a] < mem[b] })
+		out.Audiences.Audiences[i].SeedMembers = mem
+	}
+
+	out.Ledger = billing.MergeUsersState(out.Ledger, billing.State{
+		BillableThreshold: out.Ledger.BillableThreshold,
+		Accounts:          c.Billing,
+	})
+	return out, nil
+}

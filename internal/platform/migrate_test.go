@@ -1,0 +1,313 @@
+package platform
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/treads-project/treads/internal/delivery"
+	"github.com/treads-project/treads/internal/journal"
+	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/stats"
+)
+
+// scriptedPlatform builds a populated plain platform by running the
+// journal test script against a journalBoot platform.
+func scriptedPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := journalBoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range journalScript(t) {
+		step(p)
+	}
+	return p
+}
+
+// TestExtractMergePartition pins the migration algebra at the platform
+// level: extract(users) + remove(users) partition the state, and merging
+// the chunk into the remainder reconstructs every per-user row and the
+// exact accounting.
+func TestExtractMergePartition(t *testing.T) {
+	p := scriptedPlatform(t)
+	s := p.Snapshot(p.pipeline.RNGState())
+
+	moving := UserSet([]profile.UserID{"ju01", "ju03", "ju-late"})
+	chunk := ExtractUsersChunk(s, moving)
+	rest := RemoveUsersState(s, moving)
+
+	if got := chunk.Users(); len(got) == 0 {
+		t.Fatal("chunk carries no users")
+	}
+	for _, ps := range rest.Profiles {
+		if moving(ps.ID) {
+			t.Fatalf("removed state still holds profile %s", ps.ID)
+		}
+	}
+	// Both halves restore.
+	if _, err := Restore(rest); err != nil {
+		t.Fatalf("restoring remainder: %v", err)
+	}
+
+	merged, err := MergeChunkState(rest, chunk)
+	if err != nil {
+		t.Fatalf("MergeChunkState: %v", err)
+	}
+	mp, err := Restore(merged)
+	if err != nil {
+		t.Fatalf("restoring merged state: %v", err)
+	}
+
+	// Every per-user surface reconciles exactly with the original platform.
+	for _, uid := range p.Users() {
+		if len(mp.Feed(uid)) != len(p.Feed(uid)) {
+			t.Fatalf("user %s feed %d != %d", uid, len(mp.Feed(uid)), len(p.Feed(uid)))
+		}
+	}
+	for _, cid := range []string{"camp-000001", "camp-000003"} {
+		for name, fn := range map[string]func(*Platform) interface{}{
+			"impressions": func(q *Platform) interface{} { return q.ledger.TrueImpressions(cid) },
+			"reach":       func(q *Platform) interface{} { return q.ledger.TrueReach(cid) },
+			"spend":       func(q *Platform) interface{} { return q.ledger.TrueSpend(cid) },
+		} {
+			if got, want := fn(mp), fn(p); got != want {
+				t.Fatalf("campaign %s %s: merged %v != original %v", cid, name, got, want)
+			}
+		}
+	}
+
+	// Replace semantics: merging the same chunk again changes nothing.
+	again, err := MergeChunkState(merged, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalState(t, again), marshalState(t, merged)) {
+		t.Fatal("re-merging the same chunk is not idempotent")
+	}
+}
+
+// TestMergeChunkRejectsUnknownRefs pins validate-before-journal: a chunk
+// referencing advertiser config the destination lacks is refused.
+func TestMergeChunkRejectsUnknownRefs(t *testing.T) {
+	p := scriptedPlatform(t)
+	s := p.Snapshot(p.pipeline.RNGState())
+	empty := StripUsersState(s, stats.SubSeed(s.Seed, 1))
+	empty.Pixels.Pixels = nil // forget the pixel config
+
+	chunk := ExtractUsersChunk(s, UserSet([]profile.UserID{"ju01"}))
+	if len(chunk.Visits) == 0 {
+		t.Fatal("test premise: ju01 visited a pixel")
+	}
+	if _, err := MergeChunkState(empty, chunk); err == nil {
+		t.Fatal("merge with unknown pixel succeeded")
+	}
+}
+
+// TestStripUsersStateKeepsSkeleton pins what a freshly added shard boots
+// from: all advertiser config, zero users, a fresh seed.
+func TestStripUsersStateKeepsSkeleton(t *testing.T) {
+	p := scriptedPlatform(t)
+	s := p.Snapshot(p.pipeline.RNGState())
+	stripped := StripUsersState(s, 12345)
+	if len(stripped.Profiles) != 0 || len(stripped.Pipeline.Feeds) != 0 || len(stripped.Ledger.Accounts) != 0 {
+		t.Fatalf("stripped state still carries user rows: %d profiles, %d feeds, %d accounts",
+			len(stripped.Profiles), len(stripped.Pipeline.Feeds), len(stripped.Ledger.Accounts))
+	}
+	if len(stripped.Pipeline.Campaigns) != len(s.Pipeline.Campaigns) || len(stripped.Audiences.Audiences) != len(s.Audiences.Audiences) {
+		t.Fatal("stripped state lost advertiser config")
+	}
+	if stripped.Seed != 12345 {
+		t.Fatalf("seed = %d", stripped.Seed)
+	}
+	sp, err := Restore(stripped)
+	if err != nil {
+		t.Fatalf("restoring stripped state: %v", err)
+	}
+	if len(sp.Users()) != 0 {
+		t.Fatal("restored stripped platform has users")
+	}
+}
+
+// TestJournaledMigrationRecovery moves users between two journaled shards
+// and crash-recovers both: the import and removal are journaled mutations,
+// so recovery must land byte-identical on each side.
+func TestJournaledMigrationRecovery(t *testing.T) {
+	srcDir, dstDir := t.TempDir(), t.TempDir()
+	opts := journal.Options{NoSync: true}
+	src := mustOpenJournaled(t, srcDir, opts, journalBoot)
+	for _, step := range journalScript(t) {
+		step(src)
+	}
+	dst := mustOpenJournaled(t, dstDir, opts, func() (*Platform, error) { return New(Config{Seed: 99}), nil })
+
+	// Bootstrap the destination with the source's advertiser skeleton.
+	srcState, err := src.SyncState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.InstallState(StripUsersState(srcState, stats.SubSeed(srcState.Seed, 1))); err != nil {
+		t.Fatalf("InstallState: %v", err)
+	}
+
+	users := []profile.UserID{"ju00", "ju02", "ju04"}
+	chunk, err := src.ExportUsers(users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ImportUsers(chunk); err != nil {
+		t.Fatalf("ImportUsers: %v", err)
+	}
+	if err := src.RemoveUsers(users); err != nil {
+		t.Fatalf("RemoveUsers: %v", err)
+	}
+
+	// The destination serves the moved users; the source no longer does.
+	if len(dst.Feed("ju00")) == 0 {
+		t.Fatal("moved user's feed empty on destination")
+	}
+	if src.User("ju00") != nil {
+		t.Fatal("source still knows moved user")
+	}
+
+	wantSrc, wantDst := marshalState(t, src.State()), marshalState(t, dst.State())
+	src.Close()
+	dst.Close()
+
+	src2 := mustOpenJournaled(t, srcDir, opts, noBoot(t))
+	dst2 := mustOpenJournaled(t, dstDir, opts, noBoot(t))
+	defer src2.Close()
+	defer dst2.Close()
+	if !bytes.Equal(marshalState(t, src2.State()), wantSrc) {
+		t.Fatal("source recovery diverged after remove_users")
+	}
+	if !bytes.Equal(marshalState(t, dst2.State()), wantDst) {
+		t.Fatal("destination recovery diverged after import_users")
+	}
+}
+
+// TestJournaledShipFollow wires a follower to an owner via the shipping
+// hook and requires byte-identical convergence, refusal of direct
+// mutations, and a working promotion.
+func TestJournaledShipFollow(t *testing.T) {
+	opts := journal.Options{NoSync: true}
+	owner := mustOpenJournaled(t, t.TempDir(), opts, journalBoot)
+	follower := mustOpenJournaled(t, t.TempDir(), opts, func() (*Platform, error) { return New(Config{Seed: 5}), nil })
+
+	state, lsn := owner.StateAndLSN()
+	if err := follower.InstallState(state); err != nil {
+		t.Fatal(err)
+	}
+	follower.BeginFollow(lsn)
+	owner.SetShipper(follower.ApplyShipped)
+
+	for _, step := range journalScript(t) {
+		step(owner)
+	}
+	if !follower.Synced() {
+		t.Fatal("follower fell out of sync during clean shipping")
+	}
+	if !bytes.Equal(marshalState(t, owner.State()), marshalState(t, follower.State())) {
+		t.Fatal("follower state diverged from owner")
+	}
+
+	if err := follower.RegisterAdvertiser("rogue"); !errors.Is(err, ErrFollowing) {
+		t.Fatalf("direct mutation on follower = %v, want ErrFollowing", err)
+	}
+
+	// Promote: the follower becomes writable and keeps the replicated state.
+	follower.EndFollow()
+	if err := follower.RegisterAdvertiser("post-promotion"); err != nil {
+		t.Fatalf("mutation after promotion: %v", err)
+	}
+}
+
+// TestFollowerGapAndTailResync pins the resync protocol: a follower that
+// missed shipped records refuses the next one, and the owner's journal
+// tail replays it back to byte-identical sync.
+func TestFollowerGapAndTailResync(t *testing.T) {
+	opts := journal.Options{NoSync: true}
+	owner := mustOpenJournaled(t, t.TempDir(), opts, journalBoot)
+	follower := mustOpenJournaled(t, t.TempDir(), opts, func() (*Platform, error) { return New(Config{Seed: 5}), nil })
+
+	state, lsn := owner.StateAndLSN()
+	if err := follower.InstallState(state); err != nil {
+		t.Fatal(err)
+	}
+	follower.BeginFollow(lsn)
+
+	// Owner mutates with shipping disconnected: the follower misses records.
+	for i, step := range journalScript(t) {
+		step(owner)
+		if i == 2 {
+			break
+		}
+	}
+	if _, err := owner.BrowseFeed("ju00", 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// A late ship at the owner's current LSN is a gap.
+	_, cur := owner.StateAndLSN()
+	if err := follower.ApplyShipped(cur, []byte(`{"op":"register_advertiser","name":"x"}`)); !errors.Is(err, ErrNotSynced) {
+		t.Fatalf("gap apply = %v, want ErrNotSynced", err)
+	}
+	if follower.Synced() {
+		t.Fatal("follower still synced after gap")
+	}
+
+	// Resync via tail replay from the follower's last good LSN.
+	follower.BeginFollow(follower.ShipLSN())
+	if err := owner.TailSince(follower.ShipLSN(), follower.ApplyShipped); err != nil {
+		t.Fatalf("tail resync: %v", err)
+	}
+	if !follower.Synced() {
+		t.Fatal("follower not synced after tail resync")
+	}
+	if !bytes.Equal(marshalState(t, owner.State()), marshalState(t, follower.State())) {
+		t.Fatal("follower diverged after tail resync")
+	}
+
+	// And the compacted case forces a full reinstall.
+	if _, err := owner.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.BrowseFeed("ju01", 2); err != nil {
+		t.Fatal(err)
+	}
+	var ce *journal.ErrCompacted
+	err := owner.TailSince(0, func(uint64, []byte) error { return nil })
+	if !errors.As(err, &ce) {
+		t.Fatalf("TailSince(0) after compaction = %v, want *journal.ErrCompacted", err)
+	}
+}
+
+// TestImportValidateBeforeJournal pins that a refused import journals
+// nothing: recovery after a refused chunk matches recovery without it.
+func TestImportValidateBeforeJournal(t *testing.T) {
+	dir := t.TempDir()
+	opts := journal.Options{NoSync: true}
+	jp := mustOpenJournaled(t, dir, opts, journalBoot)
+	before := jp.LastLSN()
+
+	chunk := MigrationChunk{
+		Profiles: []profile.State{{ID: "imp-user"}},
+		Freq: []delivery.FreqState{{
+			CampaignID: "camp-999999",
+			Counts:     []delivery.UserCount{{User: "imp-user", N: 3}},
+		}},
+	}
+	if err := jp.ImportUsers(chunk); err == nil {
+		t.Fatal("import with unknown campaign succeeded")
+	}
+	if jp.LastLSN() != before {
+		t.Fatalf("refused import advanced the journal: %d -> %d", before, jp.LastLSN())
+	}
+	want := marshalState(t, jp.State())
+	jp.Close()
+	jp2 := mustOpenJournaled(t, dir, opts, noBoot(t))
+	defer jp2.Close()
+	if !bytes.Equal(marshalState(t, jp2.State()), want) {
+		t.Fatal("recovery diverged after refused import")
+	}
+}

@@ -238,6 +238,13 @@ func (c *Client) Call(ctx context.Context, op string, idempotent bool, req, resp
 			c.br.success()
 			return re
 		}
+		if errors.Is(err, ErrStaleRing) {
+			// Also an answered refusal — the peer is healthy, just ahead of
+			// our ring. Don't feed the breaker or retry; surface it so the
+			// routing layer refreshes membership.
+			c.br.success()
+			return &CallError{Peer: c.peer, Op: op, Status: status, Attempts: attempts, Err: err}
+		}
 		c.br.failure()
 		if !retryable(err, idempotent) || attempts > c.opts.MaxRetries {
 			return &CallError{Peer: c.peer, Op: op, Status: status, Attempts: attempts, Err: err}
@@ -376,6 +383,11 @@ func statusErr(status int, raw []byte) error {
 		return fmt.Errorf("%w: %s", ErrAuth, msg)
 	case status == http.StatusUnprocessableEntity:
 		return &RemoteError{Msg: msg}
+	case status == http.StatusConflict:
+		// The shard refused ownership of the addressed user: the caller's
+		// ring is stale. Never retried at this layer — the op was not
+		// applied, and the fix is a membership refresh, not a resend.
+		return fmt.Errorf("%w: %s", ErrStaleRing, msg)
 	case status == http.StatusBadRequest,
 		status == http.StatusNotFound,
 		status == http.StatusRequestEntityTooLarge:

@@ -1,0 +1,246 @@
+package rpc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/profile"
+)
+
+// Elastic-cluster extensions to the shard protocol: state transfer for
+// live resharding, journal shipping for replica chains, and ring-version
+// exchange so a router holding a stale ring learns to refresh instead of
+// writing to the wrong shard.
+
+// ErrStaleRing is a 409 from the peer: the shard consulted its membership
+// gate and it no longer (or does not yet) own the addressed user under the
+// ring version it is serving. The call was NOT applied. Clients do not
+// retry it at the transport layer — the cure is refreshing membership and
+// re-routing, which the cluster layer does exactly once per op.
+var ErrStaleRing = errors.New("rpc: stale ring")
+
+// MembershipGate is the ownership check a shard server consults before
+// serving a user-scoped operation, plus the ring-version exchange surface.
+// The implementation lives in the cluster layer (it owns the consistent
+// hash); rpc only plumbs it. A nil gate (the default) serves everything —
+// single-shard deployments and tests.
+type MembershipGate interface {
+	// OwnsUser returns nil when this shard serves the user under the
+	// current ring, or a descriptive error (surfaced to the client as a
+	// 409/ErrStaleRing) when it does not.
+	OwnsUser(user string) error
+	// Ring returns the membership the shard is currently serving.
+	Ring() RingInfo
+	// SetRing installs pushed membership; versions never move backwards
+	// (an older push is refused).
+	SetRing(RingInfo) error
+}
+
+// staleErr wraps a gate refusal so handleOp can map it to 409.
+type staleErr struct{ err error }
+
+func (e staleErr) Error() string { return e.err.Error() }
+
+// RingInfo is the wire form of cluster membership: which shard addresses
+// exist (with their replica addresses), how many virtual nodes the ring
+// uses, and a monotonically increasing version so peers can order pushes.
+type RingInfo struct {
+	Version      uint64      `json:"version"`
+	VirtualNodes int         `json:"virtual_nodes"`
+	Shards       []ShardInfo `json:"shards"`
+}
+
+// ShardInfo is one slot's addresses: the owner first, then any replicas.
+type ShardInfo struct {
+	Addr     string   `json:"addr"`
+	Replicas []string `json:"replicas,omitempty"`
+}
+
+// Migrator is the optional backend surface for live resharding;
+// *platform.Journaled satisfies it. A backend without it answers the
+// migration ops with a typed refusal.
+type Migrator interface {
+	ExportUsers([]profile.UserID) (platform.MigrationChunk, error)
+	ImportUsers(platform.MigrationChunk) error
+	RemoveUsers([]profile.UserID) error
+	InstallState(platform.State) error
+	SyncState() (platform.State, error)
+}
+
+// Replicator is the optional backend surface for journal shipping;
+// *platform.Journaled satisfies it.
+type Replicator interface {
+	ApplyShipped(ownerLSN uint64, payload []byte) error
+	BeginFollow(ownerLSN uint64)
+	EndFollow()
+	Following() bool
+	Synced() bool
+	ShipLSN() uint64
+	StateAndLSN() (platform.State, uint64)
+}
+
+// ErrMigrationUnsupported is the refusal a non-journaled backend gives the
+// migration and replication ops: a plain in-memory platform has no
+// atomic-across-components snapshot, so it cannot take part in live
+// resharding or journal shipping.
+var ErrMigrationUnsupported = errors.New("shard backend does not support state migration (journaled platforms only)")
+
+// --- wire types ---
+
+// ExportUsersReq selects the users whose movable state to extract.
+type ExportUsersReq struct {
+	Users []string `json:"users"`
+}
+
+// ChunkResp carries an extracted migration chunk.
+type ChunkResp struct {
+	Chunk platform.MigrationChunk `json:"chunk"`
+}
+
+// ImportUsersReq carries a chunk to fold into the shard.
+type ImportUsersReq struct {
+	Chunk platform.MigrationChunk `json:"chunk"`
+}
+
+// RemoveUsersReq names the users whose state to drop after a cutover.
+type RemoveUsersReq struct {
+	Users []string `json:"users"`
+}
+
+// InstallStateReq carries a full platform state. It must fit MaxBody; the
+// reshard driver bootstraps new shards from a *stripped* (user-free) state
+// precisely so this stays small, then streams users as bounded chunks.
+type InstallStateReq struct {
+	State platform.State `json:"state"`
+}
+
+// SyncStateResp returns the shard's full state and the journal LSN it
+// corresponds to.
+type SyncStateResp struct {
+	State platform.State `json:"state"`
+	LSN   uint64         `json:"lsn"`
+}
+
+// ShipOpReq forwards one journaled record from owner to follower. The
+// payload is the owner's exact record bytes (JSON), embedded verbatim.
+type ShipOpReq struct {
+	LSN     uint64          `json:"lsn"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// FollowReq starts following from the given owner LSN.
+type FollowReq struct {
+	LSN uint64 `json:"lsn"`
+}
+
+// registerElastic wires the migration, replication, and ring ops. The ops
+// are always registered — capability is a property of the backend, not the
+// protocol — and refuse with ErrMigrationUnsupported when the backend
+// cannot honor them, so a misconfigured router gets a readable 422 instead
+// of a protocol error.
+func (s *Server) registerElastic() {
+	migrator := func() (Migrator, error) {
+		if m, ok := s.b.(Migrator); ok {
+			return m, nil
+		}
+		return nil, ErrMigrationUnsupported
+	}
+	replicator := func() (Replicator, error) {
+		if r, ok := s.b.(Replicator); ok {
+			return r, nil
+		}
+		return nil, ErrMigrationUnsupported
+	}
+
+	handle(s, "exportusers", func(_ context.Context, req ExportUsersReq) (ChunkResp, error) {
+		m, err := migrator()
+		if err != nil {
+			return ChunkResp{}, err
+		}
+		chunk, err := m.ExportUsers(toUserIDs(req.Users))
+		return ChunkResp{Chunk: chunk}, err
+	})
+	handle(s, "importusers", func(_ context.Context, req ImportUsersReq) (empty, error) {
+		m, err := migrator()
+		if err != nil {
+			return empty{}, err
+		}
+		return empty{}, m.ImportUsers(req.Chunk)
+	})
+	handle(s, "removeusers", func(_ context.Context, req RemoveUsersReq) (empty, error) {
+		m, err := migrator()
+		if err != nil {
+			return empty{}, err
+		}
+		return empty{}, m.RemoveUsers(toUserIDs(req.Users))
+	})
+	handle(s, "installstate", func(_ context.Context, req InstallStateReq) (empty, error) {
+		m, err := migrator()
+		if err != nil {
+			return empty{}, err
+		}
+		return empty{}, m.InstallState(req.State)
+	})
+	handle(s, "syncstate", func(_ context.Context, _ empty) (SyncStateResp, error) {
+		r, err := replicator()
+		if err != nil {
+			// Fall back to the migrator surface (no LSN) if present.
+			m, merr := migrator()
+			if merr != nil {
+				return SyncStateResp{}, merr
+			}
+			st, serr := m.SyncState()
+			return SyncStateResp{State: st}, serr
+		}
+		st, lsn := r.StateAndLSN()
+		return SyncStateResp{State: st, LSN: lsn}, nil
+	})
+	handle(s, "shipop", func(_ context.Context, req ShipOpReq) (empty, error) {
+		r, err := replicator()
+		if err != nil {
+			return empty{}, err
+		}
+		return empty{}, r.ApplyShipped(req.LSN, []byte(req.Payload))
+	})
+	handle(s, "beginfollow", func(_ context.Context, req FollowReq) (empty, error) {
+		r, err := replicator()
+		if err != nil {
+			return empty{}, err
+		}
+		r.BeginFollow(req.LSN)
+		return empty{}, nil
+	})
+	handle(s, "endfollow", func(_ context.Context, _ empty) (empty, error) {
+		r, err := replicator()
+		if err != nil {
+			return empty{}, err
+		}
+		r.EndFollow()
+		return empty{}, nil
+	})
+	handle(s, "ring", func(_ context.Context, _ empty) (RingInfo, error) {
+		g := s.gate.Load()
+		if g == nil {
+			return RingInfo{}, fmt.Errorf("shard has no membership gate configured")
+		}
+		return (*g).Ring(), nil
+	})
+	handle(s, "setring", func(_ context.Context, req RingInfo) (empty, error) {
+		g := s.gate.Load()
+		if g == nil {
+			return empty{}, fmt.Errorf("shard has no membership gate configured")
+		}
+		return empty{}, (*g).SetRing(req)
+	})
+}
+
+func toUserIDs(ss []string) []profile.UserID {
+	out := make([]profile.UserID, len(ss))
+	for i, u := range ss {
+		out[i] = profile.UserID(u)
+	}
+	return out
+}

@@ -343,11 +343,15 @@ func (w CampaignTotalsResp) ToTotals() platform.CampaignTotals {
 }
 
 // HealthResp is the shard's liveness answer: a readiness bit plus the
-// cheap introspection a router logs when gating startup.
+// cheap introspection a router logs when gating startup. Replica fields
+// appear only on journaled backends that are (or were) following.
 type HealthResp struct {
-	OK      bool   `json:"ok"`
-	Users   int    `json:"users"`
-	LastLSN uint64 `json:"last_lsn,omitempty"`
+	OK        bool   `json:"ok"`
+	Users     int    `json:"users"`
+	LastLSN   uint64 `json:"last_lsn,omitempty"`
+	Following bool   `json:"following,omitempty"`
+	Synced    bool   `json:"synced,omitempty"`
+	ShipLSN   uint64 `json:"ship_lsn,omitempty"`
 }
 
 // attrIDs converts attribute IDs to wire strings. Empty stays nil so a

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"github.com/treads-project/treads/internal/ad"
@@ -83,6 +84,32 @@ type Server struct {
 	mux      *http.ServeMux
 	handlers map[string]opHandler
 	m        *serverMetrics
+	// gate, when set, is consulted before every user-scoped operation; a
+	// refusal maps to 409 so clients see ErrStaleRing and refresh their
+	// membership instead of retrying blindly.
+	gate atomic.Pointer[MembershipGate]
+}
+
+// SetGate installs the membership gate (nil-safe to skip; see
+// MembershipGate). Safe to call while serving.
+func (s *Server) SetGate(g MembershipGate) {
+	if g == nil {
+		s.gate.Store(nil)
+		return
+	}
+	s.gate.Store(&g)
+}
+
+// gateUser checks ownership of a user-scoped request against the gate.
+func (s *Server) gateUser(user string) error {
+	g := s.gate.Load()
+	if g == nil {
+		return nil
+	}
+	if err := (*g).OwnsUser(user); err != nil {
+		return staleErr{err}
+	}
+	return nil
 }
 
 // NewServer wraps a shard backend. secret "" disables authentication
@@ -125,6 +152,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if lr, ok := s.b.(lsnReporter); ok {
 		resp.LastLSN = lr.LastLSN()
 	}
+	if rep, ok := s.b.(Replicator); ok && rep.Following() {
+		resp.Following = true
+		resp.Synced = rep.Synced()
+		resp.ShipLSN = rep.ShipLSN()
+	}
 	writeRPCJSON(w, http.StatusOK, resp)
 }
 
@@ -159,6 +191,13 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
 			writeRPCError(w, http.StatusBadRequest, pe.Error())
 			return
 		}
+		if se, ok := err.(staleErr); ok {
+			// Ownership refusal: 409 tells the client its ring is stale and
+			// the op was not applied; the cluster layer refreshes and
+			// re-routes exactly once.
+			writeRPCError(w, http.StatusConflict, se.Error())
+			return
+		}
 		// Application refusal: 422 keeps it distinct from every
 		// transport-level status, so the client re-raises it as a
 		// *RemoteError with the shard's own message.
@@ -188,6 +227,9 @@ type empty struct{}
 // constants-by-convention strings.
 func (s *Server) register() {
 	handle(s, "adduser", func(_ context.Context, req AddUserReq) (empty, error) {
+		if err := s.gateUser(string(req.Profile.ID)); err != nil {
+			return empty{}, err
+		}
 		p, err := profile.FromState(req.Profile)
 		if err != nil {
 			return empty{}, protoError{err}
@@ -195,6 +237,9 @@ func (s *Server) register() {
 		return empty{}, s.b.AddUser(p)
 	})
 	handle(s, "user", func(_ context.Context, req UserIDReq) (UserResp, error) {
+		if err := s.gateUser(req.UserID); err != nil {
+			return UserResp{}, err
+		}
 		p := s.b.User(profile.UserID(req.UserID))
 		if p == nil {
 			return UserResp{}, nil
@@ -211,6 +256,9 @@ func (s *Server) register() {
 		return UsersResp{Users: out}, nil
 	})
 	handle(s, "browse", func(_ context.Context, req BrowseReq) (ImpressionsResp, error) {
+		if err := s.gateUser(req.UserID); err != nil {
+			return ImpressionsResp{}, err
+		}
 		imps, err := s.b.BrowseFeed(profile.UserID(req.UserID), req.Slots)
 		if err != nil {
 			return ImpressionsResp{}, err
@@ -218,15 +266,27 @@ func (s *Server) register() {
 		return ImpressionsResp{Impressions: impressionsWire(imps)}, nil
 	})
 	handle(s, "feed", func(_ context.Context, req UserIDReq) (ImpressionsResp, error) {
+		if err := s.gateUser(req.UserID); err != nil {
+			return ImpressionsResp{}, err
+		}
 		return ImpressionsResp{Impressions: impressionsWire(s.b.Feed(profile.UserID(req.UserID)))}, nil
 	})
 	handle(s, "visit", func(_ context.Context, req VisitReq) (empty, error) {
+		if err := s.gateUser(req.UserID); err != nil {
+			return empty{}, err
+		}
 		return empty{}, s.b.VisitPage(profile.UserID(req.UserID), pixel.PixelID(req.PixelID))
 	})
 	handle(s, "like", func(_ context.Context, req LikeReq) (empty, error) {
+		if err := s.gateUser(req.UserID); err != nil {
+			return empty{}, err
+		}
 		return empty{}, s.b.LikePage(profile.UserID(req.UserID), req.PageID)
 	})
 	handle(s, "adpreferences", func(_ context.Context, req UserIDReq) (AttrIDsResp, error) {
+		if err := s.gateUser(req.UserID); err != nil {
+			return AttrIDsResp{}, err
+		}
 		ids, err := s.b.AdPreferences(profile.UserID(req.UserID))
 		if err != nil {
 			return AttrIDsResp{}, err
@@ -234,6 +294,9 @@ func (s *Server) register() {
 		return AttrIDsResp{Attributes: attrIDs(ids)}, nil
 	})
 	handle(s, "advertisers", func(_ context.Context, req UserIDReq) (NamesResp, error) {
+		if err := s.gateUser(req.UserID); err != nil {
+			return NamesResp{}, err
+		}
 		names, err := s.b.AdvertisersTargetingMe(profile.UserID(req.UserID))
 		if err != nil {
 			return NamesResp{}, err
@@ -241,6 +304,9 @@ func (s *Server) register() {
 		return NamesResp{Names: names}, nil
 	})
 	handle(s, "explain", func(_ context.Context, req ExplainReq) (ExplainResp, error) {
+		if err := s.gateUser(req.UserID); err != nil {
+			return ExplainResp{}, err
+		}
 		ex, err := s.b.ExplainImpression(profile.UserID(req.UserID), req.Impression.ToImpression())
 		if err != nil {
 			return ExplainResp{}, err
@@ -314,6 +380,7 @@ func (s *Server) register() {
 			SpendMicros: int64(t.Spend),
 		}, nil
 	})
+	s.registerElastic()
 }
 
 func impressionsWire(imps []ad.Impression) []httpapi.ImpressionWire {
