@@ -102,6 +102,7 @@ import (
 	"github.com/treads-project/treads/internal/profile"
 	"github.com/treads-project/treads/internal/rpc"
 	"github.com/treads-project/treads/internal/stats"
+	"github.com/treads-project/treads/internal/trace"
 	"github.com/treads-project/treads/internal/workload"
 )
 
@@ -146,6 +147,11 @@ type options struct {
 	RPCTimeout time.Duration
 	HedgeAfter time.Duration
 	PeerWait   time.Duration
+
+	// Distributed tracing.
+	TraceSample float64
+	TraceRing   int
+	TraceSlow   time.Duration
 }
 
 // parseFlags registers the flag set on fs and parses args into options.
@@ -179,6 +185,9 @@ func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 	fs.DurationVar(&o.RPCTimeout, "rpc-timeout", 2*time.Second, "per-attempt deadline for shard RPCs (router mode)")
 	fs.DurationVar(&o.HedgeAfter, "hedge-after", 0, "hedge idempotent shard reads after this delay (0 = disabled)")
 	fs.DurationVar(&o.PeerWait, "peer-wait", 30*time.Second, "how long the router waits at startup for every shard node to report healthy")
+	fs.Float64Var(&o.TraceSample, "trace-sample", 0.01, "request trace head-sampling probability in [0,1] (0 records only forced error/slow spans)")
+	fs.IntVar(&o.TraceRing, "trace-ring", 4096, "completed-span ring capacity per process")
+	fs.DurationVar(&o.TraceSlow, "trace-slow", 500*time.Millisecond, "latency above which an unsampled request records a forced span (negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -247,6 +256,12 @@ func (o options) validate() error {
 			return fmt.Errorf("-auth guards the public API; shard nodes authenticate with -rpc-secret")
 		}
 	}
+	if o.TraceSample < 0 || o.TraceSample > 1 {
+		return fmt.Errorf("-trace-sample must be in [0,1], got %v", o.TraceSample)
+	}
+	if o.TraceRing < 1 {
+		return fmt.Errorf("-trace-ring must be positive, got %d", o.TraceRing)
+	}
 	if o.Advertise != "" && !o.ShardServe {
 		return fmt.Errorf("-advertise only applies with -shard-serve: it names the address this node appears as in ring pushes")
 	}
@@ -288,7 +303,13 @@ func run() error {
 	logger := log.New(os.Stderr, "adplatformd: ", log.LstdFlags)
 
 	if opts.ShardServe {
+		configureTracing(opts, fmt.Sprintf("shard-%d", opts.ShardIndex))
 		return runShardServer(opts, logger)
+	}
+	if opts.Peers != "" {
+		configureTracing(opts, "router")
+	} else {
+		configureTracing(opts, "single")
 	}
 
 	backend, jp, compactor, clusterAdmin, err := openBackend(opts, logger)
@@ -317,6 +338,11 @@ func run() error {
 	}
 	if clusterAdmin != nil {
 		handler.SetClusterAdmin(clusterAdmin)
+	}
+	// A router stitches every shard node's span ring into its trace dump;
+	// in-process backends have nothing remote to fetch.
+	if tf, ok := backend.(httpapi.TraceFetcher); ok {
+		handler.SetTraceFetcher(tf)
 	}
 
 	// With -gateway, the edge wraps the public API: tenant keys, rate
@@ -392,6 +418,7 @@ func buildGateway(opts options, auth *httpapi.Authenticator, inner http.Handler,
 		Inflight:  opts.GatewayInflight,
 		UsageDir:  usageDir,
 		Authorize: authorize,
+		KeysPath:  opts.Keys,
 	})
 	if err != nil {
 		return nil, err
@@ -399,6 +426,20 @@ func buildGateway(opts options, auth *httpapi.Authenticator, inner http.Handler,
 	logger.Printf("edge gateway: %d tenants, inflight budget %d, usage ledger %s",
 		len(ks.Tenants()), opts.GatewayInflight, usageDirDesc(usageDir))
 	return g, nil
+}
+
+// configureTracing applies the trace flags to the process tracer. The
+// sampler stream is seeded off the deterministic platform seed (its own
+// sub-stream, so sampling never perturbs population generation), making
+// trace decisions replayable for a given seed and request order.
+func configureTracing(opts options, service string) {
+	trace.Default.Configure(trace.Options{
+		Service:       service,
+		SampleRate:    opts.TraceSample,
+		RingSize:      opts.TraceRing,
+		SlowThreshold: opts.TraceSlow,
+		Seed:          stats.SubSeed(opts.Seed, 0x7ace),
+	})
 }
 
 func usageDirDesc(dir string) string {

@@ -3,7 +3,7 @@
 // perf trajectory successive changes are judged against (ROADMAP item:
 // "hot-path speed campaign with a persisted perf trajectory").
 //
-//	treads-bench [-areas index,platform,journal,cluster,gateway,rpc] [-users N] [-out DIR]
+//	treads-bench [-areas index,platform,journal,cluster,gateway,rpc,trace] [-users N] [-out DIR]
 //	treads-bench -check [-out DIR]
 //
 // Each area file records ops/sec plus p50/p90/p99 latency for its hot
@@ -44,6 +44,7 @@ import (
 	"github.com/treads-project/treads/internal/platform"
 	"github.com/treads-project/treads/internal/profile"
 	"github.com/treads-project/treads/internal/rpc"
+	"github.com/treads-project/treads/internal/trace"
 	"github.com/treads-project/treads/internal/workload"
 
 	adpkg "github.com/treads-project/treads/internal/ad"
@@ -75,7 +76,7 @@ type report struct {
 
 func main() {
 	var (
-		areas = flag.String("areas", "index,platform,journal,cluster,gateway,rpc", "comma-separated areas to benchmark")
+		areas = flag.String("areas", "index,platform,journal,cluster,gateway,rpc,trace", "comma-separated areas to benchmark")
 		users = flag.Int("users", 1_000_000, "population size for the index area")
 		out   = flag.String("out", ".", "directory BENCH_<area>.json files are written to / checked in")
 		check = flag.Bool("check", false, "validate committed BENCH files instead of benchmarking")
@@ -111,6 +112,8 @@ func main() {
 			rep, err = benchGateway()
 		case "rpc":
 			rep, err = benchRPC()
+		case "trace":
+			rep, err = benchTrace()
 		default:
 			err = fmt.Errorf("unknown area %q", area)
 		}
@@ -611,6 +614,52 @@ func benchRPC() (report, error) {
 	return rep, nil
 }
 
+// benchTrace measures the tracing tax every request pays. The sampled
+// numbers price what turning the dial up costs; the unsampled span
+// path — the 99% case at the default 1% rate — is pinned
+// allocation-free, the discipline that lets the instrumentation sit on
+// every hot path unconditionally. inject_extract prices the traceparent
+// header round-trip the RPC hop adds to a sampled call.
+func benchTrace() (report, error) {
+	reg := obs.NewRegistry()
+	on := trace.NewTracer(trace.Options{Service: "bench", SampleRate: 1, Seed: 1, Registry: reg})
+	off := trace.NewTracer(trace.Options{Service: "bench", SampleRate: 0, SlowThreshold: -1, Seed: 1, Registry: reg})
+	ctx := context.Background()
+	spanPair := func(t *trace.Tracer) {
+		c, root := t.StartRoot(ctx, "bench.root")
+		if root != nil {
+			root.Annotate("k", "v")
+		}
+		_, child := trace.StartChild(c, "bench.child")
+		child.Finish()
+		root.Finish()
+	}
+
+	rep := report{Metrics: map[string]metric{}}
+	m := measure(200_000, func() { spanPair(on) })
+	m.AllocsPerOp = testing.AllocsPerRun(10_000, func() { spanPair(on) })
+	rep.Metrics["span_sampled"] = m
+
+	m = measure(200_000, func() { spanPair(off) })
+	m.AllocsPerOp = testing.AllocsPerRun(10_000, func() { spanPair(off) })
+	rep.Metrics["span_unsampled"] = m
+
+	// The RPC hop: inject on the client, parse on the server.
+	_, sp := on.StartRoot(ctx, "bench.inject")
+	defer sp.Finish()
+	h := make(http.Header, 1)
+	injectExtract := func() {
+		trace.Inject(sp, h)
+		if _, _, ok := trace.Extract(h); !ok {
+			panic("bench traceparent did not round-trip")
+		}
+	}
+	m = measure(200_000, injectExtract)
+	m.AllocsPerOp = testing.AllocsPerRun(10_000, injectExtract)
+	rep.Metrics["inject_extract"] = m
+	return rep, nil
+}
+
 func b2f(b bool) float64 {
 	if b {
 		return 1
@@ -628,6 +677,7 @@ func runCheck(dir string) error {
 		"cluster":  {"scatter_gather_reach", "routed_browse_feed", "reshard_cutover"},
 		"gateway":  {"resolve_key", "decide_admit", "decide_limited"},
 		"rpc":      {"call_health", "call_browse", "call_prefs"},
+		"trace":    {"span_sampled", "span_unsampled", "inject_extract"},
 	}
 	for area, metrics := range required {
 		path := filepath.Join(dir, "BENCH_"+area+".json")
@@ -649,6 +699,13 @@ func runCheck(dir string) error {
 			}
 			if mt.Iterations <= 0 || mt.P50Ns <= 0 {
 				return fmt.Errorf("%s: metric %q has implausible values", path, m)
+			}
+		}
+		if area == "trace" {
+			// Tracing is on by default on every hot path; the committed
+			// file must prove the unsampled span costs no allocations.
+			if a := rep.Metrics["span_unsampled"].AllocsPerOp; a != 0 {
+				return fmt.Errorf("%s: span_unsampled allocates %.1f per op, want 0", path, a)
 			}
 		}
 		if area == "gateway" {

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -96,6 +97,7 @@ func main() {
 			if res.Dir != "" {
 				fmt.Fprintf(os.Stderr, "  disk state kept at %s\n", res.Dir)
 			}
+			dumpTraces(res)
 			fail(s, reproFlags(*netMode, *replicas, *reshard))
 		}
 	}
@@ -114,6 +116,26 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("coverage check passed: every configured fault kind fired")
+	}
+}
+
+// dumpTraces prints the failing run's per-round traces as NDJSON — the
+// same wire shape GET /admin/v1/trace serves. Each round ran under a
+// root span whose events are the harness's decision timeline (which
+// shard partitioned, when the owner was killed and promoted, what
+// crash-recovered), so the offending schedule is readable without a
+// replay.
+func dumpTraces(res *chaos.Result) {
+	if len(res.Traces) == 0 {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "  round traces for the offending run (NDJSON):")
+	for _, tw := range res.Traces {
+		raw, err := json.Marshal(tw)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "  %s\n", raw)
 	}
 }
 

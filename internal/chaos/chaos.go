@@ -45,10 +45,12 @@
 package chaos
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,6 +68,7 @@ import (
 	"github.com/treads-project/treads/internal/profile"
 	"github.com/treads-project/treads/internal/rpc"
 	"github.com/treads-project/treads/internal/stats"
+	"github.com/treads-project/treads/internal/trace"
 	"github.com/treads-project/treads/internal/workload"
 )
 
@@ -241,6 +244,13 @@ type Result struct {
 	Opportunities map[faults.Kind]uint64
 	Violations    []Violation
 	Dir           string
+	// Traces holds one assembled trace per round, in round order. Each
+	// round runs under a root span that accrues the harness's decisions —
+	// partitions, owner kills, promotions, crashes, reshards — as
+	// timestamped events, and the round's trace ID appears in its Logf
+	// lines, so a violation's timeline is inspectable: the chaos binary
+	// dumps these traces when a run fails.
+	Traces []trace.TraceWire
 }
 
 // Failed reports whether any invariant was violated.
@@ -281,6 +291,12 @@ type harness struct {
 	px         pixel.PixelID
 	users      []profile.UserID
 
+	// tracer records one root span per round (always sampled, private
+	// ring); roundIDs remembers each round's trace ID for the post-run
+	// dump.
+	tracer   *trace.Tracer
+	roundIDs []trace.TraceID
+
 	ledger ackLedger
 }
 
@@ -314,11 +330,25 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.Dir = dir
 
+	treg := cfg.Registry
+	if treg == nil {
+		treg = obs.NewRegistry()
+	}
 	h := &harness{
 		cfg:        cfg,
 		inj:        faults.NewInjector(cfg.Seed, cfg.Registry),
 		hrng:       stats.NewRNG(stats.SubSeed(cfg.Seed, 0xC4A05)),
 		advertiser: "chaos",
+		// Sampling at 1 with its own seed sub-stream: round tagging never
+		// perturbs the harness's own decision RNG or the fault schedule.
+		tracer: trace.NewTracer(trace.Options{
+			Service:       "chaos",
+			SampleRate:    1,
+			RingSize:      1024,
+			SlowThreshold: -1,
+			Seed:          stats.SubSeed(cfg.Seed, 0x7a11),
+			Registry:      treg,
+		}),
 	}
 	h.ledger.acked = make(map[string]int64)
 
@@ -348,6 +378,7 @@ func Run(cfg Config) (*Result, error) {
 	res.Faults = h.inj.Counts()
 	res.Opportunities = h.inj.Opportunities()
 	h.coverage(res)
+	res.Traces = h.roundTraces()
 
 	if cleanup && !res.Failed() {
 		os.RemoveAll(dir)
@@ -508,6 +539,16 @@ func (h *harness) rounds(res *Result) error {
 		reshardRound = cfg.Rounds / 2
 	}
 	for r := 0; r < cfg.Rounds; r++ {
+		// Every round runs under a root span: the harness's decisions land
+		// on it as events, and the trace ID tags the round's log lines so
+		// a violation's timeline can be pulled from Result.Traces.
+		_, rsp := h.tracer.StartRoot(context.Background(), "chaos.round")
+		rsp.Annotate("round", strconv.Itoa(r))
+		rsp.Annotate("seed", strconv.FormatUint(cfg.Seed, 10))
+		tid, _ := rsp.IDs()
+		h.roundIDs = append(h.roundIDs, tid)
+		cfg.Logf("round %d: trace %s", r, tid)
+
 		// The joiner slot boots quiet (journal creation is not the surface
 		// under test); the migration itself runs under the full fault load,
 		// concurrent with the round's traffic.
@@ -536,10 +577,11 @@ func (h *harness) rounds(res *Result) error {
 			h.nodes[p].tr.SetPartitioned(true)
 			partitioned = append(partitioned, p)
 			res.Partitions++
+			rsp.Event("partition shard " + strconv.Itoa(p))
 			cfg.Logf("round %d: partitioned shard %d", r, p)
 		}
 
-		observe := h.armKill(r)
+		observe := h.armKill(r, rsp)
 
 		reshardDone := make(chan error, 1)
 		if joiner != nil {
@@ -558,6 +600,8 @@ func (h *harness) rounds(res *Result) error {
 			Seed:            stats.SubSeed(cfg.Seed, uint64(1000+r)),
 			Observe:         observe,
 		})
+		rsp.Annotate("ops", strconv.FormatInt(ds.Ops(), 10))
+		rsp.Annotate("errors", strconv.FormatInt(ds.Errors, 10))
 		cfg.Logf("round %d: %d ops, %d errors", r, ds.Ops(), ds.Errors)
 
 		joined := false
@@ -568,9 +612,11 @@ func (h *harness) rounds(res *Result) error {
 				h.slots = append(h.slots, joiner)
 				res.Reshards++
 				joined = true
+				rsp.Event("reshard joined mid-traffic")
 				cfg.Logf("round %d: slot %d joined mid-traffic (ring v%d, %d users moved)",
 					r, len(h.slots)-1, h.clu.Version(), h.clu.LastReshard().UsersMoved)
 			} else {
+				rsp.Event("reshard lost its race")
 				cfg.Logf("round %d: mid-round AddShard lost its race with the fault schedule (%v); will retry recovered", r, err)
 			}
 		}
@@ -603,6 +649,7 @@ func (h *harness) rounds(res *Result) error {
 			}
 			n.down.Store(false)
 			res.Crashes++
+			rsp.Event("crash-recover node " + strconv.Itoa(i))
 		}
 		if cfg.Net != nil {
 			for _, n := range h.nodes {
@@ -619,10 +666,12 @@ func (h *harness) rounds(res *Result) error {
 		// owner just crash-recovered gets its chain re-armed below.
 		if joiner != nil && !joined {
 			if _, err := h.clu.AddShard(joinerShard); err != nil {
+				rsp.SetError(err)
 				res.violate("membership", "retrying AddShard on the recovered cluster: %v", err)
 			} else {
 				h.slots = append(h.slots, joiner)
 				res.Reshards++
+				rsp.Event("reshard joined on retry")
 				cfg.Logf("round %d: slot %d joined on retry (ring v%d)", r, len(h.slots)-1, h.clu.Version())
 			}
 		}
@@ -631,8 +680,25 @@ func (h *harness) rounds(res *Result) error {
 		// and left reopened followers out of follow mode: re-arm every
 		// chain and resync every follower before the next round's traffic.
 		h.healReplicas(res)
+		rsp.Finish()
 	}
 	return nil
+}
+
+// roundTraces assembles the rounds' span trees from the harness tracer's
+// ring, in round order.
+func (h *harness) roundTraces() []trace.TraceWire {
+	byID := make(map[string]trace.TraceWire)
+	for _, tw := range trace.GroupTraces(h.tracer.WireSnapshot()) {
+		byID[tw.TraceID] = tw
+	}
+	out := make([]trace.TraceWire, 0, len(h.roundIDs))
+	for _, id := range h.roundIDs {
+		if tw, ok := byID[id.String()]; ok {
+			out = append(out, tw)
+		}
+	}
+	return out
 }
 
 // armKill returns the round's workload Observe callback. Without
@@ -642,8 +708,9 @@ func (h *harness) rounds(res *Result) error {
 // typed unavailability error — all accounted as definite failures), and
 // an eighth of a round later the harness promotes the best follower, the
 // explicit operator decision the failover protocol requires. The
-// demoted owner is crash-recovered and healed back in at round end.
-func (h *harness) armKill(r int) func(workload.OpResult) {
+// demoted owner is crash-recovered and healed back in at round end. The
+// kill and the promotion land on the round span as events.
+func (h *harness) armKill(r int, rsp *trace.Span) func(workload.OpResult) {
 	if h.cfg.Replicas == 0 {
 		return h.ledger.observe
 	}
@@ -659,6 +726,7 @@ func (h *harness) armKill(r int) func(workload.OpResult) {
 		if n == killAt {
 			g.nodes[0].down.Store(true)
 			h.ownerKills.Add(1)
+			rsp.Event("killed slot " + strconv.Itoa(slot) + "'s owner")
 			h.cfg.Logf("round %d: killed slot %d's owner mid-round", r, slot)
 		}
 		if n >= promoteAt && promoting.CompareAndSwap(false, true) {
@@ -672,6 +740,7 @@ func (h *harness) armKill(r int) func(workload.OpResult) {
 			}
 			g.nodes[0], g.nodes[idx] = g.nodes[idx], g.nodes[0]
 			h.promotions.Add(1)
+			rsp.Event("promoted slot " + strconv.Itoa(slot) + "'s follower " + strconv.Itoa(idx))
 			h.cfg.Logf("round %d: promoted slot %d's follower %d to owner", r, slot, idx)
 		}
 	}

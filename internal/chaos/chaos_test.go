@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"github.com/treads-project/treads/internal/faults"
@@ -33,6 +34,29 @@ func TestChaosControlRunIsExact(t *testing.T) {
 	}
 	if res.Crashes == 0 {
 		t.Fatal("control run never crashed a shard")
+	}
+	// Every round is tagged with a trace whose events record the round's
+	// decisions; the binary dumps these when a run fails.
+	if len(res.Traces) != cfg.Rounds {
+		t.Fatalf("run carries %d round traces, want one per round (%d)", len(res.Traces), cfg.Rounds)
+	}
+	crashEvents := 0
+	for i, tw := range res.Traces {
+		if len(tw.Spans) == 0 {
+			t.Fatalf("round %d trace has no spans", i)
+		}
+		root := tw.Spans[0]
+		if root.Name != "chaos.round" || root.Service != "chaos" {
+			t.Fatalf("round %d root span = %s/%s, want chaos.round/chaos", i, root.Name, root.Service)
+		}
+		for _, ev := range root.Events {
+			if strings.HasPrefix(ev.Name, "crash-recover") {
+				crashEvents++
+			}
+		}
+	}
+	if crashEvents != res.Crashes {
+		t.Fatalf("round traces record %d crash events, result counted %d crashes", crashEvents, res.Crashes)
 	}
 }
 

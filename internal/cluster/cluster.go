@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -21,6 +22,7 @@ import (
 	"github.com/treads-project/treads/internal/profile"
 	"github.com/treads-project/treads/internal/rpc"
 	"github.com/treads-project/treads/internal/stats"
+	"github.com/treads-project/treads/internal/trace"
 )
 
 // Shard is the per-partition platform surface the coordinator drives. Both
@@ -332,9 +334,35 @@ func (c *Cluster) User(uid profile.UserID) *profile.Profile {
 
 // BrowseFeed runs a feed session on the user's shard.
 func (c *Cluster) BrowseFeed(uid profile.UserID, slots int) ([]ad.Impression, error) {
-	return routeMutation(c, uid, func(s Shard) ([]ad.Impression, error) {
+	return c.BrowseFeedCtx(context.Background(), uid, slots)
+}
+
+// browseCtxShard is the optional ctx-aware browse a shard may support:
+// *platform.Journaled journals under the caller's trace, and
+// *RemoteShard propagates the traceparent over the wire. Plain shards
+// fall back to the ctx-less call.
+type browseCtxShard interface {
+	BrowseFeedCtx(context.Context, profile.UserID, int) ([]ad.Impression, error)
+}
+
+// BrowseFeedCtx is BrowseFeed under the request context: sampled
+// requests get a routing span naming the owning shard, and the shard
+// call carries the context onward when the shard supports it.
+func (c *Cluster) BrowseFeedCtx(ctx context.Context, uid profile.UserID, slots int) ([]ad.Impression, error) {
+	ctx, sp := trace.StartChild(ctx, "cluster.route")
+	if sp != nil {
+		sp.Annotate("op", "browse")
+		sp.Annotate("shard", strconv.Itoa(c.Owner(uid)))
+		defer sp.Finish()
+	}
+	imps, err := routeMutation(c, uid, func(s Shard) ([]ad.Impression, error) {
+		if cb, ok := s.(browseCtxShard); ok {
+			return cb.BrowseFeedCtx(ctx, uid, slots)
+		}
 		return s.BrowseFeed(uid, slots)
 	})
+	sp.SetError(err)
+	return imps, err
 }
 
 // Feed returns the user's full feed from the owning shard (nil when the
@@ -401,6 +429,16 @@ func replicate[T comparable](c *Cluster, opName string, op func(Shard) (T, error
 	c.repMu.Lock()
 	defer c.repMu.Unlock()
 	shards, _ := c.membership()
+	// Advertiser mutations reach this point without a request context
+	// (the Shard interface predates ctx on these ops), so replication
+	// shows up as its own root trace: one span covering the whole
+	// all-shards fan-out, error-tagged on divergence.
+	_, sp := trace.Default.StartRoot(context.Background(), "cluster.replicate")
+	if sp != nil {
+		sp.Annotate("op", opName)
+		sp.Annotate("shards", strconv.Itoa(len(shards)))
+		defer sp.Finish()
+	}
 	// A shard whose transport is down cannot apply the mutation; applying
 	// it to the others anyway would fork the replicated advertiser state
 	// (the per-shard ID counters would drift). Refuse up front with the
@@ -409,7 +447,9 @@ func replicate[T comparable](c *Cluster, opName string, op func(Shard) (T, error
 	// receive the mutation through journal shipping, not directly.
 	if err := checkAllWriteHealthy(shards); err != nil {
 		var zero T
-		return zero, fmt.Errorf("cluster: %s: %w", opName, err)
+		err = fmt.Errorf("cluster: %s: %w", opName, err)
+		sp.SetError(err)
+		return zero, err
 	}
 	c.m.replicatedOps.Inc()
 	var first T
@@ -422,11 +462,15 @@ func replicate[T comparable](c *Cluster, opName string, op func(Shard) (T, error
 		}
 		if (err == nil) != (firstErr == nil) {
 			c.m.divergence.Inc()
-			return first, fmt.Errorf("cluster: %s diverged: shard %d returned %v, shard 0 returned %v", opName, i, err, firstErr)
+			derr := fmt.Errorf("cluster: %s diverged: shard %d returned %v, shard 0 returned %v", opName, i, err, firstErr)
+			sp.SetError(derr)
+			return first, derr
 		}
 		if err == nil && v != first {
 			c.m.divergence.Inc()
-			return first, fmt.Errorf("cluster: %s diverged: shard %d returned %v, shard 0 returned %v", opName, i, v, first)
+			derr := fmt.Errorf("cluster: %s diverged: shard %d returned %v, shard 0 returned %v", opName, i, v, first)
+			sp.SetError(derr)
+			return first, derr
 		}
 	}
 	return first, firstErr

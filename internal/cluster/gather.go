@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/treads-project/treads/internal/audience"
 	"github.com/treads-project/treads/internal/billing"
 	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/trace"
 )
 
 // ErrShardUnavailable marks operations refused because a shard's transport
@@ -101,10 +103,18 @@ func (c *Cluster) gatherView() ([]Shard, func(), error) {
 // open fails the gather up front with ErrShardUnavailable rather than
 // returning silently wrong totals. Wall time for the whole fan-out —
 // dominated by the slowest shard — lands in cluster_gather_seconds.
-func (c *Cluster) gather(ctx context.Context, shards []Shard, fn func(ctx context.Context, i int, s Shard) error) error {
+func (c *Cluster) gather(ctx context.Context, shards []Shard, fn func(ctx context.Context, i int, s Shard) error) (err error) {
 	start := time.Now()
 	defer c.m.gatherSeconds.ObserveSince(start)
-	if err := checkAllHealthy(shards); err != nil {
+	ctx, sp := trace.StartChild(ctx, "cluster.gather")
+	if sp != nil {
+		sp.Annotate("shards", strconv.Itoa(len(shards)))
+		defer func() {
+			sp.SetError(err)
+			sp.Finish()
+		}()
+	}
+	if err = checkAllHealthy(shards); err != nil {
 		return err
 	}
 	if len(shards) == 1 {
@@ -123,7 +133,8 @@ func (c *Cluster) gather(ctx context.Context, shards []Shard, fn func(ctx contex
 		}(i, s)
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	err = errors.Join(errs...)
+	return err
 }
 
 // PotentialReach scatter-gathers the exact per-shard match counts and
@@ -184,4 +195,43 @@ func (c *Cluster) Report(ctx context.Context, advertiser, campaignID string) (bi
 		merged.Spend += t.Spend
 	}
 	return billing.MakeReport(campaignID, merged.Impressions, merged.Reach, merged.Spend, billing.ReachReportThreshold), nil
+}
+
+// traceSpanFetcher is the optional capability of shards that can dump
+// their process's completed trace spans: RemoteShard over the tracespans
+// RPC op. In-process shards don't implement it — their spans already land
+// in the router's own ring.
+type traceSpanFetcher interface {
+	TraceSpans(ctx context.Context) ([]trace.SpanWire, error)
+}
+
+// RemoteTraceSpans collects completed spans from every shard process that
+// can report them, descending into replica sets so follower processes are
+// covered too. Collection is best-effort diagnostics: a down or spanless
+// shard contributes nothing rather than failing the dump, because a trace
+// query must keep working exactly when parts of the cluster are unhealthy.
+func (c *Cluster) RemoteTraceSpans(ctx context.Context) []trace.SpanWire {
+	shards, _ := c.membership()
+	var out []trace.SpanWire
+	var visit func(s Shard)
+	visit = func(s Shard) {
+		if rs, ok := s.(*ReplicaSet); ok {
+			for _, m := range rs.Members() {
+				visit(m)
+			}
+			return
+		}
+		tf, ok := s.(traceSpanFetcher)
+		if !ok || !shardHealthy(s) {
+			return
+		}
+		spans, err := tf.TraceSpans(ctx)
+		if err == nil {
+			out = append(out, spans...)
+		}
+	}
+	for _, s := range shards {
+		visit(s)
+	}
+	return out
 }

@@ -12,6 +12,7 @@ import (
 	"github.com/treads-project/treads/internal/platform"
 	"github.com/treads-project/treads/internal/profile"
 	"github.com/treads-project/treads/internal/rpc"
+	"github.com/treads-project/treads/internal/trace"
 )
 
 // RemoteShard adapts an rpc.Client into the Shard interface, so a Cluster
@@ -82,6 +83,19 @@ func (r *RemoteShard) Users() []profile.UserID {
 
 func (r *RemoteShard) BrowseFeed(uid profile.UserID, slots int) ([]ad.Impression, error) {
 	return r.c.BrowseFeed(context.Background(), uid, slots)
+}
+
+// BrowseFeedCtx forwards the caller's context so a trace started at the
+// router propagates to the shard (the rpc client injects traceparent) and
+// a coordinator deadline bounds the remote call.
+func (r *RemoteShard) BrowseFeedCtx(ctx context.Context, uid profile.UserID, slots int) ([]ad.Impression, error) {
+	return r.c.BrowseFeed(ctx, uid, slots)
+}
+
+// TraceSpans fetches the peer's completed trace spans so the router can
+// stitch cross-process traces when serving the trace dump endpoint.
+func (r *RemoteShard) TraceSpans(ctx context.Context) ([]trace.SpanWire, error) {
+	return r.c.TraceSpans(ctx)
 }
 
 func (r *RemoteShard) Feed(uid profile.UserID) []ad.Impression {

@@ -651,6 +651,19 @@ func (rs *ReplicaSet) BrowseFeed(uid profile.UserID, slots int) ([]ad.Impression
 	return o.BrowseFeed(uid, slots)
 }
 
+// BrowseFeedCtx routes a context-carrying browse to the owner, preserving
+// trace propagation when the owner supports it.
+func (rs *ReplicaSet) BrowseFeedCtx(ctx context.Context, uid profile.UserID, slots int) ([]ad.Impression, error) {
+	o, err := rs.writer()
+	if err != nil {
+		return nil, err
+	}
+	if cb, ok := o.(browseCtxShard); ok {
+		return cb.BrowseFeedCtx(ctx, uid, slots)
+	}
+	return o.BrowseFeed(uid, slots)
+}
+
 func (rs *ReplicaSet) Feed(uid profile.UserID) []ad.Impression {
 	return rs.reader().Feed(uid)
 }

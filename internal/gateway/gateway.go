@@ -20,9 +20,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/treads-project/treads/internal/obs"
+	"github.com/treads-project/treads/internal/trace"
 )
 
 // Config parameterizes a Gateway.
@@ -43,11 +45,18 @@ type Config struct {
 	// obs.Default).
 	Registry *obs.Registry
 	// Authorize, when set, gates the gateway's own admin endpoints
-	// (/admin/v1/usage, /admin/v1/traffic). Nil leaves them open,
-	// matching the rest of the stack's test/demo mode.
+	// (/admin/v1/usage, /admin/v1/traffic, /admin/v1/keys/reload). Nil
+	// leaves them open, matching the rest of the stack's test/demo mode.
 	Authorize func(*http.Request) bool
 	// Now is the decision clock (default time.Now; tests inject).
 	Now func() time.Time
+	// KeysPath, when set, enables POST /admin/v1/keys/reload: the key
+	// file at this path is re-read and swapped in atomically. Empty
+	// leaves the endpoint answering 404.
+	KeysPath string
+	// Tracer instruments admitted and refused requests (default
+	// trace.Default; nil via SetTracer disables).
+	Tracer *trace.Tracer
 }
 
 // Gateway is the edge handler. It wraps an inner handler (the public
@@ -56,13 +65,15 @@ type Config struct {
 // stream).
 type Gateway struct {
 	inner     http.Handler
-	keys      *KeySet
+	keys      atomic.Pointer[KeySet]
 	shed      *shedder
 	meter     *Meter
 	hub       *Hub
 	m         *metrics
 	authorize func(*http.Request) bool
 	now       func() time.Time
+	keysPath  string
+	tracer    *trace.Tracer
 }
 
 // shedRetryAfter is the Retry-After clients are told on 503: long enough
@@ -92,17 +103,27 @@ func New(inner http.Handler, cfg Config) (*Gateway, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Gateway{
+	if cfg.Tracer == nil {
+		cfg.Tracer = trace.Default
+	}
+	g := &Gateway{
 		inner:     inner,
-		keys:      cfg.Keys,
 		shed:      newShedder(cfg.Inflight),
 		meter:     meter,
 		hub:       NewHub(m.hubDropped),
 		m:         m,
 		authorize: cfg.Authorize,
 		now:       cfg.Now,
-	}, nil
+		keysPath:  cfg.KeysPath,
+		tracer:    cfg.Tracer,
+	}
+	g.keys.Store(cfg.Keys)
+	return g, nil
 }
+
+// SetTracer overrides the gateway's tracer (nil disables tracing). Call
+// before serving requests.
+func (g *Gateway) SetTracer(t *trace.Tracer) { g.tracer = t }
 
 // Close flushes and closes the usage ledger.
 func (g *Gateway) Close() error { return g.meter.Close() }
@@ -114,8 +135,8 @@ func (g *Gateway) Hub() *Hub { return g.hub }
 // Meter returns the usage meter.
 func (g *Gateway) Meter() *Meter { return g.meter }
 
-// Keys returns the tenant key set.
-func (g *Gateway) Keys() *KeySet { return g.keys }
+// Keys returns the live tenant key set (the most recent reload wins).
+func (g *Gateway) Keys() *KeySet { return g.keys.Load() }
 
 // Decide runs the admission decision for one request of class c by
 // tenant t: token bucket, then byte quota, then the priority inflight
@@ -213,6 +234,10 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if r.Method == http.MethodPost && r.URL.Path == "/admin/v1/keys/reload" {
+		g.handleKeysReload(w, r)
+		return
+	}
 
 	class, group, exempt := classify(r.Method, r.URL.Path)
 	if exempt {
@@ -220,11 +245,23 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The edge owns the trace's head decision: continue a validated
+	// inbound traceparent or sample a fresh root. Sampled requests echo
+	// their trace ID so an external caller can correlate a response with
+	// the assembled trace; unsampled requests pass through untouched and
+	// allocation-free.
+	r, sp := g.startSpan(w, r)
+
+	ks := g.keys.Load()
 	var t *Tenant
 	if group.keyless() {
-		t = g.keys.UserTenant()
-	} else if t = g.keys.Resolve(apiKey(r)); t == nil {
+		t = ks.UserTenant()
+	} else if t = ks.Resolve(apiKey(r)); t == nil {
 		g.m.authFailures.Inc()
+		if sp != nil {
+			sp.Annotate("verdict", "unauthenticated")
+			sp.Finish()
+		}
 		g.publish(Event{
 			UnixNanos: g.now().UnixNano(),
 			Class:     class.String(),
@@ -238,6 +275,12 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	d := g.Decide(t, class)
 	if d.Verdict != VerdictAdmitted {
+		if sp != nil {
+			sp.Annotate("tenant", t.name)
+			sp.Annotate("class", class.String())
+			sp.Annotate("verdict", d.Verdict.String())
+			sp.Finish()
+		}
 		writeRefusal(w, d)
 		g.publish(Event{
 			UnixNanos:  g.now().UnixNano(),
@@ -264,6 +307,26 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	t.usage.bytesOut.Add(uint64(cw.n))
 
+	if sp != nil {
+		sp.Annotate("tenant", t.name)
+		sp.Annotate("class", class.String())
+		sp.Annotate("verdict", "admitted")
+		sp.Annotate("status", strconv.Itoa(cw.status))
+		sp.Finish()
+	} else if tr := g.tracer; tr != nil {
+		// Unsampled requests that turned out to matter get a forced
+		// synthetic span; the trigger checks run before any attr exists.
+		if cw.status >= 500 {
+			tr.Force("gateway", "error", start, elapsed,
+				trace.Attr{Key: "tenant", Value: t.name},
+				trace.Attr{Key: "status", Value: strconv.Itoa(cw.status)})
+		} else if tr.Slow(elapsed) {
+			tr.Force("gateway", "slow", start, elapsed,
+				trace.Attr{Key: "tenant", Value: t.name},
+				trace.Attr{Key: "status", Value: strconv.Itoa(cw.status)})
+		}
+	}
+
 	g.publish(Event{
 		UnixNanos: g.now().UnixNano(),
 		Tenant:    t.name,
@@ -273,6 +336,21 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		Status:    cw.status,
 		LatencyUS: elapsed.Microseconds(),
 	})
+}
+
+// startSpan opens the edge span, honoring a validated inbound
+// traceparent, and echoes X-Trace-Id on sampled responses.
+func (g *Gateway) startSpan(w http.ResponseWriter, r *http.Request) (*http.Request, *trace.Span) {
+	tr := g.tracer
+	if tr == nil {
+		return r, nil
+	}
+	r, sp := tr.StartServer(r, "gateway")
+	if sp != nil {
+		tid, _ := sp.IDs()
+		w.Header().Set("X-Trace-Id", tid.String())
+	}
+	return r, sp
 }
 
 // publish forwards to the hub; split out so the handler body reads as
@@ -323,7 +401,43 @@ func (g *Gateway) handleUsage(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Tenants map[string]usageSnapshot `json:"tenants"`
-	}{g.meter.Report(g.keys)})
+	}{g.meter.Report(g.keys.Load())})
+}
+
+// SwapKeys atomically installs ks as the live key set. Usage counters
+// carry over by tenant name, so billing survives a rotation; token
+// buckets start full at the new limits (a reload is an operator action,
+// not a traffic event — briefly regranting a burst is the safe
+// direction). Requests already past Resolve finish against the tenant
+// objects they hold.
+func (g *Gateway) SwapKeys(ks *KeySet) {
+	g.m.resolveTokenGauges(ks)
+	g.meter.adopt(ks)
+	g.keys.Store(ks)
+}
+
+// handleKeysReload serves POST /admin/v1/keys/reload: re-read the key
+// file the gateway was started with and swap it in. A file that fails to
+// parse or validate leaves the running set untouched — a bad edit must
+// never take the edge down.
+func (g *Gateway) handleKeysReload(w http.ResponseWriter, r *http.Request) {
+	if !g.admin(w, r) {
+		return
+	}
+	if g.keysPath == "" {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "gateway: no key file path configured (run with -keys)"})
+		return
+	}
+	ks, err := LoadKeyFile(g.keysPath, g.now())
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	}
+	g.SwapKeys(ks)
+	g.m.keyReloads.Inc()
+	writeJSON(w, http.StatusOK, struct {
+		Tenants int `json:"tenants"`
+	}{len(ks.Tenants())})
 }
 
 // handleTraffic serves GET /admin/v1/traffic: an NDJSON stream of live

@@ -274,9 +274,34 @@ func (m *Meter) Close() error {
 	return flushErr
 }
 
+// adopt binds ks's tenants to the meter, reusing the existing counters
+// of any tenant name already known so metered usage — the billing record
+// — is continuous across key rotations. Tenants new to the set start at
+// zero; tenants dropped from the set keep their counters (and ledger
+// history) in case a later reload brings them back.
+func (m *Meter) adopt(ks *KeySet) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bind := func(t *Tenant) {
+		u, ok := m.tenants[t.name]
+		if !ok {
+			u = &usageCounters{}
+			m.tenants[t.name] = u
+			m.order = append(m.order, t.name)
+		}
+		t.usage = u
+	}
+	for _, t := range ks.Tenants() {
+		bind(t)
+	}
+	bind(ks.UserTenant())
+}
+
 // Report returns every tenant's usage, quota context included, in stable
 // order as a name-keyed map for /admin/v1/usage.
 func (m *Meter) Report(ks *KeySet) map[string]usageSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make(map[string]usageSnapshot, len(m.tenants))
 	quota := make(map[string]int64, len(ks.Tenants()))
 	for _, t := range ks.Tenants() {

@@ -20,6 +20,7 @@ type metrics struct {
 	inflight     *obs.Gauge
 	hubDropped   *obs.Counter
 	usageFlushes *obs.Counter
+	keyReloads   *obs.Counter
 
 	tokens *obs.GaugeVec // children resolved per tenant below
 }
@@ -36,6 +37,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Traffic events dropped because a subscriber's buffer was full."),
 		usageFlushes: reg.Counter("gateway_usage_flushes_total",
 			"Usage-ledger flushes appended to the journal."),
+		keyReloads: reg.Counter("gateway_key_reloads_total",
+			"Successful tenant key-file reloads via /admin/v1/keys/reload."),
 		tokens: reg.GaugeVec("gateway_tokens",
 			"Token-bucket balance remaining after the most recent decision, by tenant and class.",
 			"tenant", "class"),

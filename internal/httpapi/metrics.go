@@ -2,9 +2,11 @@ package httpapi
 
 import (
 	"net/http"
+	"strconv"
 	"time"
 
 	"github.com/treads-project/treads/internal/obs"
+	"github.com/treads-project/treads/internal/trace"
 )
 
 // Request metrics. Every route registered through Server.handle is wrapped
@@ -54,6 +56,14 @@ type routeMetrics struct {
 	latency  *obs.Histogram
 	status   [6]*obs.Counter
 	inflight *obs.Gauge
+
+	// Tracing rides the same wrapper so the sampled path reuses the
+	// timer and status capture the metrics already pay for. spanName is
+	// precomputed per route ("http " + pattern) so the unsampled path
+	// never concatenates; tracer is read per request because SetTracer
+	// may reconfigure the server after routes are registered.
+	spanName string
+	tracer   func() *trace.Tracer
 }
 
 func (sm *serverMetrics) route(pattern string) *routeMetrics {
@@ -67,16 +77,65 @@ func (sm *serverMetrics) route(pattern string) *routeMetrics {
 	return rm
 }
 
-// wrap instruments a handler with the route's metrics.
+// wrap instruments a handler with the route's metrics and tracing.
 func (rm *routeMetrics) wrap(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		rm.inflight.Add(1)
 		start := time.Now()
 		sw := statusWriter{ResponseWriter: w, code: http.StatusOK}
+		r, sp, tr := rm.startSpan(r)
 		h(&sw, r)
-		rm.latency.Observe(time.Since(start))
+		d := time.Since(start)
+		rm.latency.Observe(d)
 		rm.status[statusClassIndex(sw.code)].Inc()
 		rm.inflight.Add(-1)
+		rm.finishSpan(tr, sp, sw.code, start, d)
+	}
+}
+
+// startSpan opens the route span: a child when an in-process layer (the
+// gateway) already started one on the request context, otherwise a
+// server-side root that honors an inbound traceparent. Unsampled
+// requests pass through allocation-free.
+func (rm *routeMetrics) startSpan(r *http.Request) (*http.Request, *trace.Span, *trace.Tracer) {
+	if rm.tracer == nil {
+		return r, nil, nil
+	}
+	tr := rm.tracer()
+	if tr == nil {
+		return r, nil, nil
+	}
+	if trace.FromContext(r.Context()) != nil {
+		ctx, sp := trace.StartChild(r.Context(), rm.spanName)
+		return r.WithContext(ctx), sp, tr
+	}
+	r, sp := tr.StartServer(r, rm.spanName)
+	return r, sp, tr
+}
+
+// finishSpan closes a sampled route span with its status, or — for the
+// unsampled requests that turned out to matter — records a forced span:
+// 5xx responses and requests over the tracer's slow threshold. Trigger
+// checks run before any attr is built, keeping the common unsampled
+// path allocation-free.
+func (rm *routeMetrics) finishSpan(tr *trace.Tracer, sp *trace.Span, code int, start time.Time, d time.Duration) {
+	if sp != nil {
+		sp.Annotate("status", strconv.Itoa(code))
+		if code >= 500 {
+			sp.Event("error")
+		}
+		sp.Finish()
+		return
+	}
+	if tr == nil {
+		return
+	}
+	if code >= 500 {
+		tr.Force(rm.spanName, "error", start, d,
+			trace.Attr{Key: "status", Value: strconv.Itoa(code)})
+	} else if tr.Slow(d) {
+		tr.Force(rm.spanName, "slow", start, d,
+			trace.Attr{Key: "status", Value: strconv.Itoa(code)})
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"github.com/treads-project/treads/internal/pixel"
 	"github.com/treads-project/treads/internal/platform"
 	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/trace"
 )
 
 // Backend is the platform surface the HTTP server drives. Both
@@ -76,6 +77,8 @@ type Server struct {
 	compactor    Compactor      // nil = compaction endpoint disabled
 	clusterAdmin ClusterAdmin   // nil = membership endpoints disabled
 	metrics      *serverMetrics
+	tracer       *trace.Tracer // nil = tracing disabled
+	traceFetcher TraceFetcher  // nil = local-ring-only trace dumps
 }
 
 // NewServer wraps a platform backend. logger may be nil to disable request
@@ -90,7 +93,8 @@ func NewServer(p Backend, logger *log.Logger) *Server {
 // reg instead of obs.Default, and reg served on GET /metrics. Tests that
 // assert on counter values use this to avoid cross-test pollution.
 func NewServerWithRegistry(p Backend, logger *log.Logger, reg *obs.Registry) *Server {
-	s := &Server{p: p, mux: http.NewServeMux(), log: logger, metrics: newServerMetrics(reg)}
+	s := &Server{p: p, mux: http.NewServeMux(), log: logger, metrics: newServerMetrics(reg),
+		tracer: trace.Default}
 	s.routes()
 	return s
 }
@@ -102,7 +106,7 @@ func NewServerWithRegistry(p Backend, logger *log.Logger, reg *obs.Registry) *Se
 // endpoints (journal compaction) verify against its "admin" account.
 func NewServerWithAuth(p Backend, logger *log.Logger) (*Server, *Authenticator) {
 	s := &Server{p: p, mux: http.NewServeMux(), log: logger, auth: NewAuthenticator(),
-		metrics: newServerMetrics(obs.Default)}
+		metrics: newServerMetrics(obs.Default), tracer: trace.Default}
 	s.routes()
 	return s, s.auth
 }
@@ -112,7 +116,10 @@ func NewServerWithAuth(p Backend, logger *log.Logger) (*Server, *Authenticator) 
 // bounded-cardinality name for the route available on go 1.22 (the mux
 // does not expose the matched pattern to handlers until go 1.23).
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
-	s.mux.HandleFunc(pattern, s.metrics.route(pattern).wrap(h))
+	rm := s.metrics.route(pattern)
+	rm.spanName = "http " + pattern
+	rm.tracer = func() *trace.Tracer { return s.tracer }
+	s.mux.HandleFunc(pattern, rm.wrap(h))
 }
 
 // ServeHTTP implements http.Handler.
@@ -165,6 +172,10 @@ func (s *Server) routes() {
 	s.handle("DELETE /admin/v1/cluster/shards", s.requireAdminAuth(s.handleClusterRemoveShard))
 	s.handle("POST /admin/v1/cluster/promote", s.requireAdminAuth(s.handleClusterPromote))
 	s.handle("POST /admin/v1/cluster/resume", s.requireAdminAuth(s.handleClusterResume))
+
+	// Trace dump: assembled traces from this process's span ring plus,
+	// when a fetcher is configured (router mode), every shard's ring.
+	s.handle("GET /admin/v1/trace", s.requireAdminAuth(s.handleTraceDump))
 
 	// Observability. Served from the raw mux: scraping /metrics must not
 	// perturb the request counters it reports.
@@ -389,12 +400,26 @@ func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
 		}
 		slots = n
 	}
-	imps, err := s.p.BrowseFeed(uid, slots)
+	imps, err := s.browse(r.Context(), uid, slots)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, impressionsWire(imps))
+}
+
+// browseCtxBackend is the optional context-carrying browse a backend may
+// support (Journaled, Cluster): the route span propagates into journal,
+// routing, and remote-shard spans. Plain backends take the ctx-less call.
+type browseCtxBackend interface {
+	BrowseFeedCtx(ctx context.Context, uid profile.UserID, slots int) ([]ad.Impression, error)
+}
+
+func (s *Server) browse(ctx context.Context, uid profile.UserID, slots int) ([]ad.Impression, error) {
+	if cb, ok := s.p.(browseCtxBackend); ok {
+		return cb.BrowseFeedCtx(ctx, uid, slots)
+	}
+	return s.p.BrowseFeed(uid, slots)
 }
 
 func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,60 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"github.com/treads-project/treads/internal/trace"
+)
+
+var errTracingDisabled = errors.New("httpapi: tracing disabled")
+
+// TraceFetcher pulls completed spans out of remote shard processes so the
+// router can serve assembled cross-process traces. *cluster.Cluster
+// satisfies it; single-process deployments leave it unset and the dump
+// covers the local ring only.
+type TraceFetcher interface {
+	RemoteTraceSpans(ctx context.Context) []trace.SpanWire
+}
+
+// SetTracer overrides the tracer behind the route middleware and the
+// trace dump endpoint (default trace.Default). nil disables tracing and
+// leaves GET /admin/v1/trace answering 404. Call before serving requests.
+func (s *Server) SetTracer(t *trace.Tracer) { s.tracer = t }
+
+// SetTraceFetcher enables cross-process stitching on GET /admin/v1/trace:
+// the dump merges every shard's span ring into the local one before
+// grouping. Call before serving requests.
+func (s *Server) SetTraceFetcher(f TraceFetcher) { s.traceFetcher = f }
+
+// handleTraceDump serves GET /admin/v1/trace: one NDJSON line per
+// assembled trace, oldest first, each line a TraceWire holding every
+// completed span that shares the trace ID — local ring plus remote shard
+// rings when a fetcher is configured. ?trace_id=<32 hex> narrows the dump
+// to one trace (how treads-chaos pulls the trace behind a violation).
+// Admin-gated: spans carry route patterns, shard indices, and error
+// strings — operator diagnostics, not an advertiser surface.
+func (s *Server) handleTraceDump(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeErr(w, http.StatusNotFound, errTracingDisabled)
+		return
+	}
+	spans := s.tracer.WireSnapshot()
+	if s.traceFetcher != nil {
+		spans = append(spans, s.traceFetcher.RemoteTraceSpans(r.Context())...)
+	}
+	want := r.URL.Query().Get("trace_id")
+	traces := trace.GroupTraces(spans)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, t := range traces {
+		if want != "" && t.TraceID != want {
+			continue
+		}
+		if err := enc.Encode(t); err != nil {
+			return // client went away mid-stream
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"github.com/treads-project/treads/internal/ad"
@@ -16,6 +17,7 @@ import (
 	"github.com/treads-project/treads/internal/pii"
 	"github.com/treads-project/treads/internal/pixel"
 	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/trace"
 )
 
 // Journaled is the platform's durability layer: a Platform whose every
@@ -175,31 +177,57 @@ func (jp *Journaled) Compact() (uint64, error) {
 // durable. Concurrent operations' durability waits coalesce into shared
 // group-commit fsyncs.
 func (jp *Journaled) logged(rec opRecord, apply func()) error {
+	return jp.loggedCtx(context.Background(), rec, apply)
+}
+
+// loggedCtx is logged under the request context: a sampled request gets
+// a journal.append span recording the LSN and the group-commit wait as
+// an event; an unsampled one pays nothing.
+func (jp *Journaled) loggedCtx(ctx context.Context, rec opRecord, apply func()) error {
+	_, sp := trace.StartChild(ctx, "journal.append")
+	if sp != nil {
+		sp.Annotate("op", rec.Op)
+		defer sp.Finish()
+	}
 	payload, err := json.Marshal(rec)
 	if err != nil {
-		return fmt.Errorf("platform: encoding journal record: %w", err)
+		err = fmt.Errorf("platform: encoding journal record: %w", err)
+		sp.SetError(err)
+		return err
 	}
 	jp.mu.Lock()
 	if jp.follow {
 		jp.mu.Unlock()
+		sp.SetError(ErrFollowing)
 		return ErrFollowing
 	}
 	lsn, wait, err := jp.j.AppendBuffered(payload)
 	if err != nil {
 		jp.mu.Unlock()
-		return fmt.Errorf("platform: journaling %s: %w", rec.Op, err)
+		err = fmt.Errorf("platform: journaling %s: %w", rec.Op, err)
+		sp.SetError(err)
+		return err
 	}
 	apply()
 	shipErr := jp.shipLocked(lsn, payload)
 	jp.mu.Unlock()
-	if err := wait(); err != nil {
-		return fmt.Errorf("platform: journal sync for %s: %w", rec.Op, err)
+	if sp != nil {
+		sp.Annotate("lsn", strconv.FormatUint(lsn, 10))
+		sp.Event("group_commit_wait")
 	}
+	if err := wait(); err != nil {
+		err = fmt.Errorf("platform: journal sync for %s: %w", rec.Op, err)
+		sp.SetError(err)
+		return err
+	}
+	sp.Event("durable")
 	if shipErr != nil {
 		// The op is journaled and applied locally; only replication is in
 		// doubt. Surfacing the error makes the caller treat the op as
 		// indeterminate — replay-consistent either way.
-		return fmt.Errorf("platform: replicating %s: %w", rec.Op, shipErr)
+		shipErr = fmt.Errorf("platform: replicating %s: %w", rec.Op, shipErr)
+		sp.SetError(shipErr)
+		return shipErr
 	}
 	return nil
 }
@@ -329,10 +357,17 @@ func (jp *Journaled) IssuePixel(advertiser string) (pixel.PixelID, error) {
 // the intent (user, slot count); the auctions re-run identically on
 // replay because the RNG state is part of every snapshot.
 func (jp *Journaled) BrowseFeed(uid profile.UserID, slots int) ([]ad.Impression, error) {
+	return jp.BrowseFeedCtx(context.Background(), uid, slots)
+}
+
+// BrowseFeedCtx is BrowseFeed under the request context, so a sampled
+// browse records its journal.append and delivery spans in the caller's
+// trace.
+func (jp *Journaled) BrowseFeedCtx(ctx context.Context, uid profile.UserID, slots int) ([]ad.Impression, error) {
 	var imps []ad.Impression
 	var opErr error
-	if err := jp.logged(opRecord{Op: opBrowse, User: uid, Slots: slots}, func() {
-		imps, opErr = jp.p.BrowseFeed(uid, slots)
+	if err := jp.loggedCtx(ctx, opRecord{Op: opBrowse, User: uid, Slots: slots}, func() {
+		imps, opErr = jp.p.BrowseFeedCtx(ctx, uid, slots)
 	}); err != nil {
 		return nil, err
 	}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -31,6 +32,7 @@ import (
 	"github.com/treads-project/treads/internal/policy"
 	"github.com/treads-project/treads/internal/profile"
 	"github.com/treads-project/treads/internal/stats"
+	"github.com/treads-project/treads/internal/trace"
 )
 
 // ErrRejected is wrapped by CreateCampaign errors caused by ad review.
@@ -408,6 +410,22 @@ func (p *Platform) Report(ctx context.Context, advertiser, campaignID string) (b
 // impressions delivered in this session.
 func (p *Platform) BrowseFeed(uid profile.UserID, slots int) ([]ad.Impression, error) {
 	return p.pipeline.Browse(uid, slots)
+}
+
+// BrowseFeedCtx is BrowseFeed under the request context: a sampled
+// request gets a delivery span with slot and impression counts; an
+// unsampled one pays nothing (StartChild of a spanless context is
+// free).
+func (p *Platform) BrowseFeedCtx(ctx context.Context, uid profile.UserID, slots int) ([]ad.Impression, error) {
+	_, sp := trace.StartChild(ctx, "delivery.browse")
+	imps, err := p.pipeline.Browse(uid, slots)
+	if sp != nil {
+		sp.Annotate("slots", strconv.Itoa(slots))
+		sp.Annotate("impressions", strconv.Itoa(len(imps)))
+		sp.SetError(err)
+		sp.Finish()
+	}
+	return imps, err
 }
 
 // Feed returns every impression the user has ever been shown.

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/treads-project/treads/internal/obs"
+	"github.com/treads-project/treads/internal/trace"
 )
 
 // Client defaults; every knob is overridable through Options.
@@ -206,6 +207,24 @@ func (c *Client) Health(ctx context.Context) (HealthResp, error) {
 // refusal text survives the hop), else a *CallError wrapping one of the
 // package sentinels.
 func (c *Client) Call(ctx context.Context, op string, idempotent bool, req, resp any) error {
+	// Only sampled requests pay for the span (and its name concat); the
+	// FromContext guard keeps the unsampled path allocation-free.
+	if trace.FromContext(ctx) != nil {
+		var sp *trace.Span
+		ctx, sp = trace.StartChild(ctx, "rpc.call "+op)
+		sp.Annotate("peer", c.peer)
+		if !c.br.admitting() {
+			sp.Event("breaker_open")
+		}
+		err := c.call(ctx, op, idempotent, req, resp)
+		sp.SetError(err)
+		sp.Finish()
+		return err
+	}
+	return c.call(ctx, op, idempotent, req, resp)
+}
+
+func (c *Client) call(ctx context.Context, op string, idempotent bool, req, resp any) error {
 	if !c.br.allow() {
 		return &CallError{Peer: c.peer, Op: op, Err: ErrCircuitOpen}
 	}
@@ -256,6 +275,7 @@ func (c *Client) Call(ctx context.Context, op string, idempotent bool, req, resp
 		case <-time.After(c.backoff(attempts)):
 		}
 		c.m.retries.Inc()
+		trace.FromContext(ctx).Event("retry")
 		if !c.br.allow() {
 			return &CallError{Peer: c.peer, Op: op, Attempts: attempts, Err: ErrCircuitOpen}
 		}
@@ -310,6 +330,7 @@ func (c *Client) exchange(ctx context.Context, op string, body []byte, idempoten
 		return r.raw, r.status, r.err
 	case <-t.C:
 		c.m.hedges.Inc()
+		trace.FromContext(ctx).Event("hedge")
 		go launch()
 	}
 	r := <-ch
@@ -340,6 +361,10 @@ func (c *Client) roundTrip(ctx context.Context, op string, body []byte) ([]byte,
 		return nil, 0, fmt.Errorf("%w: building request: %v", ErrMalformed, err)
 	}
 	c.setHeaders(req, true)
+	// Propagate the trace across the process boundary: sampled calls
+	// carry a traceparent the shard's server continues; unsampled calls
+	// carry nothing (Inject of nil is a no-op).
+	trace.Inject(trace.FromContext(ctx), req.Header)
 	c.m.requests.Inc()
 	start := time.Now()
 	resp, err := c.hc.Do(req)

@@ -19,6 +19,7 @@ import (
 	"github.com/treads-project/treads/internal/pixel"
 	"github.com/treads-project/treads/internal/platform"
 	"github.com/treads-project/treads/internal/profile"
+	"github.com/treads-project/treads/internal/trace"
 )
 
 // Backend is the shard surface the RPC server exposes. It is structurally
@@ -88,6 +89,19 @@ type Server struct {
 	// refusal maps to 409 so clients see ErrStaleRing and refresh their
 	// membership instead of retrying blindly.
 	gate atomic.Pointer[MembershipGate]
+	// tr overrides the tracer (tests); nil means trace.Default.
+	tr atomic.Pointer[trace.Tracer]
+}
+
+// SetTracer overrides the tracer used to continue inbound traces and to
+// answer the tracespans op; nil restores trace.Default.
+func (s *Server) SetTracer(t *trace.Tracer) { s.tr.Store(t) }
+
+func (s *Server) tracer() *trace.Tracer {
+	if t := s.tr.Load(); t != nil {
+		return t
+	}
+	return trace.Default
 }
 
 // SetGate installs the membership gate (nil-safe to skip; see
@@ -173,9 +187,20 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.m.op(op).Inc()
+	// Continue the caller's trace when the request carries a valid
+	// sampled traceparent; requests without one stay spanless here —
+	// the head decision belongs to the root process, and an unsampled
+	// call must stay free on this side of the wire too.
+	ctx := r.Context()
+	var sp *trace.Span
+	if tid, parent, ok := trace.Extract(r.Header); ok {
+		ctx, sp = s.tracer().StartRemote(ctx, "rpc.server "+op, tid, parent)
+		defer sp.Finish()
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, MaxBody+1))
 	if err != nil {
 		s.m.opErr(op).Inc()
+		sp.SetError(err)
 		writeRPCError(w, http.StatusBadRequest, "reading request: "+err.Error())
 		return
 	}
@@ -184,9 +209,10 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
 		writeRPCError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("request exceeds %d bytes", MaxBody))
 		return
 	}
-	resp, err := h(r.Context(), body)
+	resp, err := h(ctx, body)
 	if err != nil {
 		s.m.opErr(op).Inc()
+		sp.SetError(err)
 		if pe, ok := err.(protoError); ok {
 			writeRPCError(w, http.StatusBadRequest, pe.Error())
 			return
@@ -255,11 +281,11 @@ func (s *Server) register() {
 		}
 		return UsersResp{Users: out}, nil
 	})
-	handle(s, "browse", func(_ context.Context, req BrowseReq) (ImpressionsResp, error) {
+	handle(s, "browse", func(ctx context.Context, req BrowseReq) (ImpressionsResp, error) {
 		if err := s.gateUser(req.UserID); err != nil {
 			return ImpressionsResp{}, err
 		}
-		imps, err := s.b.BrowseFeed(profile.UserID(req.UserID), req.Slots)
+		imps, err := browseFeed(ctx, s.b, profile.UserID(req.UserID), req.Slots)
 		if err != nil {
 			return ImpressionsResp{}, err
 		}
@@ -381,6 +407,22 @@ func (s *Server) register() {
 		}, nil
 	})
 	s.registerElastic()
+	s.registerTrace()
+}
+
+// browseFeedCapability is the optional ctx-aware browse every journaled
+// backend implements; plain backends fall back to the ctx-less call.
+// The capability pattern (like lsnReporter and Replicator) keeps the
+// Backend interface — and its many implementations — unchanged.
+type browseFeedCapability interface {
+	BrowseFeedCtx(context.Context, profile.UserID, int) ([]ad.Impression, error)
+}
+
+func browseFeed(ctx context.Context, b Backend, uid profile.UserID, slots int) ([]ad.Impression, error) {
+	if cb, ok := b.(browseFeedCapability); ok {
+		return cb.BrowseFeedCtx(ctx, uid, slots)
+	}
+	return b.BrowseFeed(uid, slots)
 }
 
 func impressionsWire(imps []ad.Impression) []httpapi.ImpressionWire {

@@ -1,0 +1,32 @@
+package rpc
+
+import (
+	"context"
+
+	"github.com/treads-project/treads/internal/trace"
+)
+
+// TraceSpansResp carries one process's completed-span ring, which the
+// router stitches into its own when serving GET /admin/v1/trace. Spans
+// are already in wire form; the router merges by trace ID.
+type TraceSpansResp struct {
+	Spans []trace.SpanWire `json:"spans,omitempty"`
+}
+
+// registerTrace wires the tracespans op: dump the shard's ring so the
+// router can assemble cross-process traces. Read-only and cheap — the
+// ring snapshot never blocks writers.
+func (s *Server) registerTrace() {
+	handle(s, "tracespans", func(_ context.Context, _ empty) (TraceSpansResp, error) {
+		return TraceSpansResp{Spans: s.tracer().WireSnapshot()}, nil
+	})
+}
+
+// TraceSpans fetches the peer's completed spans (idempotent read).
+func (c *Client) TraceSpans(ctx context.Context) ([]trace.SpanWire, error) {
+	var resp TraceSpansResp
+	if err := c.Call(ctx, "tracespans", true, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Spans, nil
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"encoding/hex"
+	"net/http"
+)
+
+// Header is the canonical form of the W3C trace-context header this
+// package speaks: "00-{32 hex trace id}-{16 hex span id}-{2 hex
+// flags}", flag bit 0 = sampled. Only version 00 is emitted; any
+// well-formed version is accepted (per the spec, unknown versions parse
+// as 00 if the 00 fields are present).
+const Header = "Traceparent"
+
+// flagSampled is the traceparent sampled bit.
+const flagSampled = 0x01
+
+// String returns the 32-char lowercase hex form.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// String returns the 16-char lowercase hex form.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// FormatTraceparent renders the header value for a sampled span.
+func FormatTraceparent(tid TraceID, sid SpanID) string {
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = hex.AppendEncode(b, tid[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, sid[:])
+	b = append(b, "-01"...)
+	return string(b)
+}
+
+// Inject sets the traceparent header for s; a nil (unsampled) span sets
+// nothing, so unsampled requests carry no trace bytes on the wire.
+func Inject(s *Span, h http.Header) {
+	if s == nil {
+		return
+	}
+	tid, sid := s.IDs()
+	h.Set(Header, FormatTraceparent(tid, sid))
+}
+
+// Extract parses a traceparent header value. ok is true only for a
+// well-formed header whose sampled flag is set and whose IDs are
+// nonzero — everything else (absent, malformed, unsampled, all-zero
+// IDs) returns ok=false and the caller falls back to its own head
+// sampler. Malformed input is ignored rather than rejected: trace
+// headers are advisory, never authentication.
+func Extract(h http.Header) (TraceID, SpanID, bool) {
+	return ParseTraceparent(h.Get(Header))
+}
+
+// ParseTraceparent parses one traceparent value; see Extract.
+func ParseTraceparent(v string) (TraceID, SpanID, bool) {
+	var tid TraceID
+	var sid SpanID
+	if len(v) < 55 {
+		return tid, sid, false
+	}
+	// version-format: 2 hex version, then the 00 layout. "ff" is
+	// explicitly invalid per spec. Longer values are allowed only for
+	// future versions, and only with a trailing "-" extension.
+	if !isHex(v[0:2]) || v[0:2] == "ff" || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return tid, sid, false
+	}
+	if len(v) > 55 && (v[0:2] == "00" || v[55] != '-') {
+		return tid, sid, false
+	}
+	// The spec requires lowercase hex; isHex enforces it (hex.Decode
+	// alone would admit uppercase).
+	if !isHex(v[3:35]) || !isHex(v[36:52]) || !isHex(v[53:55]) {
+		return tid, sid, false
+	}
+	hex.Decode(tid[:], []byte(v[3:35]))
+	hex.Decode(sid[:], []byte(v[36:52]))
+	var flags [1]byte
+	hex.Decode(flags[:], []byte(v[53:55]))
+	if flags[0]&flagSampled == 0 || tid.IsZero() || sid.IsZero() {
+		return tid, sid, false
+	}
+	return tid, sid, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// StartServer is the server-side entry point shared by the gateway,
+// the httpapi middleware (when no edge runs in front), and the RPC
+// server: continue the inbound trace when r carries a valid sampled
+// traceparent, otherwise make a fresh head decision.
+func (t *Tracer) StartServer(r *http.Request, name string) (*http.Request, *Span) {
+	ctx := r.Context()
+	if tid, parent, ok := Extract(r.Header); ok {
+		ctx, s := t.StartRemote(ctx, name, tid, parent)
+		return r.WithContext(ctx), s
+	}
+	ctx, s := t.StartRoot(ctx, name)
+	if s == nil {
+		return r, nil
+	}
+	return r.WithContext(ctx), s
+}

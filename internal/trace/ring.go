@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"github.com/treads-project/treads/internal/obs"
+)
+
+// ring is the fixed-size lock-free buffer of completed spans. Writers
+// claim a slot with one atomic increment and publish with one atomic
+// swap; a non-nil swapped-out value is a span evicted before any reader
+// saw it, counted as a drop. Readers snapshot by walking the slots with
+// atomic loads — they never block a writer.
+type ring struct {
+	slots   []atomic.Pointer[SpanData]
+	head    atomic.Uint64
+	dropped *obs.Counter
+}
+
+func newRing(size int, dropped *obs.Counter) *ring {
+	if size <= 0 {
+		size = 1
+	}
+	return &ring{slots: make([]atomic.Pointer[SpanData], size), dropped: dropped}
+}
+
+func (r *ring) cap() int { return len(r.slots) }
+
+func (r *ring) push(d *SpanData) {
+	i := r.head.Add(1) - 1
+	if old := r.slots[i%uint64(len(r.slots))].Swap(d); old != nil {
+		r.dropped.Inc()
+	}
+}
+
+// snapshot returns the live spans oldest-first by start time. Slot
+// order under concurrent writers is only approximately chronological,
+// so the copy is sorted explicitly.
+func (r *ring) snapshot() []*SpanData {
+	out := make([]*SpanData, 0, len(r.slots))
+	for i := range r.slots {
+		if d := r.slots[i].Load(); d != nil {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}

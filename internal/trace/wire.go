@@ -1,0 +1,99 @@
+package trace
+
+import "sort"
+
+// SpanWire is the JSON form of one completed span — what the RPC
+// tracespans op ships router-ward and what GET /admin/v1/trace emits
+// inside each trace line.
+type SpanWire struct {
+	TraceID  string            `json:"trace_id"`
+	SpanID   string            `json:"span_id"`
+	Parent   string            `json:"parent_id,omitempty"`
+	Name     string            `json:"name"`
+	Service  string            `json:"service,omitempty"`
+	StartNS  int64             `json:"start_unix_nano"`
+	Duration int64             `json:"duration_nano"`
+	Error    string            `json:"error,omitempty"`
+	Forced   string            `json:"forced,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Events   []EventWire       `json:"events,omitempty"`
+}
+
+// EventWire is the JSON form of one span event.
+type EventWire struct {
+	Name     string `json:"name"`
+	OffsetNS int64  `json:"offset_nano"`
+}
+
+// Wire converts a completed span record to its JSON form.
+func (d *SpanData) Wire() SpanWire {
+	w := SpanWire{
+		TraceID:  d.TraceID.String(),
+		SpanID:   d.SpanID.String(),
+		Name:     d.Name,
+		Service:  d.Service,
+		StartNS:  d.Start.UnixNano(),
+		Duration: int64(d.Duration),
+		Error:    d.Error,
+		Forced:   d.Forced,
+	}
+	if !d.Parent.IsZero() {
+		w.Parent = d.Parent.String()
+	}
+	if len(d.Attrs) > 0 {
+		w.Attrs = make(map[string]string, len(d.Attrs))
+		for _, a := range d.Attrs {
+			w.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, e := range d.Events {
+		w.Events = append(w.Events, EventWire{Name: e.Name, OffsetNS: int64(e.Offset)})
+	}
+	return w
+}
+
+// WireSnapshot returns the tracer's ring as wire spans, oldest first.
+func (t *Tracer) WireSnapshot() []SpanWire {
+	data := t.Snapshot()
+	out := make([]SpanWire, len(data))
+	for i, d := range data {
+		out[i] = d.Wire()
+	}
+	return out
+}
+
+// TraceWire is one assembled trace: every span sharing a trace ID,
+// possibly gathered from several processes. One NDJSON line each on
+// GET /admin/v1/trace.
+type TraceWire struct {
+	TraceID string     `json:"trace_id"`
+	Spans   []SpanWire `json:"spans"`
+}
+
+// GroupTraces assembles wire spans (local ring plus any stitched in
+// from shards) into traces: grouped by trace ID, spans within a trace
+// by start time, traces by their earliest span so the output streams
+// oldest trace first.
+func GroupTraces(spans []SpanWire) []TraceWire {
+	byID := make(map[string][]SpanWire)
+	for _, s := range spans {
+		byID[s.TraceID] = append(byID[s.TraceID], s)
+	}
+	out := make([]TraceWire, 0, len(byID))
+	for id, ss := range byID {
+		sort.Slice(ss, func(i, j int) bool {
+			if ss[i].StartNS != ss[j].StartNS {
+				return ss[i].StartNS < ss[j].StartNS
+			}
+			return ss[i].SpanID < ss[j].SpanID
+		})
+		out = append(out, TraceWire{TraceID: id, Spans: ss})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Spans[0].StartNS != out[j].Spans[0].StartNS {
+			return out[i].Spans[0].StartNS < out[j].Spans[0].StartNS
+		}
+		return out[i].TraceID < out[j].TraceID
+	})
+	return out
+}
