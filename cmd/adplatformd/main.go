@@ -134,6 +134,7 @@ type options struct {
 	Gateway         bool
 	Keys            string
 	GatewayInflight int
+	GatewaySLO      time.Duration
 	UsageJournal    string
 
 	// Networked-cluster modes.
@@ -147,6 +148,11 @@ type options struct {
 	RPCTimeout time.Duration
 	HedgeAfter time.Duration
 	PeerWait   time.Duration
+
+	// Automatic failover (router mode).
+	FailoverDetect time.Duration
+	FailoverMisses int
+	FailoverHeal   int
 
 	// Distributed tracing.
 	TraceSample float64
@@ -174,6 +180,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 	fs.BoolVar(&o.Gateway, "gateway", false, "run the multi-tenant edge gateway in front of the public API (requires -keys)")
 	fs.StringVar(&o.Keys, "keys", "", "tenant key file (JSON) for the edge gateway")
 	fs.IntVar(&o.GatewayInflight, "gateway-inflight", 256, "total admitted-request budget for gateway load shedding")
+	fs.DurationVar(&o.GatewaySLO, "gateway-slo", 0, "backend latency SLO driving the gateway's adaptive inflight budget (0 = fixed budget)")
 	fs.StringVar(&o.UsageJournal, "usage-journal", "", "usage-ledger journal directory (default <journal>/usage when -journal is set)")
 	fs.BoolVar(&o.ShardServe, "shard-serve", false, "serve the internal shard RPC surface instead of the public HTTP API")
 	fs.IntVar(&o.ShardIndex, "shard-index", 0, "this node's shard index (with -shard-serve)")
@@ -185,6 +192,9 @@ func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 	fs.DurationVar(&o.RPCTimeout, "rpc-timeout", 2*time.Second, "per-attempt deadline for shard RPCs (router mode)")
 	fs.DurationVar(&o.HedgeAfter, "hedge-after", 0, "hedge idempotent shard reads after this delay (0 = disabled)")
 	fs.DurationVar(&o.PeerWait, "peer-wait", 30*time.Second, "how long the router waits at startup for every shard node to report healthy")
+	fs.DurationVar(&o.FailoverDetect, "failover-detect", 0, "probe interval for automatic failure detection and replica promotion, router mode (0 = manual failover only)")
+	fs.IntVar(&o.FailoverMisses, "failover-misses", 3, "consecutive missed probes before a slot owner is declared down (with -failover-detect)")
+	fs.IntVar(&o.FailoverHeal, "failover-heal", 4, "probe ticks between heal checks for degraded replica chains (with -failover-detect)")
 	fs.Float64Var(&o.TraceSample, "trace-sample", 0.01, "request trace head-sampling probability in [0,1] (0 records only forced error/slow spans)")
 	fs.IntVar(&o.TraceRing, "trace-ring", 4096, "completed-span ring capacity per process")
 	fs.DurationVar(&o.TraceSlow, "trace-slow", 500*time.Millisecond, "latency above which an unsampled request records a forced span (negative disables)")
@@ -235,6 +245,24 @@ func (o options) validate() error {
 	}
 	if o.Gateway && o.GatewayInflight < 1 {
 		return fmt.Errorf("-gateway-inflight must be positive, got %d", o.GatewayInflight)
+	}
+	if o.GatewaySLO < 0 {
+		return fmt.Errorf("-gateway-slo must not be negative, got %v (0 keeps the fixed budget)", o.GatewaySLO)
+	}
+	if o.GatewaySLO > 0 && !o.Gateway {
+		return fmt.Errorf("-gateway-slo only applies with -gateway")
+	}
+	if o.FailoverDetect < 0 {
+		return fmt.Errorf("-failover-detect must not be negative, got %v (0 disables automatic failover)", o.FailoverDetect)
+	}
+	if o.FailoverDetect > 0 && o.Peers == "" {
+		return fmt.Errorf("-failover-detect only applies in router mode (-peers): the router runs the failure detector")
+	}
+	if o.FailoverMisses < 1 {
+		return fmt.Errorf("-failover-misses must be at least 1, got %d", o.FailoverMisses)
+	}
+	if o.FailoverHeal < 1 {
+		return fmt.Errorf("-failover-heal must be at least 1, got %d", o.FailoverHeal)
 	}
 	if o.Gateway && o.ShardServe {
 		return fmt.Errorf("-gateway fronts the public API; shard nodes serve only the internal RPC surface")
@@ -338,6 +366,14 @@ func run() error {
 	}
 	if clusterAdmin != nil {
 		handler.SetClusterAdmin(clusterAdmin)
+		// With -failover-detect the router probes every slot owner and,
+		// on a sustained failure, promotes the best follower on its own —
+		// the self-healing loop; without it failover stays an explicit
+		// admin call.
+		if opts.FailoverDetect > 0 {
+			sup := startFailoverSupervisor(clusterAdmin.clu, opts, logger)
+			defer sup.Close()
+		}
 	}
 	// A router stitches every shard node's span ring into its trace dump;
 	// in-process backends have nothing remote to fetch.
@@ -416,6 +452,7 @@ func buildGateway(opts options, auth *httpapi.Authenticator, inner http.Handler,
 	g, err := gateway.New(inner, gateway.Config{
 		Keys:      ks,
 		Inflight:  opts.GatewayInflight,
+		SLO:       opts.GatewaySLO,
 		UsageDir:  usageDir,
 		Authorize: authorize,
 		KeysPath:  opts.Keys,
@@ -423,8 +460,12 @@ func buildGateway(opts options, auth *httpapi.Authenticator, inner http.Handler,
 	if err != nil {
 		return nil, err
 	}
-	logger.Printf("edge gateway: %d tenants, inflight budget %d, usage ledger %s",
-		len(ks.Tenants()), opts.GatewayInflight, usageDirDesc(usageDir))
+	budget := fmt.Sprintf("fixed inflight budget %d", opts.GatewayInflight)
+	if opts.GatewaySLO > 0 {
+		budget = fmt.Sprintf("adaptive inflight budget ≤%d (SLO %v)", opts.GatewayInflight, opts.GatewaySLO)
+	}
+	logger.Printf("edge gateway: %d tenants, %s, usage ledger %s",
+		len(ks.Tenants()), budget, usageDirDesc(usageDir))
 	return g, nil
 }
 
@@ -569,6 +610,16 @@ func runShardServer(opts options, logger *log.Logger) error {
 		rpcSrv.SetGate(newLazyGate(peerURL(opts.Advertise)))
 		logger.Printf("membership gate armed; advertised as %s", peerURL(opts.Advertise))
 	}
+	dialer := newPeerDialer(opts)
+	if opts.JournalDir != "" {
+		// Any journaled node can be told to ship (or stop shipping) its
+		// journal over the rearm RPC: this is how the router re-arms a
+		// freshly promoted owner's chain — and disarms a demoted one —
+		// without restarting the process.
+		if owner, ok := backend.(cluster.Shard); ok {
+			rpcSrv.SetRearm(rearmShipping(owner, dialer, logger))
+		}
+	}
 	if opts.Replicate != "" {
 		// validate() ties -replicate to -journal, so backend is the
 		// journaled shard and supports the shipping seam.
@@ -576,7 +627,7 @@ func runShardServer(opts options, logger *log.Logger) error {
 		if !ok {
 			return fmt.Errorf("-replicate: backend does not expose the shard surface")
 		}
-		if err := armReplication(owner, opts, logger); err != nil {
+		if err := armReplication(owner, dialer, opts, logger); err != nil {
 			return fmt.Errorf("arming replication: %w", err)
 		}
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"github.com/treads-project/treads/internal/cluster"
+	"github.com/treads-project/treads/internal/health"
 	"github.com/treads-project/treads/internal/httpapi"
 	"github.com/treads-project/treads/internal/obs"
 	"github.com/treads-project/treads/internal/rpc"
@@ -193,25 +195,29 @@ func (a *membershipAdmin) RemoveShard() (httpapi.ReshardReportWire, error) {
 }
 
 // Promote implements httpapi.ClusterAdmin: fail the slot over to its
-// best-synced replica. Shipping from the new owner is not re-armed here —
-// restart the promoted node with -replicate (see the failover runbook).
-func (a *membershipAdmin) Promote(slot int) (httpapi.PromoteResponse, error) {
+// best-synced replica through the full failover protocol — promotion
+// under the write fence, ring-version bump (fencing the deposed owner),
+// ring push, and a rearm RPC telling the new owner to ship its journal
+// to the remaining followers, all without restarting any process.
+// Without force the cluster refuses while the owner is still healthy
+// (ErrOwnerHealthy, surfaced as 409).
+func (a *membershipAdmin) Promote(slot int, force bool) (httpapi.PromoteResponse, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	slots := a.clu.SlotShards()
-	if slot < 0 || slot >= len(slots) {
-		return httpapi.PromoteResponse{}, fmt.Errorf("slot %d out of range [0, %d)", slot, len(slots))
-	}
-	rs, ok := slots[slot].(*cluster.ReplicaSet)
-	if !ok {
-		return httpapi.PromoteResponse{}, fmt.Errorf("slot %d has no replicas to promote", slot)
-	}
-	member, err := rs.Promote()
+	member, err := a.clu.FailoverSlot(slot, force)
 	if err != nil {
 		return httpapi.PromoteResponse{}, err
 	}
-	a.logger.Printf("admin: promoted slot %d member %d (%s) to owner", slot, member, rs.Addr())
-	return httpapi.PromoteResponse{Slot: slot, Member: member, Addr: rs.Addr()}, nil
+	addr := ""
+	if slots := a.clu.SlotShards(); slot < len(slots) {
+		if ad, ok := slots[slot].(interface{ Addr() string }); ok {
+			addr = ad.Addr()
+		}
+	}
+	v := a.clu.Version()
+	a.logger.Printf("admin: promoted slot %d member %d (%s) to owner; ring v%d pushed, shipping re-armed (force=%v)",
+		slot, member, addr, v, force)
+	return httpapi.PromoteResponse{Slot: slot, Member: member, Addr: addr, Version: v}, nil
 }
 
 // ResumeReshard implements httpapi.ClusterAdmin.
@@ -224,14 +230,13 @@ func (a *membershipAdmin) ResumeReshard() error {
 // armReplication wires the owner side of a replica chain for -replicate:
 // dial each follower node, gate on its health, then Chain and Heal so
 // every acknowledged write from here on is applied on every follower
-// before the ack. After a promotion the chain must be re-armed on the new
-// owner — restart it with -replicate (see the failover runbook).
-func armReplication(owner cluster.Shard, opts options, logger *log.Logger) error {
+// before the ack. After a promotion the router re-arms the new owner's
+// chain over the rearm RPC (see rearmShipping) — no restart needed.
+func armReplication(owner cluster.Shard, dialer *peerDialer, opts options, logger *log.Logger) error {
 	addrs := splitPeers(opts.Replicate)
 	if len(addrs) == 0 {
 		return fmt.Errorf("-replicate is empty after parsing %q", opts.Replicate)
 	}
-	dialer := newPeerDialer(opts)
 	followers := make([]cluster.Shard, len(addrs))
 	remotes := make([]*cluster.RemoteShard, len(addrs))
 	for i, a := range addrs {
@@ -252,6 +257,83 @@ func armReplication(owner cluster.Shard, opts options, logger *log.Logger) error
 	return nil
 }
 
+// rearmShipping is the shard node's handler for the rearm RPC: after a
+// promotion (or heal) the router tells the slot's current owner which
+// followers to ship its journal to, and the node rebuilds the shipping
+// chain in place — the no-process-restart re-arm the automatic failover
+// protocol depends on. An empty follower list disarms shipping (the node
+// was demoted to a follower and must not ship).
+func rearmShipping(owner cluster.Shard, dialer *peerDialer, logger *log.Logger) func([]string) error {
+	return func(followers []string) error {
+		if len(followers) == 0 {
+			if ss, ok := owner.(interface {
+				SetShipper(func(uint64, []byte) error)
+			}); ok {
+				ss.SetShipper(nil)
+			}
+			logger.Printf("rearm: journal shipping disarmed")
+			return nil
+		}
+		members := make([]cluster.Shard, len(followers))
+		for i, a := range followers {
+			members[i] = cluster.NewRemoteShard(dialer.client(a))
+		}
+		rs := cluster.NewReplicaSet(owner, members...)
+		if err := rs.Chain(); err != nil {
+			return err
+		}
+		logger.Printf("rearm: journal shipping re-armed to %d follower(s): %v", len(followers), followers)
+		return nil
+	}
+}
+
+// routerSlotCtrl adapts one ring slot to the health supervisor: probes
+// ride the owner client's circuit breaker, failover runs the full
+// promote-fence-push-rearm protocol, and heal resyncs a returning
+// deposed owner back in as a follower.
+type routerSlotCtrl struct {
+	clu    *cluster.Cluster
+	slot   int
+	logger *log.Logger
+}
+
+func (c *routerSlotCtrl) ProbeOwner(ctx context.Context) error {
+	return c.clu.ProbeSlotOwner(ctx, c.slot)
+}
+
+func (c *routerSlotCtrl) Failover(context.Context) error {
+	member, err := c.clu.FailoverSlot(c.slot, false)
+	if err != nil {
+		return err
+	}
+	c.logger.Printf("failover: promoted slot %d member %d; ring now v%d", c.slot, member, c.clu.Version())
+	return nil
+}
+
+func (c *routerSlotCtrl) NeedsHeal() bool { return c.clu.SlotDegraded(c.slot) }
+
+func (c *routerSlotCtrl) Heal(context.Context) error { return c.clu.HealSlot(c.slot) }
+
+// startFailoverSupervisor arms automatic failure detection and recovery
+// over every boot-time ring slot (slots added later via the admin API
+// are not watched until restart — promote them manually if needed).
+func startFailoverSupervisor(clu *cluster.Cluster, opts options, logger *log.Logger) *health.Supervisor {
+	sup := health.NewSupervisor(health.Config{
+		Interval:  opts.FailoverDetect,
+		Detector:  health.DetectorConfig{FailThreshold: opts.FailoverMisses},
+		HealEvery: opts.FailoverHeal,
+		Metrics:   health.NewMetrics(obs.Default),
+		Logf:      logger.Printf,
+	})
+	slots := clu.SlotShards()
+	for i := range slots {
+		sup.Watch(i, &routerSlotCtrl{clu: clu, slot: i, logger: logger})
+	}
+	logger.Printf("automatic failover armed over %d slot(s): probe every %v, down after %d misses, heal check every %d ticks",
+		len(slots), opts.FailoverDetect, opts.FailoverMisses, opts.FailoverHeal)
+	return sup
+}
+
 // lazyGate is the shard-node membership gate before the first ring push
 // arrives: a node boots knowing only its own advertised address (-
 // advertise), serves everything until a router pushes membership, and from
@@ -264,7 +346,10 @@ type lazyGate struct {
 	g  *cluster.Gate
 }
 
-var _ rpc.MembershipGate = (*lazyGate)(nil)
+var (
+	_ rpc.MembershipGate = (*lazyGate)(nil)
+	_ rpc.WriteGate      = (*lazyGate)(nil)
+)
 
 func newLazyGate(self string) *lazyGate { return &lazyGate{self: self} }
 
@@ -288,6 +373,19 @@ func (g *lazyGate) Ring() rpc.RingInfo {
 		return rpc.RingInfo{}
 	}
 	return g.g.Ring()
+}
+
+// OwnsUserWrite fences user mutations to the slot's owner only (the
+// failover fence: a deposed owner demoted to replica refuses retried
+// writes with the typed stale-ring error once it holds the bumped
+// ring). Before any push the node serves everything, like OwnsUser.
+func (g *lazyGate) OwnsUserWrite(user string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.g == nil {
+		return nil
+	}
+	return g.g.OwnsUserWrite(user)
 }
 
 // SetRing installs pushed membership, creating the gate on first push and

@@ -160,7 +160,7 @@ func TestMembershipEndpointsEndToEnd(t *testing.T) {
 	nodeD := newMembershipNode(t, filepath.Join(root, "d"), stats.SubSeed(41, 3))
 	repOpts := options{Replicate: nodeD.addr, RPCSecret: membershipSecret,
 		RPCTimeout: 2 * time.Second, PeerWait: 10 * time.Second}
-	if err := armReplication(nodeC.jp, repOpts, logger); err != nil {
+	if err := armReplication(nodeC.jp, newPeerDialer(repOpts), repOpts, logger); err != nil {
 		t.Fatalf("arming C->D replication: %v", err)
 	}
 
@@ -194,22 +194,38 @@ func TestMembershipEndpointsEndToEnd(t *testing.T) {
 			nodeD.jp.ShipLSN(), nodeD.jp.Synced(), nodeC.jp.LastLSN())
 	}
 
-	// Promotion: a replica-less slot refuses; the replicated slot fails
-	// over to D.
+	// Promotion guards: a replica-less slot refuses, and so does a
+	// replicated slot whose owner is still answering health checks —
+	// promoting under a healthy owner would fork the chain, so the
+	// unforced call must come back 409 and change nothing.
 	if code := adminJSON(t, http.MethodPost, ts.URL+"/admin/v1/cluster/promote",
 		httpapi.PromoteRequest{Slot: 0}, nil); code != http.StatusConflict {
 		t.Fatalf("promote replica-less slot: %d, want 409", code)
 	}
+	if code := adminJSON(t, http.MethodPost, ts.URL+"/admin/v1/cluster/promote",
+		httpapi.PromoteRequest{Slot: 2}, nil); code != http.StatusConflict {
+		t.Fatalf("promote under a healthy owner: %d, want 409", code)
+	}
+	if v := clu.Version(); v != 2 {
+		t.Fatalf("refused promotion moved the ring to v%d", v)
+	}
+	// A planned handover is explicit: Force promotes D and bumps the ring
+	// version, fencing C behind it.
 	var pr httpapi.PromoteResponse
 	if code := adminJSON(t, http.MethodPost, ts.URL+"/admin/v1/cluster/promote",
-		httpapi.PromoteRequest{Slot: 2}, &pr); code != http.StatusOK {
-		t.Fatalf("promote slot 2: %d", code)
+		httpapi.PromoteRequest{Slot: 2, Force: true}, &pr); code != http.StatusOK {
+		t.Fatalf("forced promote slot 2: %d", code)
 	}
-	if pr.Slot != 2 || pr.Addr != nodeD.addr {
-		t.Fatalf("promotion landed on %+v, want slot 2 owner %s", pr, nodeD.addr)
+	if pr.Slot != 2 || pr.Addr != nodeD.addr || pr.Version != 3 {
+		t.Fatalf("promotion landed on %+v, want slot 2 owner %s at ring v3", pr, nodeD.addr)
+	}
+	// The bumped ring reached the deposed owner: C now refuses stale
+	// writes instead of applying them.
+	if ri, err := nodeC.cli.FetchRing(context.Background()); err != nil || ri.Version != 3 {
+		t.Fatalf("deposed owner's gate: ring %+v, err %v", ri, err)
 	}
 	// The promoted slot still serves its users: reads and writes route to
-	// the new owner under the same ring version.
+	// the new owner under the bumped ring version.
 	var slot2 profile.UserID
 	for _, u := range users {
 		if clu.Owner(u) == 2 {
@@ -231,7 +247,7 @@ func TestMembershipEndpointsEndToEnd(t *testing.T) {
 	if code := adminJSON(t, http.MethodDelete, ts.URL+"/admin/v1/cluster/shards", nil, &rep); code != http.StatusOK {
 		t.Fatalf("remove shard: %d", code)
 	}
-	if rep.Version != 3 || rep.UsersMoved == 0 {
+	if rep.Version != 4 || rep.UsersMoved == 0 {
 		t.Fatalf("remove shard report: %+v", rep)
 	}
 	if code := adminJSON(t, http.MethodPost, ts.URL+"/admin/v1/cluster/resume", nil, nil); code != http.StatusOK {
@@ -240,7 +256,7 @@ func TestMembershipEndpointsEndToEnd(t *testing.T) {
 	if code := adminJSON(t, http.MethodGet, ts.URL+"/admin/v1/cluster", nil, &st); code != http.StatusOK {
 		t.Fatalf("final status: %d", code)
 	}
-	if st.Version != 3 || len(st.Slots) != 2 || st.PendingRemovals != 0 {
+	if st.Version != 4 || len(st.Slots) != 2 || st.PendingRemovals != 0 {
 		t.Fatalf("final status: %+v", st)
 	}
 	// No user was lost across grow, promote, and shrink.
@@ -287,6 +303,7 @@ func TestFlagDocsConsistent(t *testing.T) {
 		"peers", "advertise", "replicate",
 		"rpc-secret", "rpc-timeout", "hedge-after", "peer-wait",
 		"shard-serve", "shard-index", "shard-count",
+		"failover-detect", "failover-misses", "failover-heal", "gateway-slo",
 	} {
 		f := fs.Lookup(name)
 		if f == nil {

@@ -21,6 +21,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -30,6 +31,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -37,6 +39,7 @@ import (
 	"github.com/treads-project/treads/internal/audience"
 	"github.com/treads-project/treads/internal/cluster"
 	"github.com/treads-project/treads/internal/gateway"
+	"github.com/treads-project/treads/internal/health"
 	"github.com/treads-project/treads/internal/journal"
 	"github.com/treads-project/treads/internal/money"
 	"github.com/treads-project/treads/internal/obs"
@@ -390,7 +393,124 @@ func benchCluster() (report, error) {
 	}
 	rep.Metrics["reshard_cutover"] = cutover
 	rep.Facts = map[string]float64{"reshard_users_moved_per_change": moved}
+
+	failover, err := benchFailover()
+	if err != nil {
+		return report{}, fmt.Errorf("failover: %w", err)
+	}
+	rep.Metrics["failover_detect_to_promote"] = failover
 	return rep, nil
+}
+
+// mortalShard is a journaled shard whose health the failover benchmark
+// controls: flipping down simulates a crashed owner without tearing the
+// process down, exactly what the health supervisor's probes see.
+type mortalShard struct {
+	*platform.Journaled
+	down atomic.Bool
+}
+
+func (s *mortalShard) Healthy() bool { return !s.down.Load() && s.JournalFailed() == nil }
+
+// benchSlotCtrl adapts one replica set to the supervisor: probes report
+// the owner's health, failover promotes the best-synced follower.
+type benchSlotCtrl struct{ rs *cluster.ReplicaSet }
+
+func (c benchSlotCtrl) ProbeOwner(context.Context) error {
+	if hc, ok := c.rs.Owner().(interface{ Healthy() bool }); ok && !hc.Healthy() {
+		return errors.New("owner down")
+	}
+	return nil
+}
+func (c benchSlotCtrl) Failover(context.Context) error {
+	_, err := c.rs.Promote()
+	return err
+}
+func (c benchSlotCtrl) NeedsHeal() bool            { return false }
+func (c benchSlotCtrl) Heal(context.Context) error { return nil }
+
+// benchFailover measures the self-healing loop end to end: each cycle
+// boots a replicated slot (journaled owner shipping to a synced
+// follower), kills the owner, and lets a health supervisor probing every
+// 2ms detect the kill and promote the follower on its own. Each sample
+// is the supervisor-reported detect-to-promote latency — the write
+// unavailability a deployment budgets per owner failure, on top of the
+// detection window (probe interval × miss threshold).
+func benchFailover() (metric, error) {
+	const (
+		cycles   = 12
+		interval = 2 * time.Millisecond
+	)
+	bootEmpty := func() (*platform.Platform, error) {
+		return platform.New(platform.Config{Seed: 5}), nil
+	}
+	profs := workload.Generate(workload.Config{
+		Users: 32, BrokerCoverage: 0.8, MeanPlatformAttrs: 25, MeanPartnerAttrs: 11, Seed: 5,
+	})
+	durs := make([]time.Duration, 0, cycles)
+	t0 := time.Now()
+	for cy := 0; cy < cycles; cy++ {
+		err := func() error {
+			ownerDir, err := os.MkdirTemp("", "treads-bench-failover")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(ownerDir)
+			folDir, err := os.MkdirTemp("", "treads-bench-failover")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(folDir)
+			ownerJP, err := platform.OpenJournaled(ownerDir, journal.Options{NoSync: true}, bootEmpty)
+			if err != nil {
+				return err
+			}
+			defer ownerJP.Close()
+			folJP, err := platform.OpenJournaled(folDir, journal.Options{NoSync: true}, bootEmpty)
+			if err != nil {
+				return err
+			}
+			defer folJP.Close()
+			owner := &mortalShard{Journaled: ownerJP}
+			folJP.BeginFollow(ownerJP.LastLSN())
+			rs := cluster.NewReplicaSet(owner, folJP)
+			if err := rs.Chain(); err != nil {
+				return err
+			}
+			// Ship a prefix so the follower is a synced, promotable chain
+			// member — the supervisor refuses to promote an unsynced one.
+			for _, pr := range profs {
+				if err := owner.AddUser(pr); err != nil {
+					return err
+				}
+			}
+			if !folJP.Synced() {
+				return fmt.Errorf("cycle %d: follower never synced", cy)
+			}
+			promoted := make(chan time.Duration, 1)
+			sup := health.NewSupervisor(health.Config{
+				Interval:   interval,
+				OnFailover: func(_ int, d time.Duration) { promoted <- d },
+			})
+			defer sup.Close()
+			sup.Watch(0, benchSlotCtrl{rs: rs})
+			owner.down.Store(true)
+			select {
+			case d := <-promoted:
+				durs = append(durs, d)
+			case <-time.After(10 * time.Second):
+				return fmt.Errorf("cycle %d: supervisor never promoted", cy)
+			}
+			if rs.Owner() != cluster.Shard(folJP) {
+				return fmt.Errorf("cycle %d: promotion picked the wrong member", cy)
+			}
+			return nil
+		}()
+		if err != nil {
+			return metric{}, err
+		}
+	}
+	return summarize(durs, time.Since(t0)), nil
 }
 
 // benchReshard measures live resharding on a journaled cluster: repeated
@@ -674,7 +794,7 @@ func runCheck(dir string) error {
 		"index":    {"index_potential_reach", "scan_potential_reach", "index_spec_matches", "count_node"},
 		"platform": {"browse_feed", "potential_reach"},
 		"journal":  {"append_sync", "append_nosync"},
-		"cluster":  {"scatter_gather_reach", "routed_browse_feed", "reshard_cutover"},
+		"cluster":  {"scatter_gather_reach", "routed_browse_feed", "reshard_cutover", "failover_detect_to_promote"},
 		"gateway":  {"resolve_key", "decide_admit", "decide_limited"},
 		"rpc":      {"call_health", "call_browse", "call_prefs"},
 		"trace":    {"span_sampled", "span_unsampled", "inject_extract"},

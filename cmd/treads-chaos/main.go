@@ -37,6 +37,8 @@ func main() {
 		ops       = flag.Int("ops", 160, "operations per round")
 		workers   = flag.Int("workers", 1, "driver goroutines (1 = fully deterministic replay)")
 		replicas  = flag.Int("replicas", 0, "journal-shipping followers per shard; >0 kills an owner mid-round and promotes a follower")
+		killOwner = flag.Bool("kill-owner", false, "kill one slot's owner mid-round each round (implies -replicas 2 unless set)")
+		noAdmin   = flag.Bool("no-admin", false, "drop the scripted promotion: the health supervisor must detect the kill and promote on its own (implies -kill-owner)")
 		reshard   = flag.Bool("reshard", false, "grow the cluster by one shard in the middle round, concurrently with traffic")
 		netMode   = flag.Bool("net", false, "run shards behind real loopback RPC with link faults")
 		crashProb = flag.Float64("crash-prob", 0.4, "per-shard crash probability after each round")
@@ -46,6 +48,9 @@ func main() {
 		coverage  = flag.Bool("require-coverage", false, "fail unless every configured fault kind fired at least once across the sweep")
 	)
 	flag.Parse()
+	if (*killOwner || *noAdmin) && *replicas == 0 {
+		*replicas = 2
+	}
 
 	aggFired := make(map[faults.Kind]uint64)
 	aggOpp := make(map[faults.Kind]uint64)
@@ -59,6 +64,7 @@ func main() {
 		cfg.OpsPerRound = *ops
 		cfg.Workers = *workers
 		cfg.Replicas = *replicas
+		cfg.AutoFailover = *noAdmin
 		cfg.Reshard = *reshard
 		cfg.CrashProb = *crashProb
 		cfg.Dir = *dir
@@ -76,7 +82,7 @@ func main() {
 		res, err := chaos.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seed %d: harness error: %v\n", s, err)
-			fail(s, reproFlags(*netMode, *replicas, *reshard))
+			fail(s, reproFlags(*netMode, *replicas, *reshard, *noAdmin))
 		}
 		for k, v := range res.Faults {
 			aggFired[k] += v
@@ -88,6 +94,15 @@ func main() {
 		if *replicas > 0 || *reshard {
 			elastic = fmt.Sprintf(" kills=%d promotions=%d reshards=%d ring=v%d", res.OwnerKills, res.Promotions, res.Reshards, res.RingVersion)
 		}
+		if *noAdmin && len(res.FailoverLatencies) > 0 {
+			var worst time.Duration
+			for _, d := range res.FailoverLatencies {
+				if d > worst {
+					worst = d
+				}
+			}
+			elastic += fmt.Sprintf(" detect→promote≤%v", worst.Round(time.Microsecond))
+		}
 		fmt.Printf("seed %-6d ok  ops=%-5d acked=%-5d indeterminate=%-4d crashes=%d partitions=%d%s faults=%s\n",
 			s, res.Ops, res.AckedImpressions, res.IndeterminateSlots, res.Crashes, res.Partitions, elastic, firedSummary(res.Faults))
 		if res.Failed() {
@@ -98,7 +113,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "  disk state kept at %s\n", res.Dir)
 			}
 			dumpTraces(res)
-			fail(s, reproFlags(*netMode, *replicas, *reshard))
+			fail(s, reproFlags(*netMode, *replicas, *reshard, *noAdmin))
 		}
 	}
 
@@ -140,13 +155,16 @@ func dumpTraces(res *chaos.Result) {
 }
 
 // reproFlags renders the mode flags a replay of this sweep needs.
-func reproFlags(netMode bool, replicas int, reshard bool) string {
+func reproFlags(netMode bool, replicas int, reshard, noAdmin bool) string {
 	out := ""
 	if netMode {
 		out += " -net"
 	}
 	if replicas > 0 {
 		out += fmt.Sprintf(" -replicas %d", replicas)
+	}
+	if noAdmin {
+		out += " -no-admin"
 	}
 	if reshard {
 		out += " -reshard"

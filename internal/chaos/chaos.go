@@ -59,9 +59,10 @@ import (
 	"github.com/treads-project/treads/internal/attr"
 	"github.com/treads-project/treads/internal/audience"
 	"github.com/treads-project/treads/internal/cluster"
-	"github.com/treads-project/treads/internal/money"
 	"github.com/treads-project/treads/internal/faults"
+	"github.com/treads-project/treads/internal/health"
 	"github.com/treads-project/treads/internal/journal"
+	"github.com/treads-project/treads/internal/money"
 	"github.com/treads-project/treads/internal/obs"
 	"github.com/treads-project/treads/internal/pixel"
 	"github.com/treads-project/treads/internal/platform"
@@ -105,6 +106,16 @@ type Config struct {
 	// chains run in-process only — a networked owner ships from its own
 	// process, which is the shard server's job, not the harness's.
 	Replicas int
+	// AutoFailover replaces the scripted mid-round promotion with the
+	// real detection loop: a health supervisor probes every slot's owner,
+	// and when the kill schedule takes one down the supervisor — not the
+	// harness — declares it dead and promotes the best follower, with no
+	// admin call anywhere in the path. Requires Replicas > 0. Promotion
+	// timing is wall-clock (the detector needs consecutive missed
+	// probes), so the number of refused ops between kill and promotion
+	// varies run to run; every invariant the harness checks must still
+	// hold on every schedule.
+	AutoFailover bool
 	// Reshard grows the cluster by one slot in the middle round, with the
 	// migration running concurrently with the round's driven traffic and
 	// fault schedule. If the mid-round attempt loses its race with the
@@ -231,6 +242,9 @@ type Result struct {
 	// follower promotions that answered them (Replicas > 0 only).
 	OwnerKills int
 	Promotions int
+	// FailoverLatencies records each automatic promotion's down-verdict→
+	// promoted latency, in promotion order (AutoFailover only).
+	FailoverLatencies []time.Duration
 	// Reshards counts completed live membership changes; RingVersion and
 	// PlacementHash capture the final membership and user placement — both
 	// are pure functions of the membership changes, so a faulted run must
@@ -263,8 +277,10 @@ func (r *Result) violate(invariant, format string, args ...any) {
 // slotGroup is the harness's view of one ring slot: its member nodes
 // (current owner first — the order mirrors the ReplicaSet's members
 // across promotions) and the replica set routing to them, nil when the
-// run has no replicas.
+// run has no replicas. mu guards the nodes order: with AutoFailover the
+// supervisor's promotion swap races the driver goroutine's kill read.
 type slotGroup struct {
+	mu    sync.Mutex
 	nodes []*node
 	rs    *cluster.ReplicaSet
 }
@@ -285,6 +301,11 @@ type harness struct {
 	// kill schedule rides the workload's Observe hook), hence atomic.
 	ownerKills atomic.Int64
 	promotions atomic.Int64
+
+	// failMu guards failLat, appended from supervisor goroutines
+	// (AutoFailover only).
+	failMu  sync.Mutex
+	failLat []time.Duration
 
 	advertiser string
 	campaigns  []string
@@ -315,6 +336,9 @@ func Run(cfg Config) (*Result, error) {
 		// driver goroutine the kill and promote points sit between
 		// operations, so the drain is structural.
 		return nil, errors.New("chaos: the owner-kill schedule requires workers=1 (promotion must not race in-flight writes on the demoted owner)")
+	}
+	if cfg.AutoFailover && cfg.Replicas == 0 {
+		return nil, errors.New("chaos: AutoFailover requires Replicas > 0 (the supervisor promotes journal-shipping followers)")
 	}
 	res := &Result{Seed: cfg.Seed}
 
@@ -375,6 +399,7 @@ func Run(cfg Config) (*Result, error) {
 	res.DefiniteFailures = h.ledger.definite
 	res.OwnerKills = int(h.ownerKills.Load())
 	res.Promotions = int(h.promotions.Load())
+	res.FailoverLatencies = h.failLat
 	res.Faults = h.inj.Counts()
 	res.Opportunities = h.inj.Opportunities()
 	h.coverage(res)
@@ -581,7 +606,15 @@ func (h *harness) rounds(res *Result) error {
 			cfg.Logf("round %d: partitioned shard %d", r, p)
 		}
 
-		observe := h.armKill(r, rsp)
+		observe, killed := h.armKill(r, rsp)
+
+		// With AutoFailover the supervisor runs only while the round's
+		// traffic does: it must be quiesced before the crash sweep, which
+		// replaces journal handles under recovering nodes.
+		var sup *health.Supervisor
+		if cfg.AutoFailover {
+			sup = h.startSupervisor(r, rsp)
+		}
 
 		reshardDone := make(chan error, 1)
 		if joiner != nil {
@@ -619,6 +652,11 @@ func (h *harness) rounds(res *Result) error {
 				rsp.Event("reshard lost its race")
 				cfg.Logf("round %d: mid-round AddShard lost its race with the fault schedule (%v); will retry recovered", r, err)
 			}
+		}
+
+		if sup != nil {
+			h.settleAuto(res, r, rsp, killed)
+			sup.Close()
 		}
 
 		// Snapshot again under full post-traffic state. A failed
@@ -701,26 +739,44 @@ func (h *harness) roundTraces() []trace.TraceWire {
 	return out
 }
 
-// armKill returns the round's workload Observe callback. Without
-// replicas it is just the ledger; with replicas it layers the owner-kill
-// schedule on top: halfway through the round one slot's owner stops
-// answering (reads fail over to its followers, writes refuse with the
-// typed unavailability error — all accounted as definite failures), and
-// an eighth of a round later the harness promotes the best follower, the
-// explicit operator decision the failover protocol requires. The
-// demoted owner is crash-recovered and healed back in at round end. The
-// kill and the promotion land on the round span as events.
-func (h *harness) armKill(r int, rsp *trace.Span) func(workload.OpResult) {
+// armKill returns the round's workload Observe callback and, with the
+// automatic mode on, the slot group whose owner the schedule kills.
+// Without replicas the callback is just the ledger; with replicas it
+// layers the owner-kill schedule on top: halfway through the round one
+// slot's owner stops answering (reads fail over to its followers,
+// writes refuse with the typed unavailability error — all accounted as
+// definite failures), and an eighth of a round later the harness
+// promotes the best follower, the explicit operator decision the manual
+// failover protocol requires. With AutoFailover the scripted promotion
+// is dropped: the kill still fires on schedule, but recovery is the
+// health supervisor's problem. The demoted owner is crash-recovered and
+// healed back in at round end. The kill and the promotion land on the
+// round span as events.
+func (h *harness) armKill(r int, rsp *trace.Span) (func(workload.OpResult), *slotGroup) {
 	if h.cfg.Replicas == 0 {
-		return h.ledger.observe
+		return h.ledger.observe, nil
 	}
 	slot := h.hrng.Intn(len(h.slots))
 	g := h.slots[slot]
 	killAt := int64(max(2, h.cfg.OpsPerRound/2))
-	promoteAt := killAt + int64(max(1, h.cfg.OpsPerRound/8))
 	var ops atomic.Int64
+	if h.cfg.AutoFailover {
+		return func(op workload.OpResult) {
+			h.ledger.observe(op)
+			if ops.Add(1) != killAt {
+				return
+			}
+			g.mu.Lock()
+			g.nodes[0].down.Store(true)
+			g.mu.Unlock()
+			h.ownerKills.Add(1)
+			rsp.Event("killed slot " + strconv.Itoa(slot) + "'s owner (no admin: supervisor must recover)")
+			h.cfg.Logf("round %d: killed slot %d's owner mid-round; no admin call — the supervisor must detect and promote", r, slot)
+		}, g
+	}
+	promoteAt := killAt + int64(max(1, h.cfg.OpsPerRound/8))
 	var promoting atomic.Bool
-	return func(op workload.OpResult) {
+	scripted := func(op workload.OpResult) {
 		h.ledger.observe(op)
 		n := ops.Add(1)
 		if n == killAt {
@@ -744,6 +800,124 @@ func (h *harness) armKill(r int, rsp *trace.Span) func(workload.OpResult) {
 			h.cfg.Logf("round %d: promoted slot %d's follower %d to owner", r, slot, idx)
 		}
 	}
+	return scripted, nil
+}
+
+// startSupervisor arms one health supervisor over every replicated slot
+// for the round. Probes are in-memory health reads, so the interval can
+// be tight: a killed owner is declared down after the detector's miss
+// threshold (~tens of milliseconds), well inside the round's remaining
+// traffic.
+func (h *harness) startSupervisor(r int, rsp *trace.Span) *health.Supervisor {
+	cfg := h.cfg
+	sup := health.NewSupervisor(health.Config{
+		Interval: 10 * time.Millisecond,
+		OnFailover: func(slot int, d time.Duration) {
+			h.failMu.Lock()
+			h.failLat = append(h.failLat, d)
+			h.failMu.Unlock()
+			h.promotions.Add(1)
+			rsp.Event("supervisor promoted slot " + strconv.Itoa(slot) + "'s follower (" + d.String() + " after down verdict)")
+			cfg.Logf("round %d: supervisor promoted slot %d's best follower %v after the down verdict", r, slot, d)
+		},
+	})
+	for si, g := range h.slots {
+		if g.rs == nil {
+			continue
+		}
+		sup.Watch(si, &autoSlotCtrl{g: g})
+	}
+	return sup
+}
+
+// autoSlotCtrl adapts one in-process slot group to the health
+// supervisor's recovery surface. Failover is version-neutral — the
+// in-process harness has no ring to push, so the determinism pins (ring
+// version, placement hash) stay pure functions of the membership
+// schedule. Healing remains the round-end sweep's job (recovery
+// replaces journal handles, which only the harness may do), so
+// NeedsHeal is always false here.
+type autoSlotCtrl struct {
+	g *slotGroup
+}
+
+func (a *autoSlotCtrl) ProbeOwner(context.Context) error {
+	if hc, ok := a.g.rs.Owner().(interface{ Healthy() bool }); ok && !hc.Healthy() {
+		return cluster.ErrShardUnavailable
+	}
+	return nil
+}
+
+func (a *autoSlotCtrl) Failover(context.Context) error {
+	a.g.mu.Lock()
+	defer a.g.mu.Unlock()
+	idx, err := a.g.rs.Promote()
+	if err != nil {
+		return err
+	}
+	a.g.nodes[0], a.g.nodes[idx] = a.g.nodes[idx], a.g.nodes[0]
+	return nil
+}
+
+func (a *autoSlotCtrl) NeedsHeal() bool            { return false }
+func (a *autoSlotCtrl) Heal(context.Context) error { return nil }
+
+// settleAuto closes an auto-failover round: if the kill schedule took an
+// owner down, the supervisor — not the harness — must promote a
+// follower, and a short post-promotion batch then proves the cluster
+// serves again with no admin call anywhere in the loop. A schedule
+// whose disk faults left no promotable follower is logged, not
+// violated: the slot stays write-refusing with every refusal accounted,
+// exactly like the scripted mode's unpromotable rounds.
+func (h *harness) settleAuto(res *Result, r int, rsp *trace.Span, killed *slotGroup) {
+	if killed == nil {
+		return
+	}
+	cfg := h.cfg
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		killed.mu.Lock()
+		owner := killed.nodes[0]
+		killed.mu.Unlock()
+		if !owner.down.Load() && owner.jp.JournalFailed() == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			if !h.anyPromotable(killed) {
+				rsp.Event("no promotable follower on this schedule; slot stays refusing until round-end heal")
+				cfg.Logf("round %d: no promotable follower (fault schedule took the followers too); slot refuses writes until the round-end heal", r)
+				return
+			}
+			res.violate("recovery", "round %d: supervisor did not promote a follower within 10s of the owner kill", r)
+			rsp.Event("supervisor promotion timed out")
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ds := workload.Drive(h.clu, workload.DriverConfig{
+		Goroutines:      1,
+		OpsPerGoroutine: max(4, cfg.OpsPerRound/8),
+		Users:           h.users,
+		Pixels:          []pixel.PixelID{h.px},
+		BrowseSlots:     cfg.BrowseSlots,
+		Seed:            stats.SubSeed(cfg.Seed, uint64(2000+r)),
+		Observe:         h.ledger.observe,
+	})
+	rsp.Event("post-promotion traffic: " + strconv.FormatInt(ds.Ops(), 10) + " ops")
+	cfg.Logf("round %d: post-promotion traffic: %d ops, %d errors — served with no admin intervention", r, ds.Ops(), ds.Errors)
+}
+
+// anyPromotable reports whether the slot has a follower a promotion
+// could elect: alive journal, still following, fully caught up.
+func (h *harness) anyPromotable(g *slotGroup) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, n := range g.nodes[1:] {
+		if !n.down.Load() && n.jp.JournalFailed() == nil && n.jp.Following() && n.jp.Synced() {
+			return true
+		}
+	}
+	return false
 }
 
 // healReplicas re-wires journal shipping and resyncs every follower

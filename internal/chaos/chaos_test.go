@@ -182,6 +182,69 @@ func TestChaosReplicaSameSeedReproduces(t *testing.T) {
 	}
 }
 
+// Automatic failover, fault-free control: every round the kill schedule
+// takes one owner down and NOTHING scripts the recovery — the health
+// supervisor must detect the miss streak, declare the owner dead, and
+// promote the best follower on its own, after which the harness drives a
+// post-promotion batch to prove the cluster serves with no admin call in
+// the loop. With disk faults off every kill must be answered, the
+// accounting must be exact (owner-down writes refuse definitely), and
+// each promotion's detect→promote latency must be recorded and positive.
+func TestChaosAutoFailoverRecoversWithoutAdmin(t *testing.T) {
+	cfg := DefaultConfig(23)
+	cfg.Disk = faults.DiskConfig{}
+	cfg.Replicas = 2
+	cfg.AutoFailover = true
+	cfg.Logf = t.Logf
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("auto-failover run: %v", err)
+	}
+	if res.Failed() {
+		for _, v := range res.Violations {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatalf("auto-failover run violated invariants (dir kept at %s)", res.Dir)
+	}
+	if res.OwnerKills != cfg.Rounds {
+		t.Fatalf("killed %d owners over %d rounds, want one per round", res.OwnerKills, cfg.Rounds)
+	}
+	// Every kill must be answered by the supervisor; a sticky-journal
+	// owner elsewhere may legitimately trigger extra promotions, so the
+	// bound is one-sided.
+	if res.Promotions < res.OwnerKills {
+		t.Fatalf("%d kills but only %d supervisor promotions", res.OwnerKills, res.Promotions)
+	}
+	if len(res.FailoverLatencies) != res.Promotions {
+		t.Fatalf("recorded %d failover latencies for %d promotions", len(res.FailoverLatencies), res.Promotions)
+	}
+	for i, d := range res.FailoverLatencies {
+		if d <= 0 {
+			t.Fatalf("failover latency %d = %v, want > 0", i, d)
+		}
+	}
+	if res.IndeterminateSlots != 0 {
+		t.Fatalf("fault-free auto-failover run left %d slots indeterminate", res.IndeterminateSlots)
+	}
+	if res.DefiniteFailures == 0 {
+		t.Fatal("no write was refused during a detection window; the kill schedule is not biting")
+	}
+	if res.AckedImpressions == 0 {
+		t.Fatal("auto-failover run delivered nothing")
+	}
+	t.Logf("auto-failover: kills=%d promotions=%d latencies=%v", res.OwnerKills, res.Promotions, res.FailoverLatencies)
+}
+
+// Auto-failover with Replicas unset must refuse loudly rather than run a
+// supervisor with nothing to promote.
+func TestChaosAutoFailoverRequiresReplicas(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.AutoFailover = true
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("AutoFailover without replicas ran; want a config error")
+	}
+}
+
 // Reshard under fire: the middle round grows the cluster concurrently
 // with driven traffic, disk faults, owner kills, and crash sweeps. The
 // faulted run must uphold every invariant, and its final membership —

@@ -663,6 +663,23 @@ func (g *Gate) OwnsUser(user string) error {
 	return fmt.Errorf("user %q belongs to shard %d (%s) under ring version %d, not to %s", user, slot, si.Addr, g.info.Version, g.self)
 }
 
+// OwnsUserWrite is the mutation gate: only the owning slot's address may
+// apply a user write. Replica addresses do NOT pass — this is what
+// fences a deposed owner after an automatic promotion bumps the ring
+// version and demotes it to a replica: once it holds the new ring, any
+// retried mutation against it is refused with a stale-ring error
+// instead of becoming a dirty write. It implements rpc.WriteGate.
+func (g *Gate) OwnsUserWrite(user string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	slot := g.ring.Owner(user)
+	si := g.info.Shards[slot]
+	if si.Addr == g.self {
+		return nil
+	}
+	return fmt.Errorf("write for user %q belongs to shard %d's owner (%s) under ring version %d, not to %s", user, slot, si.Addr, g.info.Version, g.self)
+}
+
 // Ring returns the membership this node serves.
 func (g *Gate) Ring() rpc.RingInfo {
 	g.mu.Lock()

@@ -1,0 +1,314 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/treads-project/treads/internal/cluster"
+	"github.com/treads-project/treads/internal/obs"
+	"github.com/treads-project/treads/internal/platform"
+	"github.com/treads-project/treads/internal/rpc"
+)
+
+// TestPromoteRefusesHealthyOwner pins the promotion guard: promoting a
+// slot whose owner is answering health checks would fork the replica
+// chain (two members accepting writes for one slot), so Promote must
+// refuse with the typed error and change nothing. A planned handover
+// goes through ForcePromote.
+func TestPromoteRefusesHealthyOwner(t *testing.T) {
+	rs, owner, follower := newChainedSet(t, 101)
+	c, err := cluster.New([]cluster.Shard{rs}, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	populateElastic(t, c, 8)
+
+	idx, err := rs.Promote()
+	if !errors.Is(err, cluster.ErrOwnerHealthy) {
+		t.Fatalf("Promote with healthy owner: %v, want ErrOwnerHealthy", err)
+	}
+	if idx != -1 {
+		t.Fatalf("refused Promote returned member %d, want -1", idx)
+	}
+	// The refusal changed nothing: the owner still serves writes and the
+	// follower still follows.
+	if !rs.WriteHealthy() {
+		t.Fatal("WriteHealthy() false after a refused promotion")
+	}
+	if !follower.Following() || !follower.Synced() {
+		t.Fatal("follower disturbed by a refused promotion")
+	}
+
+	// FailoverSlot applies the same guard on the coordinator surface.
+	if _, err := c.FailoverSlot(0, false); !errors.Is(err, cluster.ErrOwnerHealthy) {
+		t.Fatalf("FailoverSlot with healthy owner: %v, want ErrOwnerHealthy", err)
+	}
+
+	// A planned handover is still possible, explicitly.
+	idx, err = rs.ForcePromote()
+	if err != nil {
+		t.Fatalf("ForcePromote: %v", err)
+	}
+	if idx != 1 {
+		t.Fatalf("ForcePromote picked member %d, want 1", idx)
+	}
+	_ = owner
+}
+
+// TestReplicaReadsRoundRobin pins satellite read load balancing: with the
+// owner healthy and the follower synced, user-scoped reads alternate
+// between the two (counted by cluster_replica_reads_total), and the
+// moment the follower stops following, reads collapse back onto the
+// owner.
+func TestReplicaReadsRoundRobin(t *testing.T) {
+	rs, _, follower := newChainedSet(t, 103)
+	reg := obs.NewRegistry()
+	c, err := cluster.New([]cluster.Shard{rs}, cluster.Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users, _ := populateElastic(t, c, 16)
+
+	const reads = 40
+	for i := 0; i < reads; i++ {
+		if c.User(users[i%len(users)]) == nil {
+			t.Fatalf("read %d lost its user", i)
+		}
+	}
+	// Round-robin over two members: close to half the reads landed on
+	// the follower. The exact count depends on how many reads populate
+	// issued, so assert a generous band rather than an exact split.
+	n := replicaReadCount(t, reg)
+	if n < reads/4 {
+		t.Fatalf("replica served %d of %d reads, want at least %d", n, reads, reads/4)
+	}
+
+	// A follower that stops following must stop serving reads instantly.
+	follower.EndFollow()
+	before := replicaReadCount(t, reg)
+	for i := 0; i < reads; i++ {
+		if c.User(users[i%len(users)]) == nil {
+			t.Fatalf("read %d after EndFollow lost its user", i)
+		}
+	}
+	if after := replicaReadCount(t, reg); after != before {
+		t.Fatalf("desynced follower served %d reads", after-before)
+	}
+}
+
+// replicaReadCount scrapes cluster_replica_reads_total from the registry.
+func replicaReadCount(t *testing.T, reg *obs.Registry) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`(?m)^cluster_replica_reads_total (\d+)`).FindSubmatch(buf.Bytes())
+	if m == nil {
+		t.Fatal("cluster_replica_reads_total not exported")
+	}
+	n, err := strconv.Atoi(string(m[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// killableNode is a shard node whose HTTP front can be killed and
+// restarted on the same address with its journaled state intact —
+// modelling a process crash and operator-free return.
+type killableNode struct {
+	jp   *platform.Journaled
+	srv  *rpc.Server
+	addr string
+	hs   *http.Server
+}
+
+func startKillableNode(t *testing.T, dir string, seed uint64) *killableNode {
+	t.Helper()
+	jp := openElasticShard(t, dir, seed)
+	n := &killableNode{jp: jp, srv: rpc.NewServer(jp, elasticSecret, nil)}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.addr = "http://" + ln.Addr().String()
+	n.serve(ln)
+	t.Cleanup(func() { n.kill() })
+	return n
+}
+
+func (n *killableNode) serve(ln net.Listener) {
+	n.hs = &http.Server{Handler: n.srv}
+	go n.hs.Serve(ln)
+}
+
+func (n *killableNode) kill() {
+	if n.hs != nil {
+		n.hs.Close()
+		n.hs = nil
+	}
+}
+
+// restart re-listens on the node's original address; the port was just
+// released, but give the kernel a moment under parallel test load.
+func (n *killableNode) restart(t *testing.T) {
+	t.Helper()
+	hostport := n.addr[len("http://"):]
+	var ln net.Listener
+	var err error
+	for i := 0; i < 50; i++ {
+		if ln, err = net.Listen("tcp", hostport); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("re-listen %s: %v", hostport, err)
+	}
+	n.serve(ln)
+}
+
+// armShipping installs a daemon-style rearm handler on n: told a follower
+// list over the rearm RPC, the node rebuilds its own journal-shipping
+// chain onto those addresses — the no-process-restart re-arm the failover
+// protocol depends on.
+func armShipping(n *killableNode) {
+	n.srv.SetRearm(func(followers []string) error {
+		if len(followers) == 0 {
+			n.jp.SetShipper(nil)
+			return nil
+		}
+		clients := make([]*rpc.Client, len(followers))
+		for i, a := range followers {
+			clients[i] = rpc.NewClient(a, rpc.Options{Secret: elasticSecret})
+		}
+		n.jp.SetShipper(func(lsn uint64, payload []byte) error {
+			for _, c := range clients {
+				if err := c.ShipOp(context.Background(), lsn, payload); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		return nil
+	})
+}
+
+// TestAutoFailoverFencesDeposedOwner is the networked failover protocol
+// test: an owner node dies, FailoverSlot promotes its synced follower and
+// bumps the ring, the deposed owner returns with its old state, HealSlot
+// pushes the new ring to it BEFORE resyncing it — and a stale client that
+// retries a mutation against the deposed owner gets the typed stale-ring
+// refusal, never a dirty write.
+func TestAutoFailoverFencesDeposedOwner(t *testing.T) {
+	root := t.TempDir()
+	n0 := startKillableNode(t, filepath.Join(root, "n0"), 107)
+	n1 := startKillableNode(t, filepath.Join(root, "n1"), 107)
+	armShipping(n0)
+	armShipping(n1)
+
+	// One failed call must open the owner client's breaker: the failure
+	// detector is the only probe source in this test.
+	ownerShard := cluster.NewRemoteShard(rpc.NewClient(n0.addr, rpc.Options{Secret: elasticSecret, FailureThreshold: 1}))
+	followerShard := cluster.NewRemoteShard(rpc.NewClient(n1.addr, rpc.Options{Secret: elasticSecret}))
+	rs := cluster.NewReplicaSet(ownerShard, followerShard)
+
+	// Owner-process shipping, daemon-style: the follower starts following
+	// and the owner node is armed onto it over the rearm RPC.
+	n1.jp.BeginFollow(0)
+	if err := ownerShard.Client().Rearm(context.Background(), []string{n1.addr}); err != nil {
+		t.Fatalf("initial Rearm: %v", err)
+	}
+	c, err := cluster.New([]cluster.Shard{rs}, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := c.RingInfo()
+	for _, n := range []*killableNode{n0, n1} {
+		gate, err := cluster.NewGate(n.addr, ri)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.srv.SetGate(gate)
+	}
+
+	users, _ := populateElastic(t, c, 16)
+	acked := feedLens(c, users)
+
+	// The owner process dies. One probe observes it and opens the breaker.
+	n0.kill()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	if err := c.ProbeSlotOwner(ctx, 0); err == nil {
+		t.Fatal("probe of a dead owner succeeded")
+	}
+	cancel()
+
+	// Automatic promotion: follower takes the slot, ring version bumps.
+	idx, err := c.FailoverSlot(0, false)
+	if err != nil {
+		t.Fatalf("FailoverSlot: %v", err)
+	}
+	if idx != 1 {
+		t.Fatalf("promoted member %d, want 1", idx)
+	}
+	if c.Version() != 2 {
+		t.Fatalf("ring version %d after failover, want 2", c.Version())
+	}
+	// Every acknowledged write survived, and traffic resumes on the new
+	// owner with no process restarted.
+	if got := feedLens(c, users); fmt.Sprint(got) != fmt.Sprint(acked) {
+		t.Fatal("acknowledged feeds lost across automatic promotion")
+	}
+	if _, err := c.BrowseFeed(users[0], 2); err != nil {
+		t.Fatalf("BrowseFeed after failover: %v", err)
+	}
+
+	// The deposed owner returns with its pre-crash state and its stale
+	// ring. HealSlot fences it (ring push first), then resyncs it into a
+	// follower of the new owner.
+	n0.restart(t)
+	if err := c.HealSlot(0); err != nil {
+		t.Fatalf("HealSlot: %v", err)
+	}
+	cli := rpc.NewClient(n0.addr, rpc.Options{Secret: elasticSecret})
+	defer cli.Close()
+	got, err := cli.FetchRing(context.Background())
+	if err != nil {
+		t.Fatalf("FetchRing(deposed owner): %v", err)
+	}
+	if got.Version != 2 {
+		t.Fatalf("deposed owner serves ring v%d after heal, want v2", got.Version)
+	}
+	if !n0.jp.Following() || !n0.jp.Synced() {
+		t.Fatal("deposed owner not resynced into a follower")
+	}
+
+	// The fence: a stale client retrying a mutation against the deposed
+	// owner is refused with the typed 409 and the write is NOT applied.
+	lsnBefore := n0.jp.LastLSN()
+	if _, err := cli.BrowseFeed(context.Background(), users[0], 2); !errors.Is(err, rpc.ErrStaleRing) {
+		t.Fatalf("mutation against deposed owner: %v, want ErrStaleRing", err)
+	}
+	if n0.jp.LastLSN() != lsnBefore {
+		t.Fatalf("deposed owner applied a fenced write (LSN %d -> %d)", lsnBefore, n0.jp.LastLSN())
+	}
+
+	// And the healed chain ships again: a write through the router lands
+	// on both members, leaving them byte-identical.
+	if _, err := c.BrowseFeed(users[1], 2); err != nil {
+		t.Fatalf("BrowseFeed after heal: %v", err)
+	}
+	if stateJSON(t, n0.jp) != stateJSON(t, n1.jp) {
+		t.Fatal("deposed owner diverged from new owner after heal")
+	}
+}

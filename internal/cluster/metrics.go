@@ -42,6 +42,7 @@ type replicaCounters struct {
 	shipRecords   *obs.Counter
 	shipFailures  *obs.Counter
 	failoverReads *obs.Counter
+	replicaReads  *obs.Counter
 	promotions    *obs.Counter
 	resyncs       *obs.Counter
 }
@@ -51,6 +52,7 @@ func noopReplicaCounters() replicaCounters {
 		shipRecords:   obs.NewCounter(),
 		shipFailures:  obs.NewCounter(),
 		failoverReads: obs.NewCounter(),
+		replicaReads:  obs.NewCounter(),
 		promotions:    obs.NewCounter(),
 		resyncs:       obs.NewCounter(),
 	}
@@ -82,6 +84,8 @@ func newClusterMetrics(reg *obs.Registry, shards int) *clusterMetrics {
 				"Journal records a follower failed to apply; the originating write is reported indeterminate."),
 			failoverReads: reg.Counter("cluster_replica_failover_reads_total",
 				"User-scoped reads served by a follower because the shard owner was unavailable."),
+			replicaReads: reg.Counter("cluster_replica_reads_total",
+				"User-scoped reads load-balanced onto a synced follower while the owner was healthy."),
 			promotions: reg.Counter("cluster_replica_promotions_total",
 				"Followers promoted to shard owner after an owner failure."),
 			resyncs: reg.Counter("cluster_replica_resyncs_total",

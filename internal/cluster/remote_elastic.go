@@ -81,3 +81,17 @@ func (r *RemoteShard) FetchRing(ctx context.Context) (rpc.RingInfo, error) {
 func (r *RemoteShard) HealthInfo() (rpc.HealthResp, error) {
 	return r.c.Health(context.Background())
 }
+
+// Probe sends one health probe under the caller's context — the failure
+// detector's primitive. Unlike Healthy (which consults the breaker) it
+// always touches the wire, and its outcome feeds the breaker.
+func (r *RemoteShard) Probe(ctx context.Context) error {
+	_, err := r.c.Health(ctx)
+	return err
+}
+
+// Rearm tells the peer — a freshly promoted owner — to rebuild its
+// journal-shipping chain onto the given follower addresses.
+func (r *RemoteShard) Rearm(ctx context.Context, followers []string) error {
+	return r.c.Rearm(ctx, followers)
+}

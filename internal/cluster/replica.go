@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/treads-project/treads/internal/ad"
 	"github.com/treads-project/treads/internal/attr"
@@ -50,7 +52,27 @@ type ReplicaSet struct {
 	// detached.
 	detached []bool
 	met      *replicaCounters
+
+	// readCursor round-robins replicated reads across the owner and the
+	// synced attached followers while the owner is healthy.
+	readCursor atomic.Uint64
+	// statusCache memoizes follow status for members whose status check
+	// costs an RPC, so the read path stays off the network.
+	scMu        sync.Mutex
+	statusCache map[Shard]cachedFollowStatus
 }
+
+// cachedFollowStatus is one member's memoized "synced follower" verdict.
+type cachedFollowStatus struct {
+	expires time.Time
+	synced  bool
+}
+
+// followStatusTTL bounds how stale a remote member's cached follow status
+// may be on the read path. A follower that just desynced keeps serving
+// reads for at most this long — it still holds every previously
+// acknowledged write, so those reads are stale, never wrong.
+const followStatusTTL = 250 * time.Millisecond
 
 var (
 	_ Shard               = (*ReplicaSet)(nil)
@@ -65,9 +87,10 @@ func NewReplicaSet(owner Shard, followers ...Shard) *ReplicaSet {
 	met := noopReplicaCounters()
 	members := append([]Shard{owner}, followers...)
 	return &ReplicaSet{
-		members:  members,
-		detached: make([]bool, len(members)),
-		met:      &met,
+		members:     members,
+		detached:    make([]bool, len(members)),
+		met:         &met,
+		statusCache: make(map[Shard]cachedFollowStatus),
 	}
 }
 
@@ -142,10 +165,14 @@ func (rs *ReplicaSet) writer() (Shard, error) {
 	return o, nil
 }
 
-// reader returns the owner when healthy, else the best follower: synced if
-// possible, any healthy one otherwise (reads may be stale during a
-// failover window; they are never wrong about acknowledged state, which
-// every follower holds).
+// reader returns the member to serve a user-scoped read. With the owner
+// healthy, replicated reads round-robin across the owner and every
+// attached synced healthy follower — ship-before-ack means a synced
+// follower holds every acknowledged write, so follower reads are exact
+// for acknowledged state. With the owner down, reads fail over to the
+// best follower: synced if possible, any healthy one otherwise (reads
+// may then be stale during the failover window; they are never wrong
+// about acknowledged state, which every attached follower holds).
 func (rs *ReplicaSet) reader() Shard {
 	rs.mu.RLock()
 	members := rs.members
@@ -153,6 +180,14 @@ func (rs *ReplicaSet) reader() Shard {
 	met := rs.met
 	rs.mu.RUnlock()
 	if shardHealthy(members[0]) {
+		if len(members) == 1 {
+			return members[0]
+		}
+		pick := int(rs.readCursor.Add(1) % uint64(len(members)))
+		if pick != 0 && !detached[pick] && shardHealthy(members[pick]) && rs.followerSynced(members[pick]) {
+			met.replicaReads.Inc()
+			return members[pick]
+		}
 		return members[0]
 	}
 	var fallback Shard
@@ -174,6 +209,33 @@ func (rs *ReplicaSet) reader() Shard {
 		return fallback
 	}
 	return members[0]
+}
+
+// followerSynced reports whether f is a synced follower fit to serve
+// replicated reads. Members exposing follow status directly (in-process)
+// are checked live; members whose status costs an RPC answer through a
+// short-TTL cache.
+func (rs *ReplicaSet) followerSynced(f Shard) bool {
+	if v, ok := f.(interface {
+		Following() bool
+		Synced() bool
+		ShipLSN() uint64
+	}); ok {
+		return v.Following() && v.Synced()
+	}
+	now := time.Now()
+	rs.scMu.Lock()
+	if e, ok := rs.statusCache[f]; ok && now.Before(e.expires) {
+		rs.scMu.Unlock()
+		return e.synced
+	}
+	rs.scMu.Unlock()
+	following, synced, _, err := memberFollowStatus(f)
+	verdict := err == nil && following && synced
+	rs.scMu.Lock()
+	rs.statusCache[f] = cachedFollowStatus{expires: now.Add(followStatusTTL), synced: verdict}
+	rs.scMu.Unlock()
+	return verdict
 }
 
 // --- shipping, promotion, resync ---
@@ -237,13 +299,30 @@ func (rs *ReplicaSet) ship(lsn uint64, payload []byte) error {
 	return firstErr
 }
 
+// ErrOwnerHealthy refuses a promotion on a slot whose owner is still
+// accepting writes: promoting past a live owner silently forks the chain
+// (two members accept writes for the same slot). A planned handover must
+// say so explicitly with ForcePromote.
+var ErrOwnerHealthy = errors.New("cluster: slot owner is healthy; promotion refused (use force for a planned handover)")
+
 // Promote elects the attached healthy follower with the longest applied
 // prefix as the new owner, ends its follow mode, and rewires shipping from
 // it. The demoted member stays in the set, detached, until Heal brings it
 // back as a follower. Returns the promoted member's previous index.
-func (rs *ReplicaSet) Promote() (int, error) {
+// Promotion is refused with ErrOwnerHealthy while the owner is still up.
+func (rs *ReplicaSet) Promote() (int, error) { return rs.promote(false) }
+
+// ForcePromote is Promote without the healthy-owner guard — the planned
+// handover path (maintenance drains, failback after an automatic
+// promotion). The demoted owner is detached like any other demotion.
+func (rs *ReplicaSet) ForcePromote() (int, error) { return rs.promote(true) }
+
+func (rs *ReplicaSet) promote(force bool) (int, error) {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
+	if !force && shardHealthy(rs.members[0]) {
+		return -1, fmt.Errorf("cluster: promote: %w", ErrOwnerHealthy)
+	}
 	best := -1
 	var bestLSN uint64
 	for i := 1; i < len(rs.members); i++ {
@@ -272,6 +351,60 @@ func (rs *ReplicaSet) Promote() (int, error) {
 	}
 	rs.met.promotions.Inc()
 	return best, nil
+}
+
+// Degraded reports whether the chain needs healing: some follower is
+// detached (a demoted owner, a crash-replaced member) or healthy but out
+// of sync. The health supervisor polls this to decide when to run Heal.
+func (rs *ReplicaSet) Degraded() bool {
+	rs.mu.RLock()
+	members := append([]Shard(nil), rs.members...)
+	detached := append([]bool(nil), rs.detached...)
+	rs.mu.RUnlock()
+	for i := 1; i < len(members); i++ {
+		if !shardHealthy(members[i]) {
+			continue // unreachable members cannot be healed yet
+		}
+		if detached[i] {
+			return true
+		}
+		if following, synced, _, err := memberFollowStatus(members[i]); err == nil && (!following || !synced) {
+			return true
+		}
+	}
+	return false
+}
+
+// probeMembers sends one explicit health probe to every member that
+// supports it (remote members), feeding each client's circuit breaker. A
+// member returning from an outage still has an open breaker from its
+// downtime; an explicit probe can close it immediately, where waiting on
+// the routing path alone would stall until the breaker cooldown.
+// Best-effort: a failed probe just leaves the breaker open.
+func (rs *ReplicaSet) probeMembers(ctx context.Context) {
+	rs.mu.RLock()
+	members := append([]Shard(nil), rs.members...)
+	rs.mu.RUnlock()
+	for _, m := range members {
+		if p, ok := m.(interface{ Probe(context.Context) error }); ok {
+			pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			_ = p.Probe(pctx)
+			cancel()
+		}
+	}
+}
+
+// anyFollowerUnreachable reports whether some follower currently fails
+// the health check — the cue for SlotDegraded to spend a probe on it.
+func (rs *ReplicaSet) anyFollowerUnreachable() bool {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	for i := 1; i < len(rs.members); i++ {
+		if !shardHealthy(rs.members[i]) {
+			return true
+		}
+	}
+	return false
 }
 
 // Heal resynchronizes every follower from the current owner: a journal
@@ -410,7 +543,9 @@ func memberFollowStatus(s Shard) (following, synced bool, shipLSN uint64, err er
 		ShipLSN() uint64
 	}:
 		return v.Following(), v.Synced(), v.ShipLSN(), nil
-	case interface{ HealthInfo() (rpc.HealthResp, error) }:
+	case interface {
+		HealthInfo() (rpc.HealthResp, error)
+	}:
 		h, err := v.HealthInfo()
 		if err != nil {
 			return false, false, 0, err
@@ -447,7 +582,9 @@ func memberLastLSN(s Shard) (uint64, error) {
 	switch v := s.(type) {
 	case interface{ LastLSN() uint64 }:
 		return v.LastLSN(), nil
-	case interface{ HealthInfo() (rpc.HealthResp, error) }:
+	case interface {
+		HealthInfo() (rpc.HealthResp, error)
+	}:
 		h, err := v.HealthInfo()
 		return h.LastLSN, err
 	}
@@ -550,6 +687,25 @@ func (rs *ReplicaSet) ReplicaAddrs() []string {
 	var out []string
 	for _, f := range rs.members[1:] {
 		if a := shardAddr(f); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// AttachedReplicaAddrs returns the dialable addresses of only the
+// followers currently in the shipping chain — the follower list a
+// promoted owner is re-armed with (shipping to a detached member would
+// fail every write).
+func (rs *ReplicaSet) AttachedReplicaAddrs() []string {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	var out []string
+	for i := 1; i < len(rs.members); i++ {
+		if rs.detached[i] {
+			continue
+		}
+		if a := shardAddr(rs.members[i]); a != "" {
 			out = append(out, a)
 		}
 	}

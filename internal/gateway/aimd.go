@@ -1,0 +1,155 @@
+package gateway
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/treads-project/treads/internal/obs"
+)
+
+// aimdController adapts the shedder's total inflight budget to measured
+// backend health, closing the loop the fixed budget leaves open: a
+// statically sized edge either wastes capacity when the backend is fast
+// or lets queues build when it degrades (a failover in progress, a slow
+// disk). The control law is classic AIMD — the same shape TCP uses for
+// congestion windows — because it is stable under the same conditions:
+// multiplicative decrease reacts in one window to overload, additive
+// increase probes capacity gently enough not to re-trigger it.
+//
+// Every admitted request's backend latency and status feed a private
+// histogram; on each tick the controller diffs snapshots to get a
+// per-window view (the registered gateway_request_seconds family is
+// cumulative and per-class, so it cannot answer "what was p99 over the
+// last 100ms"). If the windowed p99 exceeded the SLO or the backend
+// returned any 5xx, the budget halves (floored at a small minimum so
+// probes keep flowing and recovery can be observed); otherwise it grows
+// by a fixed step back toward the configured ceiling. An idle window —
+// no completions at all — leaves the budget alone: silence is not
+// evidence of health.
+type aimdController struct {
+	shed *shedder
+	m    *metrics
+	slo  time.Duration
+
+	maxBudget int64 // configured Inflight: the additive-growth ceiling
+	minBudget int64 // multiplicative-decrease floor: keeps probes flowing
+	step      int64 // additive increase per healthy window
+
+	hist *obs.Histogram // private, unregistered: windowed by snapshot diff
+	errs atomic.Uint64  // cumulative inner 5xx count, windowed the same way
+
+	prev     obs.HistogramSnapshot
+	prevErrs uint64
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// aimdInterval is the control loop's window. Short enough to halve the
+// budget within a few hundred milliseconds of a backend stall — well
+// inside the failure detector's promotion budget — and long enough that
+// a window at serving rates holds a meaningful sample.
+const aimdInterval = 100 * time.Millisecond
+
+func newAIMD(shed *shedder, m *metrics, slo time.Duration, maxBudget int) *aimdController {
+	c := &aimdController{
+		shed:      shed,
+		m:         m,
+		slo:       slo,
+		maxBudget: int64(maxBudget),
+		minBudget: max64(1, int64(maxBudget)/16),
+		step:      max64(1, int64(maxBudget)/20),
+		hist:      obs.NewHistogram(),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	return c
+}
+
+// observe records one admitted request's backend latency and status.
+// Called on the request path after the inner handler returns; both
+// operations are lock-free atomic bumps.
+func (c *aimdController) observe(elapsed time.Duration, status int) {
+	c.hist.Observe(elapsed)
+	if status >= 500 {
+		c.errs.Add(1)
+	}
+}
+
+// tick runs one control decision over the window since the last tick.
+func (c *aimdController) tick() {
+	cur := c.hist.Snapshot()
+	curErrs := c.errs.Load()
+	win := diffSnapshot(cur, c.prev)
+	winErrs := curErrs - c.prevErrs
+	c.prev, c.prevErrs = cur, curErrs
+
+	if win.Count == 0 && winErrs == 0 {
+		return
+	}
+
+	p99 := win.Quantile(0.99)
+	c.m.aimdP99.Set(p99.Seconds())
+
+	budget := c.shed.budget()
+	if winErrs > 0 || p99 > c.slo {
+		next := max64(c.minBudget, budget/2)
+		if next != budget {
+			c.shed.setBudget(int(next))
+			c.m.aimdShrinks.Inc()
+		}
+	} else {
+		next := budget + c.step
+		if next > c.maxBudget {
+			next = c.maxBudget
+		}
+		if next != budget {
+			c.shed.setBudget(int(next))
+			c.m.aimdGrows.Inc()
+		}
+	}
+	c.m.aimdBudget.Set(float64(c.shed.budget()))
+}
+
+// run is the control loop; New starts it when an SLO is configured.
+func (c *aimdController) run() {
+	defer close(c.done)
+	t := time.NewTicker(aimdInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.tick()
+		}
+	}
+}
+
+// close stops the control loop and waits for it to exit.
+func (c *aimdController) close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+// diffSnapshot returns the observations cur holds beyond prev — the
+// window between two snapshots of the same histogram. Per-stripe reads
+// are not one consistent cut, so per-bucket counts can transiently run
+// slightly behind; clamping at zero keeps the window well-formed.
+func diffSnapshot(cur, prev obs.HistogramSnapshot) obs.HistogramSnapshot {
+	var d obs.HistogramSnapshot
+	if cur.Count > prev.Count {
+		d.Count = cur.Count - prev.Count
+	}
+	if cur.SumNanos > prev.SumNanos {
+		d.SumNanos = cur.SumNanos - prev.SumNanos
+	}
+	for i := range d.Buckets {
+		if cur.Buckets[i] > prev.Buckets[i] {
+			d.Buckets[i] = cur.Buckets[i] - prev.Buckets[i]
+		}
+	}
+	return d
+}

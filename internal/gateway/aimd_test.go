@@ -1,0 +1,125 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+
+	"github.com/treads-project/treads/internal/obs"
+)
+
+// newTestAIMD builds a controller around a fresh shedder without
+// starting the ticker goroutine, so tests drive tick() deterministically.
+func newTestAIMD(t *testing.T, inflight int, slo time.Duration) (*aimdController, *shedder) {
+	t.Helper()
+	shed := newShedder(inflight)
+	m := newMetrics(obs.NewRegistry())
+	return newAIMD(shed, m, slo, inflight), shed
+}
+
+func TestAIMDShrinksOnSlowWindow(t *testing.T) {
+	c, shed := newTestAIMD(t, 256, 100*time.Millisecond)
+
+	// A window whose p99 blows the SLO must halve the budget.
+	for i := 0; i < 100; i++ {
+		c.observe(500*time.Millisecond, 200)
+	}
+	c.tick()
+	if got := shed.budget(); got != 128 {
+		t.Fatalf("budget after slow window = %d, want 128", got)
+	}
+
+	// Consecutive slow windows keep halving, but never below the floor.
+	for w := 0; w < 20; w++ {
+		c.observe(500*time.Millisecond, 200)
+		c.tick()
+	}
+	if got, floor := shed.budget(), c.minBudget; got != floor {
+		t.Fatalf("budget after sustained overload = %d, want floor %d", got, floor)
+	}
+}
+
+func TestAIMDShrinksOnBackendErrors(t *testing.T) {
+	c, shed := newTestAIMD(t, 256, time.Second)
+
+	// Fast responses but a 503 in the window: still a shrink signal —
+	// this is the failover-in-progress case.
+	for i := 0; i < 50; i++ {
+		c.observe(time.Millisecond, 200)
+	}
+	c.observe(time.Millisecond, 503)
+	c.tick()
+	if got := shed.budget(); got != 128 {
+		t.Fatalf("budget after 5xx window = %d, want 128", got)
+	}
+}
+
+func TestAIMDGrowsBackWhenHealthy(t *testing.T) {
+	c, shed := newTestAIMD(t, 256, 100*time.Millisecond)
+
+	shed.setBudget(16)
+	for w := 0; w < 100; w++ {
+		c.observe(time.Millisecond, 200)
+		c.tick()
+	}
+	if got := shed.budget(); got != 256 {
+		t.Fatalf("budget after sustained health = %d, want full recovery to 256", got)
+	}
+
+	// Growth is clamped at the configured ceiling.
+	c.observe(time.Millisecond, 200)
+	c.tick()
+	if got := shed.budget(); got != 256 {
+		t.Fatalf("budget grew past ceiling: %d", got)
+	}
+}
+
+func TestAIMDIdleWindowHoldsBudget(t *testing.T) {
+	c, shed := newTestAIMD(t, 256, 100*time.Millisecond)
+
+	shed.setBudget(32)
+	c.tick() // no observations: silence is not evidence of health
+	if got := shed.budget(); got != 32 {
+		t.Fatalf("budget after idle window = %d, want unchanged 32", got)
+	}
+}
+
+func TestAIMDBudgetRederivesClassCeilings(t *testing.T) {
+	shed := newShedder(100)
+	shed.setBudget(10)
+	// Strict-priority fractions must track the live budget: report
+	// ceiling 5, mutation 8, user 10.
+	for i := 0; i < 5; i++ {
+		if !shed.acquire(ClassReport) {
+			t.Fatalf("report admit %d refused under budget 10", i)
+		}
+	}
+	if shed.acquire(ClassReport) {
+		t.Fatal("report admitted past its halved ceiling")
+	}
+	for i := 5; i < 8; i++ {
+		if !shed.acquire(ClassMutation) {
+			t.Fatalf("mutation admit %d refused under budget 10", i)
+		}
+	}
+	if shed.acquire(ClassMutation) {
+		t.Fatal("mutation admitted past its ceiling")
+	}
+	for i := 8; i < 10; i++ {
+		if !shed.acquire(ClassUser) {
+			t.Fatalf("user admit %d refused under budget 10", i)
+		}
+	}
+	if shed.acquire(ClassUser) {
+		t.Fatal("user admitted past the total budget")
+	}
+}
+
+func TestAIMDDisabledKeepsFixedBudget(t *testing.T) {
+	g, _ := newTestGateway(t, nil, func(c *Config) { c.Inflight = 8 })
+	if g.aimd != nil {
+		t.Fatal("controller running with SLO unset")
+	}
+	if got := g.shed.budget(); got != 8 {
+		t.Fatalf("fixed budget = %d, want 8", got)
+	}
+}

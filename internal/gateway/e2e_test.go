@@ -51,7 +51,7 @@ func bootPopulatedPlatform(t *testing.T, users int, seed uint64) *platform.Platf
 // bootGatewayStack wraps a populated platform's HTTP server in a gateway
 // with its own registry and returns the test server, the gateway, and
 // the platform.
-func bootGatewayStack(t *testing.T, users int, seed uint64, keyFile string, inflight int) (*httptest.Server, *gateway.Gateway, *platform.Platform) {
+func bootGatewayStack(t *testing.T, users int, seed uint64, keyFile string, inflight int, slo time.Duration) (*httptest.Server, *gateway.Gateway, *platform.Platform) {
 	t.Helper()
 	p := bootPopulatedPlatform(t, users, seed)
 	reg := obs.NewRegistry()
@@ -60,7 +60,7 @@ func bootGatewayStack(t *testing.T, users int, seed uint64, keyFile string, infl
 	if err != nil {
 		t.Fatalf("ParseKeyFile: %v", err)
 	}
-	g, err := gateway.New(inner, gateway.Config{Keys: ks, Inflight: inflight, Registry: reg})
+	g, err := gateway.New(inner, gateway.Config{Keys: ks, Inflight: inflight, SLO: slo, Registry: reg})
 	if err != nil {
 		t.Fatalf("gateway.New: %v", err)
 	}
@@ -76,7 +76,7 @@ func bootGatewayStack(t *testing.T, users int, seed uint64, keyFile string, infl
 // latency SLO, the greedy tenant must be mostly refused, and the acked
 // impressions must reconcile exactly against a recount of every feed.
 func TestOverloadProtectsUserSLO(t *testing.T) {
-	srv, g, p := bootGatewayStack(t, 300, 11, e2eKeyFile, 64)
+	srv, g, p := bootGatewayStack(t, 300, 11, e2eKeyFile, 64, 0)
 	ctx := context.Background()
 
 	// Setup traffic (mutation class) rides the reporter tenant's default
@@ -166,6 +166,76 @@ func TestOverloadProtectsUserSLO(t *testing.T) {
 
 	t.Logf("user p99=%v; greedy offered=%d admitted=%d refused=%d; acked=%d impressions",
 		user.P99, offered, admitted, g2.Errors, acked.Load())
+}
+
+// TestOverloadWithAIMDHoldsUserSLO reruns the overload drill with the
+// latency-adaptive controller replacing the fixed inflight budget. The
+// protected class must still see zero refusals and hold its SLO — the
+// controller may move the budget, but never in a way that starves the
+// user class behind greedy reporting traffic — and the budget must end
+// inside [1, Inflight] with exact impression accounting intact.
+func TestOverloadWithAIMDHoldsUserSLO(t *testing.T) {
+	const userSLO = 750 * time.Millisecond
+	srv, g, p := bootGatewayStack(t, 300, 11, e2eKeyFile, 64, userSLO)
+	ctx := context.Background()
+
+	setup := httpapi.NewClient(srv.URL)
+	setup.APIKey = e2eReporterKey
+	if err := setup.RegisterAdvertiser(ctx, "greedco"); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	campID, err := setup.CreateCampaign(ctx, "greedco", httpapi.CreateCampaignRequest{
+		Spec:      httpapi.SpecWire{Expr: "age(18, 80)"},
+		BidCapUSD: 10,
+		Creative:  httpapi.CreativeWire{Headline: "h", Body: "b"},
+	})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+
+	greedy := httpapi.NewClient(srv.URL)
+	greedy.APIKey = e2eReporterKey
+	userClient := httpapi.NewClient(srv.URL)
+	target := httpapi.NewDriverTarget(userClient, ctx)
+	users := p.Users()
+
+	var acked atomic.Int64
+	observe := func(r workload.OpResult) {
+		if r.Op == workload.OpBrowse && r.Err == nil {
+			acked.Add(int64(len(r.Impressions)))
+		}
+	}
+
+	res := workload.DriveOverload([]workload.ClassLoad{
+		workload.UserLoad("user", target, users, 4, 50, 3, 42, observe),
+		workload.GreedyLoad("greedy-report", 4, 150, func() error {
+			_, err := greedy.Report(ctx, "greedco", campID)
+			return err
+		}),
+	})
+
+	user := res["user"]
+	if user.Errors != 0 {
+		t.Fatalf("protected user class saw %d refusals out of %d ops", user.Errors, user.Done)
+	}
+	if user.P99 > userSLO {
+		t.Fatalf("user p99 = %v with AIMD controller, SLO %v", user.P99, userSLO)
+	}
+
+	if b := g.InflightBudget(); b < 1 || b > 64 {
+		t.Fatalf("AIMD budget %d outside [1, 64]", b)
+	}
+
+	var feedImps int64
+	for _, uid := range users {
+		feedImps += int64(len(p.Feed(uid)))
+	}
+	if feedImps != acked.Load() {
+		t.Fatalf("feeds hold %d impressions but %d were acked to users", feedImps, acked.Load())
+	}
+
+	t.Logf("user p99=%v; final AIMD budget=%d; acked=%d impressions",
+		user.P99, g.InflightBudget(), acked.Load())
 }
 
 // TestGatewayStateEquivalence drives the same deterministic workload

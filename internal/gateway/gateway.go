@@ -33,8 +33,16 @@ type Config struct {
 	Keys *KeySet
 	// Inflight is the total admitted-request budget shared by all
 	// classes (default 256). Reporting traffic may hold at most half of
-	// it, mutations 80%, user traffic all of it.
+	// it, mutations 80%, user traffic all of it. When SLO is set this is
+	// the AIMD controller's ceiling rather than a fixed budget.
 	Inflight int
+	// SLO, when positive, replaces the fixed inflight budget with an
+	// AIMD controller driven by measured backend latency: the budget
+	// halves within one control window of p99 exceeding SLO or the
+	// backend returning 5xx, and grows additively back toward Inflight
+	// while windows stay healthy. Zero keeps the budget fixed at
+	// Inflight — the pre-controller behavior.
+	SLO time.Duration
 	// UsageDir is the journaled usage ledger's directory; empty meters
 	// in memory only (usage resets on restart).
 	UsageDir string
@@ -67,6 +75,7 @@ type Gateway struct {
 	inner     http.Handler
 	keys      atomic.Pointer[KeySet]
 	shed      *shedder
+	aimd      *aimdController // nil unless Config.SLO > 0
 	meter     *Meter
 	hub       *Hub
 	m         *metrics
@@ -118,6 +127,11 @@ func New(inner http.Handler, cfg Config) (*Gateway, error) {
 		tracer:    cfg.Tracer,
 	}
 	g.keys.Store(cfg.Keys)
+	m.aimdBudget.Set(float64(g.shed.budget()))
+	if cfg.SLO > 0 {
+		g.aimd = newAIMD(g.shed, m, cfg.SLO, cfg.Inflight)
+		go g.aimd.run()
+	}
 	return g, nil
 }
 
@@ -125,8 +139,14 @@ func New(inner http.Handler, cfg Config) (*Gateway, error) {
 // before serving requests.
 func (g *Gateway) SetTracer(t *trace.Tracer) { g.tracer = t }
 
-// Close flushes and closes the usage ledger.
-func (g *Gateway) Close() error { return g.meter.Close() }
+// Close stops the AIMD controller (if running) and flushes and closes
+// the usage ledger.
+func (g *Gateway) Close() error {
+	if g.aimd != nil {
+		g.aimd.close()
+	}
+	return g.meter.Close()
+}
 
 // Hub returns the traffic-event hub, for subscribers beyond the HTTP
 // stream (tests, embedded dashboards).
@@ -137,6 +157,10 @@ func (g *Gateway) Meter() *Meter { return g.meter }
 
 // Keys returns the live tenant key set (the most recent reload wins).
 func (g *Gateway) Keys() *KeySet { return g.keys.Load() }
+
+// InflightBudget returns the current total inflight budget — fixed at
+// Config.Inflight, or wherever the AIMD controller has moved it.
+func (g *Gateway) InflightBudget() int64 { return g.shed.budget() }
 
 // Decide runs the admission decision for one request of class c by
 // tenant t: token bucket, then byte quota, then the priority inflight
@@ -300,6 +324,9 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	elapsed := g.now().Sub(start)
 	g.Release()
 	g.m.latency[class].Observe(elapsed)
+	if g.aimd != nil {
+		g.aimd.observe(elapsed, cw.status)
+	}
 
 	t.usage.requests[group].Add(1)
 	if r.ContentLength > 0 {

@@ -22,6 +22,11 @@ type metrics struct {
 	usageFlushes *obs.Counter
 	keyReloads   *obs.Counter
 
+	aimdBudget  *obs.Gauge
+	aimdP99     *obs.Gauge
+	aimdShrinks *obs.Counter
+	aimdGrows   *obs.Counter
+
 	tokens *obs.GaugeVec // children resolved per tenant below
 }
 
@@ -39,6 +44,14 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Usage-ledger flushes appended to the journal."),
 		keyReloads: reg.Counter("gateway_key_reloads_total",
 			"Successful tenant key-file reloads via /admin/v1/keys/reload."),
+		aimdBudget: reg.Gauge("gateway_aimd_budget",
+			"Current total inflight budget as set by the AIMD controller (equals -gateway-inflight when the controller is disabled or fully grown)."),
+		aimdP99: reg.Gauge("gateway_aimd_window_p99_seconds",
+			"Backend p99 latency over the AIMD controller's most recent non-empty window — the signal the budget reacts to."),
+		aimdShrinks: reg.Counter("gateway_aimd_shrinks_total",
+			"AIMD windows that halved the inflight budget because windowed p99 exceeded the SLO or the backend returned 5xx."),
+		aimdGrows: reg.Counter("gateway_aimd_grows_total",
+			"AIMD windows that additively grew the inflight budget after a healthy window."),
 		tokens: reg.GaugeVec("gateway_tokens",
 			"Token-bucket balance remaining after the most recent decision, by tenant and class.",
 			"tenant", "class"),

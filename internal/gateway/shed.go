@@ -12,27 +12,37 @@ import "sync/atomic"
 // and allocation-free always.
 type shedder struct {
 	inflight atomic.Int64
-	limit    [numClasses]int64
+	limit    [numClasses]atomic.Int64
 }
 
-// newShedder sizes the controller for a total inflight budget. The
-// per-class ceilings are fractions of the budget, each at least 1 so a
-// tiny budget still serves every class when idle.
+// newShedder sizes the controller for a total inflight budget.
 func newShedder(budget int) *shedder {
+	s := &shedder{}
+	s.setBudget(budget)
+	return s
+}
+
+// setBudget re-derives every class ceiling from a new total budget. The
+// per-class ceilings are fractions of the budget, each at least 1 so a
+// tiny budget still serves every class when idle. The AIMD controller
+// calls this as measured capacity moves; requests already admitted are
+// never evicted — a shrink only slows new admissions.
+func (s *shedder) setBudget(budget int) {
 	if budget < 1 {
 		budget = 1
 	}
-	s := &shedder{}
-	s.limit[ClassUser] = int64(budget)
-	s.limit[ClassMutation] = max64(1, int64(budget)*4/5)
-	s.limit[ClassReport] = max64(1, int64(budget)/2)
-	return s
+	s.limit[ClassUser].Store(int64(budget))
+	s.limit[ClassMutation].Store(max64(1, int64(budget)*4/5))
+	s.limit[ClassReport].Store(max64(1, int64(budget)/2))
 }
+
+// budget returns the current total budget (the user-class ceiling).
+func (s *shedder) budget() int64 { return s.limit[ClassUser].Load() }
 
 // acquire admits one request of class c, or reports that it must be
 // shed. A successful acquire must be paired with exactly one release.
 func (s *shedder) acquire(c Class) bool {
-	limit := s.limit[c]
+	limit := s.limit[c].Load()
 	for {
 		cur := s.inflight.Load()
 		if cur >= limit {

@@ -1,0 +1,210 @@
+package health
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// SlotController is the recovery surface the supervisor drives for one
+// cluster slot. Implementations probe and act on whichever process is
+// the slot's *current* owner, so after a promotion the probe loop
+// automatically watches the new owner with no re-wiring.
+type SlotController interface {
+	// ProbeOwner checks the slot's current owner; nil means healthy.
+	ProbeOwner(ctx context.Context) error
+	// Failover promotes the best synced follower to owner, fences the
+	// deposed owner behind a new ring version, and re-arms the replica
+	// chain. It returns an error if no follower is eligible (the
+	// supervisor retries on the next probe tick).
+	Failover(ctx context.Context) error
+	// NeedsHeal reports whether the slot's chain is degraded — a
+	// detached or lagging follower (typically the deposed owner, back
+	// from the dead) that should be resynced.
+	NeedsHeal() bool
+	// Heal resyncs degraded followers onto the current owner,
+	// demoting a returning stale owner into a follower.
+	Heal(ctx context.Context) error
+}
+
+// Config parameterizes a Supervisor.
+type Config struct {
+	// Interval is the probe period per slot (default 500ms).
+	Interval time.Duration
+	// Timeout bounds each probe and each recovery action (default:
+	// Interval).
+	Timeout time.Duration
+	// Detector tunes the per-slot failure detector.
+	Detector DetectorConfig
+	// HealEvery is how many probe ticks pass between heal checks
+	// while the owner is healthy (default 4).
+	HealEvery int
+	// OnFailover, when set, is called after each successful automatic
+	// promotion with the elapsed time from the down verdict to the
+	// completed promotion.
+	OnFailover func(slot int, detectToPromote time.Duration)
+	// OnStateChange, when set, observes every detector transition.
+	OnStateChange func(slot int, s State)
+	// Metrics receives the health_* instrument set; nil uses
+	// unregistered no-op instruments.
+	Metrics *Metrics
+	// Logf, when set, receives recovery decisions (promotion, heal,
+	// failed attempts).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 500 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = c.Interval
+	}
+	if c.HealEvery < 1 {
+		c.HealEvery = 4
+	}
+	if c.Metrics == nil {
+		c.Metrics = NewMetrics(nil)
+	}
+	c.Detector = c.Detector.withDefaults()
+	return c
+}
+
+// Supervisor runs one probe-and-recover loop per watched slot.
+type Supervisor struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	slots map[int]*Detector // live detectors, for StateOf
+}
+
+// NewSupervisor builds a supervisor; Watch arms slots, Close stops it.
+func NewSupervisor(cfg Config) *Supervisor {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Supervisor{
+		cfg:    cfg.withDefaults(),
+		ctx:    ctx,
+		cancel: cancel,
+		slots:  make(map[int]*Detector),
+	}
+}
+
+// StateOf returns the detector verdict for a watched slot (StateUp for
+// unwatched slots).
+func (s *Supervisor) StateOf(slot int) State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.slots[slot]; ok {
+		return d.State()
+	}
+	return StateUp
+}
+
+// Watch starts the probe loop for one slot. Each slot may be watched
+// once; the loop runs until Close.
+func (s *Supervisor) Watch(slot int, ctrl SlotController) {
+	det := NewDetector(s.cfg.Detector)
+	s.mu.Lock()
+	s.slots[slot] = det
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.run(slot, ctrl, det)
+	}()
+}
+
+// Close stops every probe loop and waits for them to exit.
+func (s *Supervisor) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+func (s *Supervisor) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// run is one slot's probe loop: probe, feed the detector, and act on
+// the verdict. On StateDown it attempts failover every tick until one
+// succeeds, then resets the detector (the probe target is now the new
+// owner). While the owner is up it periodically heals degraded
+// followers back into the chain.
+func (s *Supervisor) run(slot int, ctrl SlotController, det *Detector) {
+	m := s.cfg.Metrics
+	ticker := time.NewTicker(s.cfg.Interval)
+	defer ticker.Stop()
+	var downSince time.Time
+	tick := 0
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		tick++
+
+		pctx, cancel := context.WithTimeout(s.ctx, s.cfg.Timeout)
+		err := ctrl.ProbeOwner(pctx)
+		cancel()
+		m.Probes.Inc()
+		if err != nil {
+			m.ProbeFailures.Inc()
+		}
+
+		s.mu.Lock()
+		state, changed := det.Observe(err == nil)
+		s.mu.Unlock()
+		if changed {
+			m.Transitions.Inc()
+			if state == StateDown {
+				m.SlotsDown.Add(1)
+				downSince = time.Now()
+				s.logf("health: slot %d owner declared down (probe: %v)", slot, err)
+			}
+			if s.cfg.OnStateChange != nil {
+				s.cfg.OnStateChange(slot, state)
+			}
+		}
+
+		switch state {
+		case StateDown:
+			fctx, cancel := context.WithTimeout(s.ctx, s.cfg.Timeout)
+			ferr := ctrl.Failover(fctx)
+			cancel()
+			if ferr != nil {
+				m.FailoverFailures.Inc()
+				s.logf("health: slot %d failover attempt failed: %v", slot, ferr)
+				continue
+			}
+			elapsed := time.Since(downSince)
+			m.Failovers.Inc()
+			m.SlotsDown.Add(-1)
+			m.DetectToPromote.Observe(elapsed)
+			s.logf("health: slot %d promoted a follower %v after down verdict", slot, elapsed)
+			s.mu.Lock()
+			det.Reset()
+			s.mu.Unlock()
+			if s.cfg.OnFailover != nil {
+				s.cfg.OnFailover(slot, elapsed)
+			}
+		case StateUp:
+			if tick%s.cfg.HealEvery == 0 && ctrl.NeedsHeal() {
+				hctx, cancel := context.WithTimeout(s.ctx, s.cfg.Timeout)
+				herr := ctrl.Heal(hctx)
+				cancel()
+				if herr != nil {
+					m.HealFailures.Inc()
+					s.logf("health: slot %d heal attempt failed: %v", slot, herr)
+				} else {
+					m.Heals.Inc()
+					s.logf("health: slot %d healed degraded followers", slot)
+				}
+			}
+		}
+	}
+}

@@ -20,9 +20,12 @@ type ClusterAdmin interface {
 	// RemoveShard drains the highest slot back onto the rest of the ring
 	// and removes it.
 	RemoveShard() (ReshardReportWire, error)
-	// Promote makes the named slot's best-synced replica its owner — the
-	// explicit operator decision the failover protocol requires.
-	Promote(slot int) (PromoteResponse, error)
+	// Promote makes the named slot's best-synced replica its owner,
+	// fencing the deposed owner behind a bumped ring version. Without
+	// force it refuses (409) while the owner is still answering health
+	// checks — promoting under a healthy owner would fork the chain;
+	// force is the planned-handover escape hatch.
+	Promote(slot int, force bool) (PromoteResponse, error)
 	// ResumeReshard retries the source-side removals of an interrupted
 	// cutover; it is idempotent and safe to hammer.
 	ResumeReshard() error
@@ -88,6 +91,10 @@ type AddShardRequest struct {
 type PromoteRequest struct {
 	// Slot names the ring slot whose replica to promote.
 	Slot int `json:"slot"`
+	// Force promotes even while the slot's owner is healthy (a planned
+	// handover). Without it, promotion under a healthy owner is refused
+	// with 409 — it would fork the replica chain.
+	Force bool `json:"force,omitempty"`
 }
 
 // PromoteResponse reports a completed promotion.
@@ -97,6 +104,9 @@ type PromoteResponse struct {
 	Member int `json:"member"`
 	// Addr is the new owner's address.
 	Addr string `json:"addr,omitempty"`
+	// Version is the ring version the promotion produced; the deposed
+	// owner is fenced behind it.
+	Version uint64 `json:"version,omitempty"`
 }
 
 // requireClusterAdmin 404s membership endpoints until an admin is wired
@@ -157,7 +167,7 @@ func (s *Server) handleClusterPromote(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	resp, err := s.clusterAdmin.Promote(req.Slot)
+	resp, err := s.clusterAdmin.Promote(req.Slot, req.Force)
 	if err != nil {
 		writeErr(w, http.StatusConflict, err)
 		return

@@ -18,6 +18,7 @@ type fakeClusterAdmin struct {
 	addAddr     string
 	addReplicas []string
 	promoted    int
+	forced      bool
 	removeErr   error
 	resumed     bool
 }
@@ -46,12 +47,13 @@ func (f *fakeClusterAdmin) RemoveShard() (ReshardReportWire, error) {
 	return ReshardReportWire{UsersMoved: 7, Version: 5}, nil
 }
 
-func (f *fakeClusterAdmin) Promote(slot int) (PromoteResponse, error) {
+func (f *fakeClusterAdmin) Promote(slot int, force bool) (PromoteResponse, error) {
 	if slot < 0 || slot > 1 {
 		return PromoteResponse{}, errors.New("no such slot")
 	}
 	f.promoted = slot
-	return PromoteResponse{Slot: slot, Member: 1, Addr: "http://a2:1"}, nil
+	f.forced = force
+	return PromoteResponse{Slot: slot, Member: 1, Addr: "http://a2:1", Version: 4}, nil
 }
 
 func (f *fakeClusterAdmin) ResumeReshard() error {
@@ -146,8 +148,14 @@ func TestClusterEndpoints(t *testing.T) {
 	if resp = adminDo(t, http.MethodPost, ts.URL+"/admin/v1/cluster/promote", PromoteRequest{Slot: 1}); resp.StatusCode != http.StatusOK {
 		t.Fatalf("promote: got %d", resp.StatusCode)
 	}
-	if fake.promoted != 1 {
-		t.Fatalf("promoted slot %d, want 1", fake.promoted)
+	if fake.promoted != 1 || fake.forced {
+		t.Fatalf("promoted slot %d (forced=%v), want slot 1 unforced", fake.promoted, fake.forced)
+	}
+	if resp = adminDo(t, http.MethodPost, ts.URL+"/admin/v1/cluster/promote", PromoteRequest{Slot: 0, Force: true}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("forced promote: got %d", resp.StatusCode)
+	}
+	if !fake.forced {
+		t.Fatal("Force flag lost in transit")
 	}
 	if resp = adminDo(t, http.MethodPost, ts.URL+"/admin/v1/cluster/promote", PromoteRequest{Slot: 9}); resp.StatusCode != http.StatusConflict {
 		t.Fatalf("promote bad slot: got %d, want 409", resp.StatusCode)

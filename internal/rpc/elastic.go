@@ -39,6 +39,19 @@ type MembershipGate interface {
 	SetRing(RingInfo) error
 }
 
+// WriteGate is the optional tightening of MembershipGate for mutations:
+// only the owning slot's address may apply a user write, never a
+// replica's. This is the fence that stops a deposed owner — demoted to
+// replica by an automatic promotion — from applying retried writes once
+// it holds the bumped ring. Gates without it fall back to OwnsUser for
+// writes too.
+type WriteGate interface {
+	// OwnsUserWrite returns nil when this node is the user's slot owner
+	// under the current ring, or a descriptive error (surfaced as
+	// 409/ErrStaleRing) otherwise.
+	OwnsUserWrite(user string) error
+}
+
 // staleErr wraps a gate refusal so handleOp can map it to 409.
 type staleErr struct{ err error }
 
@@ -136,6 +149,12 @@ type FollowReq struct {
 	LSN uint64 `json:"lsn"`
 }
 
+// RearmReq asks a freshly promoted owner to rebuild its journal-shipping
+// chain onto the given follower addresses, with no process restart.
+type RearmReq struct {
+	Followers []string `json:"followers"`
+}
+
 // registerElastic wires the migration, replication, and ring ops. The ops
 // are always registered — capability is a property of the backend, not the
 // protocol — and refuse with ErrMigrationUnsupported when the backend
@@ -220,6 +239,13 @@ func (s *Server) registerElastic() {
 		}
 		r.EndFollow()
 		return empty{}, nil
+	})
+	handle(s, "rearm", func(_ context.Context, req RearmReq) (empty, error) {
+		fn := s.rearm.Load()
+		if fn == nil {
+			return empty{}, fmt.Errorf("shard has no rearm handler configured (node was not started with replication support)")
+		}
+		return empty{}, (*fn)(req.Followers)
 	})
 	handle(s, "ring", func(_ context.Context, _ empty) (RingInfo, error) {
 		g := s.gate.Load()

@@ -69,6 +69,14 @@ func (c *Client) EndFollow(ctx context.Context) error {
 	return c.Call(ctx, "endfollow", true, nil, nil)
 }
 
+// Rearm asks a freshly promoted owner to rebuild its journal-shipping
+// chain onto the given follower addresses (no process restart).
+// Re-arming is idempotent — the handler replaces the whole chain — so it
+// gets transport retries.
+func (c *Client) Rearm(ctx context.Context, followers []string) error {
+	return c.Call(ctx, "rearm", true, RearmReq{Followers: followers}, nil)
+}
+
 // FetchRing returns the membership the peer is currently serving.
 func (c *Client) FetchRing(ctx context.Context) (RingInfo, error) {
 	var resp RingInfo

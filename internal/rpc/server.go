@@ -89,6 +89,11 @@ type Server struct {
 	// refusal maps to 409 so clients see ErrStaleRing and refresh their
 	// membership instead of retrying blindly.
 	gate atomic.Pointer[MembershipGate]
+	// rearm, when set, handles the rearm op: rebuild this node's
+	// journal-shipping chain onto the given follower addresses. Installed
+	// by the daemon so an automatic promotion re-arms replication without
+	// a process restart.
+	rearm atomic.Pointer[func(followers []string) error]
 	// tr overrides the tracer (tests); nil means trace.Default.
 	tr atomic.Pointer[trace.Tracer]
 }
@@ -114,10 +119,42 @@ func (s *Server) SetGate(g MembershipGate) {
 	s.gate.Store(&g)
 }
 
+// SetRearm installs the handler for the rearm op (nil disables it).
+// Safe to call while serving.
+func (s *Server) SetRearm(fn func(followers []string) error) {
+	if fn == nil {
+		s.rearm.Store(nil)
+		return
+	}
+	s.rearm.Store(&fn)
+}
+
 // gateUser checks ownership of a user-scoped request against the gate.
 func (s *Server) gateUser(user string) error {
 	g := s.gate.Load()
 	if g == nil {
+		return nil
+	}
+	if err := (*g).OwnsUser(user); err != nil {
+		return staleErr{err}
+	}
+	return nil
+}
+
+// gateUserWrite checks ownership of a user-scoped mutation. Gates that
+// distinguish writes (WriteGate) fence mutations to the owning slot's
+// address only — a deposed owner demoted to replica refuses retried
+// writes with 409/ErrStaleRing instead of applying them. Gates without
+// the capability fall back to the read check.
+func (s *Server) gateUserWrite(user string) error {
+	g := s.gate.Load()
+	if g == nil {
+		return nil
+	}
+	if wg, ok := (*g).(WriteGate); ok {
+		if err := wg.OwnsUserWrite(user); err != nil {
+			return staleErr{err}
+		}
 		return nil
 	}
 	if err := (*g).OwnsUser(user); err != nil {
@@ -253,7 +290,7 @@ type empty struct{}
 // constants-by-convention strings.
 func (s *Server) register() {
 	handle(s, "adduser", func(_ context.Context, req AddUserReq) (empty, error) {
-		if err := s.gateUser(string(req.Profile.ID)); err != nil {
+		if err := s.gateUserWrite(string(req.Profile.ID)); err != nil {
 			return empty{}, err
 		}
 		p, err := profile.FromState(req.Profile)
@@ -282,7 +319,7 @@ func (s *Server) register() {
 		return UsersResp{Users: out}, nil
 	})
 	handle(s, "browse", func(ctx context.Context, req BrowseReq) (ImpressionsResp, error) {
-		if err := s.gateUser(req.UserID); err != nil {
+		if err := s.gateUserWrite(req.UserID); err != nil {
 			return ImpressionsResp{}, err
 		}
 		imps, err := browseFeed(ctx, s.b, profile.UserID(req.UserID), req.Slots)
@@ -298,13 +335,13 @@ func (s *Server) register() {
 		return ImpressionsResp{Impressions: impressionsWire(s.b.Feed(profile.UserID(req.UserID)))}, nil
 	})
 	handle(s, "visit", func(_ context.Context, req VisitReq) (empty, error) {
-		if err := s.gateUser(req.UserID); err != nil {
+		if err := s.gateUserWrite(req.UserID); err != nil {
 			return empty{}, err
 		}
 		return empty{}, s.b.VisitPage(profile.UserID(req.UserID), pixel.PixelID(req.PixelID))
 	})
 	handle(s, "like", func(_ context.Context, req LikeReq) (empty, error) {
-		if err := s.gateUser(req.UserID); err != nil {
+		if err := s.gateUserWrite(req.UserID); err != nil {
 			return empty{}, err
 		}
 		return empty{}, s.b.LikePage(profile.UserID(req.UserID), req.PageID)
